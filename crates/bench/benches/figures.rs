@@ -1,0 +1,212 @@
+//! Criterion benchmarks reproducing the paper's figures (2–8) at bench
+//! scale.
+//!
+//! Each group first prints a scaled-down version of the figure's series
+//! (so `cargo bench` output doubles as a smoke reproduction — the
+//! full-resolution series come from `cargo run -p pstar-experiments`),
+//! then times one representative simulation point so regressions in the
+//! simulator's throughput show up in Criterion history.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priority_star::prelude::*;
+use std::time::Duration;
+
+fn quick_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_slots: 1_000,
+        measure_slots: 4_000,
+        max_slots: 200_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn print_delay_series(name: &str, dims: &[u32], broadcast_metric: bool) {
+    let topo = Torus::new(dims);
+    println!(
+        "--- {name}: {} ({}) ---",
+        topo,
+        if broadcast_metric {
+            "broadcast delay"
+        } else {
+            "reception delay"
+        }
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>8}",
+        "rho", "fcfs", "pstar", "speedup"
+    );
+    for (i, rho) in [0.3, 0.6, 0.8, 0.9].into_iter().enumerate() {
+        let run = |kind| {
+            let spec = ScenarioSpec {
+                scheme: kind,
+                rho,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(1000 + i as u64))
+        };
+        let fcfs = run(SchemeKind::FcfsDirect);
+        let pstar = run(SchemeKind::PriorityStar);
+        let pick = |r: &SimReport| {
+            if broadcast_metric {
+                r.broadcast_delay.mean
+            } else {
+                r.reception_delay.mean
+            }
+        };
+        println!(
+            "{:>5.2} {:>12.3} {:>12.3} {:>8.2}",
+            rho,
+            pick(&fcfs),
+            pick(&pstar),
+            pick(&fcfs) / pick(&pstar)
+        );
+    }
+}
+
+fn bench_point(c: &mut Criterion, id: &str, dims: &[u32], kind: SchemeKind, frac: f64) {
+    let topo = Torus::new(dims);
+    c.bench_function(id, |b| {
+        b.iter(|| {
+            let spec = ScenarioSpec {
+                scheme: kind,
+                rho: 0.8,
+                broadcast_load_fraction: frac,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(42))
+        })
+    });
+}
+
+fn fig1(c: &mut Criterion) {
+    // Fig. 1 is the schematic 5×5 priority-STAR tree; we print it (via
+    // the example-grade renderer) and bench the tree construction.
+    let topo = Torus::new(&[5, 5]);
+    let tree = SpanningTree::build(&topo, NodeId(12), 1);
+    println!("--- fig1: STAR tree in 5x5 torus, src=(2,2), ending dim 1 ---");
+    println!(
+        "depths: max {} avg {:.2}; trunk (high-priority) transmissions: {}",
+        tree.max_depth(),
+        tree.avg_depth(),
+        tree.trunk_transmissions()
+    );
+    c.bench_function("fig1_tree_build_5x5", |b| {
+        b.iter(|| SpanningTree::build(&topo, NodeId(12), 1))
+    });
+}
+
+fn fig2(c: &mut Criterion) {
+    print_delay_series("fig2", &[8, 8], false);
+    bench_point(
+        c,
+        "fig2_8x8_pstar_rho08",
+        &[8, 8],
+        SchemeKind::PriorityStar,
+        1.0,
+    );
+}
+
+fn fig3(c: &mut Criterion) {
+    print_delay_series("fig3", &[16, 16], false);
+    bench_point(
+        c,
+        "fig3_16x16_pstar_rho08",
+        &[16, 16],
+        SchemeKind::PriorityStar,
+        1.0,
+    );
+}
+
+fn fig4(c: &mut Criterion) {
+    print_delay_series("fig4", &[8, 8, 8], false);
+    bench_point(
+        c,
+        "fig4_8x8x8_pstar_rho08",
+        &[8, 8, 8],
+        SchemeKind::PriorityStar,
+        1.0,
+    );
+}
+
+fn fig5(c: &mut Criterion) {
+    print_delay_series("fig5", &[8, 8], true);
+    bench_point(
+        c,
+        "fig5_8x8_fcfs_rho08",
+        &[8, 8],
+        SchemeKind::FcfsDirect,
+        1.0,
+    );
+}
+
+fn fig6(c: &mut Criterion) {
+    print_delay_series("fig6", &[16, 16], true);
+    bench_point(
+        c,
+        "fig6_16x16_fcfs_rho08",
+        &[16, 16],
+        SchemeKind::FcfsDirect,
+        1.0,
+    );
+}
+
+fn fig7(c: &mut Criterion) {
+    print_delay_series("fig7", &[8, 8, 8], true);
+    bench_point(
+        c,
+        "fig7_8x8x8_fcfs_rho08",
+        &[8, 8, 8],
+        SchemeKind::FcfsDirect,
+        1.0,
+    );
+}
+
+fn fig8(c: &mut Criterion) {
+    let topo = Torus::new(&[8, 8]);
+    println!("--- fig8: concurrent tasks, 8x8, 50/50 mix ---");
+    println!(
+        "{:>5} {:>14} {:>12} {:>12} {:>12}",
+        "rho", "scheme", "bcast_tasks", "ucast_tasks", "ucast_delay"
+    );
+    for rho in [0.5, 0.8, 0.9] {
+        for kind in [SchemeKind::FcfsDirect, SchemeKind::PriorityStar] {
+            let spec = ScenarioSpec {
+                scheme: kind,
+                rho,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            let rep = run_scenario(&topo, &spec, quick_cfg(8));
+            println!(
+                "{:>5.2} {:>14} {:>12.2} {:>12.2} {:>12.2}",
+                rho,
+                kind.label(),
+                rep.avg_concurrent_broadcasts,
+                rep.avg_concurrent_unicasts,
+                rep.unicast_delay.mean
+            );
+        }
+    }
+    bench_point(
+        c,
+        "fig8_8x8_mixed_rho08",
+        &[8, 8],
+        SchemeKind::PriorityStar,
+        0.5,
+    );
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = figures;
+    config = configured();
+    targets = fig1, fig2, fig3, fig4, fig5, fig6, fig7, fig8
+}
+criterion_main!(figures);

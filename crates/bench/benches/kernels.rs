@@ -1,0 +1,117 @@
+//! Microbenchmarks of the library's hot kernels, independent of any
+//! particular figure: simulator slot throughput, tree construction,
+//! balance solving, queue operations, and sampling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use priority_star::prelude::*;
+use priority_star::{balance_broadcast_only, balance_mixed, star_dim_transmissions};
+use std::time::Duration;
+
+fn sim_throughput(c: &mut Criterion) {
+    // End-to-end slots/second at a realistic operating point.
+    let topo = Torus::new(&[8, 8]);
+    let mut g = c.benchmark_group("sim_throughput");
+    for rho in [0.5, 0.9] {
+        g.bench_function(format!("8x8_pstar_rho{:02}", (rho * 10.0) as u32), |b| {
+            b.iter(|| {
+                let spec = ScenarioSpec {
+                    scheme: SchemeKind::PriorityStar,
+                    rho,
+                    ..Default::default()
+                };
+                let cfg = SimConfig {
+                    warmup_slots: 500,
+                    measure_slots: 2_000,
+                    max_slots: 100_000,
+                    seed: 9,
+                    ..SimConfig::default()
+                };
+                run_scenario(&topo, &spec, cfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn tree_kernels(c: &mut Criterion) {
+    let big = Torus::new(&[16, 16]);
+    c.bench_function("spanning_tree_16x16", |b| {
+        b.iter(|| SpanningTree::build(black_box(&big), NodeId(77), 1))
+    });
+    let cube = Torus::hypercube(10);
+    c.bench_function("spanning_tree_hypercube10", |b| {
+        b.iter(|| SpanningTree::build(black_box(&cube), NodeId(511), 3))
+    });
+    c.bench_function("eq1_coefficients_d6", |b| {
+        let topo = Torus::new(&[3, 4, 5, 6, 7, 8]);
+        b.iter(|| star_dim_transmissions(black_box(&topo), 3))
+    });
+}
+
+fn balance_kernels(c: &mut Criterion) {
+    let topo = Torus::new(&[3, 4, 5, 6, 7, 8]);
+    c.bench_function("balance_broadcast_only_d6", |b| {
+        b.iter(|| balance_broadcast_only(black_box(&topo)))
+    });
+    c.bench_function("balance_mixed_d6", |b| {
+        b.iter(|| balance_mixed(black_box(&topo), 0.001, 0.1, false))
+    });
+}
+
+fn engine_twins(c: &mut Criterion) {
+    // Step vs event engine at low load: the calendar engine skips idle
+    // slots, so it should win by a wide margin here.
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.05,
+        ..Default::default()
+    };
+    let cfg = SimConfig {
+        warmup_slots: 5_000,
+        measure_slots: 40_000,
+        max_slots: 500_000,
+        seed: 11,
+        ..SimConfig::default()
+    };
+    let mut g = c.benchmark_group("engine_twins_low_load");
+    g.bench_function("step_engine", |b| {
+        b.iter(|| run_scenario(&topo, &spec, cfg))
+    });
+    g.bench_function("event_engine", |b| {
+        b.iter(|| {
+            pstar_sim::EventEngine::new(
+                topo.clone(),
+                spec.build_scheme(&topo),
+                spec.mix(&topo),
+                cfg,
+            )
+            .run()
+        })
+    });
+    g.finish();
+}
+
+fn unicast_kernel(c: &mut Criterion) {
+    let topo = Torus::new(&[16, 16, 16]);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+    c.bench_function("unicast_next_hop", |b| {
+        b.iter(|| {
+            priority_star::unicast::next_hop(black_box(&topo), NodeId(0), NodeId(2049), &mut rng)
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = kernels;
+    config = configured();
+    targets = sim_throughput, tree_kernels, balance_kernels, engine_twins, unicast_kernel
+}
+criterion_main!(kernels);

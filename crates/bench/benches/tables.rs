@@ -1,0 +1,201 @@
+//! Criterion benchmarks reproducing the paper's quantitative claims
+//! (tables T1–T5 of DESIGN.md) at bench scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priority_star::prelude::*;
+use pstar_queueing::{md1_wait, two_class_waits};
+use std::time::Duration;
+
+fn quick_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_slots: 1_000,
+        measure_slots: 4_000,
+        max_slots: 150_000,
+        unstable_queue_per_link: 150.0,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn max_stable(topo: &Torus, kind: SchemeKind, frac: f64) -> f64 {
+    let mut best = 0.0;
+    for i in 1..20 {
+        let rho = i as f64 * 0.05;
+        let spec = ScenarioSpec {
+            scheme: kind,
+            rho,
+            broadcast_load_fraction: frac,
+            ..Default::default()
+        };
+        if run_scenario(topo, &spec, quick_cfg(77 + i)).ok() {
+            best = rho;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+fn table1(c: &mut Criterion) {
+    let topo = Torus::new(&[4, 4, 8]);
+    println!("--- table1: 4x4x8 torus, 50/50 mix, max sustainable rho ---");
+    for kind in [
+        SchemeKind::FcfsDirect,
+        SchemeKind::FcfsBalanced,
+        SchemeKind::PriorityStar,
+    ] {
+        println!("{:>14}: {:.2}", kind.label(), max_stable(&topo, kind, 0.5));
+    }
+    c.bench_function("table1_4x4x8_balanced_rho06", |b| {
+        b.iter(|| {
+            let spec = ScenarioSpec {
+                scheme: SchemeKind::PriorityStar,
+                rho: 0.6,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(1))
+        })
+    });
+}
+
+fn table2(c: &mut Criterion) {
+    println!("--- table2: dimension-ordered saturation vs 2/d ---");
+    for d in [3usize, 4, 5] {
+        let topo = Torus::hypercube(d);
+        let n = (1u64 << d) as f64;
+        let theory = (n - 1.0) / (d as f64 * n / 2.0);
+        println!(
+            "d={d}: theory {:.3}, dim-ordered {:.2}, rotated {:.2}",
+            theory,
+            max_stable(&topo, SchemeKind::DimensionOrdered, 1.0),
+            max_stable(&topo, SchemeKind::FcfsDirect, 1.0)
+        );
+    }
+    let topo = Torus::hypercube(5);
+    c.bench_function("table2_hypercube5_dimorder_rho03", |b| {
+        b.iter(|| {
+            let spec = ScenarioSpec {
+                scheme: SchemeKind::DimensionOrdered,
+                rho: 0.3,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(2))
+        })
+    });
+}
+
+fn table3(c: &mut Criterion) {
+    let topo = Torus::new(&[8, 8]);
+    println!(
+        "--- table3: unicast delay under 50/50 mix (8x8, D_ave={:.2}) ---",
+        topo.avg_distance()
+    );
+    for rho in [0.5, 0.8, 0.9] {
+        let run = |kind| {
+            let spec = ScenarioSpec {
+                scheme: kind,
+                rho,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(3)).unicast_delay.mean
+        };
+        println!(
+            "rho={rho:.2}: fcfs {:.2}, pstar {:.2}, 3-class {:.2}",
+            run(SchemeKind::FcfsDirect),
+            run(SchemeKind::PriorityStar),
+            run(SchemeKind::ThreeClass)
+        );
+    }
+    c.bench_function("table3_8x8_mixed_fcfs_rho08", |b| {
+        b.iter(|| {
+            let spec = ScenarioSpec {
+                scheme: SchemeKind::FcfsDirect,
+                rho: 0.8,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(4))
+        })
+    });
+}
+
+fn table4(c: &mut Criterion) {
+    let topo = Torus::new(&[4, 4, 8]);
+    println!("--- table4: 2-class vs 3-class (4x4x8, 50/50 mix) ---");
+    for rho in [0.7, 0.9] {
+        let run = |kind| {
+            let spec = ScenarioSpec {
+                scheme: kind,
+                rho,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            let rep = run_scenario(&topo, &spec, quick_cfg(5));
+            (rep.reception_delay.mean, rep.unicast_delay.mean)
+        };
+        let (r2, u2) = run(SchemeKind::PriorityStar);
+        let (r3, u3) = run(SchemeKind::ThreeClass);
+        println!("rho={rho:.2}: reception {r2:.2} vs {r3:.2}, unicast {u2:.2} vs {u3:.2}");
+    }
+    c.bench_function("table4_4x4x8_three_class_rho07", |b| {
+        b.iter(|| {
+            let spec = ScenarioSpec {
+                scheme: SchemeKind::ThreeClass,
+                rho: 0.7,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(6))
+        })
+    });
+}
+
+fn table5(c: &mut Criterion) {
+    let topo = Torus::new(&[8, 8]);
+    println!("--- table5: per-class waits vs HOL theory (8x8) ---");
+    for rho in [0.5, 0.8, 0.9] {
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho,
+            ..Default::default()
+        };
+        let rep = run_scenario(&topo, &spec, quick_cfg(7));
+        let (rho_h, rho_l) = analysis::priority_star_class_loads(&topo, rho);
+        let (wh, wl) = two_class_waits(rho_h, rho_l);
+        println!(
+            "rho={rho:.2}: W_H {:.3} (theory {:.3}), W_L {:.3} (theory {:.3}), conservation {:.3} (M/D/1 {:.3})",
+            rep.class[0].wait.mean,
+            wh,
+            rep.class[1].wait.mean,
+            wl,
+            rep.conservation_aggregate(),
+            md1_wait(rho)
+        );
+    }
+    c.bench_function("table5_8x8_pstar_rho09", |b| {
+        b.iter(|| {
+            let spec = ScenarioSpec {
+                scheme: SchemeKind::PriorityStar,
+                rho: 0.9,
+                ..Default::default()
+            };
+            run_scenario(&topo, &spec, quick_cfg(8))
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = tables;
+    config = configured();
+    targets = table1, table2, table3, table4, table5
+}
+criterion_main!(tables);

@@ -1,0 +1,3 @@
+//! Criterion bench crate — see `benches/` for the per-figure/table
+//! benchmark targets and `crates/experiments` for the full-resolution
+//! harness.

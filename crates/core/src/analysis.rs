@@ -1,0 +1,168 @@
+//! Closed-form reference curves from the paper's analysis (§2, §3.2).
+//!
+//! These are *predictions*, not tuned fits: EXPERIMENTS.md overlays them
+//! on the simulated series and the integration tests check the simulator
+//! agrees with them within statistical tolerance at low/moderate load.
+
+use crate::balance::balance_broadcast_only;
+use pstar_queueing::{md1_wait, two_class_waits};
+use pstar_topology::{exact_avg_ring_distance, Torus};
+
+/// The Ω(d + 1/(1−ρ)) oblivious lower bound, §2, instantiated with its
+/// natural constants: average distance plus one M/D/1 wait.
+pub fn oblivious_lower_bound(topo: &Torus, rho: f64) -> f64 {
+    topo.avg_distance() + md1_wait(rho)
+}
+
+/// Predicted average reception delay of the FCFS baseline (direct scheme
+/// of \[12\] with uniform rotation): every one of the `D_ave` hops queues
+/// like an M/D/1 with load ρ, giving the paper's `O(dn/(1−ρ))` behaviour.
+pub fn fcfs_reception_prediction(topo: &Torus, rho: f64) -> f64 {
+    topo.avg_distance() * (1.0 + md1_wait(rho))
+}
+
+/// Class loads `(ρ_H, ρ_L)` of priority STAR under the Eq. (2) balanced
+/// rotation at total load ρ: transmissions are uniform over links, so
+/// loads split proportionally to the per-task trunk/ending transmission
+/// counts (§3.2's `N/n − 1` vs `(1 − 1/n)N` in the symmetric case).
+pub fn priority_star_class_loads(topo: &Torus, rho: f64) -> (f64, f64) {
+    let n = topo.node_count() as f64;
+    let x = balance_broadcast_only(topo).x;
+    let trunk_per_task: f64 = x
+        .iter()
+        .enumerate()
+        .map(|(l, xl)| xl * (n / topo.dim_size(l) as f64 - 1.0))
+        .sum();
+    let frac_trunk = trunk_per_task / (n - 1.0);
+    (rho * frac_trunk, rho * (1.0 - frac_trunk))
+}
+
+/// Predicted average reception delay of priority STAR: `D_ave` service
+/// slots, with the last (ending-dimension) hops waiting like the low
+/// class and the trunk hops like the high class.
+pub fn priority_star_reception_prediction(topo: &Torus, rho: f64) -> f64 {
+    let d_ave = topo.avg_distance();
+    let x = balance_broadcast_only(topo).x;
+    let n = topo.node_count() as f64;
+    // Expected number of ending-dimension hops on a reception path.
+    let h_end: f64 = x
+        .iter()
+        .enumerate()
+        .map(|(l, xl)| xl * exact_avg_ring_distance(topo.dim_size(l)) * n / (n - 1.0))
+        .sum();
+    let (rho_h, rho_l) = priority_star_class_loads(topo, rho);
+    let (w_h, w_l) = two_class_waits(rho_h, rho_l);
+    d_ave + (d_ave - h_end) * w_h + h_end * w_l
+}
+
+/// First-order prediction of the FCFS average *broadcast* (completion)
+/// delay: the deepest leaf sits at the diameter, and each of its hops
+/// queues like M/D/1. This ignores the max-over-paths inflation (the
+/// completion time is the maximum of many correlated path delays), so it
+/// slightly underestimates; the measured curves sit a constant factor
+/// above it with the same growth.
+pub fn fcfs_broadcast_prediction(topo: &Torus, rho: f64) -> f64 {
+    topo.diameter() as f64 * (1.0 + md1_wait(rho))
+}
+
+/// First-order prediction of priority STAR's average broadcast delay:
+/// the deepest path pays high-class waits on its trunk portion and
+/// low-class waits on its ending-dimension portion (≈ half that
+/// dimension's ring).
+pub fn priority_star_broadcast_prediction(topo: &Torus, rho: f64) -> f64 {
+    let diameter = topo.diameter() as f64;
+    let x = balance_broadcast_only(topo).x;
+    // Expected ending-dimension hops on a deepest path.
+    let h_end: f64 = x
+        .iter()
+        .enumerate()
+        .map(|(l, xl)| xl * (topo.dim_size(l) / 2) as f64)
+        .sum();
+    let (rho_h, rho_l) = priority_star_class_loads(topo, rho);
+    let (w_h, w_l) = two_class_waits(rho_h, rho_l);
+    diameter + (diameter - h_end) * w_h + h_end * w_l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_bound_below_both_predictions() {
+        let topo = Torus::new(&[8, 8]);
+        for rho in [0.1, 0.5, 0.9] {
+            let lb = oblivious_lower_bound(&topo, rho);
+            assert!(lb <= fcfs_reception_prediction(&topo, rho) + 1e-9);
+            assert!(lb <= priority_star_reception_prediction(&topo, rho) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn priority_prediction_beats_fcfs_at_high_load() {
+        let topo = Torus::new(&[8, 8, 8]);
+        for rho in [0.7, 0.8, 0.9, 0.95] {
+            assert!(
+                priority_star_reception_prediction(&topo, rho)
+                    < fcfs_reception_prediction(&topo, rho),
+                "rho={rho}"
+            );
+        }
+        // And the gap grows with load.
+        let gap_lo =
+            fcfs_reception_prediction(&topo, 0.5) - priority_star_reception_prediction(&topo, 0.5);
+        let gap_hi =
+            fcfs_reception_prediction(&topo, 0.9) - priority_star_reception_prediction(&topo, 0.9);
+        assert!(gap_hi > gap_lo * 3.0);
+    }
+
+    #[test]
+    fn class_loads_split_matches_symmetric_counting() {
+        // 8-ary 2-cube: trunk fraction = (N/n − 1)/(N − 1) = 7/63 = 1/9.
+        let topo = Torus::n_ary_d_cube(8, 2);
+        let (rho_h, rho_l) = priority_star_class_loads(&topo, 0.9);
+        assert!((rho_h - 0.9 / 9.0).abs() < 1e-9);
+        assert!((rho_l - 0.9 * 8.0 / 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictions_converge_to_distance_at_zero_load() {
+        let topo = Torus::new(&[16, 16]);
+        let d_ave = topo.avg_distance();
+        assert!((fcfs_reception_prediction(&topo, 0.0) - d_ave).abs() < 1e-9);
+        assert!((priority_star_reception_prediction(&topo, 0.0) - d_ave).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_predictions_exceed_reception_predictions() {
+        // Completion (max over nodes) is never faster than the average
+        // reception, for either scheme.
+        let topo = Torus::new(&[8, 8]);
+        for rho in [0.2, 0.6, 0.9] {
+            assert!(fcfs_broadcast_prediction(&topo, rho) > fcfs_reception_prediction(&topo, rho));
+            assert!(
+                priority_star_broadcast_prediction(&topo, rho)
+                    > priority_star_reception_prediction(&topo, rho)
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_predictions_start_at_diameter() {
+        let topo = Torus::new(&[8, 8, 8]);
+        let d = topo.diameter() as f64;
+        assert!((fcfs_broadcast_prediction(&topo, 0.0) - d).abs() < 1e-9);
+        assert!((priority_star_broadcast_prediction(&topo, 0.0) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fcfs_grows_theta_d_times_faster() {
+        // §3.2: FCFS is suboptimal by Θ(d): its delay scales like
+        // D_ave/(1−ρ) while priority STAR scales like n/(1−ρ).
+        let topo = Torus::n_ary_d_cube(8, 3);
+        let rho = 0.95;
+        let fcfs_growth = fcfs_reception_prediction(&topo, rho) - topo.avg_distance();
+        let pstar_growth = priority_star_reception_prediction(&topo, rho) - topo.avg_distance();
+        let ratio = fcfs_growth / pstar_growth;
+        assert!(ratio > 2.0, "expected Θ(d)=3-ish separation, got {ratio}");
+    }
+}

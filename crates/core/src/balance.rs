@@ -1,0 +1,315 @@
+//! The ending-dimension balance systems — Eq. (2) and Eq. (4).
+//!
+//! Choosing ending dimension `l` with probability `x_l` makes the expected
+//! number of broadcast transmissions on dimension-`i` links equal to
+//! `Σ_j a_{i,j} x_j` per task. Equalizing the **per-link** load across
+//! dimensions yields a `d × d` linear system; its solution automatically
+//! satisfies `Σ x_i = 1` because every column of `A` sums to `N − 1`.
+//!
+//! For heterogeneous traffic (§4) the unicast load `λ_R h_i` on
+//! dimension-`i` links (with `h_i` the expected dimension-`i` hops of a
+//! shortest-path unicast, ≈ `⌊n_i/4⌋`) is folded into the right-hand side,
+//! so the broadcast rotation *compensates* the unicast imbalance of
+//! asymmetric tori.
+//!
+//! When the exact solution leaves `[0,1]` (very unicast-heavy loads on
+//! very stretched tori), we follow the paper's prescription — clamp to the
+//! boundary (their 2-D example: `(x1, x2) → (1, 0)`) and renormalize —
+//! and report the result as infeasible-but-repaired.
+
+use crate::coefficients::star_transmission_matrix;
+use pstar_linalg::{solve, Matrix};
+use pstar_topology::Torus;
+
+/// Result of solving a balance system.
+#[derive(Debug, Clone)]
+pub struct BalanceSolution {
+    /// Usable probability vector (repaired if necessary): non-negative,
+    /// sums to 1.
+    pub x: Vec<f64>,
+    /// The raw solution of the linear system before any repair.
+    pub raw: Vec<f64>,
+    /// `true` when the raw solution was already a probability vector, so
+    /// the load is *exactly* balanced.
+    pub feasible: bool,
+    /// Predicted per-link utilization of each dimension's links under
+    /// `x` at the rates the system was solved for (equal entries iff
+    /// feasible). Entries are `load/λ-normalized` for the broadcast-only
+    /// system (see [`predicted_dim_loads`]).
+    pub predicted_dim_loads: Vec<f64>,
+}
+
+impl BalanceSolution {
+    /// Largest predicted per-dimension link load (the bottleneck).
+    pub fn max_dim_load(&self) -> f64 {
+        self.predicted_dim_loads
+            .iter()
+            .fold(0.0f64, |m, &v| m.max(v))
+    }
+}
+
+/// Expected per-link load on each dimension's links, per unit time, for
+/// ending-dimension distribution `x` and rates `(λ_B, λ_R)`:
+///
+/// ```text
+/// load_i = (λ_B Σ_j a_{i,j} x_j + λ_R h_i) / ports_i
+/// ```
+pub fn predicted_dim_loads(
+    topo: &Torus,
+    x: &[f64],
+    lambda_broadcast: f64,
+    lambda_unicast: f64,
+) -> Vec<f64> {
+    let a = star_transmission_matrix(topo);
+    let bcast = a.mul_vec(x);
+    (0..topo.d())
+        .map(|i| {
+            (lambda_broadcast * bcast[i] + lambda_unicast * topo.avg_hops_in_dim(i))
+                / topo.ports_in_dim(i) as f64
+        })
+        .collect()
+}
+
+/// Solves Eq. (2): broadcast-only balance. The per-link loads returned in
+/// the solution are normalized per broadcast task (λ_B = 1).
+///
+/// ```
+/// use priority_star::balance_broadcast_only;
+/// use pstar_topology::Torus;
+///
+/// // Symmetric torus: the solution is uniform.
+/// let sol = balance_broadcast_only(&Torus::new(&[8, 8]));
+/// assert!(sol.feasible);
+/// assert!((sol.x[0] - 0.5).abs() < 1e-9);
+///
+/// // Stretched torus: the short dimension ends more often, soaking up
+/// // the leaf-heavy load the long dimension would otherwise carry.
+/// let sol = balance_broadcast_only(&Torus::new(&[4, 8]));
+/// assert!(sol.x[0] > sol.x[1]);
+/// ```
+pub fn balance_broadcast_only(topo: &Torus) -> BalanceSolution {
+    let d = topo.d();
+    let n = topo.node_count() as f64;
+    let degree = topo.degree() as f64;
+    // Per-link balance: Σ_j a_{i,j} x_j / ports_i equal for all i, with
+    // totals summing to N − 1 → RHS_i = (N − 1) · ports_i / degree.
+    let b: Vec<f64> = (0..d)
+        .map(|i| (n - 1.0) * topo.ports_in_dim(i) as f64 / degree)
+        .collect();
+    solve_and_repair(topo, &b, 1.0, 0.0)
+}
+
+/// Solves Eq. (4): heterogeneous balance for rates `(λ_B, λ_R)`.
+///
+/// `paper_approx` selects the paper's `⌊n_i/4⌋` stand-in for the exact
+/// expected per-dimension unicast hop counts (ablation A1 measures the
+/// difference; they coincide when every `n_i` is a multiple of 4).
+///
+/// # Panics
+///
+/// Panics when `λ_B = 0` — with no broadcast traffic there is nothing to
+/// rotate; use a plain unicast workload instead.
+pub fn balance_mixed(
+    topo: &Torus,
+    lambda_broadcast: f64,
+    lambda_unicast: f64,
+    paper_approx: bool,
+) -> BalanceSolution {
+    assert!(
+        lambda_broadcast > 0.0,
+        "balance_mixed requires broadcast traffic (λ_B > 0)"
+    );
+    let d = topo.d();
+    let n = topo.node_count() as f64;
+    let degree = topo.degree() as f64;
+    let h: Vec<f64> = (0..d)
+        .map(|i| {
+            if paper_approx {
+                topo.paper_avg_hops_in_dim(i)
+            } else {
+                topo.avg_hops_in_dim(i)
+            }
+        })
+        .collect();
+    let total_unicast_hops: f64 = h.iter().sum();
+    // Network-wide mean link load, which perfect balance must hit on every
+    // link: ρ = (λ_B (N−1) + λ_R Σ h_i) / degree.
+    let rho = (lambda_broadcast * (n - 1.0) + lambda_unicast * total_unicast_hops) / degree;
+    let b: Vec<f64> = (0..d)
+        .map(|i| (topo.ports_in_dim(i) as f64 * rho - lambda_unicast * h[i]) / lambda_broadcast)
+        .collect();
+    solve_and_repair(topo, &b, lambda_broadcast, lambda_unicast)
+}
+
+fn solve_and_repair(
+    topo: &Torus,
+    b: &[f64],
+    lambda_broadcast: f64,
+    lambda_unicast: f64,
+) -> BalanceSolution {
+    let a = star_transmission_matrix(topo);
+    let raw = solve_or_uniform(&a, b, topo.d());
+    let feasible = raw.iter().all(|&v| (-1e-9..=1.0 + 1e-9).contains(&v));
+    let x = if feasible {
+        // Clean up numerical dust so downstream samplers see an exact
+        // probability vector.
+        normalize(raw.iter().map(|&v| v.clamp(0.0, 1.0)).collect())
+    } else {
+        // The paper's boundary repair: clamp, renormalize.
+        normalize(raw.iter().map(|&v| v.clamp(0.0, 1.0)).collect())
+    };
+    let predicted_dim_loads = predicted_dim_loads(topo, &x, lambda_broadcast, lambda_unicast);
+    BalanceSolution {
+        x,
+        raw,
+        feasible,
+        predicted_dim_loads,
+    }
+}
+
+fn solve_or_uniform(a: &Matrix, b: &[f64], d: usize) -> Vec<f64> {
+    match solve(a, b) {
+        Ok(x) => x,
+        // A singular coefficient matrix cannot occur for valid tori
+        // (columns are distinct positive scalings), but degrade gracefully.
+        Err(_) => vec![1.0 / d as f64; d],
+    }
+}
+
+fn normalize(mut x: Vec<f64>) -> Vec<f64> {
+    let sum: f64 = x.iter().sum();
+    if sum > 0.0 {
+        for v in &mut x {
+            *v /= sum;
+        }
+    } else {
+        let d = x.len();
+        x.fill(1.0 / d as f64);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_prob_vector(x: &[f64]) {
+        assert!(x.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)), "{x:?}");
+        let s: f64 = x.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9, "sum {s}");
+    }
+
+    #[test]
+    fn symmetric_torus_solution_is_uniform() {
+        for topo in [
+            Torus::n_ary_d_cube(8, 2),
+            Torus::n_ary_d_cube(4, 3),
+            Torus::hypercube(5),
+        ] {
+            let sol = balance_broadcast_only(&topo);
+            assert!(sol.feasible);
+            assert_prob_vector(&sol.x);
+            for &xi in &sol.x {
+                assert!(
+                    (xi - 1.0 / topo.d() as f64).abs() < 1e-9,
+                    "{topo}: {:?}",
+                    sol.x
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_solution_always_sums_to_one() {
+        // Guaranteed by Eq. (3): every column of A sums to N − 1.
+        for topo in [
+            Torus::new(&[4, 8]),
+            Torus::new(&[4, 4, 8]),
+            Torus::new(&[3, 5, 7]),
+            Torus::new(&[2, 6, 4]),
+        ] {
+            let sol = balance_broadcast_only(&topo);
+            let s: f64 = sol.raw.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "{topo}: {s}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_broadcast_balance_equalizes_loads() {
+        let topo = Torus::new(&[4, 8]);
+        let sol = balance_broadcast_only(&topo);
+        assert!(
+            sol.feasible,
+            "4x8 broadcast-only is balanceable: {:?}",
+            sol.raw
+        );
+        let loads = &sol.predicted_dim_loads;
+        assert!((loads[0] - loads[1]).abs() < 1e-9, "unbalanced: {loads:?}");
+        // The uniform vector would NOT balance this torus.
+        let uniform_loads = predicted_dim_loads(&topo, &[0.5, 0.5], 1.0, 0.0);
+        assert!((uniform_loads[0] - uniform_loads[1]).abs() > 1.0);
+    }
+
+    #[test]
+    fn mixed_balance_compensates_unicast_imbalance() {
+        // §4: 4x4x8 torus, 50/50 load split. Unicast loads dim 2 twice as
+        // much; the broadcast rotation must absorb the difference.
+        let topo = Torus::new(&[4, 4, 8]);
+        let rates = pstar_queueing::rates_for_rho(&topo, 0.8, 0.5);
+        let sol = balance_mixed(&topo, rates.lambda_broadcast, rates.lambda_unicast, false);
+        assert!(sol.feasible, "raw={:?}", sol.raw);
+        assert_prob_vector(&sol.x);
+        let loads = &sol.predicted_dim_loads;
+        for i in 1..loads.len() {
+            assert!((loads[i] - loads[0]).abs() < 1e-9, "{loads:?}");
+        }
+        // All-dim loads equal the offered ρ.
+        assert!((loads[0] - 0.8).abs() < 1e-6, "{loads:?}");
+    }
+
+    #[test]
+    fn paper_approx_matches_exact_when_dims_divisible_by_four() {
+        let topo = Torus::new(&[4, 4, 8]);
+        let rates = pstar_queueing::rates_for_rho(&topo, 0.6, 0.5);
+        let exact = balance_mixed(&topo, rates.lambda_broadcast, rates.lambda_unicast, false);
+        let approx = balance_mixed(&topo, rates.lambda_broadcast, rates.lambda_unicast, true);
+        // ⌊n/4⌋ is exact for n ∈ {4, 8} up to the N/(N−1) correction, so
+        // the solutions should be close (not identical).
+        for (a, b) in exact.x.iter().zip(&approx.x) {
+            assert!((a - b).abs() < 0.02, "{:?} vs {:?}", exact.x, approx.x);
+        }
+    }
+
+    #[test]
+    fn infeasible_solution_is_repaired_to_boundary() {
+        // Extremely unicast-heavy traffic on a stretched 2-D torus: the
+        // long dimension is so overloaded that no probability in [0,1]
+        // can balance it; the paper says to fall back to the boundary.
+        let topo = Torus::new(&[4, 32]);
+        let rates = pstar_queueing::rates_for_rho(&topo, 0.95, 0.02);
+        let sol = balance_mixed(&topo, rates.lambda_broadcast, rates.lambda_unicast, false);
+        assert!(!sol.feasible, "raw={:?}", sol.raw);
+        assert_prob_vector(&sol.x);
+        // A broadcast's leaf-heavy load lands on its *ending* dimension,
+        // so to relieve the unicast-saturated long dimension (1) all mass
+        // must go to ending dim 0 — the paper's (1, 0) boundary vector.
+        assert!(sol.x[0] > 0.95, "{:?}", sol.x);
+    }
+
+    #[test]
+    fn predicted_loads_scale_linearly_in_rates() {
+        let topo = Torus::new(&[4, 8]);
+        let x = vec![0.5, 0.5];
+        let l1 = predicted_dim_loads(&topo, &x, 0.01, 0.1);
+        let l2 = predicted_dim_loads(&topo, &x, 0.02, 0.2);
+        for (a, b) in l1.iter().zip(&l2) {
+            assert!((b / a - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "λ_B > 0")]
+    fn mixed_balance_requires_broadcast_traffic() {
+        balance_mixed(&Torus::new(&[4, 4]), 0.0, 0.1, false);
+    }
+}

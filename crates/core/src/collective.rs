@@ -1,0 +1,151 @@
+//! Static collective operations on the STAR substrate.
+//!
+//! §1 distinguishes *static* communication tasks — multinode broadcast
+//! (MNB), total exchange (TE) — from the dynamic traffic the paper
+//! analyzes, and §5 notes the proposed techniques "can also be applied to
+//! other communication problems". This module executes the classic static
+//! collectives through the same simulator and routing schemes, measuring
+//! completion time against the bandwidth lower bounds:
+//!
+//! * **MNB** (every node broadcasts one packet): at least
+//!   `N (N − 1)` transmissions over `N · d_ave` links ⇒
+//!   `T ≥ (N − 1) / d_ave` slots.
+//! * **TE** (every ordered pair exchanges a distinct packet): at least
+//!   `N (N − 1) D_ave` hop-transmissions ⇒ `T ≥ (N − 1) D_ave / d_ave`.
+//!
+//! The balanced STAR rotation spreads every tree over all dimensions, so
+//! its MNB completion sits close to the bound; dimension-ordered trees
+//! pile the leaf traffic onto one dimension and finish ≈ `d/2`× later —
+//! the static-world face of the same §2 imbalance.
+
+use crate::scheme::StarScheme;
+use pstar_sim::{Engine, SimConfig};
+use pstar_topology::{NodeId, Torus};
+use pstar_traffic::TrafficMix;
+
+/// Result of one static collective execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollectiveResult {
+    /// Slots from the simultaneous start until the last delivery.
+    pub completion_slots: u64,
+    /// The bandwidth lower bound for the collective on this network.
+    pub lower_bound_slots: f64,
+    /// Total transmissions performed.
+    pub transmissions: u64,
+}
+
+impl CollectiveResult {
+    /// Measured completion relative to the bandwidth bound (≥ 1; close to
+    /// 1 means the schedule is near-perfectly load balanced).
+    pub fn efficiency_gap(&self) -> f64 {
+        self.completion_slots as f64 / self.lower_bound_slots
+    }
+}
+
+/// Executes a multinode broadcast: every node injects one broadcast at
+/// slot 0; returns when the last copy lands.
+pub fn multinode_broadcast(topo: &Torus, scheme: StarScheme, seed: u64) -> CollectiveResult {
+    let mut cfg = SimConfig::quick(seed);
+    cfg.max_slots = 10_000_000;
+    let mut engine = Engine::new(topo.clone(), scheme, TrafficMix::broadcast_only(0.0), cfg);
+    for v in 0..topo.node_count() {
+        engine.inject_broadcast(NodeId(v));
+    }
+    let slots = engine.run_until_idle();
+    let n = topo.node_count() as f64;
+    CollectiveResult {
+        // run_until_idle needs one extra step to observe the idle net.
+        completion_slots: slots.saturating_sub(1),
+        lower_bound_slots: (n - 1.0) / topo.degree() as f64,
+        transmissions: engine.transmissions_per_dim().iter().sum(),
+    }
+}
+
+/// Executes a total exchange: every ordered pair `(s, t)`, `s ≠ t`,
+/// exchanges one unicast, all injected at slot 0.
+pub fn total_exchange(topo: &Torus, scheme: StarScheme, seed: u64) -> CollectiveResult {
+    let mut cfg = SimConfig::quick(seed);
+    cfg.max_slots = 10_000_000;
+    let mut engine = Engine::new(topo.clone(), scheme, TrafficMix::broadcast_only(0.0), cfg);
+    for s in 0..topo.node_count() {
+        for t in 0..topo.node_count() {
+            if s != t {
+                engine.inject_unicast(NodeId(s), NodeId(t));
+            }
+        }
+    }
+    let slots = engine.run_until_idle();
+    let n = topo.node_count() as f64;
+    CollectiveResult {
+        completion_slots: slots.saturating_sub(1),
+        lower_bound_slots: (n - 1.0) * topo.avg_distance() / topo.degree() as f64,
+        transmissions: engine.transmissions_per_dim().iter().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnb_transmissions_are_minimal() {
+        let topo = Torus::new(&[6, 6]);
+        let res = multinode_broadcast(&topo, StarScheme::fcfs_balanced(&topo), 1);
+        let n = topo.node_count() as u64;
+        assert_eq!(res.transmissions, n * (n - 1));
+    }
+
+    #[test]
+    fn mnb_with_rotation_is_near_the_bandwidth_bound() {
+        let topo = Torus::new(&[8, 8]);
+        let res = multinode_broadcast(&topo, StarScheme::fcfs_balanced(&topo), 2);
+        // Bound: 63/4 = 15.75 slots. A well-balanced schedule should land
+        // within ~2.5x (random rotations, no global coordination).
+        assert!(res.completion_slots as f64 >= res.lower_bound_slots);
+        assert!(
+            res.efficiency_gap() < 2.5,
+            "gap {} (completion {} vs bound {})",
+            res.efficiency_gap(),
+            res.completion_slots,
+            res.lower_bound_slots
+        );
+    }
+
+    #[test]
+    fn mnb_dimension_ordered_is_substantially_worse() {
+        // All leaf traffic lands on the last dimension: the last
+        // dimension's links become the bottleneck.
+        let topo = Torus::new(&[8, 8, 8]);
+        let rotated = multinode_broadcast(&topo, StarScheme::fcfs_balanced(&topo), 3);
+        let ordered = multinode_broadcast(&topo, StarScheme::dimension_ordered(&topo), 3);
+        assert!(
+            ordered.completion_slots as f64 > 1.8 * rotated.completion_slots as f64,
+            "ordered {} vs rotated {}",
+            ordered.completion_slots,
+            rotated.completion_slots
+        );
+    }
+
+    #[test]
+    fn total_exchange_meets_its_bound_within_constant() {
+        let topo = Torus::new(&[6, 6]);
+        let res = total_exchange(&topo, StarScheme::fcfs_balanced(&topo), 4);
+        let n = topo.node_count() as u64;
+        // Minimal transmissions: Σ distances = N(N−1)·D_ave.
+        let expect = (n * (n - 1)) as f64 * topo.avg_distance();
+        assert!((res.transmissions as f64 - expect).abs() < 1e-6);
+        assert!(res.completion_slots as f64 >= res.lower_bound_slots);
+        assert!(res.efficiency_gap() < 2.0, "gap {}", res.efficiency_gap());
+    }
+
+    #[test]
+    fn priority_discipline_does_not_change_mnb_completion_much() {
+        // Priorities reorder service, they do not add capacity: the
+        // conservation law in static form.
+        let topo = Torus::new(&[8, 8]);
+        let fcfs = multinode_broadcast(&topo, StarScheme::fcfs_balanced(&topo), 5);
+        let prio = multinode_broadcast(&topo, StarScheme::priority_star(&topo), 5);
+        let ratio = prio.completion_slots as f64 / fcfs.completion_slots as f64;
+        assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+}

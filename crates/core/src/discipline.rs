@@ -1,0 +1,113 @@
+//! Priority disciplines of §3.2 and §4.
+
+/// What a transmission is doing, from the discipline's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficClass {
+    /// A broadcast transmission on a non-ending dimension — the "trunk"
+    /// of the STAR tree (only `N/n − 1` of the `N − 1` transmissions).
+    BroadcastTrunk,
+    /// A broadcast transmission on the ending dimension — the leaf-heavy
+    /// bulk of the tree (`(1 − 1/n)·N` transmissions).
+    BroadcastEnding,
+    /// A unicast transmission.
+    Unicast,
+}
+
+/// A mapping from traffic classes to priority levels (0 = highest).
+///
+/// * [`Discipline::Fcfs`] — single class; the baseline used by the FCFS
+///   generalization of the direct scheme of \[12\].
+/// * [`Discipline::PriorityStar`] — §3.2: trunk high, ending dimension
+///   low. Unicast (if any) rides with the trunk, which is §4's first
+///   variant ("assign high priority to all the unicast packets and all
+///   the broadcast packets except those transmitted along the ending
+///   dimension").
+/// * [`Discipline::ThreeClass`] — §4's refinement: trunk high, unicast
+///   medium, ending dimension low, further shaving the broadcast
+///   reception delay at a small cost in unicast delay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Everything in one FCFS class.
+    Fcfs,
+    /// Two classes: {trunk, unicast} → 0, ending dimension → 1.
+    PriorityStar,
+    /// Three classes: trunk → 0, unicast → 1, ending dimension → 2.
+    ThreeClass,
+}
+
+impl Discipline {
+    /// Number of priority classes the discipline uses.
+    pub fn num_classes(self) -> usize {
+        match self {
+            Discipline::Fcfs => 1,
+            Discipline::PriorityStar => 2,
+            Discipline::ThreeClass => 3,
+        }
+    }
+
+    /// Priority level of a transmission (0 = highest).
+    #[inline(always)]
+    pub fn class_of(self, traffic: TrafficClass) -> u8 {
+        match (self, traffic) {
+            (Discipline::Fcfs, _) => 0,
+            (Discipline::PriorityStar, TrafficClass::BroadcastEnding) => 1,
+            (Discipline::PriorityStar, _) => 0,
+            (Discipline::ThreeClass, TrafficClass::BroadcastTrunk) => 0,
+            (Discipline::ThreeClass, TrafficClass::Unicast) => 1,
+            (Discipline::ThreeClass, TrafficClass::BroadcastEnding) => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_is_single_class() {
+        for t in [
+            TrafficClass::BroadcastTrunk,
+            TrafficClass::BroadcastEnding,
+            TrafficClass::Unicast,
+        ] {
+            assert_eq!(Discipline::Fcfs.class_of(t), 0);
+        }
+        assert_eq!(Discipline::Fcfs.num_classes(), 1);
+    }
+
+    #[test]
+    fn priority_star_demotes_only_ending_dim() {
+        let d = Discipline::PriorityStar;
+        assert_eq!(d.class_of(TrafficClass::BroadcastTrunk), 0);
+        assert_eq!(d.class_of(TrafficClass::Unicast), 0);
+        assert_eq!(d.class_of(TrafficClass::BroadcastEnding), 1);
+        assert_eq!(d.num_classes(), 2);
+    }
+
+    #[test]
+    fn three_class_orders_trunk_unicast_ending() {
+        let d = Discipline::ThreeClass;
+        let trunk = d.class_of(TrafficClass::BroadcastTrunk);
+        let uni = d.class_of(TrafficClass::Unicast);
+        let ending = d.class_of(TrafficClass::BroadcastEnding);
+        assert!(trunk < uni && uni < ending);
+        assert_eq!(d.num_classes(), 3);
+    }
+
+    #[test]
+    fn classes_stay_below_declared_count() {
+        for d in [
+            Discipline::Fcfs,
+            Discipline::PriorityStar,
+            Discipline::ThreeClass,
+        ] {
+            for t in [
+                TrafficClass::BroadcastTrunk,
+                TrafficClass::BroadcastEnding,
+                TrafficClass::Unicast,
+            ] {
+                assert!((d.class_of(t) as usize) < d.num_classes());
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Sampling distribution over ending dimensions.
+
+use rand::Rng;
+
+/// A discrete distribution over the `d` possible ending dimensions,
+/// sampled once per broadcast task.
+///
+/// * [`EndingDimDistribution::uniform`] — the FCFS "direct scheme"
+///   generalization of \[12\] rotates uniformly;
+/// * [`EndingDimDistribution::degenerate`] — classical dimension-ordered
+///   broadcast always ends at the last dimension (its §2 throughput cap
+///   is `2/d`);
+/// * [`EndingDimDistribution::from_probabilities`] — the balanced vector
+///   solved from Eq. (2)/(4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EndingDimDistribution {
+    /// Cumulative distribution, `cum[d-1] == 1`.
+    cum: Vec<f64>,
+    /// The underlying probabilities.
+    probs: Vec<f64>,
+}
+
+impl EndingDimDistribution {
+    /// Builds a distribution from a probability vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector is empty, has negative entries, or does not
+    /// sum to 1 (within 1e-6).
+    pub fn from_probabilities(probs: &[f64]) -> Self {
+        assert!(!probs.is_empty(), "empty probability vector");
+        assert!(
+            probs.iter().all(|&p| p >= -1e-12),
+            "negative probability in {probs:?}"
+        );
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "probabilities sum to {sum}");
+        let mut cum = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in probs {
+            acc += p.max(0.0);
+            cum.push(acc);
+        }
+        *cum.last_mut().unwrap() = 1.0;
+        Self {
+            cum,
+            probs: probs.to_vec(),
+        }
+    }
+
+    /// Uniform over all `d` dimensions.
+    pub fn uniform(d: usize) -> Self {
+        Self::from_probabilities(&vec![1.0 / d as f64; d])
+    }
+
+    /// Always the given dimension.
+    pub fn degenerate(d: usize, dim: usize) -> Self {
+        assert!(dim < d, "dimension out of range");
+        let mut p = vec![0.0; d];
+        p[dim] = 1.0;
+        Self::from_probabilities(&p)
+    }
+
+    /// The probability vector.
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Number of dimensions.
+    pub fn d(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// Samples an ending dimension. `d` is small, so a linear CDF walk
+    /// beats fancier alias structures.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        for (i, &c) in self.cum.iter().enumerate() {
+            if u < c {
+                return i;
+            }
+        }
+        self.cum.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn degenerate_always_returns_its_dim() {
+        let d = EndingDimDistribution::degenerate(4, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            assert_eq!(d.sample(&mut rng), 2);
+        }
+    }
+
+    #[test]
+    fn uniform_frequencies_converge() {
+        let d = EndingDimDistribution::uniform(3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 3];
+        let trials = 90_000;
+        for _ in 0..trials {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 / trials as f64 - 1.0 / 3.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn skewed_frequencies_converge() {
+        let d = EndingDimDistribution::from_probabilities(&[0.7, 0.1, 0.2]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 3];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        for (i, expect) in [0.7, 0.1, 0.2].iter().enumerate() {
+            assert!(
+                (counts[i] as f64 / trials as f64 - expect).abs() < 0.01,
+                "dim {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_probability_dims_never_sampled() {
+        let d = EndingDimDistribution::from_probabilities(&[0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..500 {
+            assert_eq!(d.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn rejects_unnormalized_vector() {
+        EndingDimDistribution::from_probabilities(&[0.5, 0.2]);
+    }
+}

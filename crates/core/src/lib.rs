@@ -1,0 +1,84 @@
+//! # priority-star
+//!
+//! A production-quality reproduction of *"A Priority-based Balanced
+//! Routing Scheme for Random Broadcasting and Routing in Tori"*
+//! (Yeh, Varvarigos, Eshoul — ICPP 2003).
+//!
+//! The crate implements, on top of the `pstar-*` substrate crates:
+//!
+//! * the **STAR broadcast** spanning trees (rotated non-idling SDC
+//!   dimension-ordered trees, [`tree`]),
+//! * the **ending-dimension balance systems** Eq. (2) and Eq. (4)
+//!   ([`balance`], [`coefficients`]) that equalize expected load on every
+//!   directed link,
+//! * the **priority disciplines** of §3.2/§4 ([`discipline`]),
+//! * shortest-path **e-cube unicast** with balanced wrap tie-breaking
+//!   ([`unicast`]),
+//! * plug-in [`pstar_sim::Scheme`] implementations for every scheme the
+//!   paper evaluates ([`scheme`]): priority STAR, the FCFS generalization
+//!   of the Stamoulis–Tsitsiklis direct scheme, and plain
+//!   dimension-ordered broadcast,
+//! * a one-call experiment [`runner`] and closed-form reference curves
+//!   ([`analysis`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use priority_star::prelude::*;
+//!
+//! let topo = Torus::new(&[8, 8]);
+//! let spec = ScenarioSpec {
+//!     scheme: SchemeKind::PriorityStar,
+//!     rho: 0.8,
+//!     broadcast_load_fraction: 1.0,
+//!     ..ScenarioSpec::default()
+//! };
+//! let report = run_scenario(&topo, &spec, SimConfig::quick(7));
+//! assert!(report.ok());
+//! // Priority STAR keeps the trunk fast even at ρ = 0.8:
+//! assert!(report.class[0].wait.mean < report.class[1].wait.mean);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod balance;
+pub mod coefficients;
+pub mod collective;
+pub mod discipline;
+pub mod distribution;
+pub mod mesh_scheme;
+pub mod replicate;
+pub mod runner;
+pub mod scheme;
+pub mod tree;
+pub mod unicast;
+
+pub use balance::{balance_broadcast_only, balance_mixed, BalanceSolution};
+pub use coefficients::{star_dim_transmissions, star_transmission_matrix};
+pub use collective::{multinode_broadcast, total_exchange, CollectiveResult};
+pub use discipline::{Discipline, TrafficClass};
+pub use distribution::EndingDimDistribution;
+pub use mesh_scheme::MeshStarScheme;
+pub use replicate::{run_replicated, Replicated, TargetMetric};
+pub use runner::{run_scenario, ScenarioSpec, SchemeKind};
+pub use scheme::StarScheme;
+pub use tree::SpanningTree;
+
+/// Convenient glob-import surface for examples and downstream users.
+pub mod prelude {
+    pub use crate::analysis;
+    pub use crate::balance::{balance_broadcast_only, balance_mixed, BalanceSolution};
+    pub use crate::collective::{multinode_broadcast, total_exchange, CollectiveResult};
+    pub use crate::discipline::{Discipline, TrafficClass};
+    pub use crate::distribution::EndingDimDistribution;
+    pub use crate::mesh_scheme::MeshStarScheme;
+    pub use crate::replicate::{run_replicated, Replicated, TargetMetric};
+    pub use crate::runner::{run_scenario, ScenarioSpec, SchemeKind};
+    pub use crate::scheme::StarScheme;
+    pub use crate::tree::SpanningTree;
+    pub use pstar_queueing::{rates_for_rho, throughput_factor, TrafficRates};
+    pub use pstar_sim::{Engine, SimConfig, SimReport};
+    pub use pstar_topology::{Direction, Mesh, NodeId, Torus};
+    pub use pstar_traffic::{TrafficMix, WorkloadSpec};
+}

@@ -1,0 +1,188 @@
+//! Multi-replication runs with across-run confidence control.
+//!
+//! A single simulation run yields serially correlated delay samples, so
+//! its naive CI is optimistic. Independent replications (same scenario,
+//! different seeds) give honestly independent run means; this module
+//! repeats a scenario until the across-run 95% CI of the primary metric
+//! is tight enough (or a replication budget is exhausted).
+
+use crate::runner::{run_scenario, ScenarioSpec};
+use pstar_sim::{SimConfig, SimReport};
+use pstar_stats::Moments;
+use pstar_topology::Torus;
+
+/// Which metric drives the stopping rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TargetMetric {
+    /// Mean reception delay (broadcast traffic).
+    ReceptionDelay,
+    /// Mean broadcast (completion) delay.
+    BroadcastDelay,
+    /// Mean unicast delay.
+    UnicastDelay,
+}
+
+impl TargetMetric {
+    fn of(self, rep: &SimReport) -> f64 {
+        match self {
+            TargetMetric::ReceptionDelay => rep.reception_delay.mean,
+            TargetMetric::BroadcastDelay => rep.broadcast_delay.mean,
+            TargetMetric::UnicastDelay => rep.unicast_delay.mean,
+        }
+    }
+}
+
+/// Aggregate of several independent replications.
+#[derive(Debug, Clone)]
+pub struct Replicated {
+    /// Per-replication reports, in execution order.
+    pub runs: Vec<SimReport>,
+    /// Across-run mean of the target metric.
+    pub mean: f64,
+    /// Across-run 95% half-width of the target metric.
+    pub ci95: f64,
+    /// `true` if every replication was stable and complete.
+    pub all_ok: bool,
+    /// The metric that drove the stopping rule.
+    pub metric: TargetMetric,
+}
+
+impl Replicated {
+    /// Relative half-width `ci95 / mean` (`inf` for a zero mean).
+    pub fn relative_ci(&self) -> f64 {
+        if self.mean == 0.0 {
+            f64::INFINITY
+        } else {
+            self.ci95 / self.mean
+        }
+    }
+}
+
+/// Runs `spec` repeatedly (seeds `base_cfg.seed`, `+1`, `+2`, …) until the
+/// across-run relative 95% CI of `metric` drops below `target_rel_ci`, or
+/// `max_runs` replications have been spent. At least two replications are
+/// always performed (a CI needs two points).
+///
+/// # Panics
+///
+/// Panics if `max_runs < 2` or the target is not positive.
+pub fn run_replicated(
+    topo: &Torus,
+    spec: &ScenarioSpec,
+    base_cfg: SimConfig,
+    metric: TargetMetric,
+    target_rel_ci: f64,
+    max_runs: usize,
+) -> Replicated {
+    assert!(max_runs >= 2, "need at least two replications");
+    assert!(target_rel_ci > 0.0, "target CI must be positive");
+    let mut runs = Vec::new();
+    let mut stats = Moments::new();
+    let mut all_ok = true;
+    for i in 0..max_runs {
+        let mut cfg = base_cfg;
+        cfg.seed = base_cfg.seed.wrapping_add(i as u64);
+        let rep = run_scenario(topo, spec, cfg);
+        all_ok &= rep.ok();
+        stats.push(metric.of(&rep));
+        runs.push(rep);
+        if i >= 1 {
+            let ci = pstar_stats::ci_half_width(stats.variance(), stats.count(), 1.96);
+            if stats.mean() > 0.0 && ci / stats.mean() <= target_rel_ci {
+                break;
+            }
+        }
+    }
+    let ci95 = pstar_stats::ci_half_width(stats.variance(), stats.count(), 1.96);
+    Replicated {
+        runs,
+        mean: stats.mean(),
+        ci95,
+        all_ok,
+        metric,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::SchemeKind;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn stops_early_when_ci_is_tight() {
+        let topo = Torus::new(&[8, 8]);
+        // Moderate load, decent windows: two or three runs suffice for 5%.
+        let r = run_replicated(
+            &topo,
+            &spec(),
+            SimConfig::quick(100),
+            TargetMetric::ReceptionDelay,
+            0.05,
+            10,
+        );
+        assert!(r.all_ok);
+        assert!(r.runs.len() < 10, "took {} runs", r.runs.len());
+        assert!(r.relative_ci() <= 0.05);
+        assert!(r.mean > 4.0 && r.mean < 7.0, "mean {}", r.mean);
+    }
+
+    #[test]
+    fn respects_replication_budget() {
+        let topo = Torus::new(&[8, 8]);
+        // Unattainable 0.01% target: must stop at the budget.
+        let r = run_replicated(
+            &topo,
+            &spec(),
+            SimConfig::quick(200),
+            TargetMetric::ReceptionDelay,
+            1e-4,
+            3,
+        );
+        assert_eq!(r.runs.len(), 3);
+        assert!(r.relative_ci() > 1e-4);
+    }
+
+    #[test]
+    fn replications_use_distinct_seeds() {
+        let topo = Torus::new(&[8, 8]);
+        let r = run_replicated(
+            &topo,
+            &spec(),
+            SimConfig::quick(300),
+            TargetMetric::ReceptionDelay,
+            1e-4,
+            3,
+        );
+        let means: Vec<f64> = r.runs.iter().map(|x| x.reception_delay.mean).collect();
+        assert!(means.windows(2).any(|w| w[0] != w[1]), "{means:?}");
+    }
+
+    #[test]
+    fn unicast_metric_works() {
+        let topo = Torus::new(&[6, 6]);
+        let s = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.5,
+            broadcast_load_fraction: 0.5,
+            ..Default::default()
+        };
+        let r = run_replicated(
+            &topo,
+            &s,
+            SimConfig::quick(400),
+            TargetMetric::UnicastDelay,
+            0.05,
+            8,
+        );
+        assert!(r.all_ok);
+        assert!(r.mean >= topo.avg_distance() - 0.3);
+    }
+}

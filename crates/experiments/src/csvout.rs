@@ -1,0 +1,91 @@
+//! Minimal CSV + console table writer.
+
+use std::io::Write;
+use std::path::Path;
+
+/// An in-memory table that renders to CSV and to an aligned console dump.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with the given column names.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Formats a float cell.
+    pub fn f(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "inf".to_string()
+        }
+    }
+
+    /// Writes `<name>.csv` into `dir` and prints the table to stdout.
+    pub fn emit(&self, dir: &Path, name: &str) {
+        let path = dir.join(format!("{name}.csv"));
+        let mut fh = std::fs::File::create(&path).expect("create csv");
+        writeln!(fh, "{}", self.header.join(",")).unwrap();
+        for r in &self.rows {
+            writeln!(fh, "{}", r.join(",")).unwrap();
+        }
+        drop(fh);
+
+        // Console rendering with aligned columns.
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        println!("== {name} ==");
+        let line = |cells: &[String]| {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        println!("{}", line(&self.header));
+        for r in &self.rows {
+            println!("{}", line(r));
+        }
+        println!("(written to {})", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_csv_file() {
+        let dir = std::env::temp_dir().join("pstar-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), Table::f(2.5)]);
+        t.emit(&dir, "unit");
+        let body = std::fs::read_to_string(dir.join("unit.csv")).unwrap();
+        assert_eq!(body, "a,b\n1,2.5000\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn rejects_short_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,216 @@
+//! The `custom` command: run an arbitrary scenario from the command line.
+//!
+//! ```text
+//! experiments custom --dims 4,4,8 --scheme priority-star --rho 0.8 \
+//!     --broadcast-fraction 0.5 --lengths geometric:3 --hotspot 27:8 \
+//!     --replications 5
+//! ```
+
+use crate::csvout::Table;
+use crate::Ctx;
+use priority_star::prelude::*;
+use pstar_traffic::SourceDistribution;
+
+/// Parsed `custom` arguments.
+#[derive(Debug)]
+pub struct CustomArgs {
+    dims: Vec<u32>,
+    spec: ScenarioSpec,
+    replications: usize,
+}
+
+/// Parses the argument list following `custom`.
+///
+/// Returns `Err(message)` on malformed input so `main` can print usage.
+pub fn parse_args(args: &[String]) -> Result<CustomArgs, String> {
+    let mut dims = vec![8, 8];
+    let mut spec = ScenarioSpec::default();
+    let mut replications = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--dims" => {
+                dims = value("--dims")?
+                    .split(',')
+                    .map(|p| p.parse::<u32>().map_err(|e| format!("bad dims: {e}")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--scheme" => {
+                let v = value("--scheme")?;
+                spec.scheme = SchemeKind::all()
+                    .into_iter()
+                    .find(|k| k.label() == v)
+                    .ok_or_else(|| format!("unknown scheme `{v}`"))?;
+            }
+            "--rho" => {
+                spec.rho = value("--rho")?
+                    .parse()
+                    .map_err(|e| format!("bad rho: {e}"))?;
+            }
+            "--broadcast-fraction" => {
+                spec.broadcast_load_fraction = value("--broadcast-fraction")?
+                    .parse()
+                    .map_err(|e| format!("bad fraction: {e}"))?;
+            }
+            "--lengths" => {
+                let v = value("--lengths")?;
+                spec.lengths = parse_lengths(&v)?;
+            }
+            "--bernoulli" => spec.bernoulli = true,
+            "--hotspot" => {
+                let v = value("--hotspot")?;
+                let (node, weight) = v.split_once(':').ok_or("hotspot format is NODE:WEIGHT")?;
+                spec.sources = SourceDistribution::HotSpot {
+                    node: node.parse().map_err(|e| format!("bad node: {e}"))?,
+                    weight: weight.parse().map_err(|e| format!("bad weight: {e}"))?,
+                };
+            }
+            "--replications" => {
+                replications = value("--replications")?
+                    .parse()
+                    .map_err(|e| format!("bad replications: {e}"))?;
+            }
+            other => return Err(format!("unknown custom option `{other}`")),
+        }
+    }
+    Ok(CustomArgs {
+        dims,
+        spec,
+        replications,
+    })
+}
+
+fn parse_lengths(v: &str) -> Result<WorkloadSpec, String> {
+    if let Some(rest) = v.strip_prefix("fixed:") {
+        Ok(WorkloadSpec::Fixed(
+            rest.parse().map_err(|e| format!("bad length: {e}"))?,
+        ))
+    } else if let Some(rest) = v.strip_prefix("geometric:") {
+        Ok(WorkloadSpec::Geometric(
+            rest.parse().map_err(|e| format!("bad mean: {e}"))?,
+        ))
+    } else if let Some(rest) = v.strip_prefix("uniform:") {
+        let (a, b) = rest.split_once(':').ok_or("uniform format is MIN:MAX")?;
+        Ok(WorkloadSpec::Uniform(
+            a.parse().map_err(|e| format!("bad min: {e}"))?,
+            b.parse().map_err(|e| format!("bad max: {e}"))?,
+        ))
+    } else {
+        Err(format!(
+            "unknown length law `{v}` (fixed:L | geometric:M | uniform:A:B)"
+        ))
+    }
+}
+
+/// Runs the custom scenario and prints a one-row (or replicated) table.
+pub fn run(ctx: &Ctx, args: &[String]) {
+    let parsed = match parse_args(args) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("custom: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let topo = Torus::new(&parsed.dims);
+    println!(
+        "running {} on {topo} at rho={} (broadcast fraction {})",
+        parsed.spec.scheme.label(),
+        parsed.spec.rho,
+        parsed.spec.broadcast_load_fraction
+    );
+    let mut table = Table::new(&[
+        "run",
+        "ok",
+        "reception",
+        "broadcast",
+        "unicast",
+        "mean_util",
+        "max_util",
+        "p99_reception",
+    ]);
+    for i in 0..parsed.replications.max(1) {
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed("custom", i);
+        let rep = run_scenario(&topo, &parsed.spec, cfg);
+        table.row(vec![
+            i.to_string(),
+            rep.ok().to_string(),
+            Table::f(rep.reception_delay.mean),
+            Table::f(rep.broadcast_delay.mean),
+            Table::f(rep.unicast_delay.mean),
+            Table::f(rep.mean_link_utilization),
+            Table::f(rep.max_link_utilization),
+            rep.reception_quantiles.2.to_string(),
+        ]);
+    }
+    table.emit(&ctx.out, "custom");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_full_argument_set() {
+        let a = parse_args(&strs(&[
+            "--dims",
+            "4,4,8",
+            "--scheme",
+            "three-class",
+            "--rho",
+            "0.75",
+            "--broadcast-fraction",
+            "0.5",
+            "--lengths",
+            "geometric:3",
+            "--hotspot",
+            "27:8",
+            "--replications",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(a.dims, vec![4, 4, 8]);
+        assert_eq!(a.spec.scheme, SchemeKind::ThreeClass);
+        assert_eq!(a.spec.rho, 0.75);
+        assert_eq!(a.spec.lengths, WorkloadSpec::Geometric(3.0));
+        assert!(matches!(
+            a.spec.sources,
+            SourceDistribution::HotSpot { node: 27, .. }
+        ));
+        assert_eq!(a.replications, 4);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let a = parse_args(&[]).unwrap();
+        assert_eq!(a.dims, vec![8, 8]);
+        assert_eq!(a.spec.scheme, SchemeKind::PriorityStar);
+        assert_eq!(a.replications, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_scheme_and_options() {
+        assert!(parse_args(&strs(&["--scheme", "nope"])).is_err());
+        assert!(parse_args(&strs(&["--frobnicate"])).is_err());
+        assert!(parse_args(&strs(&["--rho"])).is_err());
+    }
+
+    #[test]
+    fn parses_length_laws() {
+        assert_eq!(parse_lengths("fixed:3").unwrap(), WorkloadSpec::Fixed(3));
+        assert_eq!(
+            parse_lengths("uniform:1:5").unwrap(),
+            WorkloadSpec::Uniform(1, 5)
+        );
+        assert!(parse_lengths("weird").is_err());
+    }
+}

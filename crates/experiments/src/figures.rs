@@ -1,0 +1,176 @@
+//! Figure reproductions (Figs. 2–8).
+
+use crate::csvout::Table;
+use crate::record::{write_jsonl, PointRecord};
+use crate::sweep::{parallel_map, rho_grid};
+use crate::Ctx;
+use priority_star::prelude::*;
+
+/// Figs. 2–4: average reception delay vs ρ, priority STAR vs the FCFS
+/// generalization of the direct scheme of \[12\].
+pub fn reception_figure(ctx: &Ctx, name: &str, dims: &[u32]) {
+    delay_figure(ctx, name, dims, DelayMetric::Reception);
+}
+
+/// Figs. 5–7: average broadcast delay vs ρ, same schemes and networks.
+pub fn broadcast_figure(ctx: &Ctx, name: &str, dims: &[u32]) {
+    delay_figure(ctx, name, dims, DelayMetric::Broadcast);
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum DelayMetric {
+    Reception,
+    Broadcast,
+}
+
+fn delay_figure(ctx: &Ctx, name: &str, dims: &[u32], metric: DelayMetric) {
+    let topo = Torus::new(dims);
+    let grid = rho_grid();
+    let schemes = [SchemeKind::FcfsDirect, SchemeKind::PriorityStar];
+    let points: Vec<(f64, SchemeKind)> = grid
+        .iter()
+        .flat_map(|&r| schemes.iter().map(move |&s| (r, s)))
+        .collect();
+
+    let reports = parallel_map(&points, |i, &(rho, scheme)| {
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed(name, i);
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            broadcast_load_fraction: 1.0,
+            ..Default::default()
+        };
+        run_scenario(&topo, &spec, cfg)
+    });
+
+    let metric_of = |rep: &SimReport| match metric {
+        DelayMetric::Reception => rep.reception_delay.mean,
+        DelayMetric::Broadcast => rep.broadcast_delay.mean,
+    };
+    let metric_name = match metric {
+        DelayMetric::Reception => "reception",
+        DelayMetric::Broadcast => "broadcast",
+    };
+
+    // Metric-appropriate analytic overlays.
+    type Prediction = fn(&Torus, f64) -> f64;
+    let (fcfs_pred, pstar_pred): (Prediction, Prediction) = match metric {
+        DelayMetric::Reception => (
+            analysis::fcfs_reception_prediction,
+            analysis::priority_star_reception_prediction,
+        ),
+        DelayMetric::Broadcast => (
+            analysis::fcfs_broadcast_prediction,
+            analysis::priority_star_broadcast_prediction,
+        ),
+    };
+    let mut table = Table::new(&[
+        "rho",
+        &format!("fcfs_{metric_name}"),
+        &format!("pstar_{metric_name}"),
+        "speedup",
+        "lower_bound",
+        "fcfs_predicted",
+        "pstar_predicted",
+        "fcfs_ok",
+        "pstar_ok",
+    ]);
+    let mut records = Vec::new();
+    for (gi, &rho) in grid.iter().enumerate() {
+        let fcfs = &reports[gi * 2];
+        let pstar = &reports[gi * 2 + 1];
+        table.row(vec![
+            format!("{rho:.2}"),
+            Table::f(metric_of(fcfs)),
+            Table::f(metric_of(pstar)),
+            Table::f(metric_of(fcfs) / metric_of(pstar)),
+            Table::f(analysis::oblivious_lower_bound(&topo, rho)),
+            Table::f(fcfs_pred(&topo, rho)),
+            Table::f(pstar_pred(&topo, rho)),
+            fcfs.ok().to_string(),
+            pstar.ok().to_string(),
+        ]);
+        records.push(PointRecord::new(
+            name,
+            &topo.to_string(),
+            SchemeKind::FcfsDirect.label(),
+            rho,
+            1.0,
+            fcfs,
+        ));
+        records.push(PointRecord::new(
+            name,
+            &topo.to_string(),
+            SchemeKind::PriorityStar.label(),
+            rho,
+            1.0,
+            pstar,
+        ));
+    }
+    table.emit(&ctx.out, name);
+    write_jsonl(&ctx.out, name, &records);
+}
+
+/// Fig. 8: time-average number of concurrent broadcast and unicast tasks
+/// in a heterogeneous environment (50/50 load split), priority STAR vs
+/// the no-priority baseline. The paper's claim: priorities shrink the
+/// concurrent-unicast population from Θ(dN/(1−ρ)) to Θ(dN), and the
+/// broadcast population loses its 1/(1−ρ) trunk inflation.
+pub fn concurrent_tasks_figure(ctx: &Ctx) {
+    let topos = [Torus::new(&[8, 8]), Torus::new(&[8, 8, 8])];
+    let grid = [0.3, 0.5, 0.7, 0.8, 0.9];
+    let schemes = [SchemeKind::FcfsDirect, SchemeKind::PriorityStar];
+
+    let mut table = Table::new(&[
+        "topology",
+        "rho",
+        "scheme",
+        "concurrent_broadcasts",
+        "concurrent_unicasts",
+        "reception_delay",
+        "unicast_delay",
+        "ok",
+    ]);
+    let mut records = Vec::new();
+    for topo in &topos {
+        let points: Vec<(f64, SchemeKind)> = grid
+            .iter()
+            .flat_map(|&r| schemes.iter().map(move |&s| (r, s)))
+            .collect();
+        let reports = parallel_map(&points, |i, &(rho, scheme)| {
+            let mut cfg = ctx.cfg;
+            cfg.seed = ctx.seed("fig8", i);
+            let spec = ScenarioSpec {
+                scheme,
+                rho,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            run_scenario(topo, &spec, cfg)
+        });
+        for (pi, &(rho, scheme)) in points.iter().enumerate() {
+            let rep = &reports[pi];
+            table.row(vec![
+                topo.to_string(),
+                format!("{rho:.2}"),
+                scheme.label().to_string(),
+                Table::f(rep.avg_concurrent_broadcasts),
+                Table::f(rep.avg_concurrent_unicasts),
+                Table::f(rep.reception_delay.mean),
+                Table::f(rep.unicast_delay.mean),
+                rep.ok().to_string(),
+            ]);
+            records.push(PointRecord::new(
+                "fig8",
+                &topo.to_string(),
+                scheme.label(),
+                rho,
+                0.5,
+                rep,
+            ));
+        }
+    }
+    table.emit(&ctx.out, "fig8");
+    write_jsonl(&ctx.out, "fig8", &records);
+}

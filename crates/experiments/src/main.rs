@@ -1,0 +1,187 @@
+//! Experiment harness: regenerates every figure and table of the paper.
+//!
+//! ```text
+//! experiments [--quick] [--out DIR] <command>
+//!
+//! commands:
+//!   fig2 fig3 fig4      reception delay vs ρ (8x8, 16x16, 8x8x8)
+//!   fig5 fig6 fig7      broadcast delay vs ρ (same networks)
+//!   fig8                concurrent tasks under heterogeneous traffic
+//!   table1              asymmetric-torus max throughput (4x4x8, 50/50)
+//!   table2              dimension-ordered 2/d saturation (hypercubes)
+//!   table3              unicast delay under mixed traffic
+//!   table4              two-class vs three-class priority
+//!   table5              per-class waits vs analytic M/D/1 + HOL
+//!   ablation_balance    balanced vs uniform rotation (asymmetric tori)
+//!   ablation_varlen     variable-length packets
+//!   ablation_arrival    Bernoulli vs Poisson arrivals
+//!   ablation_hotspot    hot-spot source robustness extension
+//!   delay_profile       reception delay vs distance from source (mechanism)
+//!   mesh_cap            open-mesh 0.5 throughput cap vs torus (§2)
+//!   custom [opts]       run an arbitrary scenario (see src/custom.rs)
+//!   saturation_trace    queue population below/at/above saturation (§2)
+//!   balance_gallery     solved Eq.(2)/(4) vectors for a gallery of tori
+//!   plot                render previously generated CSVs as SVG figures
+//!   collectives         static MNB / total-exchange completion vs bounds
+//!   verify              reproduction gate: re-check every headline claim
+//!   all                 everything above
+//! ```
+//!
+//! Each command prints the series to stdout and writes
+//! `results/<name>.csv` (plus a JSON-lines record stream for downstream
+//! tooling).
+
+mod csvout;
+mod custom;
+mod figures;
+mod plot;
+mod record;
+mod svg;
+mod sweep;
+mod tables;
+mod verify;
+
+use pstar_sim::SimConfig;
+use std::path::PathBuf;
+
+/// Shared harness context.
+pub struct Ctx {
+    /// Simulation windows for ordinary points.
+    pub cfg: SimConfig,
+    /// Shorter windows for saturation searches (many runs).
+    pub sat_cfg: SimConfig,
+    /// Output directory for CSV/JSONL files.
+    pub out: PathBuf,
+}
+
+impl Ctx {
+    fn new(quick: bool, out: PathBuf) -> Self {
+        let cfg = if quick {
+            SimConfig::quick(0)
+        } else {
+            SimConfig {
+                warmup_slots: 10_000,
+                measure_slots: 30_000,
+                max_slots: 1_500_000,
+                ..SimConfig::default()
+            }
+        };
+        let sat_cfg = SimConfig {
+            warmup_slots: if quick { 1_000 } else { 4_000 },
+            measure_slots: if quick { 4_000 } else { 12_000 },
+            max_slots: 300_000,
+            unstable_queue_per_link: 150.0,
+            ..SimConfig::default()
+        };
+        Self { cfg, sat_cfg, out }
+    }
+
+    /// Per-point deterministic seed.
+    pub fn seed(&self, tag: &str, idx: usize) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        tag.hash(&mut h);
+        idx.hash(&mut h);
+        h.finish()
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out = PathBuf::from("results");
+    let mut cmds: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: experiments [--quick] [--out DIR] <fig2..fig8|table1..5|ablation_*|all>"
+                );
+                return;
+            }
+            other => cmds.push(other.to_string()),
+        }
+    }
+    if cmds.is_empty() {
+        eprintln!("no command given; try `experiments all` (see --help)");
+        std::process::exit(2);
+    }
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let ctx = Ctx::new(quick, out);
+
+    // `custom` consumes every argument after it.
+    if cmds[0] == "custom" {
+        custom::run(&ctx, &cmds[1..]);
+        return;
+    }
+    for cmd in &cmds {
+        run_command(&ctx, cmd);
+    }
+}
+
+fn run_command(ctx: &Ctx, cmd: &str) {
+    let started = std::time::Instant::now();
+    match cmd {
+        "fig2" => figures::reception_figure(ctx, "fig2", &[8, 8]),
+        "fig3" => figures::reception_figure(ctx, "fig3", &[16, 16]),
+        "fig4" => figures::reception_figure(ctx, "fig4", &[8, 8, 8]),
+        "fig5" => figures::broadcast_figure(ctx, "fig5", &[8, 8]),
+        "fig6" => figures::broadcast_figure(ctx, "fig6", &[16, 16]),
+        "fig7" => figures::broadcast_figure(ctx, "fig7", &[8, 8, 8]),
+        "fig8" => figures::concurrent_tasks_figure(ctx),
+        "table1" => tables::asymmetric_throughput(ctx),
+        "table2" => tables::dimension_ordered_cap(ctx),
+        "table3" => tables::unicast_delay(ctx),
+        "table4" => tables::class_count_comparison(ctx),
+        "table5" => tables::queueing_validation(ctx),
+        "ablation_balance" => tables::ablation_balance(ctx),
+        "ablation_varlen" => tables::ablation_varlen(ctx),
+        "ablation_arrival" => tables::ablation_arrival(ctx),
+        "ablation_hotspot" => tables::ablation_hotspot(ctx),
+        "delay_profile" => tables::delay_profile(ctx),
+        "mesh_cap" => tables::mesh_cap(ctx),
+        "saturation_trace" => tables::saturation_trace(ctx),
+        "balance_gallery" => tables::balance_gallery(ctx),
+        "plot" => plot::plot_all(ctx),
+        "verify" => verify::verify(ctx),
+        "collectives" => tables::collectives(ctx),
+        "all" => {
+            for c in [
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "table1",
+                "table2",
+                "table3",
+                "table4",
+                "table5",
+                "ablation_balance",
+                "ablation_varlen",
+                "ablation_arrival",
+                "ablation_hotspot",
+                "delay_profile",
+                "mesh_cap",
+                "collectives",
+                "saturation_trace",
+                "balance_gallery",
+                "plot",
+            ] {
+                run_command(ctx, c);
+            }
+            return;
+        }
+        other => {
+            eprintln!("unknown command `{other}` (see --help)");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("[{cmd}] done in {:.1}s", started.elapsed().as_secs_f64());
+}

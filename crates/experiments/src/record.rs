@@ -1,0 +1,131 @@
+//! Serde-serializable run records (JSON lines), for downstream tooling
+//! (plotting scripts, regression dashboards) that wants more than the
+//! per-figure CSV columns.
+
+use pstar_sim::SimReport;
+use serde::Serialize;
+use std::io::Write;
+use std::path::Path;
+
+/// One simulation point, flattened for serialization.
+#[derive(Debug, Serialize)]
+pub struct PointRecord {
+    /// Experiment id (e.g. "fig2").
+    pub experiment: String,
+    /// Topology, e.g. "torus(8x8)".
+    pub topology: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Offered throughput factor.
+    pub rho: f64,
+    /// Broadcast share of the offered load.
+    pub broadcast_fraction: f64,
+    /// Run outcome.
+    pub stable: bool,
+    /// All tagged tasks completed.
+    pub completed: bool,
+    /// Mean reception delay (slots).
+    pub reception_delay: f64,
+    /// Mean broadcast delay (slots).
+    pub broadcast_delay: f64,
+    /// Mean unicast delay (slots).
+    pub unicast_delay: f64,
+    /// Measured mean link utilization.
+    pub mean_utilization: f64,
+    /// Measured max link utilization.
+    pub max_utilization: f64,
+    /// Per-class (utilization, mean wait).
+    pub classes: Vec<(f64, f64)>,
+    /// Time-average concurrent broadcast tasks.
+    pub concurrent_broadcasts: f64,
+    /// Time-average concurrent unicast tasks.
+    pub concurrent_unicasts: f64,
+}
+
+impl PointRecord {
+    /// Builds a record from a report.
+    pub fn new(
+        experiment: &str,
+        topology: &str,
+        scheme: &str,
+        rho: f64,
+        broadcast_fraction: f64,
+        rep: &SimReport,
+    ) -> Self {
+        Self {
+            experiment: experiment.to_string(),
+            topology: topology.to_string(),
+            scheme: scheme.to_string(),
+            rho,
+            broadcast_fraction,
+            stable: rep.stable,
+            completed: rep.completed,
+            reception_delay: rep.reception_delay.mean,
+            broadcast_delay: rep.broadcast_delay.mean,
+            unicast_delay: rep.unicast_delay.mean,
+            mean_utilization: rep.mean_link_utilization,
+            max_utilization: rep.max_link_utilization,
+            classes: rep
+                .class
+                .iter()
+                .map(|c| (c.utilization, c.wait.mean))
+                .collect(),
+            concurrent_broadcasts: rep.avg_concurrent_broadcasts,
+            concurrent_unicasts: rep.avg_concurrent_unicasts,
+        }
+    }
+}
+
+/// Appends records to `<name>.jsonl` in `dir`.
+pub fn write_jsonl(dir: &Path, name: &str, records: &[PointRecord]) {
+    let path = dir.join(format!("{name}.jsonl"));
+    let mut fh = std::fs::File::create(&path).expect("create jsonl");
+    for r in records {
+        let line = serde_json::to_string(r).expect("record serialization");
+        writeln!(fh, "{line}").unwrap();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priority_star::prelude::*;
+    use pstar_sim::SimConfig;
+    use pstar_traffic::TrafficMix;
+
+    #[test]
+    fn record_roundtrips_report_fields() {
+        let topo = Torus::new(&[4, 4]);
+        let rep = pstar_sim::run(
+            &topo,
+            StarScheme::priority_star(&topo),
+            TrafficMix::broadcast_only(0.01),
+            SimConfig::quick(5),
+        );
+        let rec = PointRecord::new("unit", "torus(4x4)", "priority-star", 0.1, 1.0, &rep);
+        assert_eq!(rec.reception_delay, rep.reception_delay.mean);
+        assert_eq!(rec.classes.len(), 2);
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("\"experiment\":\"unit\""));
+    }
+
+    #[test]
+    fn jsonl_file_has_one_line_per_record() {
+        let topo = Torus::new(&[4, 4]);
+        let rep = pstar_sim::run(
+            &topo,
+            StarScheme::fcfs_direct(&topo),
+            TrafficMix::broadcast_only(0.01),
+            SimConfig::quick(6),
+        );
+        let recs = vec![
+            PointRecord::new("unit", "t", "s", 0.1, 1.0, &rep),
+            PointRecord::new("unit", "t", "s", 0.2, 1.0, &rep),
+        ];
+        let dir = std::env::temp_dir().join("pstar-jsonl-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        write_jsonl(&dir, "unit", &recs);
+        let body = std::fs::read_to_string(dir.join("unit.jsonl")).unwrap();
+        assert_eq!(body.lines().count(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! Embarrassingly parallel sweep execution.
+
+use parking_lot::Mutex;
+
+/// Maps `f` over `items` on all available cores, preserving order.
+///
+/// Simulation points are independent runs, so a work-stealing-free static
+/// round-robin over a shared index is plenty.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items.len().max(1));
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                results.lock()[i] = Some(r);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every index computed"))
+        .collect()
+}
+
+/// The ρ grid used by the figure sweeps (matches the paper's x-axes,
+/// which run from light load up to near saturation).
+pub fn rho_grid() -> Vec<f64> {
+    vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u32> = (0..100).collect();
+        let out = parallel_map(&items, |_, &x| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty() {
+        let out: Vec<u32> = parallel_map(&[] as &[u32], |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn grid_is_sorted_and_subcritical() {
+        let g = rho_grid();
+        assert!(g.windows(2).all(|w| w[0] < w[1]));
+        assert!(g.iter().all(|&r| r > 0.0 && r < 1.0));
+    }
+}

@@ -1,0 +1,709 @@
+//! Table reproductions of the paper's quantitative claims (T1–T5) and the
+//! ablations (A1, A3, plus an arrival-process ablation).
+
+use crate::csvout::Table;
+use crate::record::{write_jsonl, PointRecord};
+use crate::sweep::{parallel_map, rho_grid};
+use crate::Ctx;
+use priority_star::balance::predicted_dim_loads;
+use priority_star::prelude::*;
+use pstar_queueing::{md1_wait, two_class_waits};
+
+/// Largest ρ on a 0.05 grid that the scheme sustains (stable + drained)
+/// with the saturation-search windows.
+fn max_stable_rho(ctx: &Ctx, topo: &Torus, spec_of: impl Fn(f64) -> ScenarioSpec + Sync) -> f64 {
+    let grid: Vec<f64> = (1..20).map(|i| i as f64 * 0.05).collect();
+    let ok = parallel_map(&grid, |i, &rho| {
+        let mut cfg = ctx.sat_cfg;
+        cfg.seed = ctx.seed("saturation", i);
+        run_scenario(topo, &spec_of(rho), cfg).ok()
+    });
+    grid.iter()
+        .zip(&ok)
+        .take_while(|(_, &ok)| ok)
+        .map(|(&r, _)| r)
+        .last()
+        .unwrap_or(0.0)
+}
+
+/// Predicted maximum throughput factor of a (distribution, rates) choice:
+/// the offered ρ at which the most loaded dimension's links saturate.
+fn predicted_cap(topo: &Torus, x: &[f64], broadcast_fraction: f64) -> f64 {
+    let rates = rates_for_rho(topo, 1.0, broadcast_fraction);
+    let loads = predicted_dim_loads(topo, x, rates.lambda_broadcast, rates.lambda_unicast);
+    let max = loads.iter().fold(0.0f64, |m, &v| m.max(v));
+    1.0 / max
+}
+
+/// T1 — §1/§4: in a `4×4×8` torus with a 50/50 unicast/broadcast load
+/// split, scheme-oblivious routing caps near 0.67 while the Eq. (4)
+/// balanced rotation sustains ρ ≈ 1.
+pub fn asymmetric_throughput(ctx: &Ctx) {
+    let topo = Torus::new(&[4, 4, 8]);
+    let frac = 0.5;
+    let kinds = [
+        SchemeKind::FcfsDirect,
+        SchemeKind::FcfsBalanced,
+        SchemeKind::PriorityStar,
+    ];
+    let mut table = Table::new(&[
+        "scheme",
+        "predicted_cap",
+        "measured_max_rho",
+        "dim0_util@0.6",
+        "dim1_util@0.6",
+        "dim2_util@0.6",
+        "max_link_util@0.6",
+    ]);
+    let mut records = Vec::new();
+    for kind in kinds {
+        let spec_of = |rho: f64| ScenarioSpec {
+            scheme: kind,
+            rho,
+            broadcast_load_fraction: frac,
+            ..Default::default()
+        };
+        let measured = max_stable_rho(ctx, &topo, spec_of);
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed("table1", kind.label().len());
+        let rep = run_scenario(&topo, &spec_of(0.6), cfg);
+        let x = spec_of(0.6)
+            .build_scheme(&topo)
+            .distribution()
+            .probabilities()
+            .to_vec();
+        table.row(vec![
+            kind.label().to_string(),
+            Table::f(predicted_cap(&topo, &x, frac).min(1.0)),
+            Table::f(measured),
+            Table::f(rep.per_dim_utilization[0]),
+            Table::f(rep.per_dim_utilization[1]),
+            Table::f(rep.per_dim_utilization[2]),
+            Table::f(rep.max_link_utilization),
+        ]);
+        records.push(PointRecord::new(
+            "table1",
+            &topo.to_string(),
+            kind.label(),
+            0.6,
+            frac,
+            &rep,
+        ));
+    }
+    table.emit(&ctx.out, "table1");
+    write_jsonl(&ctx.out, "table1", &records);
+}
+
+/// T2 — §2: plain dimension-ordered broadcasting saturates at
+/// `ρ ≈ 2/d` in a `d`-cube (exactly `(2^d − 1)/(d·2^{d−1})`), while the
+/// rotated direct scheme restores ρ ≈ 1.
+pub fn dimension_ordered_cap(ctx: &Ctx) {
+    let mut table = Table::new(&[
+        "hypercube_d",
+        "theory_cap",
+        "dimorder_measured",
+        "rotated_measured",
+    ]);
+    for d in [3usize, 4, 5, 6] {
+        let topo = Torus::hypercube(d);
+        let n = (1u64 << d) as f64;
+        let theory = (n - 1.0) / (d as f64 * n / 2.0);
+        let dim_ordered = max_stable_rho(ctx, &topo, |rho| ScenarioSpec {
+            scheme: SchemeKind::DimensionOrdered,
+            rho,
+            ..Default::default()
+        });
+        let rotated = max_stable_rho(ctx, &topo, |rho| ScenarioSpec {
+            scheme: SchemeKind::FcfsDirect,
+            rho,
+            ..Default::default()
+        });
+        table.row(vec![
+            d.to_string(),
+            Table::f(theory),
+            Table::f(dim_ordered),
+            Table::f(rotated),
+        ]);
+    }
+    table.emit(&ctx.out, "table2");
+}
+
+/// T3 — §4: average unicast delay under a 50/50 mix. With priority, the
+/// unicast delay stays O(d) (≈ the average distance) as ρ → 1; FCFS
+/// blows up like 1/(1−ρ).
+pub fn unicast_delay(ctx: &Ctx) {
+    let topos = [Torus::new(&[8, 8]), Torus::new(&[8, 8, 8])];
+    let kinds = [
+        SchemeKind::FcfsDirect,
+        SchemeKind::PriorityStar,
+        SchemeKind::ThreeClass,
+    ];
+    let mut table = Table::new(&[
+        "topology",
+        "rho",
+        "avg_distance",
+        "fcfs_unicast",
+        "pstar_unicast",
+        "three_class_unicast",
+    ]);
+    let mut records = Vec::new();
+    for topo in &topos {
+        let grid = rho_grid();
+        let points: Vec<(f64, SchemeKind)> = grid
+            .iter()
+            .flat_map(|&r| kinds.iter().map(move |&k| (r, k)))
+            .collect();
+        let reports = parallel_map(&points, |i, &(rho, scheme)| {
+            let mut cfg = ctx.cfg;
+            cfg.seed = ctx.seed("table3", i);
+            let spec = ScenarioSpec {
+                scheme,
+                rho,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            run_scenario(topo, &spec, cfg)
+        });
+        for (gi, &rho) in grid.iter().enumerate() {
+            let base = gi * kinds.len();
+            table.row(vec![
+                topo.to_string(),
+                format!("{rho:.2}"),
+                Table::f(topo.avg_distance()),
+                Table::f(reports[base].unicast_delay.mean),
+                Table::f(reports[base + 1].unicast_delay.mean),
+                Table::f(reports[base + 2].unicast_delay.mean),
+            ]);
+            for (ki, kind) in kinds.iter().enumerate() {
+                records.push(PointRecord::new(
+                    "table3",
+                    &topo.to_string(),
+                    kind.label(),
+                    rho,
+                    0.5,
+                    &reports[base + ki],
+                ));
+            }
+        }
+    }
+    table.emit(&ctx.out, "table3");
+    write_jsonl(&ctx.out, "table3", &records);
+}
+
+/// T4 — §4: the three-class refinement trades a little unicast delay for
+/// a lower broadcast reception delay relative to the two-class variant.
+pub fn class_count_comparison(ctx: &Ctx) {
+    let topos = [Torus::new(&[8, 8]), Torus::new(&[4, 4, 8])];
+    let grid = [0.5, 0.7, 0.85, 0.9];
+    let mut table = Table::new(&[
+        "topology",
+        "rho",
+        "two_class_reception",
+        "three_class_reception",
+        "two_class_unicast",
+        "three_class_unicast",
+    ]);
+    for topo in &topos {
+        let points: Vec<(f64, SchemeKind)> = grid
+            .iter()
+            .flat_map(|&r| {
+                [SchemeKind::PriorityStar, SchemeKind::ThreeClass]
+                    .iter()
+                    .map(move |&k| (r, k))
+            })
+            .collect();
+        let reports = parallel_map(&points, |i, &(rho, scheme)| {
+            let mut cfg = ctx.cfg;
+            cfg.seed = ctx.seed("table4", i);
+            let spec = ScenarioSpec {
+                scheme,
+                rho,
+                broadcast_load_fraction: 0.5,
+                ..Default::default()
+            };
+            run_scenario(topo, &spec, cfg)
+        });
+        for (gi, &rho) in grid.iter().enumerate() {
+            let two = &reports[gi * 2];
+            let three = &reports[gi * 2 + 1];
+            table.row(vec![
+                topo.to_string(),
+                format!("{rho:.2}"),
+                Table::f(two.reception_delay.mean),
+                Table::f(three.reception_delay.mean),
+                Table::f(two.unicast_delay.mean),
+                Table::f(three.unicast_delay.mean),
+            ]);
+        }
+    }
+    table.emit(&ctx.out, "table4");
+}
+
+/// T5 — §3.2: measured per-class waits versus the analytic HOL priority
+/// formulas, plus the conservation-law aggregate versus the M/D/1 wait.
+pub fn queueing_validation(ctx: &Ctx) {
+    let topo = Torus::new(&[8, 8]);
+    let grid = rho_grid();
+    let points: Vec<(f64, SchemeKind)> = grid
+        .iter()
+        .flat_map(|&r| {
+            [SchemeKind::PriorityStar, SchemeKind::FcfsDirect]
+                .iter()
+                .map(move |&k| (r, k))
+        })
+        .collect();
+    let reports = parallel_map(&points, |i, &(rho, scheme)| {
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed("table5", i);
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            ..Default::default()
+        };
+        run_scenario(&topo, &spec, cfg)
+    });
+    let mut table = Table::new(&[
+        "rho",
+        "W_H_sim",
+        "W_H_theory",
+        "W_L_sim",
+        "W_L_theory",
+        "conservation_sim",
+        "W_fcfs_sim",
+        "W_md1_theory",
+    ]);
+    for (i, &rho) in grid.iter().enumerate() {
+        let pstar = &reports[i * 2];
+        let fcfs = &reports[i * 2 + 1];
+        let (rho_h, rho_l) = analysis::priority_star_class_loads(&topo, rho);
+        let (wh, wl) = two_class_waits(rho_h, rho_l);
+        table.row(vec![
+            format!("{rho:.2}"),
+            Table::f(pstar.class[0].wait.mean),
+            Table::f(wh),
+            Table::f(pstar.class[1].wait.mean),
+            Table::f(wl),
+            Table::f(pstar.conservation_aggregate()),
+            Table::f(fcfs.class[0].wait.mean),
+            Table::f(md1_wait(rho)),
+        ]);
+    }
+    table.emit(&ctx.out, "table5");
+}
+
+/// A1 — balanced vs uniform rotation in asymmetric tori (broadcast-only
+/// Eq. (2)): the balanced vector equalizes per-dimension utilization and
+/// lifts the sustainable throughput.
+pub fn ablation_balance(ctx: &Ctx) {
+    let topos = [
+        Torus::new(&[4, 8]),
+        Torus::new(&[2, 4, 8]),
+        Torus::new(&[4, 4, 8]),
+    ];
+    let mut table = Table::new(&[
+        "topology",
+        "scheme",
+        "predicted_cap",
+        "measured_max_rho",
+        "util_spread@0.6",
+        "reception@0.6",
+    ]);
+    for topo in &topos {
+        for kind in [SchemeKind::FcfsDirect, SchemeKind::FcfsBalanced] {
+            let spec_of = |rho: f64| ScenarioSpec {
+                scheme: kind,
+                rho,
+                ..Default::default()
+            };
+            let measured = max_stable_rho(ctx, topo, spec_of);
+            let mut cfg = ctx.cfg;
+            cfg.seed = ctx.seed("ablation_balance", topo.d());
+            let rep = run_scenario(topo, &spec_of(0.6), cfg);
+            let x = spec_of(0.6)
+                .build_scheme(topo)
+                .distribution()
+                .probabilities()
+                .to_vec();
+            let spread = rep
+                .per_dim_utilization
+                .iter()
+                .fold(0.0f64, |m, &v| m.max(v))
+                - rep
+                    .per_dim_utilization
+                    .iter()
+                    .fold(f64::INFINITY, |m, &v| m.min(v));
+            table.row(vec![
+                topo.to_string(),
+                kind.label().to_string(),
+                Table::f(predicted_cap(topo, &x, 1.0).min(1.0)),
+                Table::f(measured),
+                Table::f(spread),
+                Table::f(rep.reception_delay.mean),
+            ]);
+        }
+    }
+    table.emit(&ctx.out, "ablation_balance");
+}
+
+/// A3 — variable-length packets (geometric, mean 4): the paper claims
+/// priority STAR applies unmodified; the priority advantage persists.
+pub fn ablation_varlen(ctx: &Ctx) {
+    let topo = Torus::new(&[8, 8]);
+    let grid = [0.3, 0.5, 0.7, 0.85];
+    let mut table = Table::new(&[
+        "rho",
+        "fcfs_reception",
+        "pstar_reception",
+        "speedup",
+        "fcfs_ok",
+        "pstar_ok",
+    ]);
+    let points: Vec<(f64, SchemeKind)> = grid
+        .iter()
+        .flat_map(|&r| {
+            [SchemeKind::FcfsDirect, SchemeKind::PriorityStar]
+                .iter()
+                .map(move |&k| (r, k))
+        })
+        .collect();
+    let reports = parallel_map(&points, |i, &(rho, scheme)| {
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed("ablation_varlen", i);
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            lengths: WorkloadSpec::Geometric(4.0),
+            ..Default::default()
+        };
+        run_scenario(&topo, &spec, cfg)
+    });
+    for (gi, &rho) in grid.iter().enumerate() {
+        let fcfs = &reports[gi * 2];
+        let pstar = &reports[gi * 2 + 1];
+        table.row(vec![
+            format!("{rho:.2}"),
+            Table::f(fcfs.reception_delay.mean),
+            Table::f(pstar.reception_delay.mean),
+            Table::f(fcfs.reception_delay.mean / pstar.reception_delay.mean),
+            fcfs.ok().to_string(),
+            pstar.ok().to_string(),
+        ]);
+    }
+    table.emit(&ctx.out, "ablation_varlen");
+}
+
+/// Static collectives (§1's MNB/TE framing on the STAR substrate):
+/// completion time vs the bandwidth lower bound, balanced rotation vs
+/// dimension-ordered trees.
+pub fn collectives(ctx: &Ctx) {
+    use priority_star::{multinode_broadcast, total_exchange};
+    let mut table = Table::new(&[
+        "topology",
+        "collective",
+        "scheme",
+        "completion",
+        "lower_bound",
+        "gap",
+    ]);
+    for dims in [&[8u32, 8][..], &[4, 4, 8], &[8, 8, 8]] {
+        let topo = Torus::new(dims);
+        let seed = ctx.seed("collectives", dims.len());
+        for (label, scheme) in [
+            ("star-balanced", StarScheme::fcfs_balanced(&topo)),
+            ("dim-ordered", StarScheme::dimension_ordered(&topo)),
+        ] {
+            let res = multinode_broadcast(&topo, scheme, seed);
+            table.row(vec![
+                topo.to_string(),
+                "MNB".into(),
+                label.into(),
+                res.completion_slots.to_string(),
+                Table::f(res.lower_bound_slots),
+                Table::f(res.efficiency_gap()),
+            ]);
+        }
+        let te = total_exchange(&topo, StarScheme::fcfs_balanced(&topo), seed);
+        table.row(vec![
+            topo.to_string(),
+            "TE".into(),
+            "star-balanced".into(),
+            te.completion_slots.to_string(),
+            Table::f(te.lower_bound_slots),
+            Table::f(te.efficiency_gap()),
+        ]);
+    }
+    table.emit(&ctx.out, "collectives");
+}
+
+/// §2's mesh claim: "the maximum throughput factor ρ achievable by any
+/// routing scheme in meshes is only 0.5, since some nodes only have two
+/// incident links" — measured by saturation search on open meshes, with
+/// the matching torus (wraparound) alongside for contrast.
+pub fn mesh_cap(ctx: &Ctx) {
+    use priority_star::MeshStarScheme;
+    use pstar_topology::Mesh;
+    let shapes: [&[u32]; 3] = [&[8, 8], &[16, 16], &[4, 4, 4]];
+    let mut table = Table::new(&[
+        "shape",
+        "mesh_theory_cap",
+        "mesh_measured_cap",
+        "torus_measured_cap",
+        "mesh_corner_degree",
+        "mesh_avg_degree",
+    ]);
+    for dims in shapes {
+        let mesh = Mesh::new(dims);
+        let torus = Torus::new(dims);
+        // Saturation search on the mesh (ρ measured against d_ave as in
+        // the paper's mesh throughput formula).
+        let grid: Vec<f64> = (1..20).map(|i| i as f64 * 0.05).collect();
+        let ok = parallel_map(&grid, |i, &rho| {
+            let lambda = rho * mesh.avg_degree() / (mesh.node_count() as f64 - 1.0);
+            let mut cfg = ctx.sat_cfg;
+            cfg.seed = ctx.seed("mesh_cap", i);
+            // Corner divergence is localized and slow: watch single
+            // queues tightly and run a longer window.
+            cfg.unstable_single_queue = 250.0;
+            cfg.measure_slots *= 3;
+            pstar_sim::run(
+                &mesh,
+                MeshStarScheme::fcfs(&mesh),
+                pstar_traffic::TrafficMix::broadcast_only(lambda),
+                cfg,
+            )
+            .ok()
+        });
+        let mesh_cap = grid
+            .iter()
+            .zip(&ok)
+            .take_while(|(_, &ok)| ok)
+            .map(|(&r, _)| r)
+            .last()
+            .unwrap_or(0.0);
+        let torus_cap = max_stable_rho(ctx, &torus, |rho| ScenarioSpec {
+            scheme: SchemeKind::FcfsDirect,
+            rho,
+            ..Default::default()
+        });
+        let corner_degree = dims.len(); // a corner has one link per dim
+                                        // Every node must receive λ_B·N packets per slot through its
+                                        // in-links; the corner has only `d` of them, so the exact cap is
+                                        // ρ* = d / d_ave · (N−1)/N — the paper's "only 0.5" in the
+                                        // large-n 2-D limit where d_ave → 2d.
+        let n = mesh.node_count() as f64;
+        let theory = corner_degree as f64 / mesh.avg_degree() * (n - 1.0) / n;
+        table.row(vec![
+            mesh.to_string(),
+            Table::f(theory),
+            Table::f(mesh_cap),
+            Table::f(torus_cap),
+            corner_degree.to_string(),
+            Table::f(mesh.avg_degree()),
+        ]);
+    }
+    table.emit(&ctx.out, "mesh_cap");
+}
+
+/// §3.2 mechanism visualization: mean reception delay as a function of
+/// the receiver's distance from the source. Under FCFS every hop adds a
+/// full queueing wait (slope ≈ 1 + W); under priority STAR the trunk hops
+/// are nearly free and only the final (ending-dimension) hops pay.
+pub fn delay_profile(ctx: &Ctx) {
+    let topo = Torus::new(&[8, 8]);
+    let rho = 0.9;
+    let kinds = [SchemeKind::FcfsDirect, SchemeKind::PriorityStar];
+    let reports = parallel_map(&kinds, |i, &scheme| {
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed("delay_profile", i);
+        cfg.profile_by_distance = true;
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            ..Default::default()
+        };
+        run_scenario(&topo, &spec, cfg)
+    });
+    let mut table = Table::new(&[
+        "distance",
+        "fcfs_delay",
+        "pstar_delay",
+        "fcfs_per_hop",
+        "pstar_per_hop",
+    ]);
+    let depth = topo.diameter() as usize;
+    for dist in 1..=depth {
+        let f = reports[0].delay_by_distance[dist];
+        let p = reports[1].delay_by_distance[dist];
+        table.row(vec![
+            dist.to_string(),
+            Table::f(f.mean),
+            Table::f(p.mean),
+            Table::f(f.mean / dist as f64),
+            Table::f(p.mean / dist as f64),
+        ]);
+    }
+    table.emit(&ctx.out, "delay_profile");
+}
+
+/// Robustness extension: a hot-spot source generating `w×` the traffic of
+/// any other node. The Eq. (2) rotation balances *expected* load over
+/// uniform sources; a hot-spot concentrates trunk traffic near one node,
+/// so delay degrades gracefully with the skew and saturation arrives
+/// early for extreme skews.
+pub fn ablation_hotspot(ctx: &Ctx) {
+    use pstar_traffic::SourceDistribution;
+    let topo = Torus::new(&[8, 8]);
+    let weights = [1.0, 4.0, 16.0, 64.0];
+    let rho = 0.8;
+    let mut table = Table::new(&[
+        "hot_weight",
+        "reception",
+        "reception_p99",
+        "max_link_util",
+        "ok",
+    ]);
+    let reports = parallel_map(&weights, |i, &weight| {
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed("ablation_hotspot", i);
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho,
+            sources: SourceDistribution::HotSpot { node: 27, weight },
+            ..Default::default()
+        };
+        run_scenario(&topo, &spec, cfg)
+    });
+    for (i, &w) in weights.iter().enumerate() {
+        let rep = &reports[i];
+        table.row(vec![
+            format!("{w}"),
+            Table::f(rep.reception_delay.mean),
+            rep.reception_quantiles.2.to_string(),
+            Table::f(rep.max_link_utilization),
+            rep.ok().to_string(),
+        ]);
+    }
+    table.emit(&ctx.out, "ablation_hotspot");
+}
+
+/// §2 diagnostic: queue-population time series below, at, and above the
+/// saturation point. Bounded ⇔ stable; linear growth ⇔ overload.
+pub fn saturation_trace(ctx: &Ctx) {
+    let topo = Torus::new(&[8, 8]);
+    let rhos = [0.90, 1.00, 1.10];
+    let reports = parallel_map(&rhos, |i, &rho| {
+        let cfg = SimConfig {
+            warmup_slots: 0,
+            measure_slots: 20_000,
+            max_slots: 20_001,
+            // Disable the guard: we *want* to watch divergence.
+            unstable_queue_per_link: f64::INFINITY,
+            trace_interval: Some(500),
+            seed: ctx.seed("saturation_trace", i),
+            ..SimConfig::default()
+        };
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho,
+            ..Default::default()
+        };
+        run_scenario(&topo, &spec, cfg)
+    });
+    let mut table = Table::new(&["slot", "queued_rho090", "queued_rho100", "queued_rho110"]);
+    let len = reports
+        .iter()
+        .map(|r| r.queue_trace.len())
+        .min()
+        .unwrap_or(0);
+    for s in 0..len {
+        table.row(vec![
+            reports[0].queue_trace[s].0.to_string(),
+            reports[0].queue_trace[s].1.to_string(),
+            reports[1].queue_trace[s].1.to_string(),
+            reports[2].queue_trace[s].1.to_string(),
+        ]);
+    }
+    table.emit(&ctx.out, "saturation_trace");
+}
+
+/// Prints the solved Eq. (2)/(4) probability vectors for a gallery of
+/// tori — the "what does the balance system actually do" reference.
+pub fn balance_gallery(ctx: &Ctx) {
+    use priority_star::{balance_broadcast_only, balance_mixed};
+    let shapes: [&[u32]; 7] = [
+        &[8, 8],
+        &[4, 8],
+        &[4, 16],
+        &[4, 4, 8],
+        &[2, 4, 8],
+        &[3, 5, 7],
+        &[2, 2, 2, 2, 2, 2],
+    ];
+    let mut table = Table::new(&[
+        "topology",
+        "traffic",
+        "x",
+        "feasible",
+        "max_dim_load_per_rho",
+    ]);
+    for dims in shapes {
+        let topo = Torus::new(dims);
+        let bsol = balance_broadcast_only(&topo);
+        let fmt_x = |x: &[f64]| {
+            x.iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>()
+                .join("/")
+        };
+        let norm = bsol.max_dim_load() / (topo.node_count() as f64 - 1.0) * topo.degree() as f64;
+        table.row(vec![
+            topo.to_string(),
+            "broadcast-only".into(),
+            fmt_x(&bsol.x),
+            bsol.feasible.to_string(),
+            Table::f(norm),
+        ]);
+        let rates = rates_for_rho(&topo, 1.0, 0.5);
+        let msol = balance_mixed(&topo, rates.lambda_broadcast, rates.lambda_unicast, false);
+        table.row(vec![
+            topo.to_string(),
+            "50/50 mix".into(),
+            fmt_x(&msol.x),
+            msol.feasible.to_string(),
+            Table::f(msol.max_dim_load()),
+        ]);
+    }
+    table.emit(&ctx.out, "balance_gallery");
+}
+
+/// Arrival-process ablation: Bernoulli arrivals have slightly lower
+/// variance than Poisson, so queueing delays drop a little; the scheme
+/// ordering is unchanged.
+pub fn ablation_arrival(ctx: &Ctx) {
+    let topo = Torus::new(&[8, 8]);
+    let grid = [0.5, 0.8, 0.9];
+    let mut table = Table::new(&["rho", "poisson_reception", "bernoulli_reception"]);
+    let points: Vec<(f64, bool)> = grid
+        .iter()
+        .flat_map(|&r| [false, true].iter().map(move |&b| (r, b)))
+        .collect();
+    let reports = parallel_map(&points, |i, &(rho, bernoulli)| {
+        let mut cfg = ctx.cfg;
+        cfg.seed = ctx.seed("ablation_arrival", i);
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho,
+            bernoulli,
+            ..Default::default()
+        };
+        run_scenario(&topo, &spec, cfg)
+    });
+    for (gi, &rho) in grid.iter().enumerate() {
+        table.row(vec![
+            format!("{rho:.2}"),
+            Table::f(reports[gi * 2].reception_delay.mean),
+            Table::f(reports[gi * 2 + 1].reception_delay.mean),
+        ]);
+    }
+    table.emit(&ctx.out, "ablation_arrival");
+}

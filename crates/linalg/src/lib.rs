@@ -1,0 +1,56 @@
+//! # pstar-linalg
+//!
+//! Small dense linear algebra for the Priority STAR balance equations.
+//!
+//! The paper's probability vectors are solutions of `d × d` linear systems
+//! (Eq. (2) for broadcast-only traffic, Eq. (4) for heterogeneous traffic)
+//! where `d` is the torus dimension — tiny systems, but they must be solved
+//! robustly because the coefficient magnitudes span from `n_i − 1` to
+//! `Θ(N)`. We implement LU factorization with partial pivoting plus
+//! residual reporting; no external dependencies.
+
+#![warn(missing_docs)]
+
+mod matrix;
+mod solve;
+
+pub use matrix::Matrix;
+pub use solve::{solve, solve_lu, LinalgError, Lu};
+
+/// Maximum-magnitude entry of a vector (`∞`-norm).
+pub fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+}
+
+/// Residual `b − A·x` of a proposed solution.
+pub fn residual(a: &Matrix, x: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.ncols(), x.len());
+    assert_eq!(a.nrows(), b.len());
+    (0..a.nrows())
+        .map(|i| {
+            let mut r = b[i];
+            for j in 0..a.ncols() {
+                r -= a[(i, j)] * x[j];
+            }
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inf_norm_basic() {
+        assert_eq!(inf_norm(&[1.0, -3.5, 2.0]), 3.5);
+        assert_eq!(inf_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = Matrix::from_rows(&[&[2.0, 0.0], &[0.0, 4.0]]);
+        let r = residual(&a, &[3.0, 0.5], &[6.0, 2.0]);
+        assert!(inf_norm(&r) < 1e-15);
+    }
+}

@@ -1,0 +1,223 @@
+//! LU factorization with partial pivoting and linear-system solving.
+
+use crate::Matrix;
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The matrix is singular (or numerically so) at the given elimination
+    /// step.
+    Singular {
+        /// Elimination step at which no usable pivot was found.
+        step: usize,
+    },
+    /// Shape mismatch between the matrix and a vector.
+    ShapeMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular { step } => {
+                write!(f, "matrix is singular at elimination step {step}")
+            }
+            LinalgError::ShapeMismatch => write!(f, "matrix/vector shape mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// LU factorization `P·A = L·U` with partial pivoting, stored compactly.
+#[derive(Debug, Clone)]
+pub struct Lu {
+    /// Combined L (strict lower, unit diagonal implied) and U (upper).
+    lu: Matrix,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl Lu {
+    /// Factorizes a square matrix.
+    pub fn factorize(a: &Matrix) -> Result<Self, LinalgError> {
+        assert!(a.is_square(), "LU requires a square matrix");
+        let n = a.nrows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest magnitude in column k at/below row k.
+            let (pivot_row, pivot_val) = (k..n)
+                .map(|i| (i, lu[(i, k)].abs()))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty pivot search range");
+            if pivot_val < f64::EPSILON * 16.0 {
+                return Err(LinalgError::Singular { step: k });
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                perm.swap(pivot_row, k);
+                sign = -sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in k + 1..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in k + 1..n {
+                    lu[(i, j)] -= factor * lu[(k, j)];
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Order of the factorized matrix.
+    pub fn n(&self) -> usize {
+        self.lu.nrows()
+    }
+
+    /// Solves `A·x = b` using the stored factorization.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        let n = self.n();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch);
+        }
+        // Forward substitution with permuted RHS: L·y = P·b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut acc = b[self.perm[i]];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                acc -= self.lu[(i, j)] * yj;
+            }
+            y[i] = acc;
+        }
+        // Back substitution: U·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut acc = y[i];
+            for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+                acc -= self.lu[(i, j)] * xj;
+            }
+            x[i] = acc / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        (0..self.n()).map(|i| self.lu[(i, i)]).product::<f64>() * self.sign
+    }
+}
+
+/// One-shot solve of `A·x = b` (factorize + substitute).
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    Lu::factorize(a)?.solve(b)
+}
+
+/// Solves `A·x = b` reusing an existing factorization (alias of
+/// [`Lu::solve`], provided for discoverability).
+pub fn solve_lu(lu: &Lu, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+    lu.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{inf_norm, residual};
+
+    #[test]
+    fn solves_2x2() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        // Zero in the (0,0) position forces a row swap.
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_of_permutation_matrix() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let lu = Lu::factorize(&a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-12);
+        let i = Matrix::identity(4);
+        assert!((Lu::factorize(&i).unwrap().det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_small_for_ill_scaled_system() {
+        // Coefficients spanning the magnitudes of the balance system
+        // (1 .. N-1 for a 512-node torus).
+        let a = Matrix::from_rows(&[
+            &[7.0, 448.0, 56.0],
+            &[56.0, 7.0, 448.0],
+            &[448.0, 56.0, 7.0],
+        ]);
+        let b = vec![511.0 / 3.0; 3];
+        let x = solve(&a, &b).unwrap();
+        assert!(inf_norm(&residual(&a, &x, &b)) < 1e-9);
+        // Symmetric circulant system: solution must be uniform 1/3.
+        for xi in &x {
+            assert!((xi - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let a = Matrix::identity(3);
+        let lu = Lu::factorize(&a).unwrap();
+        assert_eq!(lu.solve(&[1.0, 2.0]), Err(LinalgError::ShapeMismatch));
+    }
+
+    #[test]
+    fn reuses_factorization_for_multiple_rhs() {
+        let a = Matrix::from_rows(&[&[4.0, 1.0], &[2.0, 3.0]]);
+        let lu = Lu::factorize(&a).unwrap();
+        for b in [[5.0, 5.0], [1.0, 0.0], [0.0, 1.0]] {
+            let x = solve_lu(&lu, &b).unwrap();
+            assert!(inf_norm(&residual(&a, &x, &b)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_like_dense_systems_have_tiny_residuals() {
+        // Deterministic pseudo-random fill via an LCG (no rand dependency).
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        for n in [2usize, 3, 5, 8, 12] {
+            let a = Matrix::from_fn(n, n, |_, _| next() * 10.0);
+            let b: Vec<f64> = (0..n).map(|_| next()).collect();
+            match solve(&a, &b) {
+                Ok(x) => assert!(
+                    inf_norm(&residual(&a, &x, &b)) < 1e-8,
+                    "residual too large at n={n}"
+                ),
+                Err(LinalgError::Singular { .. }) => {} // astronomically unlikely but legal
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Kleinrock's conservation law for work-conserving, non-preemptive
+//! queueing disciplines.
+//!
+//! For service-time-independent priority assignment (the paper's case:
+//! every packet has the same deterministic service time), the law states
+//!
+//! ```text
+//! Σ_k ρ_k W_k = ρ · W_FCFS,
+//! ```
+//!
+//! i.e. priorities redistribute waiting time across classes without
+//! changing the load-weighted total. The paper uses this to conclude that
+//! the low-priority class of priority STAR inherits (approximately) the
+//! FCFS wait while the high-priority class gets an `o(1)` wait for free.
+
+use crate::md1_wait;
+
+/// Load-weighted total wait `Σ ρ_k W_k` predicted by the conservation law
+/// for unit-deterministic service and Poisson arrivals: `ρ · W_M/D/1(ρ)`.
+pub fn conservation_rhs(class_loads: &[f64]) -> f64 {
+    let rho: f64 = class_loads.iter().sum();
+    rho * md1_wait(rho)
+}
+
+/// Gap `Σ ρ_k W_k − ρ W_FCFS` for measured per-class waits; ≈ 0 when the
+/// discipline is work-conserving and non-preemptive.
+pub fn conservation_gap(class_loads: &[f64], class_waits: &[f64]) -> f64 {
+    assert_eq!(class_loads.len(), class_waits.len());
+    let lhs: f64 = class_loads
+        .iter()
+        .zip(class_waits)
+        .map(|(r, w)| r * w)
+        .sum();
+    lhs - conservation_rhs(class_loads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hol_waits, PriorityClassLoad};
+
+    #[test]
+    fn hol_waits_satisfy_conservation_exactly() {
+        for (rh, rl) in [(0.1, 0.5), (0.05, 0.85), (0.3, 0.3), (0.0, 0.9)] {
+            let ws = hol_waits(&[
+                PriorityClassLoad::deterministic(rh),
+                PriorityClassLoad::deterministic(rl),
+            ]);
+            let gap = conservation_gap(&[rh, rl], &ws);
+            assert!(gap.abs() < 1e-12, "gap {gap} at ({rh},{rl})");
+        }
+    }
+
+    #[test]
+    fn three_class_conservation() {
+        let loads = [0.1, 0.2, 0.55];
+        let ws = hol_waits(&[
+            PriorityClassLoad::deterministic(loads[0]),
+            PriorityClassLoad::deterministic(loads[1]),
+            PriorityClassLoad::deterministic(loads[2]),
+        ]);
+        assert!(conservation_gap(&loads, &ws).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_detects_non_conserving_waits() {
+        // Halving every wait is impossible for a work-conserving queue.
+        let loads = [0.1, 0.7];
+        let ws = hol_waits(&[
+            PriorityClassLoad::deterministic(loads[0]),
+            PriorityClassLoad::deterministic(loads[1]),
+        ]);
+        let halved: Vec<f64> = ws.iter().map(|w| w / 2.0).collect();
+        assert!(conservation_gap(&loads, &halved) < -0.1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # pstar-queueing
+//!
+//! Analytic queueing models backing the paper's §2/§3.2 analysis:
+//!
+//! * M/D/1 and slotted G/D/1 waiting times (the paper's
+//!   `W = V/(2ρ(1−ρ)) − 1/2` expression),
+//! * non-preemptive head-of-line (HOL) priority waiting times, used to
+//!   predict the per-class delays of priority STAR,
+//! * Kleinrock's conservation law, which the paper invokes to argue that
+//!   priorities reallocate (rather than create) waiting time,
+//! * the throughput-factor formulas of §2 and §4 for tori, hypercubes and
+//!   meshes, plus the inverse mapping from a target `ρ` to arrival rates.
+//!
+//! The simulation tests cross-validate these formulas against measured
+//! queue waits; the experiment harness uses them for the analytic overlay
+//! curves in the figure reproductions.
+
+#![warn(missing_docs)]
+
+mod conservation;
+mod mdone;
+mod priority;
+mod throughput;
+
+pub use conservation::{conservation_gap, conservation_rhs};
+pub use mdone::{gd1_wait, kingman_wait, md1_delay, md1_wait, mg1_wait};
+pub use priority::{hol_waits, two_class_waits, PriorityClassLoad};
+pub use throughput::{
+    lambda_broadcast_for_rho, mesh_broadcast_rho, rates_for_rho, throughput_factor,
+    throughput_factor_hypercube, TrafficRates, DIMENSION_ORDERED_MAX_RHO_NUMERATOR,
+};

@@ -1,0 +1,179 @@
+//! M/D/1 and slotted G/D/1 waiting-time formulas.
+
+/// Average waiting time (in service units) in an M/D/1 queue with
+/// utilization `ρ < 1`: `W = ρ / (2(1 − ρ))`.
+///
+/// ```
+/// use pstar_queueing::md1_wait;
+/// assert_eq!(md1_wait(0.5), 0.5);
+/// assert!((md1_wait(0.9) - 4.5).abs() < 1e-12); // the 1/(1−ρ) blow-up
+/// ```
+///
+/// # Panics
+///
+/// Panics for `ρ` outside `[0, 1)`.
+pub fn md1_wait(rho: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "M/D/1 requires 0 <= rho < 1");
+    rho / (2.0 * (1.0 - rho))
+}
+
+/// Average total delay (waiting + unit service) in an M/D/1 queue.
+pub fn md1_delay(rho: f64) -> f64 {
+    md1_wait(rho) + 1.0
+}
+
+/// The paper's slotted G/D/1 waiting-time expression (§3.2):
+/// `W = V / (2ρ(1 − ρ)) − 1/2`, where `ρ` is the per-slot arrival rate
+/// (= utilization for unit service) and `V` the variance of the number of
+/// arrivals per slot.
+///
+/// For Poisson arrivals `V = ρ` and the expression reduces to
+/// `1/(2(1−ρ)) − 1/2 = ρ/(2(1−ρ))`, the M/D/1 wait.
+///
+/// # Panics
+///
+/// Panics for `ρ` outside `(0, 1)` or negative variance.
+pub fn gd1_wait(rho: f64, variance: f64) -> f64 {
+    assert!(rho > 0.0 && rho < 1.0, "G/D/1 requires 0 < rho < 1");
+    assert!(variance >= 0.0, "variance must be non-negative");
+    variance / (2.0 * rho * (1.0 - rho)) - 0.5
+}
+
+/// Pollaczek–Khinchine mean wait for an M/G/1 queue:
+/// `W = λ E[S²] / (2 (1 − ρ))` with `ρ = λ E[S]`.
+///
+/// This is the analytic reference for the variable-packet-length runs
+/// (ablation A3): with geometric lengths the service second moment grows,
+/// and waits inflate accordingly even at identical utilization.
+///
+/// # Panics
+///
+/// Panics when the implied utilization is not in `[0, 1)` or moments are
+/// invalid.
+pub fn mg1_wait(lambda: f64, service_mean: f64, service_second_moment: f64) -> f64 {
+    assert!(lambda >= 0.0 && service_mean > 0.0);
+    assert!(
+        service_second_moment >= service_mean * service_mean,
+        "E[S²] must be at least E[S]²"
+    );
+    let rho = lambda * service_mean;
+    assert!(
+        (0.0..1.0).contains(&rho),
+        "M/G/1 requires rho < 1, got {rho}"
+    );
+    lambda * service_second_moment / (2.0 * (1.0 - rho))
+}
+
+/// Kingman's heavy-traffic G/G/1 approximation:
+/// `W ≈ ρ/(1−ρ) · (c_a² + c_s²)/2 · E[S]`,
+/// with `c_a²`/`c_s²` the squared coefficients of variation of the
+/// interarrival and service times.
+///
+/// Used as the analytic companion of the arrival-process ablation: a
+/// Bernoulli(λ) slotted arrival stream has `c_a² = 1 − λ < 1` (smoother
+/// than the Poisson stream's `c_a² = 1`), so its predicted waits are
+/// proportionally smaller.
+///
+/// # Panics
+///
+/// Panics unless `0 ≤ ρ < 1`, moments are positive, and CoVs are
+/// non-negative.
+pub fn kingman_wait(rho: f64, ca2: f64, cs2: f64, service_mean: f64) -> f64 {
+    assert!((0.0..1.0).contains(&rho), "Kingman requires 0 <= rho < 1");
+    assert!(ca2 >= 0.0 && cs2 >= 0.0 && service_mean > 0.0);
+    rho / (1.0 - rho) * (ca2 + cs2) / 2.0 * service_mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kingman_matches_mm1_exactly() {
+        // M/M/1: c_a² = c_s² = 1 → W = ρ/(1−ρ), where Kingman is exact.
+        for rho in [0.3, 0.7, 0.9] {
+            assert!((kingman_wait(rho, 1.0, 1.0, 1.0) - rho / (1.0 - rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kingman_matches_md1_for_deterministic_service() {
+        // M/D/1: c_s² = 0 → W ≈ ρ/(2(1−ρ)) — Kingman is exact here too.
+        for rho in [0.2, 0.5, 0.95] {
+            assert!((kingman_wait(rho, 1.0, 0.0, 1.0) - md1_wait(rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn smoother_arrivals_reduce_kingman_wait() {
+        let poisson = kingman_wait(0.9, 1.0, 0.0, 1.0);
+        let bernoulli = kingman_wait(0.9, 0.9, 0.0, 1.0); // c_a² = 1 − λ
+        assert!(bernoulli < poisson);
+        // With c_s² = 0 the wait scales directly with c_a².
+        assert!((bernoulli / poisson - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mg1_reduces_to_md1_for_deterministic_service() {
+        for rho in [0.2, 0.5, 0.9] {
+            assert!((mg1_wait(rho, 1.0, 1.0) - md1_wait(rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mg1_matches_mm1_for_exponential_service() {
+        // Exponential service with mean 1: E[S²] = 2 → W = ρ/(1−ρ),
+        // the classic M/M/1 queueing wait.
+        let rho = 0.6f64;
+        assert!((mg1_wait(rho, 1.0, 2.0) - rho / (1.0 - rho)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variability_inflates_wait_at_fixed_utilization() {
+        let rho = 0.7;
+        let lam = rho / 3.0; // mean service 3
+        let deterministic = mg1_wait(lam, 3.0, 9.0);
+        let geometric = mg1_wait(lam, 3.0, 15.0); // E[S²] = (2−p)/p², p=1/3
+        assert!(geometric > deterministic * 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho < 1")]
+    fn mg1_rejects_overload() {
+        mg1_wait(0.5, 3.0, 9.0);
+    }
+
+    #[test]
+    fn md1_wait_reference_points() {
+        assert_eq!(md1_wait(0.0), 0.0);
+        assert!((md1_wait(0.5) - 0.5).abs() < 1e-12);
+        assert!((md1_wait(0.9) - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_wait_grows_like_one_over_one_minus_rho() {
+        let w1 = md1_wait(0.9);
+        let w2 = md1_wait(0.99);
+        assert!(w2 / w1 > 9.0); // (1-ρ) shrank 10x, wait grew ~10x
+    }
+
+    #[test]
+    fn gd1_with_poisson_variance_is_md1() {
+        for rho in [0.1, 0.3, 0.5, 0.7, 0.9, 0.95] {
+            assert!((gd1_wait(rho, rho) - md1_wait(rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gd1_deterministic_arrivals_wait_free() {
+        // V = 0: one arrival every 1/ρ slots on a unit server never waits
+        // (the formula gives the -1/2 slotting correction).
+        assert!(gd1_wait(0.5, 0.0) < 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn md1_rejects_saturated_queue() {
+        md1_wait(1.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Non-preemptive head-of-line (HOL) priority queue waiting times.
+//!
+//! For an M/G/1 queue with priority classes `1..=K` (1 = highest) under a
+//! non-preemptive HOL discipline, the Cobham formula gives
+//!
+//! ```text
+//! W_k = W0 / ((1 − σ_{k-1}) (1 − σ_k)),   σ_k = ρ_1 + … + ρ_k,
+//! ```
+//!
+//! where `W0 = Σ λ_k E[S_k²] / 2` is the mean residual service time seen by
+//! an arrival. With deterministic unit service (`E[S²] = 1`), `W0 = ρ/2`.
+//!
+//! This is the machinery behind the paper's §3.2 claim: the high-priority
+//! class of priority STAR has `ρ_H < 1/n`, so `W_H = O(ρ_H/(1−ρ_H)) = o(1)`,
+//! while the low-priority class absorbs (essentially all of) the FCFS wait.
+
+/// Offered load of one priority class.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityClassLoad {
+    /// Utilization contributed by this class (`λ_k E[S_k]`).
+    pub rho: f64,
+    /// Second moment of this class's service time, `E[S_k²]`
+    /// (1.0 for unit deterministic service).
+    pub service_second_moment: f64,
+    /// Mean service time `E[S_k]` (1.0 for unit deterministic service).
+    pub service_mean: f64,
+}
+
+impl PriorityClassLoad {
+    /// Unit-deterministic-service class with the given utilization.
+    pub fn deterministic(rho: f64) -> Self {
+        Self {
+            rho,
+            service_second_moment: 1.0,
+            service_mean: 1.0,
+        }
+    }
+}
+
+/// Waiting times for each class under non-preemptive HOL priority
+/// (classes ordered highest priority first).
+///
+/// # Panics
+///
+/// Panics if any class load is negative or the total utilization is ≥ 1.
+pub fn hol_waits(classes: &[PriorityClassLoad]) -> Vec<f64> {
+    assert!(!classes.is_empty(), "need at least one class");
+    let total: f64 = classes.iter().map(|c| c.rho).sum();
+    assert!(
+        classes.iter().all(|c| c.rho >= 0.0),
+        "class loads must be non-negative"
+    );
+    assert!(total < 1.0, "total utilization must be < 1, got {total}");
+
+    // W0 = Σ λ_k E[S_k²] / 2 with λ_k = ρ_k / E[S_k].
+    let w0: f64 = classes
+        .iter()
+        .map(|c| {
+            if c.rho == 0.0 {
+                0.0
+            } else {
+                (c.rho / c.service_mean) * c.service_second_moment / 2.0
+            }
+        })
+        .sum();
+
+    let mut sigma_prev = 0.0;
+    classes
+        .iter()
+        .map(|c| {
+            let sigma = sigma_prev + c.rho;
+            let w = w0 / ((1.0 - sigma_prev) * (1.0 - sigma));
+            sigma_prev = sigma;
+            w
+        })
+        .collect()
+}
+
+/// Convenience for the paper's two-class split (high trunk traffic, low
+/// ending-dimension traffic), unit deterministic service.
+/// Returns `(W_H, W_L)`.
+pub fn two_class_waits(rho_high: f64, rho_low: f64) -> (f64, f64) {
+    let ws = hol_waits(&[
+        PriorityClassLoad::deterministic(rho_high),
+        PriorityClassLoad::deterministic(rho_low),
+    ]);
+    (ws[0], ws[1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::md1_wait;
+
+    #[test]
+    fn single_class_reduces_to_md1() {
+        for rho in [0.2, 0.5, 0.8, 0.95] {
+            let ws = hol_waits(&[PriorityClassLoad::deterministic(rho)]);
+            assert!((ws[0] - md1_wait(rho)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_class_waits_less_than_low() {
+        let (wh, wl) = two_class_waits(0.1, 0.7);
+        assert!(wh < wl);
+        // High class sees the full residual W0 = ρ/2 but only its own queue.
+        let rho = 0.8;
+        assert!((wh - rho / 2.0 / (1.0 - 0.1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_small_high_load_wait_is_small() {
+        // ρ_H < 1/n with n = 8 and total ρ = 0.9: W_H stays O(1) even
+        // though the FCFS wait is 4.5.
+        let (wh, wl) = two_class_waits(0.125, 0.775);
+        assert!(wh < 0.6, "W_H = {wh}");
+        assert!(wl > 4.0, "W_L = {wl}");
+        assert!(md1_wait(0.9) > 4.0);
+    }
+
+    #[test]
+    fn three_class_ordering_monotone() {
+        let ws = hol_waits(&[
+            PriorityClassLoad::deterministic(0.2),
+            PriorityClassLoad::deterministic(0.3),
+            PriorityClassLoad::deterministic(0.3),
+        ]);
+        assert!(ws[0] < ws[1] && ws[1] < ws[2]);
+    }
+
+    #[test]
+    fn zero_load_class_sees_residual_only() {
+        let ws = hol_waits(&[
+            PriorityClassLoad::deterministic(0.0),
+            PriorityClassLoad::deterministic(0.6),
+        ]);
+        // An arrival of the (empty) top class waits only for the residual
+        // service of the packet in service: W0 = 0.3.
+        assert!((ws[0] - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "total utilization")]
+    fn rejects_overload() {
+        two_class_waits(0.5, 0.6);
+    }
+}

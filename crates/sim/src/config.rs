@@ -1,0 +1,104 @@
+//! Simulation run configuration.
+
+use pstar_traffic::WorkloadSpec;
+
+/// Configuration of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Slots to run before measurement starts (reach steady state).
+    pub warmup_slots: u64,
+    /// Length of the measurement window: tasks *generated* during it are
+    /// tagged and fully tracked to completion.
+    pub measure_slots: u64,
+    /// Hard horizon; exceeding it marks the run unstable/incomplete.
+    pub max_slots: u64,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+    /// Declare instability when the total number of queued packets
+    /// exceeds `unstable_queue_per_link × link_count`.
+    pub unstable_queue_per_link: f64,
+    /// Declare instability when any single link's queue exceeds this many
+    /// packets (catches localized divergence, e.g. mesh corners, long
+    /// before the global guard).
+    pub unstable_single_queue: f64,
+    /// Packet-length law (the paper's default is unit length).
+    pub lengths: WorkloadSpec,
+    /// Per-link output-buffer capacity in packets. `None` models the
+    /// paper's default infinite queues; `Some(k)` drops packets arriving
+    /// at a full buffer (§2 notes finite queues overflow past saturation
+    /// — this mode measures how much).
+    pub queue_capacity: Option<u32>,
+    /// Batch size for the batch-means reception-delay CI (the naive CI
+    /// underestimates the error of correlated delay streams).
+    pub delay_batch_size: u64,
+    /// Exact-bucket range of the reception-delay histogram (delays at or
+    /// above land in the overflow bucket and saturate the quantiles).
+    pub delay_histogram_cap: usize,
+    /// Record reception delays bucketed by the receiving node's distance
+    /// from the broadcast source ([`crate::SimReport::delay_by_distance`]).
+    /// Visualizes §3.2's mechanism: trunk hops are nearly free, the final
+    /// (ending-dimension) hops absorb the queueing. Off by default (costs
+    /// one distance computation per reception).
+    pub profile_by_distance: bool,
+    /// When `Some(k)`, sample the total queued-packet population every `k`
+    /// slots into [`crate::SimReport::queue_trace`] — the §2 "queues grow
+    /// unbounded past saturation" diagnostic. `None` (default) disables
+    /// tracing.
+    pub trace_interval: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            warmup_slots: 20_000,
+            measure_slots: 50_000,
+            max_slots: 2_000_000,
+            seed: 0xB02A_57A2,
+            unstable_queue_per_link: 400.0,
+            unstable_single_queue: 20_000.0,
+            lengths: WorkloadSpec::Fixed(1),
+            queue_capacity: None,
+            delay_batch_size: 512,
+            delay_histogram_cap: 4096,
+            profile_by_distance: false,
+            trace_interval: None,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A short configuration for unit tests and smoke benches.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            warmup_slots: 2_000,
+            measure_slots: 8_000,
+            max_slots: 400_000,
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// End of the measurement window.
+    pub fn measure_end(&self) -> u64 {
+        self.warmup_slots + self.measure_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_ordered() {
+        let c = SimConfig::default();
+        assert!(c.warmup_slots < c.measure_end());
+        assert!(c.measure_end() < c.max_slots);
+    }
+
+    #[test]
+    fn quick_is_shorter() {
+        let q = SimConfig::quick(1);
+        assert!(q.measure_end() < SimConfig::default().measure_end());
+        assert_eq!(q.seed, 1);
+    }
+}

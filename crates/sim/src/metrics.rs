@@ -1,0 +1,138 @@
+//! Simulation output report.
+
+use pstar_stats::Summary;
+
+/// Per-priority-class measurements.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassStats {
+    /// Fraction of link-slots spent serving this class during the window
+    /// (network-wide average) — the `ρ_k` of the queueing analysis.
+    pub utilization: f64,
+    /// Per-hop waiting time (slots between enqueue and service start).
+    pub wait: Summary,
+}
+
+/// Everything a run measures.
+///
+/// All delay statistics cover tasks *generated inside the measurement
+/// window* and tracked to completion; waiting times and utilizations are
+/// sampled over the window itself.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// `false` when the queue-blowup guard tripped (offered load above the
+    /// scheme's sustainable throughput).
+    pub stable: bool,
+    /// `true` when every tagged task completed before the horizon.
+    pub completed: bool,
+    /// Slots actually simulated.
+    pub slots_run: u64,
+    /// Broadcast tasks tagged for measurement.
+    pub measured_broadcasts: u64,
+    /// Unicast tasks tagged for measurement.
+    pub measured_unicasts: u64,
+    /// Reception delay: generation → arrival at each individual node
+    /// (broadcast traffic; the paper's primary metric, Figs. 2–4).
+    pub reception_delay: Summary,
+    /// Reception-delay tail quantiles `(p50, p95, p99)` in slots.
+    pub reception_quantiles: (u64, u64, u64),
+    /// Batch-means 95% half-width for the reception delay — honest under
+    /// serial correlation, unlike `reception_delay.ci95()`. `None` when
+    /// too few batches completed.
+    pub reception_ci_batch: Option<f64>,
+    /// Packets dropped at full finite buffers (0 with infinite queues).
+    pub dropped_packets: u64,
+    /// Receptions of *measured* tasks that never happened due to drops.
+    pub lost_receptions: u64,
+    /// Measured broadcasts that failed to reach every node (damaged by
+    /// drops; excluded from `broadcast_delay`).
+    pub damaged_broadcasts: u64,
+    /// Measured unicasts dropped before delivery (excluded from
+    /// `unicast_delay`).
+    pub dropped_unicasts: u64,
+    /// Broadcast delay: generation → last node reached (Figs. 5–7).
+    pub broadcast_delay: Summary,
+    /// Unicast delay: generation → delivery (§4, T3).
+    pub unicast_delay: Summary,
+    /// Per-priority-class waits and loads (index 0 = highest priority).
+    pub class: Vec<ClassStats>,
+    /// Mean link utilization over the window — should match the offered
+    /// throughput factor ρ when the scheme is minimal and balanced.
+    pub mean_link_utilization: f64,
+    /// Utilization of the most-loaded link (balance diagnostic).
+    pub max_link_utilization: f64,
+    /// Mean utilization of links of each dimension (balance diagnostic;
+    /// the quantity Eq. (2)/(4) equalize).
+    pub per_dim_utilization: Vec<f64>,
+    /// Time-average number of broadcast tasks in progress (Fig. 8).
+    pub avg_concurrent_broadcasts: f64,
+    /// Time-average number of unicast tasks in progress (Fig. 8).
+    pub avg_concurrent_unicasts: f64,
+    /// Largest total queued-packet population seen.
+    pub peak_queue_total: i64,
+    /// Transmissions started during the window.
+    pub window_transmissions: u64,
+    /// Transmissions per virtual-channel tag (index = VC id, §3.1's
+    /// deadlock-freedom bookkeeping: VC1 for dimensions after the
+    /// rotation point, VC2 for wrapped dimensions, 0 for unicast).
+    /// Counted over the whole run.
+    pub vc_transmissions: [u64; 4],
+    /// Mean reception delay of nodes at each hop distance from the source
+    /// (index = distance; empty unless
+    /// [`crate::SimConfig::profile_by_distance`] is set). Entry 0 is
+    /// unused (the source does not receive).
+    pub delay_by_distance: Vec<Summary>,
+    /// `(slot, total queued packets)` samples, when
+    /// [`crate::SimConfig::trace_interval`] is set (empty otherwise).
+    /// Bounded queues ⇔ stability; linear growth ⇔ offered load above the
+    /// scheme's sustainable throughput (§2).
+    pub queue_trace: Vec<(u64, u64)>,
+}
+
+impl SimReport {
+    /// `true` when the run is usable: stable and fully drained.
+    pub fn ok(&self) -> bool {
+        self.stable && self.completed
+    }
+
+    /// Load-weighted average wait `Σ ρ_k W_k / ρ` across classes — the
+    /// conservation-law aggregate (equals the FCFS wait for any
+    /// work-conserving discipline).
+    pub fn conservation_aggregate(&self) -> f64 {
+        let rho: f64 = self.class.iter().map(|c| c.utilization).sum();
+        if rho == 0.0 {
+            return 0.0;
+        }
+        self.class
+            .iter()
+            .map(|c| c.utilization * c.wait.mean)
+            .sum::<f64>()
+            / rho
+    }
+}
+
+impl std::fmt::Display for SimReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "stable={} completed={} slots={} util(mean/max)={:.3}/{:.3}",
+            self.stable,
+            self.completed,
+            self.slots_run,
+            self.mean_link_utilization,
+            self.max_link_utilization
+        )?;
+        writeln!(
+            f,
+            "reception={:.2} broadcast={:.2} unicast={:.2} (means, slots)",
+            self.reception_delay.mean, self.broadcast_delay.mean, self.unicast_delay.mean
+        )?;
+        for (k, c) in self.class.iter().enumerate() {
+            writeln!(
+                f,
+                "  class {k}: rho={:.4} wait={:.3}",
+                c.utilization, c.wait.mean
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,136 @@
+//! Multi-class head-of-line priority output queue.
+
+use crate::packet::{Packet, MAX_PRIORITY_CLASSES};
+use std::collections::VecDeque;
+
+/// One link's output queue: a FIFO per priority class, served
+/// lowest-class-number-first (non-preemptive head-of-line priority).
+///
+/// With a single class this degenerates to plain FCFS, which is exactly
+/// the paper's baseline discipline.
+#[derive(Debug, Default)]
+pub struct PriorityQueue {
+    classes: [VecDeque<Packet>; MAX_PRIORITY_CLASSES],
+    len: usize,
+}
+
+impl PriorityQueue {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total queued packets across classes.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no packet is queued.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Enqueues a packet into its class FIFO.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if the packet's priority exceeds
+    /// [`MAX_PRIORITY_CLASSES`].
+    #[inline(always)]
+    pub fn push(&mut self, packet: Packet) {
+        debug_assert!((packet.priority as usize) < MAX_PRIORITY_CLASSES);
+        self.classes[packet.priority as usize].push_back(packet);
+        self.len += 1;
+    }
+
+    /// Removes and returns the next packet to serve: head of the
+    /// highest-priority non-empty FIFO.
+    #[inline(always)]
+    pub fn pop(&mut self) -> Option<Packet> {
+        if self.len == 0 {
+            return None;
+        }
+        for class in &mut self.classes {
+            if let Some(p) = class.pop_front() {
+                self.len -= 1;
+                return Some(p);
+            }
+        }
+        unreachable!("len counter out of sync with class FIFOs");
+    }
+
+    /// Number of packets queued in one class.
+    pub fn class_len(&self, class: usize) -> usize {
+        self.classes[class].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketKind, MAX_PRIORITY_CLASSES};
+    use pstar_topology::NodeId;
+
+    fn pkt(priority: u8, task: u32) -> Packet {
+        Packet {
+            task,
+            gen_time: 0,
+            enqueue_time: 0,
+            len: 1,
+            priority,
+            vc: 1,
+            kind: PacketKind::Unicast { dest: NodeId(0) },
+        }
+    }
+
+    #[test]
+    fn fifo_within_class() {
+        let mut q = PriorityQueue::new();
+        q.push(pkt(0, 1));
+        q.push(pkt(0, 2));
+        q.push(pkt(0, 3));
+        assert_eq!(q.pop().unwrap().task, 1);
+        assert_eq!(q.pop().unwrap().task, 2);
+        assert_eq!(q.pop().unwrap().task, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn higher_priority_served_first() {
+        let mut q = PriorityQueue::new();
+        q.push(pkt(2, 10));
+        q.push(pkt(0, 20));
+        q.push(pkt(1, 30));
+        assert_eq!(q.pop().unwrap().task, 20);
+        assert_eq!(q.pop().unwrap().task, 30);
+        assert_eq!(q.pop().unwrap().task, 10);
+    }
+
+    #[test]
+    fn non_preemptive_order_is_arrival_order_after_pop() {
+        // A low-priority packet popped for service is gone; a later
+        // high-priority arrival cannot preempt it (the engine models the
+        // in-service packet separately).
+        let mut q = PriorityQueue::new();
+        q.push(pkt(3, 1));
+        let served = q.pop().unwrap();
+        q.push(pkt(0, 2));
+        assert_eq!(served.task, 1);
+        assert_eq!(q.pop().unwrap().task, 2);
+    }
+
+    #[test]
+    fn len_tracks_all_classes() {
+        let mut q = PriorityQueue::new();
+        assert!(q.is_empty());
+        for c in 0..MAX_PRIORITY_CLASSES as u8 {
+            q.push(pkt(c, c as u32));
+        }
+        assert_eq!(q.len(), MAX_PRIORITY_CLASSES);
+        assert_eq!(q.class_len(1), 1);
+        q.pop();
+        assert_eq!(q.len(), MAX_PRIORITY_CLASSES - 1);
+    }
+}

@@ -1,0 +1,93 @@
+//! The routing-scheme extension point.
+
+use crate::packet::{BroadcastState, Emit};
+use pstar_topology::NodeId;
+use rand::rngs::StdRng;
+
+/// A dynamic routing scheme: decides the initial transmissions of a new
+/// task and the forwards triggered by each delivery.
+///
+/// Implementations live in the `priority-star` crate (priority STAR, the
+/// FCFS direct baseline of Stamoulis–Tsitsiklis, dimension-ordered
+/// broadcast, …). The engine owns all queueing, timing and metrics; a
+/// scheme only translates *routing state* into [`Emit`]s.
+///
+/// Invariants the engine relies on (and the test-suite enforces for the
+/// provided schemes):
+///
+/// * a broadcast task's emits, followed transitively, deliver the packet
+///   to every node except the source **exactly once**;
+/// * a unicast emit sequence reaches `dest` along a shortest path;
+/// * every emitted priority is `< num_priorities()`.
+pub trait Scheme {
+    /// Number of priority classes used (1 = pure FCFS).
+    fn num_priorities(&self) -> usize;
+
+    /// Initial transmissions of a broadcast generated at `src`.
+    fn on_broadcast_generated(&self, src: NodeId, rng: &mut StdRng, out: &mut Vec<Emit>);
+
+    /// Forwards triggered by the delivery of a broadcast copy at `node`.
+    /// `state` is the copy's state *as it travelled the incoming link*
+    /// (so `state.hops_left ≥ 1` counts `node` itself).
+    fn on_broadcast_arrival(&self, node: NodeId, state: &BroadcastState, out: &mut Vec<Emit>);
+
+    /// Initial transmission(s) of a unicast from `src` to `dest ≠ src`.
+    fn on_unicast_generated(
+        &self,
+        src: NodeId,
+        dest: NodeId,
+        rng: &mut StdRng,
+        out: &mut Vec<Emit>,
+    );
+
+    /// Forward for a unicast delivered at intermediate `node ≠ dest`.
+    fn on_unicast_arrival(&self, node: NodeId, dest: NodeId, rng: &mut StdRng, out: &mut Vec<Emit>);
+
+    /// Number of receptions an in-flight broadcast copy is still
+    /// responsible for (itself plus its entire future subtree). Used by
+    /// the finite-buffer mode to settle a task's completion accounting
+    /// when a copy is dropped at a full queue.
+    ///
+    /// For tree-structured broadcasts this is the subtree leaf count; the
+    /// copy's own pending receptions (`hops_left`) times the coverage of
+    /// every later phase.
+    fn subtree_receptions(&self, state: &BroadcastState) -> u32;
+}
+
+impl<S: Scheme + ?Sized> Scheme for &S {
+    fn num_priorities(&self) -> usize {
+        (**self).num_priorities()
+    }
+
+    fn on_broadcast_generated(&self, src: NodeId, rng: &mut StdRng, out: &mut Vec<Emit>) {
+        (**self).on_broadcast_generated(src, rng, out)
+    }
+
+    fn on_broadcast_arrival(&self, node: NodeId, state: &BroadcastState, out: &mut Vec<Emit>) {
+        (**self).on_broadcast_arrival(node, state, out)
+    }
+
+    fn on_unicast_generated(
+        &self,
+        src: NodeId,
+        dest: NodeId,
+        rng: &mut StdRng,
+        out: &mut Vec<Emit>,
+    ) {
+        (**self).on_unicast_generated(src, dest, rng, out)
+    }
+
+    fn on_unicast_arrival(
+        &self,
+        node: NodeId,
+        dest: NodeId,
+        rng: &mut StdRng,
+        out: &mut Vec<Emit>,
+    ) {
+        (**self).on_unicast_arrival(node, dest, rng, out)
+    }
+
+    fn subtree_receptions(&self, state: &BroadcastState) -> u32 {
+        (**self).subtree_receptions(state)
+    }
+}

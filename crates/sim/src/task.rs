@@ -1,0 +1,172 @@
+//! Active-task slab: tracks outstanding receptions per task.
+
+/// Task classification for completion accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskKind {
+    /// Broadcast: completes after `N − 1` receptions.
+    Broadcast,
+    /// Unicast: completes on delivery at the destination.
+    Unicast,
+}
+
+/// One active task's bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskSlot {
+    /// Generation time.
+    pub gen_time: u64,
+    /// Outstanding receptions before completion.
+    pub remaining: u32,
+    /// Generated inside the measurement window (counts toward statistics).
+    pub measured: bool,
+    /// Broadcast or unicast.
+    pub kind: TaskKind,
+    /// Receptions lost to finite-buffer drops (the task is "damaged" and
+    /// excluded from completion-delay statistics when > 0).
+    pub lost: u32,
+}
+
+/// Slab of active tasks with slot reuse. Completed slots are recycled so
+/// long runs keep the table at the size of the *concurrent* task
+/// population (Θ(thousands)), not the total generated population
+/// (Θ(millions)).
+#[derive(Debug, Default)]
+pub struct TaskTable {
+    slots: Vec<TaskSlot>,
+    free: Vec<u32>,
+    active: usize,
+}
+
+impl TaskTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a task, returning its slot index.
+    pub fn insert(&mut self, slot: TaskSlot) -> u32 {
+        self.active += 1;
+        if let Some(idx) = self.free.pop() {
+            self.slots[idx as usize] = slot;
+            idx
+        } else {
+            let idx = self.slots.len() as u32;
+            self.slots.push(slot);
+            idx
+        }
+    }
+
+    /// Read access to a task.
+    #[inline(always)]
+    pub fn get(&self, idx: u32) -> &TaskSlot {
+        &self.slots[idx as usize]
+    }
+
+    /// Records one reception for task `idx`; returns `true` when the task
+    /// just completed (the slot is then freed and must not be used again).
+    #[inline(always)]
+    pub fn record_reception(&mut self, idx: u32) -> bool {
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.remaining > 0, "reception after completion");
+        slot.remaining -= 1;
+        if slot.remaining == 0 {
+            self.free.push(idx);
+            self.active -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Settles `lost` receptions that will never occur (finite-buffer
+    /// drop of a copy responsible for that many deliveries); returns
+    /// `true` when the task just completed.
+    #[inline]
+    pub fn cancel_receptions(&mut self, idx: u32, lost: u32) -> bool {
+        let slot = &mut self.slots[idx as usize];
+        debug_assert!(slot.remaining >= lost, "cancelling more than remain");
+        slot.remaining -= lost;
+        slot.lost += lost;
+        if slot.remaining == 0 {
+            self.free.push(idx);
+            self.active -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of currently active tasks.
+    pub fn active(&self) -> usize {
+        self.active
+    }
+
+    /// High-water slot count (allocation footprint).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn slot(kind: TaskKind, remaining: u32) -> TaskSlot {
+        TaskSlot {
+            gen_time: 5,
+            remaining,
+            measured: true,
+            kind,
+            lost: 0,
+        }
+    }
+
+    #[test]
+    fn cancelled_receptions_complete_and_mark_lost() {
+        let mut t = TaskTable::new();
+        let id = t.insert(slot(TaskKind::Broadcast, 10));
+        assert!(!t.record_reception(id));
+        assert!(!t.cancel_receptions(id, 4));
+        assert_eq!(t.get(id).lost, 4);
+        assert_eq!(t.get(id).remaining, 5);
+        assert!(t.cancel_receptions(id, 5));
+        assert_eq!(t.active(), 0);
+    }
+
+    #[test]
+    fn unicast_completes_after_one_reception() {
+        let mut t = TaskTable::new();
+        let id = t.insert(slot(TaskKind::Unicast, 1));
+        assert_eq!(t.active(), 1);
+        assert!(t.record_reception(id));
+        assert_eq!(t.active(), 0);
+    }
+
+    #[test]
+    fn broadcast_completes_after_all_receptions() {
+        let mut t = TaskTable::new();
+        let id = t.insert(slot(TaskKind::Broadcast, 3));
+        assert!(!t.record_reception(id));
+        assert!(!t.record_reception(id));
+        assert!(t.record_reception(id));
+    }
+
+    #[test]
+    fn slots_are_recycled() {
+        let mut t = TaskTable::new();
+        let a = t.insert(slot(TaskKind::Unicast, 1));
+        t.record_reception(a);
+        let b = t.insert(slot(TaskKind::Unicast, 1));
+        assert_eq!(a, b, "freed slot should be reused");
+        assert_eq!(t.capacity(), 1);
+    }
+
+    #[test]
+    fn distinct_active_tasks_get_distinct_slots() {
+        let mut t = TaskTable::new();
+        let a = t.insert(slot(TaskKind::Broadcast, 5));
+        let b = t.insert(slot(TaskKind::Unicast, 1));
+        assert_ne!(a, b);
+        assert_eq!(t.get(a).remaining, 5);
+        assert_eq!(t.get(b).kind, TaskKind::Unicast);
+    }
+}

@@ -1,0 +1,144 @@
+//! Integer-valued histogram with an overflow bucket.
+
+/// Histogram over non-negative integer observations (e.g. slot-valued
+/// delays). Values at or above the configured cap land in a single
+/// overflow bucket; quantile queries treat them as `cap`.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u128,
+}
+
+impl Histogram {
+    /// Histogram tracking values `0..cap` exactly.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "histogram cap must be positive");
+        Self {
+            buckets: vec![0; cap],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one observation.
+    #[inline(always)]
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of observations that exceeded the cap.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Exact mean of all observations (including overflowed ones).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// `q`-quantile (0 ≤ q ≤ 1) by bucket walk; overflowed values count as
+    /// the cap. Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (value, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return value as u64;
+            }
+        }
+        self.buckets.len() as u64
+    }
+
+    /// Count in an exact bucket (`None` past the cap).
+    pub fn bucket(&self, value: u64) -> Option<u64> {
+        self.buckets.get(value as usize).copied()
+    }
+
+    /// Merges another histogram with the same cap.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "cap mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new(16);
+        for v in [1u64, 2, 3, 4, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert!((h.mean() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overflow_still_counts_toward_mean() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.record(100);
+        assert_eq!(h.overflow_count(), 1);
+        assert!((h.mean() - 51.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_walk_buckets() {
+        let mut h = Histogram::new(32);
+        for v in 0..10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 4);
+        assert_eq!(h.quantile(1.0), 9);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::new(4);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(8);
+        let mut b = Histogram::new(8);
+        a.record(1);
+        b.record(3);
+        b.record(9); // overflow
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket(1), Some(1));
+        assert_eq!(a.bucket(3), Some(1));
+        assert_eq!(a.overflow_count(), 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Time-weighted averages of piecewise-constant processes.
+//!
+//! Used for queue-length averages and the Fig. 8 concurrent-task counts
+//! (`E[#tasks in system] = λ_N · E[delay]` by Little's law, which the
+//! integration tests verify against this accumulator).
+
+/// Accumulates the time integral of a piecewise-constant integer process,
+/// yielding its time average over an observation window.
+#[derive(Debug, Clone, Copy)]
+pub struct TimeWeighted {
+    level: i64,
+    last_change: u64,
+    integral: i128,
+    start: u64,
+    peak: i64,
+}
+
+impl TimeWeighted {
+    /// Starts observing at time `start` with the given initial level.
+    pub fn new(start: u64, initial_level: i64) -> Self {
+        Self {
+            level: initial_level,
+            last_change: start,
+            integral: 0,
+            start,
+            peak: initial_level,
+        }
+    }
+
+    /// Records a level change at time `now` (the old level is credited for
+    /// `[last_change, now)`).
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `now` moves backwards.
+    #[inline(always)]
+    pub fn set(&mut self, now: u64, level: i64) {
+        debug_assert!(now >= self.last_change, "time moved backwards");
+        self.integral += self.level as i128 * (now - self.last_change) as i128;
+        self.level = level;
+        self.last_change = now;
+        self.peak = self.peak.max(level);
+    }
+
+    /// Convenience: adds `delta` to the current level at time `now`.
+    #[inline(always)]
+    pub fn add(&mut self, now: u64, delta: i64) {
+        let level = self.level + delta;
+        self.set(now, level);
+    }
+
+    /// Current level.
+    pub fn level(&self) -> i64 {
+        self.level
+    }
+
+    /// Largest level seen.
+    pub fn peak(&self) -> i64 {
+        self.peak
+    }
+
+    /// Time average over `[start, now]`. Returns 0 for an empty window.
+    pub fn average(&self, now: u64) -> f64 {
+        debug_assert!(now >= self.last_change);
+        let span = now - self.start;
+        if span == 0 {
+            return 0.0;
+        }
+        let integral = self.integral + self.level as i128 * (now - self.last_change) as i128;
+        integral as f64 / span as f64
+    }
+
+    /// Restarts the observation window at `now`, keeping the current level.
+    pub fn reset_window(&mut self, now: u64) {
+        debug_assert!(now >= self.last_change);
+        self.integral = 0;
+        self.last_change = now;
+        self.start = now;
+        self.peak = self.level;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_process_average_is_level() {
+        let tw = TimeWeighted::new(0, 3);
+        assert!((tw.average(10) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_process_average() {
+        let mut tw = TimeWeighted::new(0, 0);
+        tw.set(5, 2); // level 0 on [0,5), 2 on [5,10)
+        assert!((tw.average(10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_tracks_queue_like_process() {
+        let mut tw = TimeWeighted::new(0, 0);
+        tw.add(1, 1); // 0 for [0,1)
+        tw.add(3, 1); // 1 for [1,3)
+        tw.add(4, -2); // 2 for [3,4), 0 after
+                       // integral = 0 + 2 + 2 = 4 over [0,8)
+        assert!((tw.average(8) - 0.5).abs() < 1e-12);
+        assert_eq!(tw.level(), 0);
+        assert_eq!(tw.peak(), 2);
+    }
+
+    #[test]
+    fn reset_window_discards_history() {
+        let mut tw = TimeWeighted::new(0, 10);
+        tw.set(100, 0);
+        tw.reset_window(100);
+        assert!((tw.average(200) - 0.0).abs() < 1e-12);
+        assert_eq!(tw.peak(), 0);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let tw = TimeWeighted::new(7, 5);
+        assert_eq!(tw.average(7), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Mixed-radix coordinate arithmetic.
+//!
+//! A node of an `n1 × … × nd` torus is identified by its coordinate vector
+//! `(c_0, …, c_{d-1})` with `0 ≤ c_i < n_i`, encoded densely as the
+//! mixed-radix integer `Σ c_i · stride_i` with `stride_0 = 1` and
+//! `stride_{i+1} = stride_i · n_i` (dimension 0 varies fastest).
+
+use crate::NodeId;
+
+/// Immutable description of a mixed-radix coordinate system.
+///
+/// Shared by [`crate::Torus`] and [`crate::Mesh`]; all per-node arithmetic
+/// (digit extraction, digit replacement) lives here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coordinates {
+    dims: Vec<u32>,
+    strides: Vec<u32>,
+    n: u32,
+}
+
+impl Coordinates {
+    /// Builds the coordinate system for the given per-dimension sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any dimension has fewer than 2 nodes, or
+    /// the total node count overflows `u32`.
+    pub fn new(dims: &[u32]) -> Self {
+        assert!(!dims.is_empty(), "torus must have at least one dimension");
+        assert!(
+            dims.iter().all(|&n| n >= 2),
+            "every dimension must have at least 2 nodes, got {dims:?}"
+        );
+        let mut strides = Vec::with_capacity(dims.len());
+        let mut acc: u64 = 1;
+        for &n in dims {
+            strides.push(acc as u32);
+            acc = acc.checked_mul(n as u64).expect("node count overflows u64");
+            assert!(acc <= u32::MAX as u64 + 1, "node count exceeds u32 range");
+        }
+        Self {
+            dims: dims.to_vec(),
+            strides,
+            n: acc as u32,
+        }
+    }
+
+    /// Number of dimensions `d`.
+    #[inline(always)]
+    pub fn d(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Per-dimension sizes `(n_0, …, n_{d-1})`.
+    #[inline(always)]
+    pub fn dims(&self) -> &[u32] {
+        &self.dims
+    }
+
+    /// Size of dimension `dim`.
+    #[inline(always)]
+    pub fn dim_size(&self, dim: usize) -> u32 {
+        self.dims[dim]
+    }
+
+    /// Total number of nodes `N = Π n_i`.
+    #[inline(always)]
+    pub fn node_count(&self) -> u32 {
+        self.n
+    }
+
+    /// Extracts coordinate digit `dim` of `node`.
+    #[inline(always)]
+    pub fn digit(&self, node: NodeId, dim: usize) -> u32 {
+        (node.0 / self.strides[dim]) % self.dims[dim]
+    }
+
+    /// Returns `node` with coordinate digit `dim` replaced by `value`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-panics if `value` is out of range for the dimension.
+    #[inline(always)]
+    pub fn with_digit(&self, node: NodeId, dim: usize, value: u32) -> NodeId {
+        debug_assert!(value < self.dims[dim]);
+        let old = self.digit(node, dim);
+        NodeId(node.0 - old * self.strides[dim] + value * self.strides[dim])
+    }
+
+    /// Moves one hop in dimension `dim`: `+1` (wrapping) if `forward`,
+    /// else `-1` (wrapping).
+    #[inline(always)]
+    pub fn step(&self, node: NodeId, dim: usize, forward: bool) -> NodeId {
+        let n = self.dims[dim];
+        let old = self.digit(node, dim);
+        let new = if forward {
+            if old + 1 == n {
+                0
+            } else {
+                old + 1
+            }
+        } else if old == 0 {
+            n - 1
+        } else {
+            old - 1
+        };
+        self.with_digit(node, dim, new)
+    }
+
+    /// Decodes a node id into its full coordinate vector (allocates).
+    pub fn coords(&self, node: NodeId) -> Vec<u32> {
+        (0..self.d()).map(|i| self.digit(node, i)).collect()
+    }
+
+    /// Encodes a coordinate vector into a node id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vector has the wrong length or a digit is out of range.
+    pub fn node(&self, coords: &[u32]) -> NodeId {
+        assert_eq!(coords.len(), self.d(), "coordinate arity mismatch");
+        let mut id = 0u32;
+        for (i, &c) in coords.iter().enumerate() {
+            assert!(c < self.dims[i], "digit {c} out of range for dim {i}");
+            id += c * self.strides[i];
+        }
+        NodeId(id)
+    }
+
+    /// Iterator over all node ids `0..N`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId)
+    }
+
+    /// Iterator over all coordinate vectors in node-id order.
+    pub fn coord_iter(&self) -> CoordIter<'_> {
+        CoordIter { sys: self, next: 0 }
+    }
+}
+
+/// Iterator yielding every coordinate vector of a [`Coordinates`] system.
+pub struct CoordIter<'a> {
+    sys: &'a Coordinates,
+    next: u32,
+}
+
+impl Iterator for CoordIter<'_> {
+    type Item = Vec<u32>;
+
+    fn next(&mut self) -> Option<Vec<u32>> {
+        if self.next >= self.sys.node_count() {
+            return None;
+        }
+        let c = self.sys.coords(NodeId(self.next));
+        self.next += 1;
+        Some(c)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = (self.sys.node_count() - self.next) as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for CoordIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_encode_decode() {
+        let c = Coordinates::new(&[3, 4, 5]);
+        assert_eq!(c.node_count(), 60);
+        for node in c.nodes() {
+            let v = c.coords(node);
+            assert_eq!(c.node(&v), node);
+        }
+    }
+
+    #[test]
+    fn digit_extraction_matches_decode() {
+        let c = Coordinates::new(&[2, 7, 3]);
+        for node in c.nodes() {
+            let v = c.coords(node);
+            for (i, &digit) in v.iter().enumerate() {
+                assert_eq!(c.digit(node, i), digit);
+            }
+        }
+    }
+
+    #[test]
+    fn step_forward_then_back_is_identity() {
+        let c = Coordinates::new(&[4, 4, 2]);
+        for node in c.nodes() {
+            for dim in 0..c.d() {
+                let there = c.step(node, dim, true);
+                assert_eq!(c.step(there, dim, false), node);
+            }
+        }
+    }
+
+    #[test]
+    fn step_wraps_around() {
+        let c = Coordinates::new(&[5, 3]);
+        let n = c.node(&[4, 2]);
+        assert_eq!(c.coords(c.step(n, 0, true)), vec![0, 2]);
+        assert_eq!(c.coords(c.step(n, 1, true)), vec![4, 0]);
+        let z = c.node(&[0, 0]);
+        assert_eq!(c.coords(c.step(z, 0, false)), vec![4, 0]);
+        assert_eq!(c.coords(c.step(z, 1, false)), vec![0, 2]);
+    }
+
+    #[test]
+    fn step_in_two_ring_is_involution() {
+        let c = Coordinates::new(&[2, 3]);
+        for node in c.nodes() {
+            assert_eq!(c.step(node, 0, true), c.step(node, 0, false));
+            assert_eq!(c.step(c.step(node, 0, true), 0, true), node);
+        }
+    }
+
+    #[test]
+    fn with_digit_replaces_only_that_digit() {
+        let c = Coordinates::new(&[3, 5, 4]);
+        let n = c.node(&[2, 3, 1]);
+        let m = c.with_digit(n, 1, 0);
+        assert_eq!(c.coords(m), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn coord_iter_covers_all_nodes_in_order() {
+        let c = Coordinates::new(&[2, 3]);
+        let all: Vec<_> = c.coord_iter().collect();
+        assert_eq!(all.len(), 6);
+        assert_eq!(all[0], vec![0, 0]);
+        assert_eq!(all[1], vec![1, 0]);
+        assert_eq!(all[2], vec![0, 1]);
+        assert_eq!(all[5], vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn rejects_degenerate_dimension() {
+        Coordinates::new(&[4, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn rejects_wrong_arity() {
+        Coordinates::new(&[4, 4]).node(&[1]);
+    }
+}

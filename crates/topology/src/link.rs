@@ -1,0 +1,118 @@
+//! Directed-link identifiers.
+
+use crate::NodeId;
+
+/// Direction of travel along a ring dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Increasing coordinate (wrapping).
+    Plus,
+    /// Decreasing coordinate (wrapping).
+    Minus,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline(always)]
+    pub fn opposite(self) -> Self {
+        match self {
+            Direction::Plus => Direction::Minus,
+            Direction::Minus => Direction::Plus,
+        }
+    }
+
+    /// `true` for [`Direction::Plus`].
+    #[inline(always)]
+    pub fn is_forward(self) -> bool {
+        matches!(self, Direction::Plus)
+    }
+
+    /// 0 for `Plus`, 1 for `Minus` (used for port indexing).
+    #[inline(always)]
+    pub fn index(self) -> u32 {
+        match self {
+            Direction::Plus => 0,
+            Direction::Minus => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Direction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Direction::Plus => "+",
+            Direction::Minus => "-",
+        })
+    }
+}
+
+/// Logical descriptor of a directed link: dimension-`dim` output port of
+/// node `from` in direction `dir`.
+///
+/// In dimensions of size 2 the `+` and `-` neighbors coincide and the
+/// topology exposes only the `Plus` port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Link {
+    /// Sending node.
+    pub from: NodeId,
+    /// Dimension of travel (0-based).
+    pub dim: u8,
+    /// Direction of travel.
+    pub dir: Direction,
+}
+
+impl std::fmt::Display for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[d{}{}]", self.from, self.dim, self.dir)
+    }
+}
+
+/// Dense directed-link identifier, suitable for indexing flat link tables.
+///
+/// The mapping from [`Link`] to [`LinkId`] is owned by the topology (it
+/// depends on which dimensions have size 2); see
+/// [`crate::Torus::link_id`] / [`crate::Torus::link`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// The link's dense index as a `usize`.
+    #[inline(always)]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for LinkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        assert_eq!(Direction::Plus.opposite(), Direction::Minus);
+        assert_eq!(Direction::Minus.opposite(), Direction::Plus);
+        assert_eq!(Direction::Plus.opposite().opposite(), Direction::Plus);
+    }
+
+    #[test]
+    fn direction_indices_are_distinct() {
+        assert_ne!(Direction::Plus.index(), Direction::Minus.index());
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = Link {
+            from: NodeId(7),
+            dim: 1,
+            dir: Direction::Minus,
+        };
+        assert_eq!(l.to_string(), "n7[d1-]");
+        assert_eq!(LinkId(3).to_string(), "l3");
+    }
+}

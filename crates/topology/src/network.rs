@@ -1,0 +1,188 @@
+//! The [`Network`] abstraction: what a simulator needs from a topology.
+//!
+//! Both the torus (the paper's main stage) and the open mesh (its §2
+//! counterpoint, whose corner nodes cap the broadcast throughput factor
+//! at 0.5) expose dense node/link id spaces through this trait, so the
+//! simulation engines are generic over the network class.
+
+use crate::{Direction, Link, LinkId, Mesh, NodeId, Torus};
+
+/// A direct network with dense node and directed-link identifiers.
+pub trait Network {
+    /// Number of dimensions.
+    fn d(&self) -> usize;
+
+    /// Total number of nodes.
+    fn node_count(&self) -> u32;
+
+    /// Total number of directed links.
+    fn link_count(&self) -> u32;
+
+    /// Dense id of a directed link that exists in this network.
+    ///
+    /// # Panics
+    ///
+    /// May panic (at least in debug builds) if the port does not exist
+    /// (e.g. leaving the mesh boundary).
+    fn link_id(&self, link: Link) -> LinkId;
+
+    /// Table mapping dense link id → receiving node.
+    fn link_target_table(&self) -> Vec<NodeId>;
+
+    /// Table mapping dense link id → dimension.
+    fn link_dim_table(&self) -> Vec<u8>;
+
+    /// Shortest-path distance between two nodes.
+    fn distance(&self, a: NodeId, b: NodeId) -> u32;
+
+    /// Network diameter.
+    fn diameter(&self) -> u32;
+}
+
+impl Network for Torus {
+    fn d(&self) -> usize {
+        Torus::d(self)
+    }
+
+    fn node_count(&self) -> u32 {
+        Torus::node_count(self)
+    }
+
+    fn link_count(&self) -> u32 {
+        Torus::link_count(self)
+    }
+
+    fn link_id(&self, link: Link) -> LinkId {
+        Torus::link_id(self, link)
+    }
+
+    fn link_target_table(&self) -> Vec<NodeId> {
+        Torus::link_target_table(self)
+    }
+
+    fn link_dim_table(&self) -> Vec<u8> {
+        Torus::link_dim_table(self)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        Torus::distance(self, a, b)
+    }
+
+    fn diameter(&self) -> u32 {
+        Torus::diameter(self)
+    }
+}
+
+impl Network for Mesh {
+    fn d(&self) -> usize {
+        Mesh::d(self)
+    }
+
+    fn node_count(&self) -> u32 {
+        Mesh::node_count(self)
+    }
+
+    fn link_count(&self) -> u32 {
+        Mesh::link_count(self)
+    }
+
+    fn link_id(&self, link: Link) -> LinkId {
+        Mesh::link_id(self, link)
+    }
+
+    fn link_target_table(&self) -> Vec<NodeId> {
+        Mesh::link_target_table(self)
+    }
+
+    fn link_dim_table(&self) -> Vec<u8> {
+        Mesh::link_dim_table(self)
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        Mesh::distance(self, a, b)
+    }
+
+    fn diameter(&self) -> u32 {
+        Mesh::diameter(self)
+    }
+}
+
+/// A [`Network`] reference is a network.
+impl<N: Network + ?Sized> Network for &N {
+    fn d(&self) -> usize {
+        (**self).d()
+    }
+
+    fn node_count(&self) -> u32 {
+        (**self).node_count()
+    }
+
+    fn link_count(&self) -> u32 {
+        (**self).link_count()
+    }
+
+    fn link_id(&self, link: Link) -> LinkId {
+        (**self).link_id(link)
+    }
+
+    fn link_target_table(&self) -> Vec<NodeId> {
+        (**self).link_target_table()
+    }
+
+    fn link_dim_table(&self) -> Vec<u8> {
+        (**self).link_dim_table()
+    }
+
+    fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        (**self).distance(a, b)
+    }
+
+    fn diameter(&self) -> u32 {
+        (**self).diameter()
+    }
+}
+
+/// Helper shared by implementations: the direction taking `from` toward
+/// `digit_to` along one dimension line/ring (no wraparound reasoning —
+/// callers decide that).
+#[inline]
+pub fn toward(digit_from: u32, digit_to: u32) -> Direction {
+    if digit_to > digit_from {
+        Direction::Plus
+    } else {
+        Direction::Minus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_tables<N: Network>(net: &N) {
+        let targets = net.link_target_table();
+        let dims = net.link_dim_table();
+        assert_eq!(targets.len(), net.link_count() as usize);
+        assert_eq!(dims.len(), net.link_count() as usize);
+        assert!(dims.iter().all(|&d| (d as usize) < net.d()));
+        // Every target is a valid node.
+        assert!(targets.iter().all(|t| t.0 < net.node_count()));
+    }
+
+    #[test]
+    fn torus_satisfies_network_contract() {
+        check_tables(&Torus::new(&[4, 5]));
+        check_tables(&Torus::hypercube(4));
+    }
+
+    #[test]
+    fn mesh_satisfies_network_contract() {
+        check_tables(&Mesh::new(&[4, 5]));
+        check_tables(&Mesh::new(&[2, 3, 4]));
+    }
+
+    #[test]
+    fn toward_picks_the_obvious_direction() {
+        assert_eq!(toward(1, 3), Direction::Plus);
+        assert_eq!(toward(3, 1), Direction::Minus);
+    }
+}

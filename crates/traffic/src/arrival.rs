@@ -1,0 +1,158 @@
+//! Per-slot arrival processes.
+
+use rand::Rng;
+
+/// A stochastic process generating a number of task arrivals per node per
+/// slot.
+pub trait ArrivalProcess {
+    /// Samples the number of arrivals in one slot at one node.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32;
+
+    /// Mean arrivals per slot.
+    fn mean(&self) -> f64;
+
+    /// Variance of arrivals per slot.
+    fn variance(&self) -> f64;
+}
+
+/// Poisson(λ) arrivals — the process assumed by the paper's analysis and
+/// by the Ω(d + 1/(1−ρ)) lower bound of \[12\].
+///
+/// Sampling uses Knuth's product method, which is exact and fast for the
+/// small per-node λ values that keep ρ < 1 (λ is at most a few tenths).
+#[derive(Debug, Clone, Copy)]
+pub struct PoissonArrivals {
+    lambda: f64,
+    exp_neg_lambda: f64,
+}
+
+impl PoissonArrivals {
+    /// Creates the process; `λ ≥ 0`.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "invalid lambda");
+        Self {
+            lambda,
+            exp_neg_lambda: (-lambda).exp(),
+        }
+    }
+
+    /// The configured rate λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        if self.lambda == 0.0 {
+            return 0;
+        }
+        let mut k = 0u32;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen::<f64>();
+            if p <= self.exp_neg_lambda {
+                return k;
+            }
+            k += 1;
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.lambda
+    }
+
+    fn variance(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// Bernoulli(p) arrivals: at most one task per slot. Slightly
+/// lower-variance than Poisson (`V = p(1−p)` instead of `p`); offered as
+/// an ablation on the arrival process.
+#[derive(Debug, Clone, Copy)]
+pub struct BernoulliArrivals {
+    p: f64,
+}
+
+impl BernoulliArrivals {
+    /// Creates the process; `0 ≤ p ≤ 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "invalid probability {p}");
+        Self { p }
+    }
+}
+
+impl ArrivalProcess for BernoulliArrivals {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        u32::from(rng.gen::<f64>() < self.p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.p
+    }
+
+    fn variance(&self) -> f64 {
+        self.p * (1.0 - self.p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_stats<P: ArrivalProcess>(p: &P, n: usize) -> (f64, f64) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let xs: Vec<f64> = (0..n).map(|_| p.sample(&mut rng) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn poisson_mean_and_variance_converge() {
+        let p = PoissonArrivals::new(0.3);
+        let (mean, var) = sample_stats(&p, 200_000);
+        assert!((mean - 0.3).abs() < 0.01, "mean {mean}");
+        assert!((var - 0.3).abs() < 0.01, "var {var}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_never_arrives() {
+        let p = PoissonArrivals::new(0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert_eq!(p.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn poisson_can_produce_bursts() {
+        let p = PoissonArrivals::new(2.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let max = (0..10_000).map(|_| p.sample(&mut rng)).max().unwrap();
+        assert!(max >= 5, "Poisson(2) should burst, max={max}");
+    }
+
+    #[test]
+    fn bernoulli_is_zero_one() {
+        let b = BernoulliArrivals::new(0.4);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(b.sample(&mut rng) <= 1);
+        }
+        let (mean, var) = sample_stats(&b, 100_000);
+        assert!((mean - 0.4).abs() < 0.01);
+        assert!((var - 0.24).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn bernoulli_rejects_bad_probability() {
+        BernoulliArrivals::new(1.5);
+    }
+}

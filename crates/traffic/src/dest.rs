@@ -1,0 +1,78 @@
+//! Destination samplers for random 1-1 routing.
+
+use pstar_topology::NodeId;
+use rand::Rng;
+
+/// Uniform destination over the `N − 1` nodes other than the source — the
+/// paper's random 1-1 routing assumption ("unicast destinations are
+/// uniformly distributed over all network nodes").
+#[derive(Debug, Clone, Copy)]
+pub struct UniformDestinations {
+    n: u32,
+}
+
+impl UniformDestinations {
+    /// Creates a sampler for a network of `n ≥ 2` nodes.
+    pub fn new(n: u32) -> Self {
+        assert!(n >= 2, "need at least two nodes");
+        Self { n }
+    }
+
+    /// Samples a destination ≠ `source`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, source: NodeId) -> NodeId {
+        // Sample from N-1 values and shift past the source: exact uniform
+        // over the others without rejection.
+        let raw = rng.gen_range(0..self.n - 1);
+        NodeId(if raw >= source.0 { raw + 1 } else { raw })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_samples_source() {
+        let d = UniformDestinations::new(16);
+        let mut rng = StdRng::seed_from_u64(11);
+        for src in 0..16u32 {
+            for _ in 0..500 {
+                assert_ne!(d.sample(&mut rng, NodeId(src)), NodeId(src));
+            }
+        }
+    }
+
+    #[test]
+    fn covers_all_other_nodes_uniformly() {
+        let n = 8u32;
+        let d = UniformDestinations::new(n);
+        let mut rng = StdRng::seed_from_u64(5);
+        let src = NodeId(3);
+        let trials = 70_000;
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..trials {
+            counts[d.sample(&mut rng, src).index()] += 1;
+        }
+        assert_eq!(counts[3], 0);
+        let expect = trials as f64 / (n - 1) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 3 {
+                assert!(
+                    (c as f64 - expect).abs() < expect * 0.05,
+                    "node {i}: {c} vs {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_node_network_always_picks_the_other() {
+        let d = UniformDestinations::new(2);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(d.sample(&mut rng, NodeId(0)), NodeId(1));
+        assert_eq!(d.sample(&mut rng, NodeId(1)), NodeId(0));
+    }
+}

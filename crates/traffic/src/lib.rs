@@ -1,0 +1,23 @@
+//! # pstar-traffic
+//!
+//! Workload substrate for the Priority STAR simulator: per-slot arrival
+//! processes (Poisson, as assumed throughout the paper's analysis, plus a
+//! Bernoulli alternative), packet-length distributions (the paper claims
+//! priority STAR handles variable lengths unmodified — we test that), and
+//! destination samplers for random 1-1 routing.
+
+#![warn(missing_docs)]
+
+mod arrival;
+mod dest;
+mod length;
+mod source;
+mod trace;
+mod workload;
+
+pub use arrival::{ArrivalProcess, BernoulliArrivals, PoissonArrivals};
+pub use dest::UniformDestinations;
+pub use length::{DeterministicLength, GeometricLength, LengthDistribution, UniformLength};
+pub use source::SourceDistribution;
+pub use trace::{Trace, TraceEvent};
+pub use workload::{TrafficMix, WorkloadSpec};

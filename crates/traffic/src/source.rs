@@ -1,0 +1,119 @@
+//! Source-node distributions.
+//!
+//! The paper (and its balance analysis) assumes tasks are generated
+//! uniformly across nodes. The hot-spot distribution is an *extension*
+//! for robustness studies: one node generates `weight×` the traffic of
+//! any other node, skewing the spatial load in a way the Eq. (2)/(4)
+//! rotation cannot fully compensate (it balances over uniform sources).
+
+use pstar_topology::NodeId;
+use rand::Rng;
+
+/// Where tasks originate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum SourceDistribution {
+    /// Every node equally likely (the paper's model).
+    #[default]
+    Uniform,
+    /// Node `node` is `weight` times as likely as any other single node;
+    /// the *network-wide* arrival rate is unchanged.
+    HotSpot {
+        /// The hot node's dense id.
+        node: u32,
+        /// Relative weight (≥ 0; 1 degenerates to uniform).
+        weight: f64,
+    },
+}
+
+impl SourceDistribution {
+    /// Samples a source among `n` nodes.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, n: u32) -> NodeId {
+        match *self {
+            SourceDistribution::Uniform => NodeId(rng.gen_range(0..n)),
+            SourceDistribution::HotSpot { node, weight } => {
+                debug_assert!(node < n, "hot node out of range");
+                debug_assert!(weight >= 0.0);
+                let p_hot = weight / (weight + (n - 1) as f64);
+                if rng.gen::<f64>() < p_hot {
+                    NodeId(node)
+                } else {
+                    // Uniform among the other n − 1 nodes.
+                    let raw = rng.gen_range(0..n - 1);
+                    NodeId(if raw >= node { raw + 1 } else { raw })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_covers_all_nodes() {
+        let d = SourceDistribution::Uniform;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = [false; 8];
+        for _ in 0..2000 {
+            seen[d.sample(&mut rng, 8).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hotspot_frequency_matches_weight() {
+        let d = SourceDistribution::HotSpot {
+            node: 3,
+            weight: 7.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 8u32;
+        let trials = 200_000;
+        let mut counts = [0u32; 8];
+        for _ in 0..trials {
+            counts[d.sample(&mut rng, n).index()] += 1;
+        }
+        // P(hot) = 7 / (7 + 7) = 0.5; the others share the rest equally.
+        let hot_frac = counts[3] as f64 / trials as f64;
+        assert!((hot_frac - 0.5).abs() < 0.01, "hot {hot_frac}");
+        for (i, &c) in counts.iter().enumerate() {
+            if i != 3 {
+                let f = c as f64 / trials as f64;
+                assert!((f - 0.5 / 7.0).abs() < 0.01, "node {i}: {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn weight_one_is_uniform() {
+        let d = SourceDistribution::HotSpot {
+            node: 0,
+            weight: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 100_000;
+        let mut hot = 0;
+        for _ in 0..trials {
+            if d.sample(&mut rng, 10) == NodeId(0) {
+                hot += 1;
+            }
+        }
+        assert!((hot as f64 / trials as f64 - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_never_picks_hot_node() {
+        let d = SourceDistribution::HotSpot {
+            node: 2,
+            weight: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            assert_ne!(d.sample(&mut rng, 6), NodeId(2));
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Workload traces: record a stochastic workload once, replay it exactly.
+//!
+//! The paper's motivation (§1) includes "run-time generation of
+//! communication requests" that cannot be known at compile time; traces
+//! let users feed the simulator *recorded* request streams — from the
+//! built-in generators or from outside — and compare schemes on the
+//! *identical* workload instance rather than merely the same
+//! distribution.
+//!
+//! The on-disk format is a plain text line format,
+//! `slot,src,dest,len` with `dest = -` for broadcasts, so traces are
+//! easy to produce from any tooling.
+
+use crate::{TrafficMix, UniformDestinations, WorkloadSpec};
+use rand::Rng;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// One task arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Generation slot.
+    pub slot: u64,
+    /// Source node (dense id).
+    pub src: u32,
+    /// Unicast destination; `None` for a broadcast.
+    pub dest: Option<u32>,
+    /// Packet length in slots (≥ 1).
+    pub len: u16,
+}
+
+/// A finite recorded workload: events sorted by slot.
+///
+/// ```
+/// use pstar_traffic::{Trace, TrafficMix, WorkloadSpec};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let trace = Trace::synthesize(
+///     &mut rng,
+///     16,                                 // nodes
+///     TrafficMix::broadcast_only(0.01),
+///     WorkloadSpec::Fixed(1),
+///     1_000,                              // slots
+/// );
+/// assert!(!trace.is_empty());
+/// assert!(trace.events().windows(2).all(|w| w[0].slot <= w[1].slot));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Builds a trace from events (sorts by slot, stable).
+    pub fn new(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.slot);
+        assert!(events.iter().all(|e| e.len >= 1), "lengths must be >= 1");
+        Self { events }
+    }
+
+    /// Synthesizes a trace by sampling `mix` + `lengths` over `slots`
+    /// slots on an `n`-node network — the exact process the live engine
+    /// would run, but materialized.
+    pub fn synthesize<R: Rng + ?Sized>(
+        rng: &mut R,
+        n: u32,
+        mix: TrafficMix,
+        lengths: WorkloadSpec,
+        slots: u64,
+    ) -> Self {
+        let dests = UniformDestinations::new(n);
+        let mut events = Vec::new();
+        for slot in 0..slots {
+            for node in 0..n {
+                let (b, u) = mix.sample(rng);
+                for _ in 0..b {
+                    events.push(TraceEvent {
+                        slot,
+                        src: node,
+                        dest: None,
+                        len: lengths.sample_length(rng),
+                    });
+                }
+                for _ in 0..u {
+                    let dest = dests.sample(rng, pstar_topology::NodeId(node));
+                    events.push(TraceEvent {
+                        slot,
+                        src: node,
+                        dest: Some(dest.0),
+                        len: lengths.sample_length(rng),
+                    });
+                }
+            }
+        }
+        Self { events }
+    }
+
+    /// The recorded events, sorted by slot.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Last generation slot (0 for an empty trace).
+    pub fn horizon(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.slot)
+    }
+
+    /// Writes the text format.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let mut fh = std::io::BufWriter::new(std::fs::File::create(path)?);
+        writeln!(
+            fh,
+            "# priority-star trace v1: slot,src,dest(- for broadcast),len"
+        )?;
+        for e in &self.events {
+            let dest = e.dest.map_or("-".to_string(), |d| d.to_string());
+            writeln!(fh, "{},{},{},{}", e.slot, e.src, dest, e.len)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the text format.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let fh = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut events = Vec::new();
+        for (lineno, line) in fh.lines().enumerate() {
+            let line = line?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let parts: Vec<&str> = line.split(',').collect();
+            let bad = |what: &str| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("line {}: {what}", lineno + 1),
+                )
+            };
+            if parts.len() != 4 {
+                return Err(bad("expected 4 fields"));
+            }
+            events.push(TraceEvent {
+                slot: parts[0].parse().map_err(|_| bad("bad slot"))?,
+                src: parts[1].parse().map_err(|_| bad("bad src"))?,
+                dest: if parts[2] == "-" {
+                    None
+                } else {
+                    Some(parts[2].parse().map_err(|_| bad("bad dest"))?)
+                },
+                len: parts[3].parse().map_err(|_| bad("bad len"))?,
+            });
+        }
+        Ok(Self::new(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn synthesize_respects_rates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mix = TrafficMix::mixed(0.02, 0.1);
+        let t = Trace::synthesize(&mut rng, 16, mix, WorkloadSpec::Fixed(1), 5_000);
+        let broadcasts = t.events().iter().filter(|e| e.dest.is_none()).count();
+        let unicasts = t.len() - broadcasts;
+        let expect_b = 0.02 * 16.0 * 5_000.0;
+        let expect_u = 0.1 * 16.0 * 5_000.0;
+        assert!((broadcasts as f64 - expect_b).abs() < expect_b * 0.15);
+        assert!((unicasts as f64 - expect_u).abs() < expect_u * 0.1);
+    }
+
+    #[test]
+    fn events_are_sorted_and_unicast_never_self() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = Trace::synthesize(
+            &mut rng,
+            8,
+            TrafficMix::unicast_only(0.2),
+            WorkloadSpec::Fixed(1),
+            500,
+        );
+        assert!(t.events().windows(2).all(|w| w[0].slot <= w[1].slot));
+        assert!(t.events().iter().all(|e| e.dest != Some(e.src)));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = Trace::synthesize(
+            &mut rng,
+            6,
+            TrafficMix::mixed(0.05, 0.05),
+            WorkloadSpec::Geometric(2.0),
+            200,
+        );
+        let dir = std::env::temp_dir().join("pstar-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.trace");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn load_rejects_malformed_lines() {
+        let dir = std::env::temp_dir().join("pstar-trace-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "1,2,3\n").unwrap();
+        assert!(Trace::load(&path).is_err());
+        std::fs::write(&path, "1,2,x,1\n").unwrap();
+        assert!(Trace::load(&path).is_err());
+        std::fs::write(&path, "# comment only\n\n").unwrap();
+        assert!(Trace::load(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn new_sorts_events() {
+        let t = Trace::new(vec![
+            TraceEvent {
+                slot: 5,
+                src: 0,
+                dest: None,
+                len: 1,
+            },
+            TraceEvent {
+                slot: 1,
+                src: 2,
+                dest: Some(3),
+                len: 2,
+            },
+        ]);
+        assert_eq!(t.events()[0].slot, 1);
+        assert_eq!(t.horizon(), 5);
+    }
+}

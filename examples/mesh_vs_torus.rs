@@ -1,0 +1,83 @@
+//! Meshes vs tori: what wraparound buys (§2 of the paper).
+//!
+//! An open mesh's corner nodes have only `d` incident links, so no
+//! broadcasting scheme can push its throughput factor past
+//! `d / d_ave ≈ 0.5` (2-D, large n) — while the same node array with
+//! wraparound sustains ρ ≈ 1 under the STAR rotation. This example
+//! measures both caps and the delay penalty of the mesh boundary.
+//!
+//! ```sh
+//! cargo run --release --example mesh_vs_torus
+//! ```
+
+use priority_star::prelude::*;
+use pstar_traffic::TrafficMix;
+
+fn mesh_lambda(mesh: &Mesh, rho: f64) -> f64 {
+    rho * mesh.avg_degree() / (mesh.node_count() as f64 - 1.0)
+}
+
+fn main() {
+    let dims = [8u32, 8];
+    let mesh = Mesh::new(&dims);
+    let torus = Torus::new(&dims);
+    println!(
+        "{mesh}: avg degree {:.2}, corner degree {}, diameter {}",
+        mesh.avg_degree(),
+        dims.len(),
+        mesh.diameter()
+    );
+    println!(
+        "{torus}: degree {}, diameter {}\n",
+        torus.degree(),
+        torus.diameter()
+    );
+
+    let n = mesh.node_count() as f64;
+    let mesh_cap = dims.len() as f64 / mesh.avg_degree() * (n - 1.0) / n;
+    println!("mesh corner-bound throughput cap: {mesh_cap:.3} (paper: \"only 0.5\")");
+
+    let cfg = SimConfig {
+        warmup_slots: 4_000,
+        measure_slots: 16_000,
+        max_slots: 400_000,
+        unstable_queue_per_link: 150.0,
+        unstable_single_queue: 300.0,
+        ..SimConfig::default()
+    };
+
+    println!(
+        "\n{:>5} {:>18} {:>18}",
+        "rho", "mesh reception", "torus reception"
+    );
+    for rho in [0.2, 0.4, 0.5, 0.7, 0.9] {
+        let mesh_rep = pstar_sim::run(
+            &mesh,
+            MeshStarScheme::priority(&mesh),
+            TrafficMix::broadcast_only(mesh_lambda(&mesh, rho)),
+            cfg,
+        );
+        let torus_rep = run_scenario(
+            &torus,
+            &ScenarioSpec {
+                scheme: SchemeKind::PriorityStar,
+                rho,
+                ..Default::default()
+            },
+            cfg,
+        );
+        let fmt = |rep: &SimReport| {
+            if rep.ok() {
+                format!("{:.2}", rep.reception_delay.mean)
+            } else {
+                "UNSTABLE".to_string()
+            }
+        };
+        println!("{rho:>5.2} {:>18} {:>18}", fmt(&mesh_rep), fmt(&torus_rep));
+    }
+    println!(
+        "\nThe mesh dies between rho = 0.5 and 0.7 (its corner bound), the torus sails on —\n\
+         the paper's reason for studying tori: \"general tori are important in that they\n\
+         are incrementally scalable\" while keeping every node's degree identical."
+    );
+}

@@ -1,0 +1,71 @@
+//! Quickstart: random broadcasting in an 8×8 torus.
+//!
+//! Runs the paper's headline comparison at one operating point: the FCFS
+//! generalization of the direct scheme of Stamoulis–Tsitsiklis versus
+//! priority STAR, at 80% of the network's theoretical capacity.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use priority_star::prelude::*;
+
+fn main() {
+    let topo = Torus::new(&[8, 8]);
+    let rho = 0.8;
+    println!(
+        "network: {topo} ({} nodes, {} links)",
+        topo.node_count(),
+        topo.link_count()
+    );
+    println!("offered load: rho = {rho} (fraction of theoretical capacity)");
+    println!(
+        "average distance (zero-load reception delay): {:.2} slots\n",
+        topo.avg_distance()
+    );
+
+    let cfg = SimConfig {
+        warmup_slots: 5_000,
+        measure_slots: 20_000,
+        ..SimConfig::default()
+    };
+
+    for scheme in [SchemeKind::FcfsDirect, SchemeKind::PriorityStar] {
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            ..Default::default()
+        };
+        let rep = run_scenario(&topo, &spec, cfg);
+        assert!(rep.ok(), "run did not converge: {rep}");
+        println!("== {} ==", scheme.label());
+        println!(
+            "  avg reception delay: {:7.2} slots   (95% CI ±{:.2})",
+            rep.reception_delay.mean,
+            rep.reception_delay.ci95()
+        );
+        println!(
+            "  avg broadcast delay: {:7.2} slots",
+            rep.broadcast_delay.mean
+        );
+        println!(
+            "  link utilization:    {:7.3} mean / {:.3} max",
+            rep.mean_link_utilization, rep.max_link_utilization
+        );
+        for (k, class) in rep.class.iter().enumerate() {
+            println!(
+                "  class {k}: load {:.3}, per-hop wait {:.3} slots",
+                class.utilization, class.wait.mean
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "analytic reference at rho={rho}: lower bound {:.2}, FCFS prediction {:.2}, \
+         priority STAR prediction {:.2}",
+        analysis::oblivious_lower_bound(&topo, rho),
+        analysis::fcfs_reception_prediction(&topo, rho),
+        analysis::priority_star_reception_prediction(&topo, rho),
+    );
+}

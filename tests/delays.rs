@@ -1,0 +1,181 @@
+//! Delay behaviour: the orderings and asymptotics the paper proves,
+//! checked against simulation on the paper's own networks (scaled-down
+//! windows; the full-resolution runs live in `pstar-experiments`).
+
+use priority_star::prelude::*;
+use pstar_queueing::md1_wait;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_slots: 3_000,
+        measure_slots: 12_000,
+        max_slots: 600_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn run(topo: &Torus, kind: SchemeKind, rho: f64, seed: u64) -> SimReport {
+    let spec = ScenarioSpec {
+        scheme: kind,
+        rho,
+        ..Default::default()
+    };
+    let rep = run_scenario(topo, &spec, cfg(seed));
+    assert!(rep.ok(), "{topo} {} rho={rho}: {rep}", kind.label());
+    rep
+}
+
+/// Figs. 2–4 ordering: priority STAR's reception delay beats FCFS on all
+/// three of the paper's networks at high load.
+#[test]
+fn priority_star_beats_fcfs_on_paper_networks() {
+    for dims in [vec![8u32, 8], vec![16, 16], vec![8, 8, 8]] {
+        let topo = Torus::new(&dims);
+        let fcfs = run(&topo, SchemeKind::FcfsDirect, 0.85, 11);
+        let pstar = run(&topo, SchemeKind::PriorityStar, 0.85, 11);
+        assert!(
+            pstar.reception_delay.mean < fcfs.reception_delay.mean,
+            "{topo}: pstar {} vs fcfs {}",
+            pstar.reception_delay.mean,
+            fcfs.reception_delay.mean
+        );
+        // Figs. 5–7: same ordering for the broadcast (completion) delay.
+        assert!(
+            pstar.broadcast_delay.mean < fcfs.broadcast_delay.mean,
+            "{topo} broadcast delay"
+        );
+    }
+}
+
+/// The paper's headline claim: the priority advantage *grows* with load.
+#[test]
+fn priority_advantage_grows_with_load() {
+    let topo = Torus::new(&[8, 8]);
+    let gap = |rho: f64| {
+        let fcfs = run(&topo, SchemeKind::FcfsDirect, rho, 13);
+        let pstar = run(&topo, SchemeKind::PriorityStar, rho, 13);
+        fcfs.reception_delay.mean - pstar.reception_delay.mean
+    };
+    let low = gap(0.3);
+    let high = gap(0.9);
+    assert!(
+        high > low * 2.0,
+        "gap should widen: {low:.2} at rho=0.3 vs {high:.2} at rho=0.9"
+    );
+}
+
+/// Fig. 4 vs Fig. 2: the speedup is more pronounced in higher dimension
+/// (the FCFS penalty is Θ(d), priority STAR's is Θ(1) in d).
+#[test]
+fn priority_advantage_grows_with_dimension() {
+    let rho = 0.9;
+    let speedup = |dims: &[u32]| {
+        let topo = Torus::new(dims);
+        let fcfs = run(&topo, SchemeKind::FcfsDirect, rho, 17);
+        let pstar = run(&topo, SchemeKind::PriorityStar, rho, 17);
+        // Normalize out the zero-load (distance) component to compare the
+        // queueing inflation alone.
+        (fcfs.reception_delay.mean - topo.avg_distance())
+            / (pstar.reception_delay.mean - topo.avg_distance())
+    };
+    let d2 = speedup(&[8, 8]);
+    let d3 = speedup(&[8, 8, 8]);
+    assert!(
+        d3 > d2,
+        "queueing speedup should grow with d: d2={d2:.2}, d3={d3:.2}"
+    );
+}
+
+/// At low load every scheme approaches the zero-load (distance) delay.
+#[test]
+fn low_load_delays_approach_avg_distance() {
+    for dims in [vec![8u32, 8], vec![4, 4, 8]] {
+        let topo = Torus::new(&dims);
+        for kind in [SchemeKind::FcfsDirect, SchemeKind::PriorityStar] {
+            let rep = run(&topo, kind, 0.05, 19);
+            assert!(
+                (rep.reception_delay.mean - topo.avg_distance()).abs() < 0.3,
+                "{topo} {}: {} vs {}",
+                kind.label(),
+                rep.reception_delay.mean,
+                topo.avg_distance()
+            );
+        }
+    }
+}
+
+/// Simulated delays respect the oblivious lower bound of §2 and track the
+/// FCFS analytic prediction at moderate load.
+#[test]
+fn delays_bracketed_by_theory() {
+    let topo = Torus::new(&[8, 8]);
+    for rho in [0.3, 0.5, 0.7] {
+        let fcfs = run(&topo, SchemeKind::FcfsDirect, rho, 23);
+        let lb = analysis::oblivious_lower_bound(&topo, rho);
+        assert!(
+            fcfs.reception_delay.mean >= lb - 0.3,
+            "rho={rho}: {} below lower bound {lb}",
+            fcfs.reception_delay.mean
+        );
+        let predicted = analysis::fcfs_reception_prediction(&topo, rho);
+        let err = (fcfs.reception_delay.mean - predicted).abs() / predicted;
+        assert!(
+            err < 0.25,
+            "rho={rho}: simulated {} vs predicted {predicted} ({:.0}% off)",
+            fcfs.reception_delay.mean,
+            err * 100.0
+        );
+    }
+}
+
+/// §3.2's queueing argument, measured: the high-priority per-hop wait is
+/// o(1)-small and nearly load-independent, while the low-priority wait
+/// grows like 1/(1−ρ).
+#[test]
+fn class_waits_follow_hol_theory() {
+    let topo = Torus::new(&[8, 8]);
+    let w = |rho: f64| {
+        let rep = run(&topo, SchemeKind::PriorityStar, rho, 29);
+        (rep.class[0].wait.mean, rep.class[1].wait.mean)
+    };
+    let (wh5, wl5) = w(0.5);
+    let (wh9, wl9) = w(0.9);
+    assert!(wh9 < 0.2, "W_H at rho=0.9 should stay tiny, got {wh9}");
+    assert!(wh9 < 3.0 * wh5.max(0.01), "W_H should barely grow");
+    assert!(wl9 > 4.0 * wl5, "W_L should blow up with load");
+}
+
+/// Kleinrock's conservation law, measured: assigning priorities does not
+/// change the load-weighted total wait. The priority STAR aggregate
+/// `Σ ρ_k W_k / ρ` must match the FCFS scheme's measured wait under the
+/// identical workload. (Both sit *below* the open-network M/D/1 value
+/// because tandem deterministic servers smooth the arrival streams —
+/// the paper's analysis is an upper bound here.)
+#[test]
+fn conservation_law_holds_against_measured_fcfs() {
+    let topo = Torus::new(&[8, 8]);
+    for rho in [0.5, 0.9] {
+        let fcfs = run(&topo, SchemeKind::FcfsDirect, rho, 29);
+        let pstar = run(&topo, SchemeKind::PriorityStar, rho, 29);
+        let fcfs_wait = fcfs.class[0].wait.mean;
+        let aggregate = pstar.conservation_aggregate();
+        assert!(
+            (aggregate - fcfs_wait).abs() / fcfs_wait < 0.12,
+            "rho={rho}: aggregate {aggregate} vs FCFS wait {fcfs_wait}"
+        );
+        // The M/D/1 curve upper-bounds both (smoothed arrivals).
+        assert!(fcfs_wait <= md1_wait(rho) * 1.1, "rho={rho}");
+    }
+}
+
+/// Broadcast delay is bounded below by the diameter and above by the
+/// reception delay plus the maximum extra depth.
+#[test]
+fn broadcast_delay_sandwich() {
+    let topo = Torus::new(&[8, 8]);
+    let rep = run(&topo, SchemeKind::PriorityStar, 0.5, 31);
+    assert!(rep.broadcast_delay.mean >= topo.diameter() as f64);
+    assert!(rep.broadcast_delay.mean > rep.reception_delay.mean);
+    assert!(rep.broadcast_delay.min >= topo.diameter() as f64);
+}

@@ -1,0 +1,183 @@
+//! Heterogeneous (mixed unicast + broadcast) behaviour — §4 of the paper.
+
+use priority_star::prelude::*;
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_slots: 3_000,
+        measure_slots: 12_000,
+        max_slots: 600_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn run(topo: &Torus, kind: SchemeKind, rho: f64, frac: f64, seed: u64) -> SimReport {
+    let spec = ScenarioSpec {
+        scheme: kind,
+        rho,
+        broadcast_load_fraction: frac,
+        ..Default::default()
+    };
+    let rep = run_scenario(topo, &spec, cfg(seed));
+    assert!(rep.ok(), "{topo} {} rho={rho}: {rep}", kind.label());
+    rep
+}
+
+/// §4: with priority, unicast delay stays O(d) — near the average
+/// distance — as load grows; under FCFS it inflates like 1/(1−ρ).
+#[test]
+fn unicast_delay_stays_flat_under_priority() {
+    let topo = Torus::new(&[8, 8]);
+    let d_ave = topo.avg_distance();
+    let pstar_low = run(&topo, SchemeKind::PriorityStar, 0.3, 0.5, 1);
+    let pstar_high = run(&topo, SchemeKind::PriorityStar, 0.9, 0.5, 2);
+    let fcfs_high = run(&topo, SchemeKind::FcfsDirect, 0.9, 0.5, 3);
+
+    // Priority keeps unicast within a couple of hops of the distance even
+    // near saturation (the high class carries the unicast load itself, so
+    // its wait is bounded by the HOL formula, not by 1/(1−ρ)).
+    assert!(
+        pstar_high.unicast_delay.mean < d_ave + 2.5,
+        "{}",
+        pstar_high.unicast_delay.mean
+    );
+    // And only mildly load-dependent.
+    assert!(
+        pstar_high.unicast_delay.mean - pstar_low.unicast_delay.mean < 2.0,
+        "{} vs {}",
+        pstar_high.unicast_delay.mean,
+        pstar_low.unicast_delay.mean
+    );
+    // FCFS at the same point is far above distance.
+    assert!(
+        fcfs_high.unicast_delay.mean > pstar_high.unicast_delay.mean + 2.0,
+        "fcfs {} vs pstar {}",
+        fcfs_high.unicast_delay.mean,
+        pstar_high.unicast_delay.mean
+    );
+}
+
+/// §4's refinement: demoting unicast to the medium class lowers broadcast
+/// reception delay relative to the two-class variant, at a small unicast
+/// cost.
+#[test]
+fn three_class_trades_unicast_for_reception() {
+    let topo = Torus::new(&[8, 8]);
+    let rho = 0.9;
+    let two = run(&topo, SchemeKind::PriorityStar, rho, 0.5, 5);
+    let three = run(&topo, SchemeKind::ThreeClass, rho, 0.5, 5);
+    assert!(
+        three.reception_delay.mean <= two.reception_delay.mean + 0.3,
+        "3-class reception {} vs 2-class {}",
+        three.reception_delay.mean,
+        two.reception_delay.mean
+    );
+    assert!(
+        three.unicast_delay.mean >= two.unicast_delay.mean - 0.2,
+        "3-class unicast {} vs 2-class {}",
+        three.unicast_delay.mean,
+        two.unicast_delay.mean
+    );
+}
+
+/// Fig. 8's counters obey Little's law for both task populations.
+#[test]
+fn concurrent_task_counts_obey_littles_law() {
+    let topo = Torus::new(&[8, 8]);
+    let rho = 0.7;
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho,
+        broadcast_load_fraction: 0.5,
+        ..Default::default()
+    };
+    let mix = spec.mix(&topo);
+    let rep = run(&topo, SchemeKind::PriorityStar, rho, 0.5, 7);
+    let n = topo.node_count() as f64;
+
+    let expect_b = mix.lambda_broadcast * n * rep.broadcast_delay.mean;
+    let expect_u = mix.lambda_unicast * n * rep.unicast_delay.mean;
+    assert!(
+        (rep.avg_concurrent_broadcasts - expect_b).abs() / expect_b < 0.2,
+        "broadcasts: {} vs λW = {expect_b}",
+        rep.avg_concurrent_broadcasts
+    );
+    assert!(
+        (rep.avg_concurrent_unicasts - expect_u).abs() / expect_u < 0.2,
+        "unicasts: {} vs λW = {expect_u}",
+        rep.avg_concurrent_unicasts
+    );
+}
+
+/// Fig. 8's comparison: without priority the concurrent-unicast
+/// population inflates with 1/(1−ρ); with priority it stays near λ·N·D.
+#[test]
+fn priority_shrinks_concurrent_unicast_population() {
+    let topo = Torus::new(&[8, 8]);
+    let rho = 0.9;
+    let fcfs = run(&topo, SchemeKind::FcfsDirect, rho, 0.5, 9);
+    let pstar = run(&topo, SchemeKind::PriorityStar, rho, 0.5, 9);
+    assert!(
+        fcfs.avg_concurrent_unicasts > 1.5 * pstar.avg_concurrent_unicasts,
+        "fcfs {} vs pstar {}",
+        fcfs.avg_concurrent_unicasts,
+        pstar.avg_concurrent_unicasts
+    );
+}
+
+/// The balanced Eq. (4) rotation equalizes per-dimension utilization in
+/// an asymmetric torus under mixed traffic; the uniform rotation leaves
+/// the long dimension visibly hotter.
+#[test]
+fn eq4_balances_dim_utilization_under_mixed_traffic() {
+    let topo = Torus::new(&[4, 4, 8]);
+    let rho = 0.6;
+    let spread = |rep: &SimReport| {
+        rep.per_dim_utilization
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            - rep
+                .per_dim_utilization
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+    };
+    let balanced = run(&topo, SchemeKind::PriorityStar, rho, 0.5, 11);
+    let uniform = run(&topo, SchemeKind::FcfsDirect, rho, 0.5, 11);
+    assert!(
+        spread(&balanced) < 0.04,
+        "balanced spread {}",
+        spread(&balanced)
+    );
+    assert!(
+        spread(&uniform) > 0.15,
+        "uniform spread {}",
+        spread(&uniform)
+    );
+}
+
+/// Variable packet lengths: the paper claims priority STAR applies
+/// unmodified; the ordering survives geometric lengths.
+#[test]
+fn variable_lengths_preserve_priority_advantage() {
+    let topo = Torus::new(&[8, 8]);
+    let spec = |scheme| ScenarioSpec {
+        scheme,
+        rho: 0.8,
+        lengths: WorkloadSpec::Geometric(3.0),
+        ..Default::default()
+    };
+    let fcfs = run_scenario(&topo, &spec(SchemeKind::FcfsDirect), cfg(13));
+    let pstar = run_scenario(&topo, &spec(SchemeKind::PriorityStar), cfg(13));
+    assert!(fcfs.ok() && pstar.ok());
+    assert!(
+        pstar.reception_delay.mean < fcfs.reception_delay.mean,
+        "pstar {} vs fcfs {}",
+        pstar.reception_delay.mean,
+        fcfs.reception_delay.mean
+    );
+    // Delays scale with the mean length (3 slots/hop at zero load).
+    assert!(pstar.reception_delay.mean > 2.0 * topo.avg_distance());
+}

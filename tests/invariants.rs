@@ -1,0 +1,250 @@
+//! Cross-crate invariants: the simulated schemes must honour the exact
+//! combinatorial properties the paper's analysis assumes.
+
+use priority_star::prelude::*;
+use priority_star::star_dim_transmissions;
+
+fn quick(seed: u64) -> SimConfig {
+    SimConfig::quick(seed)
+}
+
+/// Every broadcast delivers exactly `N − 1` receptions — at load, not
+/// just on an idle network (queueing must never duplicate or drop).
+#[test]
+fn broadcasts_deliver_exactly_once_under_load() {
+    for dims in [
+        vec![5u32, 5],
+        vec![4, 8],
+        vec![4, 4, 4],
+        vec![2, 2, 2, 2, 2],
+    ] {
+        let topo = Torus::new(&dims);
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.7,
+            ..Default::default()
+        };
+        let rep = run_scenario(&topo, &spec, quick(1));
+        assert!(rep.ok(), "{topo}: {rep}");
+        // All tagged broadcasts completed, so the engine observed exactly
+        // (N−1) receptions each; any duplicate would have tripped the
+        // task-table debug assertion, any loss would have hung the drain.
+        assert_eq!(
+            rep.reception_delay.count,
+            rep.measured_broadcasts * (topo.node_count() as u64 - 1),
+            "{topo}"
+        );
+    }
+}
+
+/// Per-dimension transmission counts at load match Eq. (1) exactly.
+#[test]
+fn transmission_counts_match_eq1_under_load() {
+    let topo = Torus::new(&[4, 4, 8]);
+    for l in 0..topo.d() {
+        let scheme = StarScheme::new(
+            topo.clone(),
+            EndingDimDistribution::degenerate(topo.d(), l),
+            Discipline::PriorityStar,
+        );
+        let mut engine = Engine::new(
+            topo.clone(),
+            scheme,
+            TrafficMix::broadcast_only(0.0),
+            quick(2),
+        );
+        // Several concurrent broadcasts from different sources.
+        let sources = [0u32, 17, 63, 100, 127];
+        for &s in &sources {
+            engine.inject_broadcast(NodeId(s));
+        }
+        engine.run_until_idle();
+        let expect: Vec<u64> = star_dim_transmissions(&topo, l)
+            .iter()
+            .map(|&c| c * sources.len() as u64)
+            .collect();
+        assert_eq!(engine.transmissions_per_dim(), &expect[..], "l={l}");
+    }
+}
+
+/// The measured mean link utilization equals the offered throughput
+/// factor for every scheme that routes minimally (all of them).
+#[test]
+fn measured_utilization_equals_offered_rho() {
+    let topo = Torus::new(&[8, 8]);
+    for (i, kind) in [
+        SchemeKind::PriorityStar,
+        SchemeKind::FcfsDirect,
+        SchemeKind::FcfsBalanced,
+        SchemeKind::ThreeClass,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for frac in [1.0, 0.5] {
+            let spec = ScenarioSpec {
+                scheme: kind,
+                rho: 0.6,
+                broadcast_load_fraction: frac,
+                ..Default::default()
+            };
+            let rep = run_scenario(&topo, &spec, quick(3 + i as u64));
+            assert!(rep.ok());
+            assert!(
+                (rep.mean_link_utilization - 0.6).abs() < 0.05,
+                "{} frac={frac}: measured {}",
+                kind.label(),
+                rep.mean_link_utilization
+            );
+        }
+    }
+}
+
+/// Identical seeds give identical runs; different seeds differ.
+#[test]
+fn runs_are_deterministic_in_the_seed() {
+    let topo = Torus::new(&[4, 4, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.7,
+        broadcast_load_fraction: 0.5,
+        ..Default::default()
+    };
+    let a = run_scenario(&topo, &spec, quick(42));
+    let b = run_scenario(&topo, &spec, quick(42));
+    assert_eq!(a.reception_delay.mean, b.reception_delay.mean);
+    assert_eq!(a.unicast_delay.mean, b.unicast_delay.mean);
+    assert_eq!(a.window_transmissions, b.window_transmissions);
+    let c = run_scenario(&topo, &spec, quick(43));
+    assert_ne!(a.window_transmissions, c.window_transmissions);
+}
+
+/// A broadcast-only run never reports unicast statistics and vice versa.
+#[test]
+fn traffic_kinds_do_not_leak() {
+    let topo = Torus::new(&[6, 6]);
+    let b = run_scenario(
+        &topo,
+        &ScenarioSpec {
+            rho: 0.4,
+            broadcast_load_fraction: 1.0,
+            ..Default::default()
+        },
+        quick(7),
+    );
+    assert!(b.measured_broadcasts > 0);
+    assert_eq!(b.measured_unicasts, 0);
+    assert_eq!(b.unicast_delay.count, 0);
+
+    let u = run_scenario(
+        &topo,
+        &ScenarioSpec {
+            scheme: SchemeKind::FcfsDirect,
+            rho: 0.4,
+            broadcast_load_fraction: 0.0,
+            ..Default::default()
+        },
+        quick(8),
+    );
+    assert_eq!(u.measured_broadcasts, 0);
+    assert!(u.measured_unicasts > 0);
+    assert_eq!(u.reception_delay.count, 0);
+}
+
+/// The per-class loads reported by the simulator sum to the total load
+/// and split according to the trunk/leaf counting of §3.2.
+#[test]
+fn class_load_split_matches_tree_counting() {
+    let topo = Torus::n_ary_d_cube(8, 2);
+    let rho = 0.72;
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho,
+        ..Default::default()
+    };
+    let rep = run_scenario(&topo, &spec, quick(9));
+    assert!(rep.ok());
+    let total: f64 = rep.class.iter().map(|c| c.utilization).sum();
+    assert!((total - rho).abs() < 0.05, "total class load {total}");
+    let (rho_h, rho_l) = analysis::priority_star_class_loads(&topo, rho);
+    assert!((rep.class[0].utilization - rho_h).abs() < 0.02);
+    assert!((rep.class[1].utilization - rho_l).abs() < 0.04);
+}
+
+/// §3.1 virtual-channel bookkeeping: broadcast transmissions split
+/// between VC1 (dimensions after the rotation point) and VC2 (wrapped
+/// dimensions, including the ending dimension itself) exactly as the
+/// per-dimension counts dictate.
+#[test]
+fn virtual_channel_split_matches_tree_structure() {
+    use priority_star::star_dim_transmissions;
+    let topo = Torus::new(&[4, 4, 8]);
+    // Fix the ending dimension so the split is deterministic.
+    let l = 1usize;
+    let scheme = StarScheme::new(
+        topo.clone(),
+        EndingDimDistribution::degenerate(topo.d(), l),
+        Discipline::PriorityStar,
+    );
+    let mut engine = Engine::new(
+        topo.clone(),
+        scheme,
+        TrafficMix::broadcast_only(0.0),
+        SimConfig::quick(50),
+    );
+    engine.inject_broadcast(NodeId(0));
+    engine.run_until_idle();
+    let rep = {
+        // Reuse tx_by_dim for the expectation; read VC counts via a run.
+        engine.transmissions_per_dim().to_vec()
+    };
+    let counts = star_dim_transmissions(&topo, l);
+    assert_eq!(rep, counts);
+    // VC1 carries dims > l, VC2 carries dims <= l (0-based, §3.1).
+    let expected_vc1: u64 = (l + 1..topo.d()).map(|i| counts[i]).sum();
+    let expected_vc2: u64 = (0..=l).map(|i| counts[i]).sum();
+    // Re-run through the full protocol to read the report's VC counters.
+    let scheme = StarScheme::new(
+        topo.clone(),
+        EndingDimDistribution::degenerate(topo.d(), l),
+        Discipline::PriorityStar,
+    );
+    let mut engine = Engine::new(
+        topo.clone(),
+        scheme,
+        TrafficMix::broadcast_only(0.0),
+        SimConfig::quick(51),
+    );
+    engine.inject_broadcast(NodeId(0));
+    engine.run_until_idle();
+    let report = engine.run();
+    assert_eq!(report.vc_transmissions[1], expected_vc1);
+    assert_eq!(report.vc_transmissions[2], expected_vc2);
+    assert_eq!(report.vc_transmissions[0], 0, "no unicast traffic");
+}
+
+/// Unicast tasks complete along shortest paths even while the network is
+/// saturated with broadcast traffic: the *minimum* observed delay equals
+/// the shortest distance of some pair, and no delay is below 1 hop.
+#[test]
+fn unicast_paths_remain_shortest_under_load() {
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.8,
+        broadcast_load_fraction: 0.7,
+        ..Default::default()
+    };
+    let rep = run_scenario(&topo, &spec, quick(10));
+    assert!(rep.ok());
+    // With high priority, many unicasts see zero queueing; the minimum
+    // delay is exactly one hop (adjacent destination).
+    assert!(rep.unicast_delay.min >= 1.0);
+    assert!(
+        rep.unicast_delay.min <= 2.0,
+        "min {}",
+        rep.unicast_delay.min
+    );
+    // And none can beat the diameter bound the other way.
+    assert!(rep.unicast_delay.mean >= 1.0);
+}

@@ -1,0 +1,121 @@
+//! Throughput / stability edges: each scheme saturates where the theory
+//! says it should.
+
+use priority_star::prelude::*;
+
+fn sat_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_slots: 3_000,
+        measure_slots: 10_000,
+        max_slots: 250_000,
+        unstable_queue_per_link: 120.0,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn is_stable(topo: &Torus, kind: SchemeKind, rho: f64, frac: f64, seed: u64) -> bool {
+    let spec = ScenarioSpec {
+        scheme: kind,
+        rho,
+        broadcast_load_fraction: frac,
+        ..Default::default()
+    };
+    run_scenario(topo, &spec, sat_cfg(seed)).ok()
+}
+
+/// §2: dimension-ordered broadcast in a d-cube saturates at ~2/d.
+#[test]
+fn dimension_ordered_cap_is_two_over_d() {
+    let d = 5;
+    let topo = Torus::hypercube(d);
+    let n = topo.node_count() as f64;
+    let cap = (n - 1.0) / (d as f64 * n / 2.0); // exact (2^d−1)/(d·2^{d−1}) ≈ 0.3875
+    assert!(is_stable(
+        &topo,
+        SchemeKind::DimensionOrdered,
+        cap * 0.8,
+        1.0,
+        1
+    ));
+    assert!(!is_stable(
+        &topo,
+        SchemeKind::DimensionOrdered,
+        cap * 1.3,
+        1.0,
+        2
+    ));
+    // The rotation fixes it at the same load.
+    assert!(is_stable(&topo, SchemeKind::FcfsDirect, cap * 1.3, 1.0, 3));
+}
+
+/// Priority STAR and the FCFS direct baseline both sustain ρ = 0.9 on the
+/// paper's simulation networks (their maximum throughput factor ≈ 1).
+#[test]
+fn rotated_schemes_sustain_high_load() {
+    for dims in [vec![8u32, 8], vec![8, 8, 8]] {
+        let topo = Torus::new(&dims);
+        assert!(
+            is_stable(&topo, SchemeKind::PriorityStar, 0.9, 1.0, 5),
+            "{topo} pstar"
+        );
+        assert!(
+            is_stable(&topo, SchemeKind::FcfsDirect, 0.9, 1.0, 6),
+            "{topo} fcfs"
+        );
+    }
+}
+
+/// Broadcast-only in an asymmetric torus: the uniform rotation caps below
+/// the balanced one (the Eq. (2) motivation).
+#[test]
+fn uniform_rotation_caps_below_balanced_in_asymmetric_torus() {
+    let topo = Torus::new(&[4, 8]);
+    // Predicted caps: uniform loads dim 1 links with
+    // (a_{1,0}·0.5 + a_{1,1}·0.5)/2 per task-unit; balanced equalizes.
+    // Empirically the uniform cap is ≈ 0.86 for 4x8.
+    assert!(is_stable(&topo, SchemeKind::FcfsBalanced, 0.9, 1.0, 7));
+    assert!(!is_stable(&topo, SchemeKind::FcfsDirect, 0.97, 1.0, 8));
+}
+
+/// §1/§4: with a 50/50 mix on a 4×4×8 torus, scheme-oblivious routing
+/// saturates near its ≈0.75 cap while Eq. (4) balancing reaches ≈1.
+#[test]
+fn mixed_traffic_balance_extends_capacity() {
+    let topo = Torus::new(&[4, 4, 8]);
+    assert!(is_stable(&topo, SchemeKind::FcfsDirect, 0.65, 0.5, 9));
+    assert!(!is_stable(&topo, SchemeKind::FcfsDirect, 0.85, 0.5, 10));
+    assert!(is_stable(&topo, SchemeKind::PriorityStar, 0.85, 0.5, 11));
+}
+
+/// Above ρ = 1 nothing survives — the necessary condition of §2.
+#[test]
+fn nothing_sustains_overload() {
+    let topo = Torus::new(&[6, 6]);
+    for (i, kind) in SchemeKind::all().into_iter().enumerate() {
+        assert!(
+            !is_stable(&topo, kind, 1.15, 1.0, 20 + i as u64),
+            "{} survived rho=1.15",
+            kind.label()
+        );
+    }
+}
+
+/// An unstable run reports itself as such (no silent hangs): the queue
+/// guard fires well before the horizon.
+#[test]
+fn instability_is_detected_quickly() {
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 1.3,
+        ..Default::default()
+    };
+    let rep = run_scenario(&topo, &spec, sat_cfg(30));
+    assert!(!rep.stable);
+    assert!(
+        rep.slots_run < sat_cfg(30).max_slots / 2,
+        "took {} slots",
+        rep.slots_run
+    );
+}
