@@ -1,0 +1,71 @@
+//! Fault-injection overhead: the same operating point with faults
+//! disabled (no plan installed — the zero-overhead path), with an empty
+//! plan, and with ~1% of links taken down mid-run. The first two should
+//! time identically; the outage run bounds the cost of liveness masking
+//! and degraded-mode re-solving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priority_star::prelude::*;
+use priority_star::run_scenario_with_faults;
+use pstar_sim::{shuffled_links, DeadLinkPolicy, FaultPlan};
+use std::time::Duration;
+
+fn point() -> (Torus, ScenarioSpec, SimConfig) {
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.5,
+        ..Default::default()
+    };
+    let cfg = SimConfig {
+        warmup_slots: 500,
+        measure_slots: 2_000,
+        max_slots: 100_000,
+        seed: 9,
+        ..SimConfig::default()
+    };
+    (topo, spec, cfg)
+}
+
+fn fault_overhead(c: &mut Criterion) {
+    let (topo, spec, cfg) = point();
+    let mut g = c.benchmark_group("fault_overhead_8x8_rho05");
+    g.bench_function("disabled", |b| b.iter(|| run_scenario(&topo, &spec, cfg)));
+    g.bench_function("empty_plan", |b| {
+        b.iter(|| {
+            run_scenario_with_faults(&topo, &spec, cfg, FaultPlan::none(), DeadLinkPolicy::Drop)
+        })
+    });
+    // ~1% of the 256 directed links down for the middle half of the
+    // measurement window, mirroring the `resilience` sweep's shape.
+    let perm = shuffled_links(topo.link_count(), 42);
+    let dead = (0.01f64 * topo.link_count() as f64).ceil() as usize;
+    let down = cfg.warmup_slots + cfg.measure_slots / 4;
+    let up = cfg.warmup_slots + 3 * cfg.measure_slots / 4;
+    g.bench_function("outage_1pct", |b| {
+        b.iter(|| {
+            run_scenario_with_faults(
+                &topo,
+                &spec,
+                cfg,
+                FaultPlan::link_outage_window(&perm[..dead], down, up),
+                DeadLinkPolicy::Drop,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = faults;
+    config = configured();
+    targets = fault_overhead
+}
+criterion_main!(faults);

@@ -1,0 +1,178 @@
+//! Degraded-mode rotation: Eq. (2) re-solved over the surviving links.
+//!
+//! When fault injection kills links, the healthy balance vector no longer
+//! equalizes load — a dimension that lost capacity should *end* fewer
+//! broadcasts (the ending dimension carries the leaf-heavy share of a
+//! STAR tree). We keep the paper's machinery and only change the target:
+//! instead of splitting the `N − 1` transmissions proportionally to each
+//! dimension's *total* ports, split them proportionally to its *alive*
+//! ports, then solve the same `A x = b` system. With every link alive
+//! this reduces exactly to [`crate::balance_broadcast_only`].
+//!
+//! The solution may be infeasible (a dimension can lose so much capacity
+//! that no probability vector balances it) — we clamp and renormalize,
+//! as the paper prescribes for the heterogeneous boundary case. When the
+//! system is singular or degenerate we fall back to a uniform rotation
+//! over the dimensions that still have live links.
+
+use crate::coefficients::star_transmission_matrix;
+use crate::distribution::EndingDimDistribution;
+use pstar_faults::LivenessView;
+use pstar_linalg::solve;
+use pstar_topology::{LinkId, Network, Torus};
+
+/// Number of alive directed links per dimension under `view`.
+pub fn alive_links_per_dim(topo: &Torus, view: &LivenessView) -> Vec<u32> {
+    let dims = Network::link_dim_table(topo);
+    let mut alive = vec![0u32; topo.d()];
+    for (i, &dim) in dims.iter().enumerate() {
+        if view.link_alive(LinkId(i as u32)) {
+            alive[dim as usize] += 1;
+        }
+    }
+    alive
+}
+
+/// The ending-dimension distribution that balances expected broadcast
+/// load across the links still alive under `view`.
+pub fn degraded_distribution(topo: &Torus, view: &LivenessView) -> EndingDimDistribution {
+    let d = topo.d();
+    let n = topo.node_count() as f64;
+    let alive = alive_links_per_dim(topo, view);
+    let alive_total: u32 = alive.iter().sum();
+    if alive_total == 0 {
+        // Total blackout: nothing can balance a dead network; keep a
+        // well-formed distribution so the scheme stays callable.
+        return EndingDimDistribution::uniform(d);
+    }
+    let b: Vec<f64> = alive
+        .iter()
+        .map(|&a| (n - 1.0) * a as f64 / alive_total as f64)
+        .collect();
+    let a = star_transmission_matrix(topo);
+    match solve(&a, &b) {
+        Ok(raw) => {
+            let mut x: Vec<f64> = raw.iter().map(|&v| v.clamp(0.0, 1.0)).collect();
+            let sum: f64 = x.iter().sum();
+            if sum > 1e-9 {
+                for v in &mut x {
+                    *v /= sum;
+                }
+                EndingDimDistribution::from_probabilities(&x)
+            } else {
+                uniform_over_alive(&alive)
+            }
+        }
+        Err(_) => uniform_over_alive(&alive),
+    }
+}
+
+/// Uniform rotation over the dimensions that still have live links under
+/// `view` — the degraded counterpart of a *uniform* healthy rotation
+/// (see [`crate::DegradedPolicy::UniformAlive`]).
+pub fn uniform_alive_distribution(topo: &Torus, view: &LivenessView) -> EndingDimDistribution {
+    uniform_over_alive(&alive_links_per_dim(topo, view))
+}
+
+/// Uniform rotation restricted to dimensions that still have live links.
+fn uniform_over_alive(alive: &[u32]) -> EndingDimDistribution {
+    let live_dims = alive.iter().filter(|&&a| a > 0).count().max(1);
+    let p: Vec<f64> = alive
+        .iter()
+        .map(|&a| if a > 0 { 1.0 / live_dims as f64 } else { 0.0 })
+        .collect();
+    if p.iter().sum::<f64>() > 0.5 {
+        EndingDimDistribution::from_probabilities(&p)
+    } else {
+        EndingDimDistribution::uniform(alive.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance_broadcast_only;
+    use pstar_faults::{FaultPlan, FaultRuntime};
+
+    fn view_with_dead(topo: &Torus, dead: &[u32]) -> LivenessView {
+        let plan = FaultPlan::scripted(
+            dead.iter()
+                .map(|&l| pstar_faults::FaultEvent {
+                    slot: 0,
+                    kind: pstar_faults::FaultKind::LinkDown(LinkId(l)),
+                })
+                .collect(),
+        );
+        let mut rt = FaultRuntime::new(
+            plan,
+            topo.link_source_table(),
+            topo.link_target_table(),
+            topo.node_count(),
+        );
+        rt.advance_to(0);
+        rt.view().clone()
+    }
+
+    #[test]
+    fn healthy_view_reproduces_eq2_solution() {
+        for topo in [
+            Torus::new(&[8, 8]),
+            Torus::new(&[4, 8]),
+            Torus::new(&[3, 5, 7]),
+        ] {
+            let view = LivenessView::healthy(topo.link_count(), topo.node_count());
+            let degraded = degraded_distribution(&topo, &view);
+            let healthy = balance_broadcast_only(&topo).x;
+            for (a, b) in degraded.probabilities().iter().zip(&healthy) {
+                assert!((a - b).abs() < 1e-9, "{topo}: {degraded:?} vs {healthy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_links_shift_mass_away_from_their_dimension() {
+        let topo = Torus::new(&[8, 8]);
+        // Kill a handful of dimension-0 links: dimension 0 lost capacity,
+        // so it should end fewer broadcasts than in the healthy split.
+        let dims = Network::link_dim_table(&topo);
+        let dead: Vec<u32> = (0..topo.link_count())
+            .filter(|&l| dims[l as usize] == 0)
+            .take(12)
+            .collect();
+        let view = view_with_dead(&topo, &dead);
+        let x = degraded_distribution(&topo, &view);
+        let healthy = balance_broadcast_only(&topo).x;
+        assert!(
+            x.probabilities()[0] < healthy[0] - 0.01,
+            "degraded {:?} vs healthy {healthy:?}",
+            x.probabilities()
+        );
+        let sum: f64 = x.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alive_counts_track_the_view() {
+        let topo = Torus::new(&[4, 4]);
+        let view = view_with_dead(&topo, &[0, 1, 2]);
+        let alive = alive_links_per_dim(&topo, &view);
+        let total: u32 = alive.iter().sum();
+        assert_eq!(total, topo.link_count() - 3);
+    }
+
+    #[test]
+    fn fully_dead_dimension_falls_back_gracefully() {
+        let topo = Torus::new(&[4, 4]);
+        let dims = Network::link_dim_table(&topo);
+        let dead: Vec<u32> = (0..topo.link_count())
+            .filter(|&l| dims[l as usize] == 0)
+            .collect();
+        let view = view_with_dead(&topo, &dead);
+        let x = degraded_distribution(&topo, &view);
+        // Still a probability vector, and dimension 0 — with zero
+        // capacity — gets (essentially) no ending mass.
+        let sum: f64 = x.probabilities().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x.probabilities()[0] < 0.05, "{:?}", x.probabilities());
+    }
+}

@@ -45,6 +45,7 @@ pub mod analysis;
 pub mod balance;
 pub mod coefficients;
 pub mod collective;
+pub mod degraded;
 pub mod discipline;
 pub mod distribution;
 pub mod mesh_scheme;
@@ -57,12 +58,13 @@ pub mod unicast;
 pub use balance::{balance_broadcast_only, balance_mixed, BalanceSolution};
 pub use coefficients::{star_dim_transmissions, star_transmission_matrix};
 pub use collective::{multinode_broadcast, total_exchange, CollectiveResult};
+pub use degraded::{alive_links_per_dim, degraded_distribution, uniform_alive_distribution};
 pub use discipline::{Discipline, TrafficClass};
 pub use distribution::EndingDimDistribution;
 pub use mesh_scheme::MeshStarScheme;
 pub use replicate::{run_replicated, Replicated, TargetMetric};
-pub use runner::{run_scenario, ScenarioSpec, SchemeKind};
-pub use scheme::StarScheme;
+pub use runner::{run_scenario, run_scenario_with_faults, ScenarioSpec, SchemeKind};
+pub use scheme::{DegradedPolicy, StarScheme};
 pub use tree::SpanningTree;
 
 /// Convenient glob-import surface for examples and downstream users.
@@ -70,12 +72,15 @@ pub mod prelude {
     pub use crate::analysis;
     pub use crate::balance::{balance_broadcast_only, balance_mixed, BalanceSolution};
     pub use crate::collective::{multinode_broadcast, total_exchange, CollectiveResult};
+    pub use crate::degraded::{
+        alive_links_per_dim, degraded_distribution, uniform_alive_distribution,
+    };
     pub use crate::discipline::{Discipline, TrafficClass};
     pub use crate::distribution::EndingDimDistribution;
     pub use crate::mesh_scheme::MeshStarScheme;
     pub use crate::replicate::{run_replicated, Replicated, TargetMetric};
-    pub use crate::runner::{run_scenario, ScenarioSpec, SchemeKind};
-    pub use crate::scheme::StarScheme;
+    pub use crate::runner::{run_scenario, run_scenario_with_faults, ScenarioSpec, SchemeKind};
+    pub use crate::scheme::{DegradedPolicy, StarScheme};
     pub use crate::tree::SpanningTree;
     pub use pstar_queueing::{rates_for_rho, throughput_factor, TrafficRates};
     pub use pstar_sim::{Engine, SimConfig, SimReport};

@@ -144,6 +144,20 @@ pub fn run_scenario(topo: &Torus, spec: &ScenarioSpec, mut cfg: SimConfig) -> Si
     pstar_sim::run(topo, scheme, spec.mix(topo), cfg)
 }
 
+/// Runs one experiment point under a fault plan (see `pstar-faults`).
+/// With an empty plan this is exactly [`run_scenario`], bit for bit.
+pub fn run_scenario_with_faults(
+    topo: &Torus,
+    spec: &ScenarioSpec,
+    mut cfg: SimConfig,
+    plan: pstar_sim::FaultPlan,
+    policy: pstar_sim::DeadLinkPolicy,
+) -> SimReport {
+    cfg.lengths = spec.lengths;
+    let scheme = spec.build_scheme(topo);
+    pstar_sim::run_with_faults(topo, scheme, spec.mix(topo), cfg, plan, policy)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

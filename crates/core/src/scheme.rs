@@ -10,6 +10,25 @@ use pstar_sim::{BroadcastState, Emit, PacketKind, Scheme};
 use pstar_topology::{NodeId, Torus};
 use rand::rngs::StdRng;
 
+/// How a scheme's rotation reacts when fault injection kills links or
+/// nodes (see `pstar-faults`). Each of the paper's schemes degrades in a
+/// way that preserves its identity: balanced rotations re-balance,
+/// uniform rotations stay uniform (over what survives), and the
+/// non-adaptive strawman does not react at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DegradedPolicy {
+    /// Re-solve the Eq. (2) balance over the surviving links, with a
+    /// uniform-over-alive fallback when the system is singular — the
+    /// default for every balanced scheme.
+    #[default]
+    Rebalance,
+    /// Switch to a uniform rotation over the dimensions that still have
+    /// live links (for schemes whose healthy rotation is uniform).
+    UniformAlive,
+    /// Keep the healthy rotation unchanged (non-adaptive baseline).
+    Frozen,
+}
+
 /// The STAR scheme family: a rotated dimension-ordered broadcast tree with
 /// a configurable ending-dimension distribution and priority discipline,
 /// plus shortest-path e-cube unicast.
@@ -30,6 +49,11 @@ pub struct StarScheme {
     topo: Torus,
     dist: EndingDimDistribution,
     discipline: Discipline,
+    /// Replacement rotation while links are dead (degraded mode); `None`
+    /// on the healthy path so fault-free behaviour is bit-identical.
+    degraded: Option<EndingDimDistribution>,
+    /// How the rotation reacts to faults.
+    degraded_policy: DegradedPolicy,
 }
 
 impl StarScheme {
@@ -40,7 +64,16 @@ impl StarScheme {
             topo,
             dist,
             discipline,
+            degraded: None,
+            degraded_policy: DegradedPolicy::Rebalance,
         }
+    }
+
+    /// Overrides how the rotation reacts to fault injection (the
+    /// constructors pick the policy matching each scheme's identity).
+    pub fn with_degraded_policy(mut self, policy: DegradedPolicy) -> Self {
+        self.degraded_policy = policy;
+        self
     }
 
     /// Priority STAR for broadcast-dominated traffic: Eq. (2) balanced
@@ -83,6 +116,7 @@ impl StarScheme {
             EndingDimDistribution::uniform(topo.d()),
             Discipline::Fcfs,
         )
+        .with_degraded_policy(DegradedPolicy::UniformAlive)
     }
 
     /// STAR without priority: Eq. (2) balanced rotation, FCFS queues.
@@ -116,11 +150,28 @@ impl StarScheme {
             EndingDimDistribution::degenerate(d, d - 1),
             Discipline::Fcfs,
         )
+        .with_degraded_policy(DegradedPolicy::Frozen)
     }
 
-    /// The ending-dimension distribution in use.
+    /// The policy governing the rotation's reaction to faults.
+    pub fn degraded_policy(&self) -> DegradedPolicy {
+        self.degraded_policy
+    }
+
+    /// The ending-dimension distribution in use (the healthy one even
+    /// while degraded; see [`StarScheme::degraded_distribution`]).
     pub fn distribution(&self) -> &EndingDimDistribution {
         &self.dist
+    }
+
+    /// The degraded-mode replacement rotation, when faults are active.
+    pub fn degraded_distribution(&self) -> Option<&EndingDimDistribution> {
+        self.degraded.as_ref()
+    }
+
+    /// The rotation broadcasts sample from right now.
+    fn active_distribution(&self) -> &EndingDimDistribution {
+        self.degraded.as_ref().unwrap_or(&self.dist)
     }
 
     /// The priority discipline in use.
@@ -140,7 +191,10 @@ impl Scheme for StarScheme {
     }
 
     fn on_broadcast_generated(&self, src: NodeId, rng: &mut StdRng, out: &mut Vec<Emit>) {
-        let ending_dim = self.dist.sample(rng);
+        // `sample` draws exactly one variate whichever distribution is
+        // active, so entering/leaving degraded mode never shifts the RNG
+        // stream of subsequent tasks.
+        let ending_dim = self.active_distribution().sample(rng);
         let flip = rand::Rng::gen::<bool>(rng);
         star_initial_emits(&self.topo, src, ending_dim, flip, self.discipline, out);
     }
@@ -181,6 +235,22 @@ impl Scheme for StarScheme {
             })
             .product();
         (state.hops_left as u64 * later_coverage) as u32
+    }
+
+    fn on_liveness_change(&mut self, view: &pstar_faults::LivenessView) {
+        self.degraded = if view.any_faults() {
+            match self.degraded_policy {
+                DegradedPolicy::Rebalance => {
+                    Some(crate::degraded::degraded_distribution(&self.topo, view))
+                }
+                DegradedPolicy::UniformAlive => Some(crate::degraded::uniform_alive_distribution(
+                    &self.topo, view,
+                )),
+                DegradedPolicy::Frozen => None,
+            }
+        } else {
+            None
+        };
     }
 }
 
@@ -462,6 +532,56 @@ mod tests {
             rep.reception_delay.count + rep.lost_receptions,
             rep.measured_broadcasts * (topo.node_count() as u64 - 1)
         );
+    }
+
+    #[test]
+    fn degraded_policies_match_scheme_identities() {
+        use pstar_faults::{FaultEvent, FaultKind, FaultPlan, FaultRuntime, LivenessView};
+        use pstar_sim::Scheme as _;
+        use pstar_topology::{LinkId, Network};
+
+        let topo = Torus::new(&[4, 8]);
+        let plan = FaultPlan::scripted(vec![FaultEvent {
+            slot: 0,
+            kind: FaultKind::LinkDown(LinkId(0)),
+        }]);
+        let mut rt = FaultRuntime::new(
+            plan,
+            topo.link_source_table(),
+            topo.link_target_table(),
+            topo.node_count(),
+        );
+        rt.advance_to(0);
+        let faulty = rt.view().clone();
+
+        // Balanced scheme: re-solves Eq. (2), so the degraded rotation
+        // differs from the healthy one.
+        let mut pstar = StarScheme::priority_star(&topo);
+        assert_eq!(pstar.degraded_policy(), DegradedPolicy::Rebalance);
+        pstar.on_liveness_change(&faulty);
+        let deg = pstar.degraded_distribution().expect("degraded installed");
+        assert_ne!(deg.probabilities(), pstar.distribution().probabilities());
+
+        // Uniform baseline: stays uniform (all dims still have live
+        // links), merely restricted to alive dimensions.
+        let mut fcfs = StarScheme::fcfs_direct(&topo);
+        assert_eq!(fcfs.degraded_policy(), DegradedPolicy::UniformAlive);
+        fcfs.on_liveness_change(&faulty);
+        let deg = fcfs.degraded_distribution().expect("degraded installed");
+        for &p in deg.probabilities() {
+            assert!((p - 0.5).abs() < 1e-12, "{:?}", deg.probabilities());
+        }
+
+        // Strawman: does not adapt at all.
+        let mut dimord = StarScheme::dimension_ordered(&topo);
+        assert_eq!(dimord.degraded_policy(), DegradedPolicy::Frozen);
+        dimord.on_liveness_change(&faulty);
+        assert!(dimord.degraded_distribution().is_none());
+
+        // Recovery clears the degraded rotation everywhere.
+        let healthy = LivenessView::healthy(topo.link_count(), topo.node_count());
+        pstar.on_liveness_change(&healthy);
+        assert!(pstar.degraded_distribution().is_none());
     }
 
     #[test]

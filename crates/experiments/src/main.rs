@@ -1,7 +1,7 @@
 //! Experiment harness: regenerates every figure and table of the paper.
 //!
 //! ```text
-//! experiments [--quick] [--out DIR] <command>
+//! experiments [--quick] [--smoke] [--out DIR] <command>
 //!
 //! commands:
 //!   fig2 fig3 fig4      reception delay vs ρ (8x8, 16x16, 8x8x8)
@@ -21,6 +21,8 @@
 //!   custom [opts]       run an arbitrary scenario (see src/custom.rs)
 //!   saturation_trace    queue population below/at/above saturation (§2)
 //!   balance_gallery     solved Eq.(2)/(4) vectors for a gallery of tori
+//!   resilience          delivered fraction & recovery under link faults
+//!                       (fault-rate × ρ grid; `--smoke` for the CI gate)
 //!   plot                render previously generated CSVs as SVG figures
 //!   collectives         static MNB / total-exchange completion vs bounds
 //!   verify              reproduction gate: re-check every headline claim
@@ -36,6 +38,7 @@ mod custom;
 mod figures;
 mod plot;
 mod record;
+mod resilience;
 mod svg;
 mod sweep;
 mod tables;
@@ -52,10 +55,13 @@ pub struct Ctx {
     pub sat_cfg: SimConfig,
     /// Output directory for CSV/JSONL files.
     pub out: PathBuf,
+    /// `--smoke`: tiny network + short windows (CI gate for the
+    /// `resilience` sweep).
+    pub smoke: bool,
 }
 
 impl Ctx {
-    fn new(quick: bool, out: PathBuf) -> Self {
+    fn new(quick: bool, smoke: bool, out: PathBuf) -> Self {
         let cfg = if quick {
             SimConfig::quick(0)
         } else {
@@ -73,7 +79,12 @@ impl Ctx {
             unstable_queue_per_link: 150.0,
             ..SimConfig::default()
         };
-        Self { cfg, sat_cfg, out }
+        Self {
+            cfg,
+            sat_cfg,
+            out,
+            smoke,
+        }
     }
 
     /// Per-point deterministic seed.
@@ -88,18 +99,20 @@ impl Ctx {
 
 fn main() {
     let mut quick = false;
+    let mut smoke = false;
     let mut out = PathBuf::from("results");
     let mut cmds: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--smoke" => smoke = true,
             "--out" => {
                 out = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--out DIR] <fig2..fig8|table1..5|ablation_*|all>"
+                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|all>"
                 );
                 return;
             }
@@ -111,7 +124,7 @@ fn main() {
         std::process::exit(2);
     }
     std::fs::create_dir_all(&out).expect("create output directory");
-    let ctx = Ctx::new(quick, out);
+    let ctx = Ctx::new(quick, smoke, out);
 
     // `custom` consumes every argument after it.
     if cmds[0] == "custom" {
@@ -146,6 +159,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "mesh_cap" => tables::mesh_cap(ctx),
         "saturation_trace" => tables::saturation_trace(ctx),
         "balance_gallery" => tables::balance_gallery(ctx),
+        "resilience" => resilience::resilience(ctx),
         "plot" => plot::plot_all(ctx),
         "verify" => verify::verify(ctx),
         "collectives" => tables::collectives(ctx),
@@ -172,6 +186,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "collectives",
                 "saturation_trace",
                 "balance_gallery",
+                "resilience",
                 "plot",
             ] {
                 run_command(ctx, c);

@@ -259,6 +259,54 @@ fn plot_saturation(ctx: &Ctx) {
     write_svg(ctx, "saturation_trace", &chart);
 }
 
+fn plot_resilience(ctx: &Ctx) {
+    let Some((header, rows)) = read_csv(&ctx.out.join("resilience.csv")) else {
+        eprintln!("[plot] resilience.csv missing — run `experiments resilience` first");
+        return;
+    };
+    let (Some(si), Some(ri)) = (col(&header, "scheme"), col(&header, "rho")) else {
+        eprintln!("[plot] resilience.csv has unexpected columns");
+        return;
+    };
+    let mut rhos: Vec<String> = rows.iter().map(|r| r[ri].clone()).collect();
+    rhos.sort();
+    rhos.dedup();
+    let palette = [
+        ("priority-star", MEASURED_B),
+        ("three-class", MEASURED_C),
+        ("fcfs-direct", MEASURED_A),
+        ("fcfs-balanced", "#9467bd"),
+        ("dim-ordered", "#ff7f0e"),
+    ];
+    for rho in rhos {
+        let sub: Vec<Vec<String>> = rows.iter().filter(|r| r[ri] == rho).cloned().collect();
+        let mut series = Vec::new();
+        for (scheme, color) in palette {
+            let mine: Vec<Vec<String>> = sub.iter().filter(|r| r[si] == scheme).cloned().collect();
+            series.extend(series_from(
+                &header,
+                &mine,
+                "fault_rate",
+                "delivered_fraction",
+                scheme,
+                color,
+                false,
+            ));
+        }
+        if series.is_empty() {
+            continue;
+        }
+        let slug = rho.replace('.', "");
+        let chart = Chart {
+            title: format!("resilience: delivered reception fraction, ρ = {rho}"),
+            x_label: "fault rate (fraction of links down mid-run)".into(),
+            y_label: "delivered reception fraction".into(),
+            series,
+        };
+        write_svg(ctx, &format!("resilience_rho{slug}"), &chart);
+    }
+}
+
 /// Plots every figure whose CSV exists in the output directory.
 pub fn plot_all(ctx: &Ctx) {
     plot_delay_figure(ctx, "fig2", "reception", "8x8 torus");
@@ -270,6 +318,7 @@ pub fn plot_all(ctx: &Ctx) {
     plot_fig8(ctx);
     plot_table3(ctx);
     plot_saturation(ctx);
+    plot_resilience(ctx);
 }
 
 #[cfg(test)]

@@ -1,14 +1,17 @@
-//! Serde-serializable run records (JSON lines), for downstream tooling
-//! (plotting scripts, regression dashboards) that wants more than the
-//! per-figure CSV columns.
+//! JSON-lines run records, for downstream tooling (plotting scripts,
+//! regression dashboards) that wants more than the per-figure CSV
+//! columns.
+//!
+//! Serialization is hand-rolled (field order = declaration order, like a
+//! serde derive would emit) because the offline build has no serde.
 
 use pstar_sim::SimReport;
-use serde::Serialize;
+use std::fmt::Write as _;
 use std::io::Write;
 use std::path::Path;
 
 /// One simulation point, flattened for serialization.
-#[derive(Debug, Serialize)]
+#[derive(Debug)]
 pub struct PointRecord {
     /// Experiment id (e.g. "fig2").
     pub experiment: String,
@@ -40,6 +43,39 @@ pub struct PointRecord {
     pub concurrent_broadcasts: f64,
     /// Time-average concurrent unicast tasks.
     pub concurrent_unicasts: f64,
+    /// Packets dropped (buffer overflow or faulted links).
+    pub dropped_packets: u64,
+    /// Receptions cancelled by those drops.
+    pub lost_receptions: u64,
+    /// Broadcasts that lost at least one reception.
+    pub damaged_broadcasts: u64,
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON number token: `Display` for finite floats (shortest round-trip),
+/// `null` for NaN / infinities (what `serde_json` cannot represent).
+fn json_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else {
+        out.push_str("null");
+    }
 }
 
 impl PointRecord {
@@ -72,7 +108,58 @@ impl PointRecord {
                 .collect(),
             concurrent_broadcasts: rep.avg_concurrent_broadcasts,
             concurrent_unicasts: rep.avg_concurrent_unicasts,
+            dropped_packets: rep.dropped_packets,
+            lost_receptions: rep.lost_receptions,
+            damaged_broadcasts: rep.damaged_broadcasts,
         }
+    }
+
+    /// The record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(384);
+        let str_field = |s: &mut String, key: &str, val: &str| {
+            let _ = write!(s, "\"{key}\":\"");
+            escape_json(val, s);
+            s.push('"');
+            s.push(',');
+        };
+        s.push('{');
+        str_field(&mut s, "experiment", &self.experiment);
+        str_field(&mut s, "topology", &self.topology);
+        str_field(&mut s, "scheme", &self.scheme);
+        let num_field = |s: &mut String, key: &str, val: f64| {
+            let _ = write!(s, "\"{key}\":");
+            json_f64(val, s);
+            s.push(',');
+        };
+        num_field(&mut s, "rho", self.rho);
+        num_field(&mut s, "broadcast_fraction", self.broadcast_fraction);
+        let _ = write!(s, "\"stable\":{},", self.stable);
+        let _ = write!(s, "\"completed\":{},", self.completed);
+        num_field(&mut s, "reception_delay", self.reception_delay);
+        num_field(&mut s, "broadcast_delay", self.broadcast_delay);
+        num_field(&mut s, "unicast_delay", self.unicast_delay);
+        num_field(&mut s, "mean_utilization", self.mean_utilization);
+        num_field(&mut s, "max_utilization", self.max_utilization);
+        s.push_str("\"classes\":[");
+        for (i, (util, wait)) in self.classes.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push('[');
+            json_f64(*util, &mut s);
+            s.push(',');
+            json_f64(*wait, &mut s);
+            s.push(']');
+        }
+        s.push_str("],");
+        num_field(&mut s, "concurrent_broadcasts", self.concurrent_broadcasts);
+        num_field(&mut s, "concurrent_unicasts", self.concurrent_unicasts);
+        let _ = write!(s, "\"dropped_packets\":{},", self.dropped_packets);
+        let _ = write!(s, "\"lost_receptions\":{},", self.lost_receptions);
+        let _ = write!(s, "\"damaged_broadcasts\":{}", self.damaged_broadcasts);
+        s.push('}');
+        s
     }
 }
 
@@ -81,8 +168,7 @@ pub fn write_jsonl(dir: &Path, name: &str, records: &[PointRecord]) {
     let path = dir.join(format!("{name}.jsonl"));
     let mut fh = std::fs::File::create(&path).expect("create jsonl");
     for r in records {
-        let line = serde_json::to_string(r).expect("record serialization");
-        writeln!(fh, "{line}").unwrap();
+        writeln!(fh, "{}", r.to_json()).unwrap();
     }
 }
 
@@ -105,8 +191,9 @@ mod tests {
         let rec = PointRecord::new("unit", "torus(4x4)", "priority-star", 0.1, 1.0, &rep);
         assert_eq!(rec.reception_delay, rep.reception_delay.mean);
         assert_eq!(rec.classes.len(), 2);
-        let json = serde_json::to_string(&rec).unwrap();
+        let json = rec.to_json();
         assert!(json.contains("\"experiment\":\"unit\""));
+        assert!(json.contains("\"dropped_packets\":0"));
     }
 
     #[test]
@@ -127,5 +214,15 @@ mod tests {
         write_jsonl(&dir, "unit", &recs);
         let body = std::fs::read_to_string(dir.join("unit.jsonl")).unwrap();
         assert_eq!(body.lines().count(), 2);
+    }
+
+    #[test]
+    fn json_handles_escapes_and_non_finite() {
+        let mut s = String::new();
+        escape_json("a\"b\\c\nd", &mut s);
+        assert_eq!(s, "a\\\"b\\\\c\\nd");
+        let mut t = String::new();
+        json_f64(f64::NAN, &mut t);
+        assert_eq!(t, "null");
     }
 }

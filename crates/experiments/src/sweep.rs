@@ -1,6 +1,6 @@
 //! Embarrassingly parallel sweep execution.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Maps `f` over `items` on all available cores, preserving order.
 ///
@@ -18,21 +18,21 @@ where
         .min(items.len().max(1));
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let r = f(i, &items[i]);
-                results.lock()[i] = Some(r);
+                results.lock().expect("sweep worker panicked")[i] = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
+    });
     results
         .into_inner()
+        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("every index computed"))
         .collect()

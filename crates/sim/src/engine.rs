@@ -1,16 +1,40 @@
 //! The slotted simulation engine.
 
 use crate::config::SimConfig;
-use crate::metrics::{ClassStats, SimReport};
+use crate::metrics::{ClassStats, FaultReport, SimReport};
 use crate::packet::{Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 use crate::queue::PriorityQueue;
 use crate::scheme::Scheme;
 use crate::task::{TaskKind, TaskSlot, TaskTable};
+use pstar_faults::{DeadLinkPolicy, FaultPlan, FaultRuntime};
 use pstar_stats::{BatchMeans, Histogram, Moments, TimeWeighted};
-use pstar_topology::{Link, Network, NodeId};
+use pstar_topology::{Link, LinkId, Network, NodeId};
 use pstar_traffic::{ArrivalProcess, PoissonArrivals, TrafficMix, UniformDestinations};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Fault-injection state carried by an engine with a non-empty plan.
+///
+/// Kept behind an `Option` so the fault-free path pays nothing and —
+/// crucially — never touches the engine RNG: a run with no plan is
+/// bit-identical to one built before fault support existed.
+struct FaultState {
+    runtime: FaultRuntime,
+    policy: DeadLinkPolicy,
+    /// Cached `runtime.view().any_faults()` for the hot paths.
+    any_now: bool,
+    events_applied: u64,
+    fault_dropped: u64,
+    fault_damaged: u64,
+    fault_slots: u64,
+    /// `(link, repair_slot, served_since_repair)` for repaired links
+    /// still being watched for recovery: a link has recovered once it
+    /// has carried traffic again *and* its backlog first clears. Links
+    /// that never see traffic again are censored (no sample).
+    pending_recovery: Vec<(u32, u64, bool)>,
+    recovery: Moments,
+    wait_fault: [Moments; MAX_PRIORITY_CLASSES],
+}
 
 /// The simulator: a torus, a routing scheme, a workload, and per-link
 /// priority queues stepped slot by slot.
@@ -65,6 +89,7 @@ pub struct Engine<N: Network, S: Scheme> {
     delay_by_distance: Vec<Moments>,
     queue_trace: Vec<(u64, u64)>,
     unstable: bool,
+    faults: Option<Box<FaultState>>,
 }
 
 impl<N: Network, S: Scheme> Engine<N, S> {
@@ -116,6 +141,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             },
             queue_trace: Vec::new(),
             unstable: false,
+            faults: None,
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             topo,
@@ -123,6 +149,39 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             mix,
             cfg,
         }
+    }
+
+    /// Installs a fault plan (builder style). An empty plan is a no-op —
+    /// the engine stays on the fault-free path and produces bit-identical
+    /// results to an engine that never saw this call.
+    ///
+    /// `policy` selects what happens to packets on (or emitted toward) a
+    /// dead link: dropped with full loss accounting, or held until
+    /// repair.
+    pub fn with_fault_plan(mut self, plan: FaultPlan, policy: DeadLinkPolicy) -> Self {
+        if plan.is_empty() {
+            self.faults = None;
+            return self;
+        }
+        let runtime = FaultRuntime::new(
+            plan,
+            self.topo.link_source_table(),
+            self.link_target.clone(),
+            self.topo.node_count(),
+        );
+        self.faults = Some(Box::new(FaultState {
+            runtime,
+            policy,
+            any_now: false,
+            events_applied: 0,
+            fault_dropped: 0,
+            fault_damaged: 0,
+            fault_slots: 0,
+            pending_recovery: Vec::new(),
+            recovery: Moments::new(),
+            wait_fault: [Moments::new(); MAX_PRIORITY_CLASSES],
+        }));
+        self
     }
 
     /// Current simulation time.
@@ -258,6 +317,13 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     fn step(&mut self, arrivals: bool) {
         let t = self.now;
 
+        // Fault transitions take effect before anything else in the slot:
+        // a link dying at `t` fails the delivery it would have made at
+        // `t`. Fault-free engines never enter this branch.
+        if self.faults.is_some() {
+            self.fault_tick(t);
+        }
+
         if let Some(k) = self.cfg.trace_interval {
             if t % k == 0 {
                 self.queue_trace.push((t, self.queued_total as u64));
@@ -302,7 +368,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         let mut w = 0;
         for i in 0..self.active.len() {
             let l = self.active[i] as usize;
-            if self.in_flight[l].is_none() {
+            if self.in_flight[l].is_none() && self.link_alive(l) {
                 if let Some(pkt) = self.queues[l].pop() {
                     self.queued_total -= 1;
                     self.start_service(l, pkt, in_window);
@@ -320,12 +386,117 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         self.now = t + 1;
     }
 
+    /// `true` when the link can transmit (trivially so without faults).
+    #[inline]
+    fn link_alive(&self, link: usize) -> bool {
+        match &self.faults {
+            Some(f) if f.any_now => f.runtime.view().link_alive(LinkId(link as u32)),
+            _ => true,
+        }
+    }
+
+    /// `true` when the node is crashed (never without faults).
+    #[inline]
+    fn node_dead(&self, node: NodeId) -> bool {
+        match &self.faults {
+            Some(f) if f.any_now => !f.runtime.view().node_alive(node),
+            _ => false,
+        }
+    }
+
+    /// Per-slot fault bookkeeping: applies due events, disposes of
+    /// packets stranded on newly-dead links, notifies the scheme, and
+    /// progresses time-to-recovery samples. Only called with a plan.
+    fn fault_tick(&mut self, t: u64) {
+        let mut f = self.faults.take().expect("fault_tick without plan");
+        if f.runtime.next_event_slot().is_some_and(|s| s <= t) {
+            let delta = f.runtime.advance_to(t);
+            f.events_applied += delta.events_applied as u64;
+            if delta.changed() {
+                for &link in &delta.newly_dead {
+                    self.on_link_death(&mut f, link);
+                }
+                for &link in &delta.repaired {
+                    f.pending_recovery.retain(|&(l, ..)| l != link.0);
+                    f.pending_recovery.push((link.0, t, false));
+                }
+                self.scheme.on_liveness_change(f.runtime.view());
+            }
+            f.any_now = f.runtime.view().any_faults();
+        }
+        if f.any_now {
+            f.fault_slots += 1;
+        }
+        // A repaired link has recovered once it has carried traffic
+        // again and its backlog first clears.
+        if !f.pending_recovery.is_empty() {
+            let queues = &self.queues;
+            let in_flight = &self.in_flight;
+            let recovery = &mut f.recovery;
+            f.pending_recovery
+                .retain_mut(|&mut (l, since, ref mut served)| {
+                    let l = l as usize;
+                    let busy = !queues[l].is_empty() || in_flight[l].is_some();
+                    if busy {
+                        *served = true;
+                        return true;
+                    }
+                    if *served {
+                        recovery.push((t - since) as f64);
+                        false
+                    } else {
+                        true
+                    }
+                });
+        }
+        self.faults = Some(f);
+    }
+
+    /// A link just died: interrupt its in-flight packet and dispose of
+    /// its backlog according to the dead-link policy.
+    fn on_link_death(&mut self, f: &mut FaultState, link: LinkId) {
+        let l = link.index();
+        f.pending_recovery.retain(|&(p, ..)| p != link.0);
+        if let Some((pkt, _)) = self.in_flight[l].take() {
+            match f.policy {
+                DeadLinkPolicy::Drop => {
+                    let before = self.damaged_broadcasts;
+                    self.settle_drop(&pkt);
+                    f.fault_dropped += 1;
+                    f.fault_damaged += self.damaged_broadcasts - before;
+                }
+                DeadLinkPolicy::Requeue => {
+                    // Head of line again: the interrupted transmission
+                    // restarts from scratch after repair.
+                    self.queues[l].push_front(pkt);
+                    self.queued_total += 1;
+                }
+            }
+        }
+        if matches!(f.policy, DeadLinkPolicy::Drop) && !self.queues[l].is_empty() {
+            self.queued_total -= self.queues[l].len() as i64;
+            let stranded: Vec<Packet> = self.queues[l].drain_all().collect();
+            for pkt in &stranded {
+                let before = self.damaged_broadcasts;
+                self.settle_drop(pkt);
+                f.fault_dropped += 1;
+                f.fault_damaged += self.damaged_broadcasts - before;
+            }
+        }
+    }
+
     fn start_service(&mut self, link: usize, pkt: Packet, in_window: bool) {
         let t = self.now;
         self.tx_by_dim[self.link_dim[link] as usize] += 1;
         self.tx_by_vc[(pkt.vc as usize).min(3)] += 1;
         if in_window {
-            self.wait_by_class[pkt.priority as usize].push((t - pkt.enqueue_time) as f64);
+            let wait = (t - pkt.enqueue_time) as f64;
+            self.wait_by_class[pkt.priority as usize].push(wait);
+            if let Some(f) = self.faults.as_mut() {
+                if f.any_now {
+                    f.wait_fault[pkt.priority as usize].push(wait);
+                }
+            }
             self.window_transmissions += 1;
             // Credit busy slots only for the part of the service that
             // overlaps the window, so utilizations stay exact estimates.
@@ -446,9 +617,15 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 matches!(self.mix.sources, pstar_traffic::SourceDistribution::Uniform),
                 "Bernoulli arrivals only support uniform sources"
             );
-            // Bernoulli arrivals are per-node by definition.
+            // Bernoulli arrivals are per-node by definition. Crashed
+            // nodes generate nothing — but their variates are still
+            // drawn, so fault and fault-free runs share the same
+            // randomness for every surviving node.
             for node in 0..n {
                 let (b, u) = self.mix.sample(&mut self.rng);
+                if self.node_dead(NodeId(node)) {
+                    continue;
+                }
                 for _ in 0..b {
                     self.new_task(NodeId(node), None, self.in_measure_window(), None);
                 }
@@ -467,12 +644,18 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             let total_b = sample_poisson(&mut self.rng, self.mix.lambda_broadcast * n as f64);
             for _ in 0..total_b {
                 let src = sources.sample(&mut self.rng, n);
+                if self.node_dead(src) {
+                    continue;
+                }
                 self.new_task(src, None, measured, None);
             }
             let total_u = sample_poisson(&mut self.rng, self.mix.lambda_unicast * n as f64);
             for _ in 0..total_u {
                 let src = sources.sample(&mut self.rng, n);
                 let dest = self.dests.sample(&mut self.rng, src);
+                if self.node_dead(src) {
+                    continue;
+                }
                 self.new_task(src, Some(dest), measured, None);
             }
         }
@@ -562,6 +745,20 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 vc: emit.vc,
                 kind: emit.kind,
             };
+            // A dead output link: drop with loss accounting, or enqueue
+            // anyway and wait out the repair (requeue policy).
+            if !self.link_alive(link) {
+                let policy = self.faults.as_ref().map(|f| f.policy).unwrap_or_default();
+                if matches!(policy, DeadLinkPolicy::Drop) {
+                    let before = self.damaged_broadcasts;
+                    self.settle_drop(&packet);
+                    if let Some(f) = self.faults.as_mut() {
+                        f.fault_dropped += 1;
+                        f.fault_damaged += self.damaged_broadcasts - before;
+                    }
+                    continue;
+                }
+            }
             if self.queues[link].len() >= capacity {
                 self.settle_drop(&packet);
                 continue;
@@ -578,7 +775,23 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         self.emit_buf = buf;
     }
 
-    fn report(self, completed: bool) -> SimReport {
+    fn report(mut self, completed: bool) -> SimReport {
+        // Close out recovery measurements whose backlog drained on the
+        // run's final slots (after the last `fault_tick`); links that
+        // never carried traffic again are censored.
+        if let Some(f) = self.faults.as_mut() {
+            let now = self.now;
+            let queues = &self.queues;
+            let in_flight = &self.in_flight;
+            let recovery = &mut f.recovery;
+            f.pending_recovery.retain(|&(l, since, served)| {
+                let l = l as usize;
+                if served && queues[l].is_empty() && in_flight[l].is_none() {
+                    recovery.push((now - since) as f64);
+                }
+                false
+            });
+        }
         let window = self.cfg.measure_slots as f64;
         let links = self.queues.len() as f64;
         let per_link: Vec<f64> = self
@@ -610,6 +823,26 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             self.concurrent_bcast.average(self.now),
             self.concurrent_ucast.average(self.now),
         ));
+        let delivered = self.reception_delay.summary().count + self.unicast_delay.summary().count;
+        let offered = delivered + self.lost_receptions;
+        let faults = match &self.faults {
+            Some(f) => FaultReport {
+                events_applied: f.events_applied,
+                delivered_reception_fraction: if offered == 0 {
+                    1.0
+                } else {
+                    delivered as f64 / offered as f64
+                },
+                fault_dropped_packets: f.fault_dropped,
+                fault_damaged_broadcasts: f.fault_damaged,
+                recovery_time: f.recovery.summary(),
+                fault_slots: f.fault_slots,
+                class_wait_fault: (0..num_classes)
+                    .map(|k| f.wait_fault[k].summary())
+                    .collect(),
+            },
+            None => FaultReport::default(),
+        };
         SimReport {
             stable: !self.unstable,
             completed,
@@ -640,6 +873,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             vc_transmissions: self.tx_by_vc,
             delay_by_distance: self.delay_by_distance.iter().map(|m| m.summary()).collect(),
             queue_trace: self.queue_trace,
+            faults,
         }
     }
 }
@@ -951,6 +1185,157 @@ mod tests {
         assert_eq!(rep.unicast_delay.min, 1.0);
         assert_eq!(rep.unicast_delay.max, 10.0);
         assert!((rep.unicast_delay.mean - 5.5).abs() < 1e-12);
+    }
+
+    fn ring_lambda(t: &Torus, rho: f64) -> f64 {
+        rho * 2.0 / (t.node_count() as f64 - 1.0)
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_to_no_plan() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.5);
+        let base = crate::run(
+            &t,
+            TestScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(42),
+        );
+        let faulted = crate::run_with_faults(
+            &t,
+            s,
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(42),
+            pstar_faults::FaultPlan::none(),
+            pstar_faults::DeadLinkPolicy::Drop,
+        );
+        assert_eq!(base.reception_delay.mean, faulted.reception_delay.mean);
+        assert_eq!(base.window_transmissions, faulted.window_transmissions);
+        assert_eq!(base.peak_queue_total, faulted.peak_queue_total);
+        assert_eq!(faulted.faults.events_applied, 0);
+        assert_eq!(faulted.faults.delivered_reception_fraction, 1.0);
+    }
+
+    #[test]
+    fn same_seed_and_plan_reproduce_identically() {
+        let (t, _) = ring(8);
+        let lambda = ring_lambda(&t, 0.5);
+        let plan = || {
+            pstar_faults::FaultPlan::link_outage_window(
+                &[pstar_topology::LinkId(0), pstar_topology::LinkId(5)],
+                2_500,
+                6_000,
+            )
+        };
+        let run = || {
+            crate::run_with_faults(
+                &t,
+                TestScheme { topo: t.clone() },
+                TrafficMix::broadcast_only(lambda),
+                SimConfig::quick(7),
+                plan(),
+                pstar_faults::DeadLinkPolicy::Drop,
+            )
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.reception_delay.mean, b.reception_delay.mean);
+        assert_eq!(a.window_transmissions, b.window_transmissions);
+        assert_eq!(a.dropped_packets, b.dropped_packets);
+        assert_eq!(
+            a.faults.fault_dropped_packets,
+            b.faults.fault_dropped_packets
+        );
+        assert_eq!(
+            a.faults.delivered_reception_fraction,
+            b.faults.delivered_reception_fraction
+        );
+        assert_eq!(a.faults.recovery_time.count, b.faults.recovery_time.count);
+    }
+
+    #[test]
+    fn link_outage_drops_and_damages_under_drop_policy() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.5);
+        let links: Vec<_> = (0..4).map(pstar_topology::LinkId).collect();
+        let rep = crate::run_with_faults(
+            &t,
+            s,
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(9),
+            pstar_faults::FaultPlan::link_outage_window(&links, 3_000, 7_000),
+            pstar_faults::DeadLinkPolicy::Drop,
+        );
+        assert!(rep.stable, "{rep}");
+        assert!(
+            rep.faults.events_applied == 8,
+            "{}",
+            rep.faults.events_applied
+        );
+        assert!(rep.faults.fault_dropped_packets > 0);
+        assert!(rep.dropped_packets >= rep.faults.fault_dropped_packets);
+        assert!(rep.faults.delivered_reception_fraction < 1.0);
+        assert!(rep.faults.delivered_reception_fraction > 0.5);
+        assert!(rep.faults.fault_slots >= 4_000);
+        // Conservation still holds with fault losses folded in.
+        assert_eq!(
+            rep.reception_delay.count + rep.lost_receptions,
+            rep.measured_broadcasts * 7
+        );
+        // All four links carry traffic again after the slot-7000 repair,
+        // so each contributes a time-to-recovery sample.
+        assert_eq!(rep.faults.recovery_time.count, 4);
+        assert!(rep.faults.recovery_time.mean >= 0.0);
+    }
+
+    #[test]
+    fn requeue_policy_holds_packets_until_repair() {
+        // One unicast aimed across a link that is down when it arrives:
+        // under requeue it waits out the outage and still delivers.
+        let (t, s) = ring(8);
+        let cfg = SimConfig::quick(11);
+        let mut e = Engine::new(t, s, TrafficMix::broadcast_only(0.0), cfg).with_fault_plan(
+            pstar_faults::FaultPlan::link_outage_window(&[pstar_topology::LinkId(0)], 0, 50),
+            pstar_faults::DeadLinkPolicy::Requeue,
+        );
+        // Link 0 is node 0's Plus link on this ring layout; inject a
+        // neighbor-bound unicast that must use it.
+        e.inject_unicast(NodeId(0), NodeId(1));
+        e.run_until_idle();
+        let rep = e.report(true);
+        assert_eq!(rep.dropped_packets, 0);
+        assert_eq!(rep.unicast_delay.count, 1);
+        // Delivered only after the slot-50 repair.
+        assert!(rep.unicast_delay.mean >= 50.0, "{}", rep.unicast_delay.mean);
+        assert_eq!(rep.faults.recovery_time.count, 1);
+    }
+
+    #[test]
+    fn node_crash_stops_arrivals_and_recovers() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.4);
+        let rep = crate::run_with_faults(
+            &t,
+            s,
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(13),
+            pstar_faults::FaultPlan::scripted(vec![
+                pstar_faults::FaultEvent {
+                    slot: 3_000,
+                    kind: pstar_faults::FaultKind::NodeCrash(NodeId(3)),
+                },
+                pstar_faults::FaultEvent {
+                    slot: 6_000,
+                    kind: pstar_faults::FaultKind::NodeRecover(NodeId(3)),
+                },
+            ]),
+            pstar_faults::DeadLinkPolicy::Drop,
+        );
+        assert!(rep.stable);
+        assert_eq!(rep.faults.events_applied, 2);
+        // The crash kills the node's 4 incident links for 3000 slots.
+        assert!(rep.faults.fault_slots >= 3_000);
+        assert!(rep.faults.delivered_reception_fraction < 1.0);
     }
 
     #[test]

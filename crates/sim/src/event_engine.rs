@@ -410,6 +410,7 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             vc_transmissions: [0; 4],
             delay_by_distance: Vec::new(),
             queue_trace: Vec::new(),
+            faults: Default::default(),
         }
     }
 }

@@ -43,10 +43,17 @@ mod task;
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use event_engine::EventEngine;
-pub use metrics::{ClassStats, SimReport};
+pub use metrics::{ClassStats, FaultReport, SimReport};
 pub use packet::{BroadcastState, Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 pub use queue::PriorityQueue;
 pub use scheme::Scheme;
+
+// Fault-injection vocabulary, re-exported so downstream crates need not
+// depend on `pstar-faults` directly.
+pub use pstar_faults::{
+    shuffled_links, DeadLinkPolicy, FaultEvent, FaultKind, FaultPlan, LivenessView,
+    StochasticFaultConfig,
+};
 
 /// Replays a recorded workload trace through a fresh engine.
 pub fn run_trace<N, S: Scheme>(
@@ -79,4 +86,22 @@ where
     N: pstar_topology::Network + Clone,
 {
     Engine::new(topo.clone(), scheme, mix, cfg).run()
+}
+
+/// Runs a simulation under a fault plan. With an empty plan this is
+/// exactly [`run`] (bit-identical report).
+pub fn run_with_faults<N, S: Scheme>(
+    topo: &N,
+    scheme: S,
+    mix: pstar_traffic::TrafficMix,
+    cfg: SimConfig,
+    plan: FaultPlan,
+    policy: DeadLinkPolicy,
+) -> SimReport
+where
+    N: pstar_topology::Network + Clone,
+{
+    Engine::new(topo.clone(), scheme, mix, cfg)
+        .with_fault_plan(plan, policy)
+        .run()
 }

@@ -12,6 +12,49 @@ pub struct ClassStats {
     pub wait: Summary,
 }
 
+/// Resilience measurements, populated when a fault plan is installed
+/// (see `Engine::with_fault_plan`). The [`Default`] value is the
+/// fault-free report: everything delivered, nothing recovered from.
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Fault events that took effect during the run.
+    pub events_applied: u64,
+    /// Fraction of offered *measured* receptions actually delivered:
+    /// `delivered / (delivered + lost)`; `1.0` when nothing was offered.
+    pub delivered_reception_fraction: f64,
+    /// Drops attributable to dead links (subset of
+    /// [`SimReport::dropped_packets`], which also counts buffer
+    /// overflows).
+    pub fault_dropped_packets: u64,
+    /// Measured broadcasts damaged specifically by fault drops.
+    pub fault_damaged_broadcasts: u64,
+    /// Time-to-recovery: slots from a link's repair until it has carried
+    /// traffic again and its backlog first clears (at most one sample
+    /// per repaired link; links that never see traffic again are
+    /// censored and contribute no sample).
+    pub recovery_time: Summary,
+    /// Slots of the run during which at least one link or node was dead.
+    pub fault_slots: u64,
+    /// Per-class waiting times of services started during fault epochs
+    /// (window only) — the degraded-mode counterpart of
+    /// [`SimReport::class`].
+    pub class_wait_fault: Vec<Summary>,
+}
+
+impl Default for FaultReport {
+    fn default() -> Self {
+        Self {
+            events_applied: 0,
+            delivered_reception_fraction: 1.0,
+            fault_dropped_packets: 0,
+            fault_damaged_broadcasts: 0,
+            recovery_time: pstar_stats::Moments::default().summary(),
+            fault_slots: 0,
+            class_wait_fault: Vec::new(),
+        }
+    }
+}
+
 /// Everything a run measures.
 ///
 /// All delay statistics cover tasks *generated inside the measurement
@@ -86,6 +129,9 @@ pub struct SimReport {
     /// Bounded queues ⇔ stability; linear growth ⇔ offered load above the
     /// scheme's sustainable throughput (§2).
     pub queue_trace: Vec<(u64, u64)>,
+    /// Resilience measurements (the [`Default`] fault-free report unless
+    /// a fault plan was installed).
+    pub faults: FaultReport,
 }
 
 impl SimReport {
@@ -126,6 +172,24 @@ impl std::fmt::Display for SimReport {
             "reception={:.2} broadcast={:.2} unicast={:.2} (means, slots)",
             self.reception_delay.mean, self.broadcast_delay.mean, self.unicast_delay.mean
         )?;
+        if self.dropped_packets > 0 {
+            writeln!(
+                f,
+                "drops: {} packets, {} receptions lost, {} broadcasts damaged",
+                self.dropped_packets, self.lost_receptions, self.damaged_broadcasts
+            )?;
+        }
+        if self.faults.events_applied > 0 {
+            writeln!(
+                f,
+                "faults: {} events over {} slots, delivered={:.4}, recovery={:.1} (mean slots, n={})",
+                self.faults.events_applied,
+                self.faults.fault_slots,
+                self.faults.delivered_reception_fraction,
+                self.faults.recovery_time.mean,
+                self.faults.recovery_time.count
+            )?;
+        }
         for (k, c) in self.class.iter().enumerate() {
             writeln!(
                 f,

@@ -61,6 +61,22 @@ impl PriorityQueue {
         unreachable!("len counter out of sync with class FIFOs");
     }
 
+    /// Re-enqueues a packet at the *head* of its class FIFO — used when a
+    /// link fault interrupts an in-service packet under the requeue
+    /// policy, so it resumes first after repair.
+    pub fn push_front(&mut self, packet: Packet) {
+        debug_assert!((packet.priority as usize) < MAX_PRIORITY_CLASSES);
+        self.classes[packet.priority as usize].push_front(packet);
+        self.len += 1;
+    }
+
+    /// Removes every queued packet, FIFO order within priority order —
+    /// used when a link dies under the drop policy.
+    pub fn drain_all(&mut self) -> impl Iterator<Item = Packet> + '_ {
+        self.len = 0;
+        self.classes.iter_mut().flat_map(|c| c.drain(..))
+    }
+
     /// Number of packets queued in one class.
     pub fn class_len(&self, class: usize) -> usize {
         self.classes[class].len()
@@ -119,6 +135,28 @@ mod tests {
         q.push(pkt(0, 2));
         assert_eq!(served.task, 1);
         assert_eq!(q.pop().unwrap().task, 2);
+    }
+
+    #[test]
+    fn push_front_restores_head_of_line() {
+        let mut q = PriorityQueue::new();
+        q.push(pkt(1, 1));
+        q.push(pkt(1, 2));
+        let head = q.pop().unwrap();
+        q.push_front(head);
+        assert_eq!(q.pop().unwrap().task, 1);
+        assert_eq!(q.pop().unwrap().task, 2);
+    }
+
+    #[test]
+    fn drain_all_empties_in_priority_order() {
+        let mut q = PriorityQueue::new();
+        q.push(pkt(1, 1));
+        q.push(pkt(0, 2));
+        let drained: Vec<u32> = q.drain_all().map(|p| p.task).collect();
+        assert_eq!(drained, vec![2, 1]);
+        assert!(q.is_empty());
+        assert!(q.pop().is_none());
     }
 
     #[test]

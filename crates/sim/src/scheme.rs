@@ -1,6 +1,7 @@
 //! The routing-scheme extension point.
 
 use crate::packet::{BroadcastState, Emit};
+use pstar_faults::LivenessView;
 use pstar_topology::NodeId;
 use rand::rngs::StdRng;
 
@@ -52,6 +53,15 @@ pub trait Scheme {
     /// copy's own pending receptions (`hops_left`) times the coverage of
     /// every later phase.
     fn subtree_receptions(&self, state: &BroadcastState) -> u32;
+
+    /// Notification that the set of dead links/nodes changed (fault
+    /// injection). Schemes may re-balance their routing around the
+    /// surviving links (degraded mode); the default ignores faults.
+    ///
+    /// Called by the engine only when liveness actually changes, never on
+    /// the fault-free path — so a scheme's healthy behaviour (including
+    /// its RNG consumption) is untouched when no plan is installed.
+    fn on_liveness_change(&mut self, _view: &LivenessView) {}
 }
 
 impl<S: Scheme + ?Sized> Scheme for &S {
@@ -90,4 +100,8 @@ impl<S: Scheme + ?Sized> Scheme for &S {
     fn subtree_receptions(&self, state: &BroadcastState) -> u32 {
         (**self).subtree_receptions(state)
     }
+
+    // `on_liveness_change` keeps its no-op default: a shared reference
+    // cannot mutate the underlying scheme, so borrowed schemes simply
+    // never enter degraded mode.
 }

@@ -29,6 +29,9 @@ pub trait Network {
     /// Table mapping dense link id → receiving node.
     fn link_target_table(&self) -> Vec<NodeId>;
 
+    /// Table mapping dense link id → transmitting node.
+    fn link_source_table(&self) -> Vec<NodeId>;
+
     /// Table mapping dense link id → dimension.
     fn link_dim_table(&self) -> Vec<u8>;
 
@@ -58,6 +61,12 @@ impl Network for Torus {
 
     fn link_target_table(&self) -> Vec<NodeId> {
         Torus::link_target_table(self)
+    }
+
+    fn link_source_table(&self) -> Vec<NodeId> {
+        (0..Torus::link_count(self))
+            .map(|i| self.link(LinkId(i)).from)
+            .collect()
     }
 
     fn link_dim_table(&self) -> Vec<u8> {
@@ -92,6 +101,12 @@ impl Network for Mesh {
 
     fn link_target_table(&self) -> Vec<NodeId> {
         Mesh::link_target_table(self)
+    }
+
+    fn link_source_table(&self) -> Vec<NodeId> {
+        (0..Mesh::link_count(self))
+            .map(|i| self.link(LinkId(i)).from)
+            .collect()
     }
 
     fn link_dim_table(&self) -> Vec<u8> {
@@ -129,6 +144,10 @@ impl<N: Network + ?Sized> Network for &N {
         (**self).link_target_table()
     }
 
+    fn link_source_table(&self) -> Vec<NodeId> {
+        (**self).link_source_table()
+    }
+
     fn link_dim_table(&self) -> Vec<u8> {
         (**self).link_dim_table()
     }
@@ -160,12 +179,16 @@ mod tests {
 
     fn check_tables<N: Network>(net: &N) {
         let targets = net.link_target_table();
+        let sources = net.link_source_table();
         let dims = net.link_dim_table();
         assert_eq!(targets.len(), net.link_count() as usize);
+        assert_eq!(sources.len(), net.link_count() as usize);
         assert_eq!(dims.len(), net.link_count() as usize);
         assert!(dims.iter().all(|&d| (d as usize) < net.d()));
-        // Every target is a valid node.
+        // Every endpoint is a valid node and no link is a self-loop.
         assert!(targets.iter().all(|t| t.0 < net.node_count()));
+        assert!(sources.iter().all(|s| s.0 < net.node_count()));
+        assert!(sources.iter().zip(&targets).all(|(s, t)| s != t));
     }
 
     #[test]

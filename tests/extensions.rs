@@ -312,7 +312,13 @@ fn engines_cross_validate_on_priority_star() {
         rho: 0.8,
         ..Default::default()
     };
-    let c = cfg(41);
+    // The engines use independent RNG streams, so at ρ = 0.8 the delay
+    // estimators need a longer window than the other tests to sit
+    // comfortably inside the 5% agreement band.
+    let c = SimConfig {
+        measure_slots: 30_000,
+        ..cfg(41)
+    };
     let step = run_scenario(&topo, &spec, c);
     let event =
         pstar_sim::EventEngine::new(topo.clone(), spec.build_scheme(&topo), spec.mix(&topo), c)

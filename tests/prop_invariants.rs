@@ -246,6 +246,85 @@ proptest! {
         }
     }
 
+    /// A fault-free [`pstar_sim::FaultPlan`] is free scaffolding: the
+    /// report is *bit-identical* to a run without any plan, for every
+    /// scheme, topology and seed (the engine keeps its fast path and the
+    /// fault machinery never touches the traffic RNG stream).
+    #[test]
+    fn fault_free_plan_reproduces_baseline_exactly(
+        topo in torus_strategy(),
+        kind_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let kind = SchemeKind::all()[kind_idx];
+        let spec = ScenarioSpec {
+            scheme: kind,
+            rho: 0.15,
+            broadcast_load_fraction: 0.7,
+            ..Default::default()
+        };
+        let mut cfg = SimConfig::quick(seed);
+        cfg.warmup_slots = 100;
+        cfg.measure_slots = 500;
+        let mix = spec.mix(&topo);
+        let base = pstar_sim::run(&topo, spec.build_scheme(&topo), mix, cfg);
+        let faulted = pstar_sim::run_with_faults(
+            &topo,
+            spec.build_scheme(&topo),
+            mix,
+            cfg,
+            pstar_sim::FaultPlan::none(),
+            pstar_sim::DeadLinkPolicy::Drop,
+        );
+        prop_assert_eq!(base.reception_delay.mean, faulted.reception_delay.mean);
+        prop_assert_eq!(base.broadcast_delay.mean, faulted.broadcast_delay.mean);
+        prop_assert_eq!(base.unicast_delay.mean, faulted.unicast_delay.mean);
+        prop_assert_eq!(base.window_transmissions, faulted.window_transmissions);
+        prop_assert_eq!(base.peak_queue_total, faulted.peak_queue_total);
+        prop_assert_eq!(base.vc_transmissions, faulted.vc_transmissions);
+        prop_assert_eq!(faulted.faults.events_applied, 0);
+        prop_assert_eq!(faulted.faults.delivered_reception_fraction, 1.0);
+    }
+
+    /// Under a scripted mid-run outage with the drop policy, goodput
+    /// accounting stays exact on any topology: every measured reception
+    /// is either delivered or counted lost, and the delivered fraction
+    /// is a genuine fraction.
+    #[test]
+    fn fault_drop_accounting_is_conserved(
+        topo in torus_strategy(),
+        seed in any::<u64>(),
+        eighths in 1usize..4,
+    ) {
+        let links = pstar_sim::shuffled_links(topo.link_count(), seed ^ 0xF00D);
+        let dead = &links[..(links.len() * eighths / 8).max(1)];
+        let plan = pstar_sim::FaultPlan::link_outage_window(dead, 200, 400);
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.2,
+            ..Default::default()
+        };
+        let mut cfg = SimConfig::quick(seed);
+        cfg.warmup_slots = 100;
+        cfg.measure_slots = 500;
+        let rep = pstar_sim::run_with_faults(
+            &topo,
+            StarScheme::priority_star(&topo),
+            spec.mix(&topo),
+            cfg,
+            plan,
+            pstar_sim::DeadLinkPolicy::Drop,
+        );
+        prop_assert!(rep.completed, "{} on {}", rep, topo);
+        prop_assert_eq!(
+            rep.reception_delay.count + rep.lost_receptions,
+            rep.measured_broadcasts * (topo.node_count() as u64 - 1)
+        );
+        let frac = rep.faults.delivered_reception_fraction;
+        prop_assert!((0.0..=1.0).contains(&frac), "fraction {}", frac);
+        prop_assert_eq!(rep.faults.events_applied, 2 * dead.len() as u64);
+    }
+
     /// Variable lengths: the offered utilization is preserved for any
     /// length law, because the runner rescales task rates by the mean.
     #[test]
