@@ -1,0 +1,103 @@
+//! Recovery-layer overhead: the same operating point with the recovery
+//! machinery absent, with an ARQ layer configured on a fault-free run
+//! (the idle / zero-overhead path — should time identically to absent),
+//! with ARQ actively recovering a ~1% link outage, and with bounded
+//! queues + admission gating an overloaded source. Bounds what the
+//! robustness layer costs when off, idle, and working.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priority_star::prelude::*;
+use priority_star::run_scenario_with_faults;
+use pstar_sim::{shuffled_links, AdmissionConfig, ArqConfig, DeadLinkPolicy, FaultPlan};
+use std::time::Duration;
+
+fn point() -> (Torus, ScenarioSpec, SimConfig) {
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.5,
+        ..Default::default()
+    };
+    let cfg = SimConfig {
+        warmup_slots: 500,
+        measure_slots: 2_000,
+        max_slots: 100_000,
+        seed: 11,
+        ..SimConfig::default()
+    };
+    (topo, spec, cfg)
+}
+
+fn arq() -> ArqConfig {
+    ArqConfig {
+        base_timeout: 16,
+        max_backoff_exp: 5,
+        jitter: 7,
+        max_retries: None,
+    }
+}
+
+fn recovery_overhead(c: &mut Criterion) {
+    let (topo, spec, cfg) = point();
+    let mut g = c.benchmark_group("recovery_overhead_8x8_rho05");
+    g.bench_function("disabled", |b| b.iter(|| run_scenario(&topo, &spec, cfg)));
+    // ARQ configured but never firing (fault-free): the idle path the
+    // bit-identity tests pin — its cost should be indistinguishable
+    // from `disabled`.
+    let idle_cfg = SimConfig {
+        arq: Some(arq()),
+        ..cfg
+    };
+    g.bench_function("arq_idle", |b| {
+        b.iter(|| run_scenario(&topo, &spec, idle_cfg))
+    });
+    // ARQ recovering a ~1% outage over the middle half of the window,
+    // mirroring the `recovery` sweep's shape: timeout wheel, backoff
+    // RNG, and re-injection all exercised.
+    let perm = shuffled_links(topo.link_count(), 42);
+    let dead = (0.01f64 * topo.link_count() as f64).ceil() as usize;
+    let down = cfg.warmup_slots + cfg.measure_slots / 4;
+    let up = cfg.warmup_slots + 3 * cfg.measure_slots / 4;
+    g.bench_function("arq_outage_1pct", |b| {
+        b.iter(|| {
+            run_scenario_with_faults(
+                &topo,
+                &spec,
+                idle_cfg,
+                FaultPlan::link_outage_window(&perm[..dead], down, up),
+                DeadLinkPolicy::Drop,
+            )
+        })
+    });
+    // Overloaded source (ρ = 1.2) held stable by bounded queues and a
+    // token bucket admitting ρ = 0.5 worth of tasks.
+    let overload = ScenarioSpec { rho: 1.2, ..spec };
+    let admitted = ScenarioSpec { rho: 0.5, ..spec };
+    let admission_cfg = SimConfig {
+        queue_capacity: Some(16),
+        admission: Some(AdmissionConfig {
+            rate: admitted.mix(&topo).lambda_broadcast,
+            burst: 4.0,
+        }),
+        unstable_queue_per_link: 150.0,
+        ..cfg
+    };
+    g.bench_function("admission_rho12", |b| {
+        b.iter(|| run_scenario(&topo, &overload, admission_cfg))
+    });
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = recovery;
+    config = configured();
+    targets = recovery_overhead
+}
+criterion_main!(recovery);

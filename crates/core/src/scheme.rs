@@ -237,6 +237,16 @@ impl Scheme for StarScheme {
         (state.hops_left as u64 * later_coverage) as u32
     }
 
+    fn retransmit_priority(&self, _original: u8) -> u8 {
+        // A recovered copy is the oldest outstanding work of its task:
+        // serving it at the highest class bounds time-to-full-delivery
+        // instead of letting it queue behind fresh ending-dimension
+        // traffic. For the FCFS instances (one class) every packet is
+        // already class 0, so this is the identity and the baselines'
+        // recovery behaviour matches their healthy discipline exactly.
+        0
+    }
+
     fn on_liveness_change(&mut self, view: &pstar_faults::LivenessView) {
         self.degraded = if view.any_faults() {
             match self.degraded_policy {
@@ -274,6 +284,21 @@ mod tests {
     use pstar_queueing::{lambda_broadcast_for_rho, rates_for_rho};
     use pstar_sim::{Engine, SimConfig};
     use pstar_traffic::TrafficMix;
+
+    #[test]
+    fn retransmissions_ride_the_highest_class() {
+        let topo = Torus::new(&[4, 4]);
+        let star = StarScheme::priority_star(&topo);
+        // Priority STAR demotes ending-dimension copies to class 1; a
+        // recovered copy is boosted back to class 0.
+        assert_eq!(star.retransmit_priority(1), 0);
+        assert_eq!(star.retransmit_priority(0), 0);
+        // FCFS has a single class, so the boost is the identity and the
+        // baseline discipline is preserved under recovery.
+        let fcfs = StarScheme::fcfs_direct(&topo);
+        assert_eq!(fcfs.num_priorities(), 1);
+        assert_eq!(fcfs.retransmit_priority(0), 0);
+    }
 
     #[test]
     fn injected_broadcast_matches_eq1_counts() {

@@ -33,15 +33,25 @@ impl Table {
         }
     }
 
-    /// Writes `<name>.csv` into `dir` and prints the table to stdout.
-    pub fn emit(&self, dir: &Path, name: &str) {
+    /// Writes `<name>.csv` into `dir`, propagating I/O errors.
+    pub fn try_write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
         let path = dir.join(format!("{name}.csv"));
-        let mut fh = std::fs::File::create(&path).expect("create csv");
-        writeln!(fh, "{}", self.header.join(",")).unwrap();
+        let mut fh = std::fs::File::create(&path)?;
+        writeln!(fh, "{}", self.header.join(","))?;
         for r in &self.rows {
-            writeln!(fh, "{}", r.join(",")).unwrap();
+            writeln!(fh, "{}", r.join(","))?;
         }
-        drop(fh);
+        fh.flush()
+    }
+
+    /// Writes `<name>.csv` into `dir` and prints the table to stdout.
+    /// Exits with a clear message if the CSV cannot be written — losing
+    /// the artifact of a long sweep should be loud, not a panic trace.
+    pub fn emit(&self, dir: &Path, name: &str) {
+        if let Err(e) = self.try_write_csv(dir, name) {
+            crate::fatal(&format!("writing {name}.csv"), &e);
+        }
+        let path = dir.join(format!("{name}.csv"));
 
         // Console rendering with aligned columns.
         let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();

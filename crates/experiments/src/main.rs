@@ -23,6 +23,10 @@
 //!   balance_gallery     solved Eq.(2)/(4) vectors for a gallery of tori
 //!   resilience          delivered fraction & recovery under link faults
 //!                       (fault-rate × ρ grid; `--smoke` for the CI gate)
+//!   recovery            end-to-end ARQ loss recovery and overload
+//!                       protection: fault-rate × ρ × policy sweep plus
+//!                       an admission-control overload sweep (`--smoke`
+//!                       asserts the recovery guarantees for CI)
 //!   plot                render previously generated CSVs as SVG figures
 //!   collectives         static MNB / total-exchange completion vs bounds
 //!   verify              reproduction gate: re-check every headline claim
@@ -38,6 +42,7 @@ mod custom;
 mod figures;
 mod plot;
 mod record;
+mod recovery;
 mod resilience;
 mod svg;
 mod sweep;
@@ -46,6 +51,15 @@ mod verify;
 
 use pstar_sim::SimConfig;
 use std::path::PathBuf;
+
+/// Prints a clear error and exits nonzero. Used for unrecoverable I/O
+/// failures (output directory, CSV/JSONL/SVG writes): an experiment
+/// whose artifacts cannot be written must fail loudly, not panic with a
+/// backtrace or silently lose results.
+pub fn fatal(context: &str, err: &dyn std::fmt::Display) -> ! {
+    eprintln!("experiments: {context}: {err}");
+    std::process::exit(1);
+}
 
 /// Shared harness context.
 pub struct Ctx {
@@ -87,13 +101,27 @@ impl Ctx {
         }
     }
 
-    /// Per-point deterministic seed.
+    /// Per-point deterministic seed: FNV-1a over the tag bytes, mixed
+    /// with the index, finished with splitmix64.
+    ///
+    /// A fixed, specified function — NOT `DefaultHasher`, whose
+    /// algorithm the standard library documents as unstable across
+    /// releases. Published results must cite seeds that any toolchain
+    /// reproduces (`seed_function_is_stable` pins known values).
     pub fn seed(&self, tag: &str, idx: usize) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        tag.hash(&mut h);
-        idx.hash(&mut h);
-        h.finish()
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in tag.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= idx as u64;
+        // splitmix64 finalizer: FNV alone mixes the low bits of short
+        // inputs poorly, and these seeds feed PCG-style generators that
+        // want full-width entropy.
+        let mut z = h.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 }
 
@@ -108,7 +136,11 @@ fn main() {
             "--quick" => quick = true,
             "--smoke" => smoke = true,
             "--out" => {
-                out = PathBuf::from(args.next().expect("--out needs a directory"));
+                let Some(dir) = args.next() else {
+                    eprintln!("experiments: --out needs a directory argument");
+                    std::process::exit(2);
+                };
+                out = PathBuf::from(dir);
             }
             "--help" | "-h" => {
                 eprintln!(
@@ -123,7 +155,9 @@ fn main() {
         eprintln!("no command given; try `experiments all` (see --help)");
         std::process::exit(2);
     }
-    std::fs::create_dir_all(&out).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        fatal(&format!("creating output directory {}", out.display()), &e);
+    }
     let ctx = Ctx::new(quick, smoke, out);
 
     // `custom` consumes every argument after it.
@@ -160,6 +194,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "saturation_trace" => tables::saturation_trace(ctx),
         "balance_gallery" => tables::balance_gallery(ctx),
         "resilience" => resilience::resilience(ctx),
+        "recovery" => recovery::recovery(ctx),
         "plot" => plot::plot_all(ctx),
         "verify" => verify::verify(ctx),
         "collectives" => tables::collectives(ctx),
@@ -187,6 +222,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "saturation_trace",
                 "balance_gallery",
                 "resilience",
+                "recovery",
                 "plot",
             ] {
                 run_command(ctx, c);
@@ -199,4 +235,24 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         }
     }
     eprintln!("[{cmd}] done in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_function_is_stable() {
+        // Pinned values: published results cite these seeds, so the
+        // function must never drift (the reason `DefaultHasher` — whose
+        // algorithm is unspecified — was replaced).
+        let ctx = Ctx::new(true, false, PathBuf::from("/tmp"));
+        assert_eq!(ctx.seed("resilience", 0), 0xadcf_1655_a815_71c8);
+        assert_eq!(ctx.seed("resilience", 1), 0x815d_a5aa_ed98_8f62);
+        assert_eq!(ctx.seed("recovery", 7), 0x9d3c_5871_9c2a_abf9);
+        assert_eq!(ctx.seed("fig2", 3), 0x6ad4_8495_5444_7bf1);
+        // Distinct tags and indices decorrelate.
+        assert_ne!(ctx.seed("fig2", 0), ctx.seed("fig3", 0));
+        assert_ne!(ctx.seed("fig2", 0), ctx.seed("fig2", 1));
+    }
 }

@@ -54,7 +54,9 @@ fn series_from(
 
 fn write_svg(ctx: &Ctx, name: &str, chart: &Chart) {
     let path = ctx.out.join(format!("{name}.svg"));
-    std::fs::write(&path, chart.render()).expect("write svg");
+    if let Err(e) = std::fs::write(&path, chart.render()) {
+        crate::fatal(&format!("writing {}", path.display()), &e);
+    }
     println!("plotted {}", path.display());
 }
 
@@ -307,6 +309,103 @@ fn plot_resilience(ctx: &Ctx) {
     }
 }
 
+fn plot_recovery(ctx: &Ctx) {
+    // Part A: delivered fraction vs fault rate per recovery arm
+    // (priority STAR; the ARQ arms should pin to 1.0).
+    if let Some((header, rows)) = read_csv(&ctx.out.join("recovery.csv")) {
+        let (Some(si), Some(ri), Some(ai)) = (
+            col(&header, "scheme"),
+            col(&header, "rho"),
+            col(&header, "arm"),
+        ) else {
+            eprintln!("[plot] recovery.csv has unexpected columns");
+            return;
+        };
+        let mut rhos: Vec<String> = rows.iter().map(|r| r[ri].clone()).collect();
+        rhos.sort();
+        rhos.dedup();
+        let arms = [
+            ("no-arq", MEASURED_A),
+            ("arq-drop-tail", MEASURED_B),
+            ("arq-drop-lowest", MEASURED_C),
+            ("arq-backpressure", "#9467bd"),
+        ];
+        for rho in rhos {
+            let sub: Vec<Vec<String>> = rows
+                .iter()
+                .filter(|r| r[ri] == rho && r[si] == "priority-star")
+                .cloned()
+                .collect();
+            let mut series = Vec::new();
+            for (arm, color) in arms {
+                let mine: Vec<Vec<String>> = sub.iter().filter(|r| r[ai] == arm).cloned().collect();
+                series.extend(series_from(
+                    &header,
+                    &mine,
+                    "fault_rate",
+                    "delivered_fraction",
+                    arm,
+                    color,
+                    arm == "no-arq",
+                ));
+            }
+            if series.is_empty() {
+                continue;
+            }
+            let slug = rho.replace('.', "");
+            let chart = Chart {
+                title: format!("recovery: ARQ delivered fraction, priority STAR, ρ = {rho}"),
+                x_label: "fault rate (fraction of links down mid-run)".into(),
+                y_label: "delivered reception fraction".into(),
+                series,
+            };
+            write_svg(ctx, &format!("recovery_rho{slug}"), &chart);
+        }
+    } else {
+        eprintln!("[plot] recovery.csv missing — run `experiments recovery` first");
+    }
+
+    // Part B: goodput vs offered load with and without admission control.
+    let Some((header, rows)) = read_csv(&ctx.out.join("recovery_overload.csv")) else {
+        eprintln!("[plot] recovery_overload.csv missing — run `experiments recovery` first");
+        return;
+    };
+    let (Some(si), Some(ai)) = (col(&header, "scheme"), col(&header, "admission")) else {
+        eprintln!("[plot] recovery_overload.csv has unexpected columns");
+        return;
+    };
+    let mut series = Vec::new();
+    for (adm, label, color) in [
+        ("false", "open loop", MEASURED_A),
+        ("true", "token-bucket admission", MEASURED_B),
+    ] {
+        let mine: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r[si] == "priority-star" && r[ai] == adm)
+            .cloned()
+            .collect();
+        series.extend(series_from(
+            &header,
+            &mine,
+            "rho",
+            "goodput_fraction",
+            label,
+            color,
+            adm == "false",
+        ));
+    }
+    if series.is_empty() {
+        return;
+    }
+    let chart = Chart {
+        title: "recovery: goodput vs offered load, priority STAR".into(),
+        x_label: "offered throughput factor ρ".into(),
+        y_label: "goodput fraction".into(),
+        series,
+    };
+    write_svg(ctx, "recovery_goodput", &chart);
+}
+
 /// Plots every figure whose CSV exists in the output directory.
 pub fn plot_all(ctx: &Ctx) {
     plot_delay_figure(ctx, "fig2", "reception", "8x8 torus");
@@ -319,6 +418,7 @@ pub fn plot_all(ctx: &Ctx) {
     plot_table3(ctx);
     plot_saturation(ctx);
     plot_resilience(ctx);
+    plot_recovery(ctx);
 }
 
 #[cfg(test)]

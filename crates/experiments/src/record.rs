@@ -49,6 +49,20 @@ pub struct PointRecord {
     pub lost_receptions: u64,
     /// Broadcasts that lost at least one reception.
     pub damaged_broadcasts: u64,
+    /// ARQ retransmissions re-injected (0 when recovery is disabled).
+    pub retransmissions: u64,
+    /// Receptions abandoned after exhausting the retry budget.
+    pub gave_up_receptions: u64,
+    /// Broadcast tasks refused by admission control.
+    pub rejected_broadcasts: u64,
+    /// Task injections deferred by source backpressure.
+    pub deferred_injections: u64,
+    /// Packets evicted by the drop-lowest-class full-queue policy.
+    pub evicted_packets: u64,
+    /// Delivered receptions / (offered + admission-rejected) receptions.
+    pub goodput_fraction: f64,
+    /// Time-average network-wide queued packets over the window.
+    pub mean_queued_packets: f64,
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -111,6 +125,13 @@ impl PointRecord {
             dropped_packets: rep.dropped_packets,
             lost_receptions: rep.lost_receptions,
             damaged_broadcasts: rep.damaged_broadcasts,
+            retransmissions: rep.recovery.retransmissions,
+            gave_up_receptions: rep.recovery.gave_up_receptions,
+            rejected_broadcasts: rep.flow.rejected_broadcasts,
+            deferred_injections: rep.flow.deferred_injections,
+            evicted_packets: rep.flow.evicted_packets,
+            goodput_fraction: rep.flow.goodput_fraction,
+            mean_queued_packets: rep.flow.mean_queued_packets,
         }
     }
 
@@ -157,18 +178,37 @@ impl PointRecord {
         num_field(&mut s, "concurrent_unicasts", self.concurrent_unicasts);
         let _ = write!(s, "\"dropped_packets\":{},", self.dropped_packets);
         let _ = write!(s, "\"lost_receptions\":{},", self.lost_receptions);
-        let _ = write!(s, "\"damaged_broadcasts\":{}", self.damaged_broadcasts);
+        let _ = write!(s, "\"damaged_broadcasts\":{},", self.damaged_broadcasts);
+        let _ = write!(s, "\"retransmissions\":{},", self.retransmissions);
+        let _ = write!(s, "\"gave_up_receptions\":{},", self.gave_up_receptions);
+        let _ = write!(s, "\"rejected_broadcasts\":{},", self.rejected_broadcasts);
+        let _ = write!(s, "\"deferred_injections\":{},", self.deferred_injections);
+        let _ = write!(s, "\"evicted_packets\":{},", self.evicted_packets);
+        num_field(&mut s, "goodput_fraction", self.goodput_fraction);
+        num_field(&mut s, "mean_queued_packets", self.mean_queued_packets);
+        // Strip the trailing comma left by num_field.
+        s.pop();
         s.push('}');
         s
     }
 }
 
-/// Appends records to `<name>.jsonl` in `dir`.
-pub fn write_jsonl(dir: &Path, name: &str, records: &[PointRecord]) {
+/// Appends records to `<name>.jsonl` in `dir`, propagating I/O errors.
+pub fn try_write_jsonl(dir: &Path, name: &str, records: &[PointRecord]) -> std::io::Result<()> {
     let path = dir.join(format!("{name}.jsonl"));
-    let mut fh = std::fs::File::create(&path).expect("create jsonl");
+    let mut fh = std::fs::File::create(&path)?;
     for r in records {
-        writeln!(fh, "{}", r.to_json()).unwrap();
+        writeln!(fh, "{}", r.to_json())?;
+    }
+    fh.flush()
+}
+
+/// As [`try_write_jsonl`], but exits with a clear message on failure —
+/// a sweep's results are gone if its record stream cannot be written,
+/// so carrying on (or panicking with a bare `unwrap`) helps nobody.
+pub fn write_jsonl(dir: &Path, name: &str, records: &[PointRecord]) {
+    if let Err(e) = try_write_jsonl(dir, name, records) {
+        crate::fatal(&format!("writing {name}.jsonl"), &e);
     }
 }
 
@@ -194,6 +234,11 @@ mod tests {
         let json = rec.to_json();
         assert!(json.contains("\"experiment\":\"unit\""));
         assert!(json.contains("\"dropped_packets\":0"));
+        // Recovery/flow fields are present (and inert on a healthy run).
+        assert!(json.contains("\"retransmissions\":0"));
+        assert!(json.contains("\"rejected_broadcasts\":0"));
+        assert!(json.contains("\"goodput_fraction\":1"));
+        assert!(json.ends_with('}') && !json.contains(",}"), "{json}");
     }
 
     #[test]

@@ -152,6 +152,39 @@ impl FaultPlan {
         Self::scripted(events)
     }
 
+    /// `true` when every fault in the plan is eventually repaired: each
+    /// `LinkDown` is followed by a later `LinkUp` of the same link and
+    /// each `NodeCrash` by a later `NodeRecover` of the same node.
+    ///
+    /// Transient plans are the precondition for the ARQ completeness
+    /// guarantee (unbounded retries eventually deliver everything): a
+    /// permanently dead link can starve retransmissions forever.
+    pub fn is_transient(&self) -> bool {
+        let mut down_links = std::collections::HashSet::new();
+        let mut down_nodes = std::collections::HashSet::new();
+        // Events are slot-sorted, so "later" is simply "after" — a
+        // repair scheduled before (or tied with) the failure does not
+        // clear it, because `scripted` keeps tie order and the engine
+        // applies ties in sequence.
+        for e in &self.events {
+            match e.kind {
+                FaultKind::LinkDown(l) => {
+                    down_links.insert(l);
+                }
+                FaultKind::LinkUp(l) => {
+                    down_links.remove(&l);
+                }
+                FaultKind::NodeCrash(n) => {
+                    down_nodes.insert(n);
+                }
+                FaultKind::NodeRecover(n) => {
+                    down_nodes.remove(&n);
+                }
+            }
+        }
+        down_links.is_empty() && down_nodes.is_empty()
+    }
+
     /// A plan sampled from independent geometric up/down processes per
     /// link and node, covering `[0, horizon)`. Deterministic in
     /// `cfg.seed`; the engine RNG is never touched.
@@ -435,6 +468,53 @@ impl FaultRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn transient_plans_are_recognised() {
+        assert!(FaultPlan::none().is_transient(), "vacuously transient");
+        assert!(FaultPlan::link_outage_window(&[LinkId(0), LinkId(3)], 10, 20).is_transient());
+        // A down without a later up is permanent.
+        let permanent = FaultPlan::scripted(vec![FaultEvent {
+            slot: 5,
+            kind: FaultKind::LinkDown(LinkId(1)),
+        }]);
+        assert!(!permanent.is_transient());
+        // An up *before* the down does not repair it.
+        let wrong_order = FaultPlan::scripted(vec![
+            FaultEvent {
+                slot: 3,
+                kind: FaultKind::LinkUp(LinkId(1)),
+            },
+            FaultEvent {
+                slot: 5,
+                kind: FaultKind::LinkDown(LinkId(1)),
+            },
+        ]);
+        assert!(!wrong_order.is_transient());
+        // Node crashes need a recover of the same node.
+        let crash = FaultPlan::scripted(vec![
+            FaultEvent {
+                slot: 1,
+                kind: FaultKind::NodeCrash(NodeId(2)),
+            },
+            FaultEvent {
+                slot: 9,
+                kind: FaultKind::NodeRecover(NodeId(3)),
+            },
+        ]);
+        assert!(!crash.is_transient());
+        let recovered = FaultPlan::scripted(vec![
+            FaultEvent {
+                slot: 1,
+                kind: FaultKind::NodeCrash(NodeId(2)),
+            },
+            FaultEvent {
+                slot: 9,
+                kind: FaultKind::NodeRecover(NodeId(2)),
+            },
+        ]);
+        assert!(recovered.is_transient());
+    }
 
     fn ring4_tables() -> (Vec<NodeId>, Vec<NodeId>) {
         // 4-ring with 2 directed links per node: link 2i = i→i+1,

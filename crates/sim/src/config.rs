@@ -1,5 +1,6 @@
 //! Simulation run configuration.
 
+use crate::recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy};
 use pstar_traffic::WorkloadSpec;
 
 /// Configuration of one simulation run.
@@ -24,10 +25,24 @@ pub struct SimConfig {
     /// Packet-length law (the paper's default is unit length).
     pub lengths: WorkloadSpec,
     /// Per-link output-buffer capacity in packets. `None` models the
-    /// paper's default infinite queues; `Some(k)` drops packets arriving
-    /// at a full buffer (§2 notes finite queues overflow past saturation
-    /// — this mode measures how much).
+    /// paper's default infinite queues; `Some(k)` applies
+    /// [`SimConfig::full_queue_policy`] to packets arriving at a full
+    /// buffer (§2 notes finite queues overflow past saturation — this
+    /// mode measures how much). Two documented exceptions may briefly
+    /// exceed the bound by in-transit packets that cannot be refused: a
+    /// fault requeue re-admitting an interrupted in-service packet
+    /// ([`crate::PriorityQueue::push_front`]), and transit forwards
+    /// under [`FullQueuePolicy::Backpressure`].
     pub queue_capacity: Option<u32>,
+    /// What a full bounded queue does with an arriving packet (ignored
+    /// when `queue_capacity` is `None`).
+    pub full_queue_policy: FullQueuePolicy,
+    /// End-to-end ARQ loss recovery; `None` (default) keeps every drop
+    /// permanent, bit-identical to the pre-recovery engine.
+    pub arq: Option<ArqConfig>,
+    /// Per-node token-bucket admission control; `None` (default) admits
+    /// every arrival.
+    pub admission: Option<AdmissionConfig>,
     /// Batch size for the batch-means reception-delay CI (the naive CI
     /// underestimates the error of correlated delay streams).
     pub delay_batch_size: u64,
@@ -58,6 +73,9 @@ impl Default for SimConfig {
             unstable_single_queue: 20_000.0,
             lengths: WorkloadSpec::Fixed(1),
             queue_capacity: None,
+            full_queue_policy: FullQueuePolicy::default(),
+            arq: None,
+            admission: None,
             delay_batch_size: 512,
             delay_histogram_cap: 4096,
             profile_by_distance: false,

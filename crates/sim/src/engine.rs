@@ -1,9 +1,10 @@
 //! The slotted simulation engine.
 
 use crate::config::SimConfig;
-use crate::metrics::{ClassStats, FaultReport, SimReport};
+use crate::metrics::{ClassStats, FaultReport, FlowReport, RecoveryReport, SimReport};
 use crate::packet::{Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 use crate::queue::PriorityQueue;
+use crate::recovery::{ArqConfig, FullQueuePolicy, RetxEntry, TimeoutWheel};
 use crate::scheme::Scheme;
 use crate::task::{TaskKind, TaskSlot, TaskTable};
 use pstar_faults::{DeadLinkPolicy, FaultPlan, FaultRuntime};
@@ -11,7 +12,8 @@ use pstar_stats::{BatchMeans, Histogram, Moments, TimeWeighted};
 use pstar_topology::{Link, LinkId, Network, NodeId};
 use pstar_traffic::{ArrivalProcess, PoissonArrivals, TrafficMix, UniformDestinations};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
 
 /// Fault-injection state carried by an engine with a non-empty plan.
 ///
@@ -34,6 +36,99 @@ struct FaultState {
     pending_recovery: Vec<(u32, u64, bool)>,
     recovery: Moments,
     wait_fault: [Moments; MAX_PRIORITY_CLASSES],
+}
+
+/// Seed perturbation for the ARQ jitter RNG: recovery draws come from
+/// their own stream so enabling ARQ never shifts traffic randomness.
+const ARQ_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// How many attempt buckets the backoff histogram tracks (the last
+/// bucket saturates).
+const BACKOFF_HIST_BUCKETS: usize = 32;
+
+/// Why a packet is being taken out of circulation.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum DropCause {
+    /// Lost to a dead link (counts toward the fault report).
+    Fault,
+    /// Lost to a full bounded queue (tail drop or eviction).
+    Overflow,
+    /// A retransmission attempt that could not be re-injected (link
+    /// still dead / queue still full). No transmission happened, so it
+    /// does not count as a new packet drop.
+    Retry,
+}
+
+/// ARQ recovery state carried by an engine with `cfg.arq` set; behind an
+/// `Option` so the recovery-free path pays nothing and stays
+/// bit-identical to the pre-recovery engine.
+struct RecoveryState {
+    cfg: ArqConfig,
+    wheel: TimeoutWheel,
+    /// Dedicated jitter stream (never the engine RNG).
+    rng: StdRng,
+    /// Scratch buffer reused by `fire_retransmissions`.
+    fire_buf: Vec<RetxEntry>,
+    timeouts_scheduled: u64,
+    retransmissions: u64,
+    backoff_hist: Vec<u64>,
+    acked_receptions: u64,
+    recovered_deliveries: u64,
+    gave_up_copies: u64,
+    gave_up_receptions: u64,
+    recovered_task_delay: Moments,
+}
+
+impl RecoveryState {
+    fn new(cfg: ArqConfig, seed: u64) -> Self {
+        Self {
+            cfg,
+            wheel: TimeoutWheel::new(),
+            rng: StdRng::seed_from_u64(seed ^ ARQ_SEED_SALT),
+            fire_buf: Vec::new(),
+            timeouts_scheduled: 0,
+            retransmissions: 0,
+            backoff_hist: vec![0; BACKOFF_HIST_BUCKETS],
+            acked_receptions: 0,
+            recovered_deliveries: 0,
+            gave_up_copies: 0,
+            gave_up_receptions: 0,
+            recovered_task_delay: Moments::new(),
+        }
+    }
+}
+
+/// A task arrival deferred by source backpressure: it re-attempts
+/// injection each slot, and its eventual `gen_time` stays the arrival
+/// slot so defer time shows up in the delay statistics.
+#[derive(Clone, Copy)]
+struct DeferredTask {
+    src: NodeId,
+    dest: Option<NodeId>,
+    arrival: u64,
+    measured: bool,
+}
+
+/// Flow-control state (admission tokens, backpressure queue, overload
+/// counters). Always present but empty/zero-cost when the features are
+/// off.
+struct FlowState {
+    /// Per-node token balances; empty unless admission control is on.
+    tokens: Vec<f64>,
+    /// Arrival-ordered backpressured tasks; only ever non-empty under
+    /// `FullQueuePolicy::Backpressure` with a finite capacity.
+    deferred: VecDeque<DeferredTask>,
+    /// Measured tasks currently deferred (keeps the drain loop alive
+    /// until they inject).
+    deferred_measured: u64,
+    /// Outgoing links per node; built only for backpressure.
+    out_links: Vec<Vec<u32>>,
+    rejected_broadcasts: u64,
+    rejected_unicasts: u64,
+    deferred_injections: u64,
+    defer_delay: Moments,
+    evicted: u64,
+    occupancy_sum: u128,
 }
 
 /// The simulator: a torus, a routing scheme, a workload, and per-link
@@ -90,6 +185,8 @@ pub struct Engine<N: Network, S: Scheme> {
     queue_trace: Vec<(u64, u64)>,
     unstable: bool,
     faults: Option<Box<FaultState>>,
+    recovery: Option<Box<RecoveryState>>,
+    flow: Box<FlowState>,
 }
 
 impl<N: Network, S: Scheme> Engine<N, S> {
@@ -101,6 +198,31 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         );
         let links = topo.link_count() as usize;
         let n = topo.node_count();
+        let flow = Box::new(FlowState {
+            tokens: match cfg.admission {
+                Some(adm) => vec![adm.burst; n as usize],
+                None => Vec::new(),
+            },
+            deferred: VecDeque::new(),
+            deferred_measured: 0,
+            out_links: if matches!(cfg.full_queue_policy, FullQueuePolicy::Backpressure)
+                && cfg.queue_capacity.is_some()
+            {
+                let mut out = vec![Vec::new(); n as usize];
+                for (l, src) in topo.link_source_table().iter().enumerate() {
+                    out[src.index()].push(l as u32);
+                }
+                out
+            } else {
+                Vec::new()
+            },
+            rejected_broadcasts: 0,
+            rejected_unicasts: 0,
+            deferred_injections: 0,
+            defer_delay: Moments::new(),
+            evicted: 0,
+            occupancy_sum: 0,
+        });
         Self {
             queues: (0..links).map(|_| PriorityQueue::new()).collect(),
             in_flight: vec![None; links],
@@ -142,6 +264,8 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             queue_trace: Vec::new(),
             unstable: false,
             faults: None,
+            recovery: cfg.arq.map(|a| Box::new(RecoveryState::new(a, cfg.seed))),
+            flow,
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             topo,
@@ -212,13 +336,15 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     /// deterministic tree/latency tests together with
     /// [`Engine::run_until_idle`].
     pub fn inject_broadcast(&mut self, src: NodeId) -> u32 {
-        self.new_task(src, None, true, None)
+        let now = self.now;
+        self.new_task(src, None, true, None, now)
     }
 
     /// Injects a single unicast task, tagged for measurement.
     pub fn inject_unicast(&mut self, src: NodeId, dest: NodeId) -> u32 {
         assert_ne!(src, dest, "unicast to self");
-        self.new_task(src, Some(dest), true, None)
+        let now = self.now;
+        self.new_task(src, Some(dest), true, None, now)
     }
 
     /// Replays a recorded workload trace instead of sampling arrivals.
@@ -244,10 +370,11 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     next += 1;
                     continue;
                 }
-                self.new_task(src, dest, measured, Some(ev.len.max(1)));
+                let now = self.now;
+                self.new_task(src, dest, measured, Some(ev.len.max(1)), now);
                 next += 1;
             }
-            let drained = next >= events.len() && self.active.is_empty();
+            let drained = next >= events.len() && self.active.is_empty() && self.fully_idle();
             if drained {
                 break;
             }
@@ -255,7 +382,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 completed = false;
                 break;
             }
-            if self.queued_total > queue_limit {
+            if self.queued_total + self.flow.deferred.len() as i64 > queue_limit {
                 self.unstable = true;
                 completed = false;
                 break;
@@ -270,11 +397,19 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     /// slots stepped. Panics after `max_slots` as a safety net.
     pub fn run_until_idle(&mut self) -> u64 {
         let start = self.now;
-        while !self.active.is_empty() {
+        while !self.active.is_empty() || !self.fully_idle() {
             assert!(self.now < self.cfg.max_slots, "drain did not terminate");
             self.step(false);
         }
         self.now - start
+    }
+
+    /// `true` when no recovery timer is armed and no injection is
+    /// deferred — the recovery-layer half of the drain condition
+    /// (trivially true with recovery and backpressure off).
+    #[inline]
+    fn fully_idle(&self) -> bool {
+        self.flow.deferred.is_empty() && self.recovery.as_ref().is_none_or(|r| r.wheel.is_empty())
     }
 
     /// Runs the full warmup → measure → drain protocol and reports.
@@ -283,14 +418,19 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         let queue_limit = (self.cfg.unstable_queue_per_link * self.queues.len() as f64) as i64;
         let mut completed = true;
         loop {
-            if self.now >= end_measure && self.outstanding_measured == 0 {
+            if self.now >= end_measure
+                && self.outstanding_measured == 0
+                && self.flow.deferred_measured == 0
+            {
                 break;
             }
             if self.now >= self.cfg.max_slots {
                 completed = false;
                 break;
             }
-            if self.queued_total > queue_limit {
+            // Backpressure-deferred arrivals are queue occupancy the
+            // links haven't accepted yet; count them against the guard.
+            if self.queued_total + self.flow.deferred.len() as i64 > queue_limit {
                 self.unstable = true;
                 completed = false;
                 break;
@@ -357,14 +497,30 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             }
         }
 
-        // Phase 2: new tasks.
+        // Phase 2: re-injections, then new tasks. Retransmission timers
+        // and deferred (backpressured) injections fire before fresh
+        // arrivals so recovered / older work keeps its age order.
+        if self.recovery.as_ref().is_some_and(|r| !r.wheel.is_empty()) {
+            self.fire_retransmissions();
+        }
+        if !self.flow.deferred.is_empty() {
+            self.retry_deferred();
+        }
         if arrivals {
+            if let Some(adm) = self.cfg.admission {
+                for tok in &mut self.flow.tokens {
+                    *tok = (*tok + adm.rate).min(adm.burst);
+                }
+            }
             self.generate_arrivals();
         }
 
         // Phase 3: service starts, then in-place compaction of the active
         // list (a link stays active while busy or backlogged).
         let in_window = t >= self.cfg.warmup_slots && t < self.cfg.measure_end();
+        if in_window {
+            self.flow.occupancy_sum += self.queued_total.max(0) as u128;
+        }
         let mut w = 0;
         for i in 0..self.active.len() {
             let l = self.active[i] as usize;
@@ -460,14 +616,15 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         if let Some((pkt, _)) = self.in_flight[l].take() {
             match f.policy {
                 DeadLinkPolicy::Drop => {
-                    let before = self.damaged_broadcasts;
-                    self.settle_drop(&pkt);
-                    f.fault_dropped += 1;
-                    f.fault_damaged += self.damaged_broadcasts - before;
+                    self.handle_loss(l, pkt, DropCause::Fault, Some(f));
                 }
                 DeadLinkPolicy::Requeue => {
                     // Head of line again: the interrupted transmission
-                    // restarts from scratch after repair.
+                    // restarts from scratch after repair. This is the
+                    // documented one-slot capacity overflow: the packet
+                    // was already admitted once, so re-admitting it
+                    // must not fail even if the queue is full (see
+                    // `PriorityQueue::push_front`).
                     self.queues[l].push_front(pkt);
                     self.queued_total += 1;
                 }
@@ -476,13 +633,98 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         if matches!(f.policy, DeadLinkPolicy::Drop) && !self.queues[l].is_empty() {
             self.queued_total -= self.queues[l].len() as i64;
             let stranded: Vec<Packet> = self.queues[l].drain_all().collect();
-            for pkt in &stranded {
-                let before = self.damaged_broadcasts;
-                self.settle_drop(pkt);
-                f.fault_dropped += 1;
-                f.fault_damaged += self.damaged_broadcasts - before;
+            for pkt in stranded {
+                self.handle_loss(l, pkt, DropCause::Fault, Some(f));
             }
         }
+    }
+
+    /// Central loss handler: with ARQ recovery the packet's receptions
+    /// stay alive and a backoff timer is armed; without it (or once the
+    /// retry budget is exhausted — the `GaveUp` terminal state) the loss
+    /// is settled permanently.
+    ///
+    /// `faults` carries the fault-counter state when the caller already
+    /// holds it (fault ticks detach it from the engine); pass `None`
+    /// only via [`Engine::lose_packet`].
+    fn handle_loss(
+        &mut self,
+        link: usize,
+        pkt: Packet,
+        cause: DropCause,
+        faults: Option<&mut FaultState>,
+    ) {
+        let is_retry = cause == DropCause::Retry;
+        if self.recovery.is_some() {
+            // Re-inject at the failed hop: the source's retransmission
+            // would be duplicate-suppressed along the already-ACKed tree
+            // prefix, so the effective retransmission starts where the
+            // copy was lost; the prefix traversal is folded into the
+            // timeout.
+            let boosted = self.scheme.retransmit_priority(pkt.priority);
+            debug_assert!(
+                (boosted as usize) < self.scheme.num_priorities(),
+                "retransmit_priority out of range"
+            );
+            let now = self.now;
+            let rec = self.recovery.as_deref_mut().expect("checked above");
+            let attempt = pkt.attempt as u32;
+            if rec.cfg.max_retries.is_none_or(|m| attempt < m) {
+                let jitter = if rec.cfg.jitter > 0 {
+                    rec.rng.gen_range(0..=rec.cfg.jitter)
+                } else {
+                    0
+                };
+                let fire = now + rec.cfg.backoff(attempt) + jitter;
+                rec.backoff_hist[(attempt as usize).min(BACKOFF_HIST_BUCKETS - 1)] += 1;
+                rec.timeouts_scheduled += 1;
+                let mut p = pkt;
+                p.attempt = p.attempt.saturating_add(1);
+                p.priority = boosted;
+                rec.wheel.schedule(
+                    fire,
+                    RetxEntry {
+                        link: link as u32,
+                        pkt: p,
+                    },
+                );
+                self.tasks.mark_retx(pkt.task);
+                if !is_retry {
+                    self.dropped_packets += 1;
+                    if cause == DropCause::Fault {
+                        if let Some(f) = faults {
+                            f.fault_dropped += 1;
+                        }
+                    }
+                }
+                return;
+            }
+            rec.gave_up_copies += 1;
+        }
+        // Terminal loss: settle the packet's future receptions.
+        let before_damaged = self.damaged_broadcasts;
+        let before_lost = self.lost_receptions;
+        if !is_retry {
+            self.dropped_packets += 1;
+        }
+        self.settle_drop(&pkt);
+        if cause == DropCause::Fault {
+            if let Some(f) = faults {
+                f.fault_dropped += 1;
+                f.fault_damaged += self.damaged_broadcasts - before_damaged;
+            }
+        }
+        if let Some(rec) = self.recovery.as_deref_mut() {
+            rec.gave_up_receptions += self.lost_receptions - before_lost;
+        }
+    }
+
+    /// [`Engine::handle_loss`] for callers that do not already hold the
+    /// fault state (the emit-flush paths).
+    fn lose_packet(&mut self, link: usize, pkt: Packet, cause: DropCause) {
+        let mut f = self.faults.take();
+        self.handle_loss(link, pkt, cause, f.as_deref_mut());
+        self.faults = f;
     }
 
     fn start_service(&mut self, link: usize, pkt: Packet, in_window: bool) {
@@ -512,6 +754,14 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         let node = self.link_target[link];
         match pkt.kind {
             PacketKind::Broadcast(state) => {
+                // Every broadcast reception is ACKed to the source over
+                // the (contention-free) control plane while ARQ is on.
+                if let Some(rec) = self.recovery.as_deref_mut() {
+                    rec.acked_receptions += 1;
+                    if pkt.attempt > 0 {
+                        rec.recovered_deliveries += 1;
+                    }
+                }
                 // Distance profiling must read the task slot *before* the
                 // reception possibly completes and recycles it.
                 if !self.delay_by_distance.is_empty() && self.tasks.get(pkt.task).measured {
@@ -526,6 +776,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             }
             PacketKind::Unicast { dest } => {
                 if node == dest {
+                    if let Some(rec) = self.recovery.as_deref_mut() {
+                        rec.acked_receptions += 1;
+                        if pkt.attempt > 0 {
+                            rec.recovered_deliveries += 1;
+                        }
+                    }
                     self.record_unicast_delivery(pkt.task);
                 } else {
                     self.emit_buf.clear();
@@ -553,7 +809,13 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             // statistic — they never actually reached everyone.
             if slot.measured {
                 if slot.lost == 0 {
-                    self.broadcast_delay.push((t - slot.gen_time) as f64);
+                    let delay = (t - slot.gen_time) as f64;
+                    self.broadcast_delay.push(delay);
+                    if slot.retx {
+                        if let Some(rec) = self.recovery.as_deref_mut() {
+                            rec.recovered_task_delay.push(delay);
+                        }
+                    }
                 } else {
                     self.damaged_broadcasts += 1;
                 }
@@ -564,9 +826,10 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     }
 
     /// Settles a dropped packet's future receptions against its task.
+    /// The drop-event counting lives in [`Engine::handle_loss`] (a
+    /// failed *retry* settles here without being a new packet drop).
     fn settle_drop(&mut self, pkt: &Packet) {
         let t = self.now;
-        self.dropped_packets += 1;
         match pkt.kind {
             PacketKind::Broadcast(state) => {
                 let lost = self.scheme.subtree_receptions(&state);
@@ -602,12 +865,128 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         let slot = *self.tasks.get(task);
         debug_assert_eq!(slot.kind, TaskKind::Unicast);
         if slot.measured {
-            self.unicast_delay.push((t - slot.gen_time) as f64);
+            let delay = (t - slot.gen_time) as f64;
+            self.unicast_delay.push(delay);
+            if slot.retx {
+                if let Some(rec) = self.recovery.as_deref_mut() {
+                    rec.recovered_task_delay.push(delay);
+                }
+            }
             self.outstanding_measured -= 1;
         }
         let done = self.tasks.record_reception(task);
         debug_assert!(done);
         self.concurrent_ucast.add(t, -1);
+    }
+
+    /// Fires due retransmission timers: re-injects each copy at the hop
+    /// where it was lost, or — if the link is still dead or the bounded
+    /// queue still full — arms the next backoff round (or gives up once
+    /// the retry budget is spent).
+    fn fire_retransmissions(&mut self) {
+        let now = self.now;
+        let rec = self.recovery.as_deref_mut().expect("fire without recovery");
+        let mut due = std::mem::take(&mut rec.fire_buf);
+        due.clear();
+        rec.wheel.drain_due(now, &mut due);
+        let capacity = self.cfg.queue_capacity.map_or(usize::MAX, |c| c as usize);
+        for e in &due {
+            let link = e.link as usize;
+            // Backpressure lets a retransmission through like any
+            // transit packet; the drop policies re-arm the timer
+            // instead of overflowing the bound.
+            let room = self.queues[link].len() < capacity
+                || matches!(self.cfg.full_queue_policy, FullQueuePolicy::Backpressure);
+            if !self.link_alive(link) || !room {
+                self.lose_packet(link, e.pkt, DropCause::Retry);
+                continue;
+            }
+            let mut pkt = e.pkt;
+            pkt.enqueue_time = now;
+            self.queues[link].push(pkt);
+            self.queued_total += 1;
+            self.peak_queue = self.peak_queue.max(self.queued_total);
+            if !self.is_active[link] {
+                self.is_active[link] = true;
+                self.active.push(link as u32);
+            }
+            self.recovery
+                .as_deref_mut()
+                .expect("still installed")
+                .retransmissions += 1;
+        }
+        due.clear();
+        self.recovery
+            .as_deref_mut()
+            .expect("still installed")
+            .fire_buf = due;
+    }
+
+    /// Re-attempts backpressure-deferred injections in arrival order;
+    /// tasks whose source still has a full output queue keep waiting.
+    fn retry_deferred(&mut self) {
+        let mut i = 0;
+        while i < self.flow.deferred.len() {
+            let d = self.flow.deferred[i];
+            if self.source_blocked(d.src) {
+                i += 1;
+                continue;
+            }
+            self.flow.deferred.remove(i);
+            if d.measured {
+                self.flow.deferred_measured -= 1;
+                self.flow.deferred_injections += 1;
+                self.flow.defer_delay.push((self.now - d.arrival) as f64);
+            }
+            self.new_task(d.src, d.dest, d.measured, None, d.arrival);
+        }
+    }
+
+    /// `true` when backpressure is on and any of `src`'s output queues
+    /// is at capacity, so new injections from `src` must wait.
+    #[inline]
+    fn source_blocked(&self, src: NodeId) -> bool {
+        if self.flow.out_links.is_empty() {
+            return false;
+        }
+        let cap = self
+            .cfg
+            .queue_capacity
+            .expect("backpressure without capacity") as usize;
+        self.flow.out_links[src.index()]
+            .iter()
+            .any(|&l| self.queues[l as usize].len() >= cap)
+    }
+
+    /// Admission-control and backpressure gate in front of task
+    /// creation. With both features off this is exactly `new_task`.
+    fn arrive(&mut self, src: NodeId, dest: Option<NodeId>, measured: bool) {
+        if self.cfg.admission.is_some() {
+            let tok = &mut self.flow.tokens[src.index()];
+            if *tok < 1.0 {
+                if measured {
+                    match dest {
+                        None => self.flow.rejected_broadcasts += 1,
+                        Some(_) => self.flow.rejected_unicasts += 1,
+                    }
+                }
+                return;
+            }
+            *tok -= 1.0;
+        }
+        if self.source_blocked(src) {
+            if measured {
+                self.flow.deferred_measured += 1;
+            }
+            self.flow.deferred.push_back(DeferredTask {
+                src,
+                dest,
+                arrival: self.now,
+                measured,
+            });
+            return;
+        }
+        self.new_task(src, dest, measured, None, self.now);
     }
 
     fn generate_arrivals(&mut self) {
@@ -627,12 +1006,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     continue;
                 }
                 for _ in 0..b {
-                    self.new_task(NodeId(node), None, self.in_measure_window(), None);
+                    self.arrive(NodeId(node), None, self.in_measure_window());
                 }
                 for _ in 0..u {
                     let src = NodeId(node);
                     let dest = self.dests.sample(&mut self.rng, src);
-                    self.new_task(src, Some(dest), self.in_measure_window(), None);
+                    self.arrive(src, Some(dest), self.in_measure_window());
                 }
             }
         } else {
@@ -647,7 +1026,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 if self.node_dead(src) {
                     continue;
                 }
-                self.new_task(src, None, measured, None);
+                self.arrive(src, None, measured);
             }
             let total_u = sample_poisson(&mut self.rng, self.mix.lambda_unicast * n as f64);
             for _ in 0..total_u {
@@ -656,7 +1035,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 if self.node_dead(src) {
                     continue;
                 }
-                self.new_task(src, Some(dest), measured, None);
+                self.arrive(src, Some(dest), measured);
             }
         }
     }
@@ -667,13 +1046,16 @@ impl<N: Network, S: Scheme> Engine<N, S> {
 
     /// Registers a task and enqueues its initial transmissions.
     /// `dest = None` is a broadcast; `len_override` bypasses the
-    /// configured length law (trace replay).
+    /// configured length law (trace replay). `gen_time` is normally the
+    /// current slot, but a backpressure-deferred task keeps its original
+    /// arrival slot so the defer time counts inside its delays.
     fn new_task(
         &mut self,
         src: NodeId,
         dest: Option<NodeId>,
         measured: bool,
         len_override: Option<u16>,
+        gen_time: u64,
     ) -> u32 {
         let t = self.now;
         let (kind, remaining) = match dest {
@@ -681,11 +1063,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             Some(_) => (TaskKind::Unicast, 1),
         };
         let task = self.tasks.insert(TaskSlot {
-            gen_time: t,
+            gen_time,
             remaining,
             measured,
             kind,
             lost: 0,
+            retx: false,
         });
         if measured {
             self.outstanding_measured += 1;
@@ -709,7 +1092,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             }
         }
         debug_assert!(!self.emit_buf.is_empty(), "task with no transmissions");
-        self.flush_emits_with_len(src, task, t, len);
+        self.flush_emits_with_len(src, task, gen_time, len);
         task
     }
 
@@ -743,6 +1126,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 len,
                 priority: emit.priority,
                 vc: emit.vc,
+                attempt: 0,
                 kind: emit.kind,
             };
             // A dead output link: drop with loss accounting, or enqueue
@@ -750,18 +1134,34 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             if !self.link_alive(link) {
                 let policy = self.faults.as_ref().map(|f| f.policy).unwrap_or_default();
                 if matches!(policy, DeadLinkPolicy::Drop) {
-                    let before = self.damaged_broadcasts;
-                    self.settle_drop(&packet);
-                    if let Some(f) = self.faults.as_mut() {
-                        f.fault_dropped += 1;
-                        f.fault_damaged += self.damaged_broadcasts - before;
-                    }
+                    self.lose_packet(link, packet, DropCause::Fault);
                     continue;
                 }
             }
             if self.queues[link].len() >= capacity {
-                self.settle_drop(&packet);
-                continue;
+                let enqueue_anyway = match self.cfg.full_queue_policy {
+                    // Injection is gated at the source; a transit
+                    // forward cannot be refused mid-path, so it may
+                    // briefly exceed the bound (documented in
+                    // `SimConfig::queue_capacity`).
+                    FullQueuePolicy::Backpressure => true,
+                    FullQueuePolicy::DropLowestClass => {
+                        match self.queues[link].evict_lower_tail(packet.priority) {
+                            Some(victim) => {
+                                self.queued_total -= 1;
+                                self.flow.evicted += 1;
+                                self.lose_packet(link, victim, DropCause::Overflow);
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                    FullQueuePolicy::DropTail => false,
+                };
+                if !enqueue_anyway {
+                    self.lose_packet(link, packet, DropCause::Overflow);
+                    continue;
+                }
             }
             self.queues[link].push(packet);
             self.queued_total += 1;
@@ -843,6 +1243,42 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             },
             None => FaultReport::default(),
         };
+        let recovery = match &self.recovery {
+            Some(rec) => RecoveryReport {
+                enabled: true,
+                retransmissions: rec.retransmissions,
+                timeouts_scheduled: rec.timeouts_scheduled,
+                backoff_histogram: rec.backoff_hist.clone(),
+                acked_receptions: rec.acked_receptions,
+                recovered_deliveries: rec.recovered_deliveries,
+                gave_up_copies: rec.gave_up_copies,
+                gave_up_receptions: rec.gave_up_receptions,
+                recovered_task_delay: rec.recovered_task_delay.summary(),
+                pending_at_end: rec.wheel.len(),
+            },
+            None => RecoveryReport::default(),
+        };
+        let rejected_receptions = self.flow.rejected_broadcasts
+            * (self.topo.node_count() as u64 - 1)
+            + self.flow.rejected_unicasts;
+        let offered_with_rejects = offered + rejected_receptions;
+        let flow = FlowReport {
+            rejected_broadcasts: self.flow.rejected_broadcasts,
+            rejected_unicasts: self.flow.rejected_unicasts,
+            deferred_injections: self.flow.deferred_injections,
+            defer_delay: self.flow.defer_delay.summary(),
+            evicted_packets: self.flow.evicted,
+            mean_queued_packets: if self.cfg.measure_slots == 0 {
+                0.0
+            } else {
+                self.flow.occupancy_sum as f64 / self.cfg.measure_slots as f64
+            },
+            goodput_fraction: if offered_with_rejects == 0 {
+                1.0
+            } else {
+                delivered as f64 / offered_with_rejects as f64
+            },
+        };
         SimReport {
             stable: !self.unstable,
             completed,
@@ -874,6 +1310,8 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             delay_by_distance: self.delay_by_distance.iter().map(|m| m.summary()).collect(),
             queue_trace: self.queue_trace,
             faults,
+            recovery,
+            flow,
         }
     }
 }
@@ -1336,6 +1774,269 @@ mod tests {
         // The crash kills the node's 4 incident links for 3000 slots.
         assert!(rep.faults.fault_slots >= 3_000);
         assert!(rep.faults.delivered_reception_fraction < 1.0);
+    }
+
+    /// Two-class wrapper around the ring scheme: broadcasts ride class
+    /// 0, unicasts class 1, and retransmissions are boosted to class 0 —
+    /// exercises the drop-lowest-class policy and the ARQ priority hook.
+    struct TwoClassScheme(TestScheme);
+
+    impl Scheme for TwoClassScheme {
+        fn num_priorities(&self) -> usize {
+            2
+        }
+
+        fn on_broadcast_generated(&self, src: NodeId, rng: &mut StdRng, out: &mut Vec<Emit>) {
+            self.0.on_broadcast_generated(src, rng, out);
+        }
+
+        fn on_broadcast_arrival(&self, node: NodeId, st: &BroadcastState, out: &mut Vec<Emit>) {
+            self.0.on_broadcast_arrival(node, st, out);
+        }
+
+        fn on_unicast_generated(
+            &self,
+            src: NodeId,
+            dest: NodeId,
+            rng: &mut StdRng,
+            out: &mut Vec<Emit>,
+        ) {
+            self.0.on_unicast_generated(src, dest, rng, out);
+            for e in out.iter_mut() {
+                e.priority = 1;
+            }
+        }
+
+        fn on_unicast_arrival(
+            &self,
+            node: NodeId,
+            dest: NodeId,
+            rng: &mut StdRng,
+            out: &mut Vec<Emit>,
+        ) {
+            self.0.on_unicast_arrival(node, dest, rng, out);
+            for e in out.iter_mut() {
+                e.priority = 1;
+            }
+        }
+
+        fn subtree_receptions(&self, state: &BroadcastState) -> u32 {
+            self.0.subtree_receptions(state)
+        }
+
+        fn retransmit_priority(&self, _original: u8) -> u8 {
+            0
+        }
+    }
+
+    #[test]
+    fn requeue_overflows_capacity_by_at_most_one() {
+        // Satellite regression: a fault requeue re-admits the
+        // interrupted in-service packet even into a full queue — the
+        // documented one-slot overflow — and the bound never grows past
+        // capacity + 1 because at most one packet is in service.
+        let (t, s) = ring(8);
+        let mut cfg = SimConfig::quick(5);
+        cfg.queue_capacity = Some(2);
+        let mut e = Engine::new(t, s, TrafficMix::broadcast_only(0.0), cfg).with_fault_plan(
+            pstar_faults::FaultPlan::link_outage_window(&[pstar_topology::LinkId(0)], 1, 10),
+            pstar_faults::DeadLinkPolicy::Requeue,
+        );
+        // Slot 0 (link alive): A enters service.
+        e.inject_unicast(NodeId(0), NodeId(1));
+        e.step(false);
+        // Slot 1: B and C fill the queue to capacity...
+        e.inject_unicast(NodeId(0), NodeId(1));
+        e.inject_unicast(NodeId(0), NodeId(1));
+        assert_eq!(e.queues[0].len(), 2);
+        // ...then the link dies: A is requeued head-of-line, one over.
+        e.step(false);
+        assert_eq!(e.queues[0].len(), 3, "capacity + 1 after requeue");
+        // A further emit toward the (full, dead) queue is dropped — the
+        // overflow never compounds.
+        e.inject_unicast(NodeId(0), NodeId(1));
+        assert_eq!(e.queues[0].len(), 3);
+        e.run_until_idle();
+        let rep = e.report(true);
+        assert_eq!(rep.dropped_packets, 1, "only the post-overflow emit");
+        assert_eq!(rep.unicast_delay.count, 3);
+        // The interrupted packet resumed head-of-line after repair.
+        assert!(rep.unicast_delay.min >= 9.0, "{}", rep.unicast_delay.min);
+    }
+
+    #[test]
+    fn arq_recovers_fault_losses_completely() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.5);
+        let mut cfg = SimConfig::quick(19);
+        cfg.arq = Some(crate::recovery::ArqConfig {
+            base_timeout: 16,
+            max_backoff_exp: 4,
+            jitter: 5,
+            max_retries: None,
+        });
+        let links: Vec<_> = (0..3).map(pstar_topology::LinkId).collect();
+        let rep = crate::run_with_faults(
+            &t,
+            s,
+            TrafficMix::broadcast_only(lambda),
+            cfg,
+            pstar_faults::FaultPlan::link_outage_window(&links, 2_500, 6_000),
+            pstar_faults::DeadLinkPolicy::Drop,
+        );
+        assert!(rep.ok(), "{rep}");
+        // Every drop was recovered: nothing lost, delivered fraction 1.
+        assert_eq!(rep.lost_receptions, 0);
+        assert_eq!(rep.faults.delivered_reception_fraction, 1.0);
+        assert_eq!(rep.reception_delay.count, rep.measured_broadcasts * 7);
+        assert!(rep.dropped_packets > 0, "outage must actually drop");
+        assert!(rep.recovery.enabled);
+        assert!(rep.recovery.retransmissions > 0);
+        assert!(rep.recovery.recovered_deliveries > 0);
+        assert_eq!(rep.recovery.gave_up_copies, 0);
+        assert!(rep.recovery.timeouts_scheduled >= rep.recovery.retransmissions);
+        assert!(rep.recovery.backoff_histogram[0] > 0);
+        assert_eq!(rep.recovery.pending_at_end, 0);
+        // ACKs cover every delivered reception.
+        assert!(rep.recovery.acked_receptions >= rep.reception_delay.count);
+        // Recovered tasks completed, later than the fault-free mean.
+        assert!(rep.recovery.recovered_task_delay.count > 0);
+        assert!(rep.recovery.recovered_task_delay.mean > rep.broadcast_delay.mean);
+    }
+
+    #[test]
+    fn arq_bounded_retries_give_up() {
+        // One retry against an outage much longer than the backoff:
+        // copies reach the GaveUp terminal state and the loss is settled
+        // exactly like the recovery-free engine.
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.4);
+        let mut cfg = SimConfig::quick(29);
+        cfg.arq = Some(crate::recovery::ArqConfig {
+            base_timeout: 8,
+            max_backoff_exp: 1,
+            jitter: 0,
+            max_retries: Some(1),
+        });
+        let rep = crate::run_with_faults(
+            &t,
+            s,
+            TrafficMix::broadcast_only(lambda),
+            cfg,
+            pstar_faults::FaultPlan::link_outage_window(&[pstar_topology::LinkId(0)], 2_500, 7_000),
+            pstar_faults::DeadLinkPolicy::Drop,
+        );
+        assert!(rep.ok(), "{rep}");
+        assert!(rep.recovery.gave_up_copies > 0);
+        assert!(rep.recovery.gave_up_receptions > 0);
+        assert!(rep.lost_receptions >= rep.recovery.gave_up_receptions);
+        assert!(rep.faults.delivered_reception_fraction < 1.0);
+        // Conservation: every measured reception is delivered or lost.
+        assert_eq!(
+            rep.reception_delay.count + rep.lost_receptions,
+            rep.measured_broadcasts * 7
+        );
+    }
+
+    #[test]
+    fn idle_arq_layer_is_bit_identical_to_disabled() {
+        // Recovery enabled but never triggered (no faults, infinite
+        // queues) must not perturb a single statistic.
+        let (t, _) = ring(8);
+        let lambda = ring_lambda(&t, 0.6);
+        let base = crate::run(
+            &t,
+            TestScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(77),
+        );
+        let mut cfg = SimConfig::quick(77);
+        cfg.arq = Some(crate::recovery::ArqConfig::default());
+        let armed = crate::run(
+            &t,
+            TestScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            cfg,
+        );
+        assert_eq!(base.reception_delay.mean, armed.reception_delay.mean);
+        assert_eq!(base.window_transmissions, armed.window_transmissions);
+        assert_eq!(base.peak_queue_total, armed.peak_queue_total);
+        assert!(armed.recovery.enabled);
+        assert_eq!(armed.recovery.retransmissions, 0);
+        assert_eq!(armed.recovery.timeouts_scheduled, 0);
+        // ACKs cover the whole run (warmup and drain included), so they
+        // dominate the measured-window reception count.
+        assert!(armed.recovery.acked_receptions >= armed.reception_delay.count);
+    }
+
+    #[test]
+    fn admission_control_keeps_overload_stable() {
+        // ρ = 1.4 diverges without protection (see
+        // overload_is_detected_as_unstable); a token bucket admitting
+        // ~0.7 keeps queues bounded and degrades goodput smoothly.
+        let (t, s) = ring(8);
+        let lambda_offered = ring_lambda(&t, 1.4);
+        let lambda_admit = ring_lambda(&t, 0.7);
+        let mut cfg = SimConfig::quick(23);
+        cfg.unstable_queue_per_link = 50.0;
+        cfg.admission = Some(crate::recovery::AdmissionConfig {
+            rate: lambda_admit,
+            burst: 2.0,
+        });
+        let rep = crate::run(&t, s, TrafficMix::broadcast_only(lambda_offered), cfg);
+        assert!(rep.ok(), "{rep}");
+        assert!(rep.flow.rejected_broadcasts > 0);
+        assert!(
+            rep.flow.goodput_fraction > 0.3 && rep.flow.goodput_fraction < 0.75,
+            "goodput {} should reflect ~0.7/1.4 admitted",
+            rep.flow.goodput_fraction
+        );
+        let per_link = rep.flow.mean_queued_packets / 16.0;
+        assert!(per_link < 50.0, "occupancy bounded: {per_link}");
+        // Nothing admitted is ever lost with infinite queues.
+        assert_eq!(rep.lost_receptions, 0);
+    }
+
+    #[test]
+    fn backpressure_defers_injection_instead_of_dropping() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.8);
+        let mut cfg = SimConfig::quick(37);
+        cfg.queue_capacity = Some(2);
+        cfg.full_queue_policy = crate::recovery::FullQueuePolicy::Backpressure;
+        let rep = crate::run(&t, s, TrafficMix::broadcast_only(lambda), cfg);
+        assert!(rep.ok(), "{rep}");
+        assert_eq!(rep.dropped_packets, 0, "backpressure never drops");
+        assert_eq!(rep.lost_receptions, 0);
+        assert!(rep.flow.deferred_injections > 0);
+        assert_eq!(rep.flow.defer_delay.count, rep.flow.deferred_injections);
+        assert!(rep.flow.defer_delay.mean >= 1.0);
+    }
+
+    #[test]
+    fn drop_lowest_class_evicts_for_higher_priority() {
+        let t = Torus::new(&[8]);
+        let s = TwoClassScheme(TestScheme { topo: t.clone() });
+        let mut cfg = SimConfig::quick(41);
+        cfg.queue_capacity = Some(2);
+        cfg.full_queue_policy = crate::recovery::FullQueuePolicy::DropLowestClass;
+        let mut e = Engine::new(t, s, TrafficMix::broadcast_only(0.0), cfg);
+        // Three class-1 unicasts at node 0's Plus link: two fit, the
+        // third finds nothing lower-priority to evict and is dropped.
+        e.inject_unicast(NodeId(0), NodeId(1));
+        e.inject_unicast(NodeId(0), NodeId(1));
+        e.inject_unicast(NodeId(0), NodeId(1));
+        assert_eq!(e.queues[0].len(), 2);
+        // A class-0 broadcast copy evicts the newest queued unicast.
+        e.inject_broadcast(NodeId(0));
+        assert_eq!(e.queues[0].len(), 2);
+        e.run_until_idle();
+        let rep = e.report(true);
+        assert_eq!(rep.flow.evicted_packets, 1);
+        assert_eq!(rep.dropped_unicasts, 2, "one tail-dropped, one evicted");
+        assert_eq!(rep.unicast_delay.count, 1);
+        // The broadcast itself is untouched by the full queue.
+        assert_eq!(rep.reception_delay.count, 7);
     }
 
     #[test]

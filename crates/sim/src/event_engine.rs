@@ -248,6 +248,7 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             measured,
             kind,
             lost: 0,
+            retx: false,
         });
         if measured {
             self.outstanding_measured += 1;
@@ -364,6 +365,7 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
                 len,
                 priority: emit.priority,
                 vc: emit.vc,
+                attempt: 0,
                 kind: emit.kind,
             });
             self.queued_total += 1;
@@ -411,6 +413,8 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             delay_by_distance: Vec::new(),
             queue_trace: Vec::new(),
             faults: Default::default(),
+            recovery: Default::default(),
+            flow: Default::default(),
         }
     }
 }

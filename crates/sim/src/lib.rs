@@ -37,15 +37,17 @@ mod event_engine;
 mod metrics;
 mod packet;
 mod queue;
+mod recovery;
 mod scheme;
 mod task;
 
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use event_engine::EventEngine;
-pub use metrics::{ClassStats, FaultReport, SimReport};
+pub use metrics::{ClassStats, FaultReport, FlowReport, RecoveryReport, SimReport};
 pub use packet::{BroadcastState, Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 pub use queue::PriorityQueue;
+pub use recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy};
 pub use scheme::Scheme;
 
 // Fault-injection vocabulary, re-exported so downstream crates need not

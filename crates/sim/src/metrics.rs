@@ -55,6 +55,102 @@ impl Default for FaultReport {
     }
 }
 
+/// End-to-end ARQ loss-recovery measurements, populated when
+/// [`crate::SimConfig::arq`] is set. The [`Default`] value is the
+/// recovery-disabled report.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// `true` when the ARQ layer was installed for this run.
+    pub enabled: bool,
+    /// Retransmitted copies actually re-injected into a queue.
+    pub retransmissions: u64,
+    /// Backoff timers armed (= losses intercepted + failed retries
+    /// rescheduled); always ≥ `retransmissions`.
+    pub timeouts_scheduled: u64,
+    /// Timers armed per attempt number (index = the attempt that just
+    /// failed, saturated at the last bucket) — the backoff histogram.
+    pub backoff_histogram: Vec<u64>,
+    /// Receptions acknowledged to the source over the control plane
+    /// (every broadcast reception and unicast delivery while ARQ is on).
+    pub acked_receptions: u64,
+    /// Deliveries performed by a retransmitted copy (`attempt > 0`).
+    pub recovered_deliveries: u64,
+    /// Copies that exhausted their retry budget — the `GaveUp` terminal
+    /// state; their receptions are settled as lost.
+    pub gave_up_copies: u64,
+    /// Measured receptions lost to give-ups (subset of
+    /// [`SimReport::lost_receptions`]).
+    pub gave_up_receptions: u64,
+    /// Time-to-full-delivery of measured tasks that completed *and*
+    /// needed at least one retransmission — the price of recovery in
+    /// completion delay.
+    pub recovered_task_delay: Summary,
+    /// Timers still armed when the run ended (unmeasured stragglers).
+    pub pending_at_end: usize,
+}
+
+impl Default for RecoveryReport {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            retransmissions: 0,
+            timeouts_scheduled: 0,
+            backoff_histogram: Vec::new(),
+            acked_receptions: 0,
+            recovered_deliveries: 0,
+            gave_up_copies: 0,
+            gave_up_receptions: 0,
+            recovered_task_delay: pstar_stats::Moments::default().summary(),
+            pending_at_end: 0,
+        }
+    }
+}
+
+/// Flow-control and overload-protection measurements (admission control,
+/// backpressure, eviction). The [`Default`] value is the
+/// everything-admitted report.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Measured broadcast arrivals rejected by the admission token
+    /// bucket (tasks never created).
+    pub rejected_broadcasts: u64,
+    /// Measured unicast arrivals rejected by admission control.
+    pub rejected_unicasts: u64,
+    /// Measured task injections deferred at least one slot by source
+    /// backpressure.
+    pub deferred_injections: u64,
+    /// Slots between a backpressured task's arrival and its actual
+    /// injection (measured tasks; the defer time also counts inside the
+    /// task's delay statistics, since `gen_time` is the arrival slot).
+    pub defer_delay: Summary,
+    /// Packets evicted from full queues by the drop-lowest-class policy
+    /// (whole run).
+    pub evicted_packets: u64,
+    /// Time-average total queued-packet population over the measurement
+    /// window (divide by the link count for a per-link occupancy).
+    pub mean_queued_packets: f64,
+    /// Goodput: measured receptions delivered, over receptions offered
+    /// *including* those of admission-rejected tasks —
+    /// `delivered / (delivered + lost + rejected)`; `1.0` when nothing
+    /// was offered. Equals the fault report's delivered fraction when
+    /// admission control is off.
+    pub goodput_fraction: f64,
+}
+
+impl Default for FlowReport {
+    fn default() -> Self {
+        Self {
+            rejected_broadcasts: 0,
+            rejected_unicasts: 0,
+            deferred_injections: 0,
+            defer_delay: pstar_stats::Moments::default().summary(),
+            evicted_packets: 0,
+            mean_queued_packets: 0.0,
+            goodput_fraction: 1.0,
+        }
+    }
+}
+
 /// Everything a run measures.
 ///
 /// All delay statistics cover tasks *generated inside the measurement
@@ -132,6 +228,12 @@ pub struct SimReport {
     /// Resilience measurements (the [`Default`] fault-free report unless
     /// a fault plan was installed).
     pub faults: FaultReport,
+    /// ARQ loss-recovery measurements (the [`Default`] disabled report
+    /// unless [`crate::SimConfig::arq`] was set).
+    pub recovery: RecoveryReport,
+    /// Flow-control measurements (admission, backpressure, eviction,
+    /// queue occupancy).
+    pub flow: FlowReport,
 }
 
 impl SimReport {
@@ -188,6 +290,32 @@ impl std::fmt::Display for SimReport {
                 self.faults.delivered_reception_fraction,
                 self.faults.recovery_time.mean,
                 self.faults.recovery_time.count
+            )?;
+        }
+        if self.recovery.enabled {
+            writeln!(
+                f,
+                "arq: {} retx ({} timers), {} recovered deliveries, {} gave up ({} receptions lost)",
+                self.recovery.retransmissions,
+                self.recovery.timeouts_scheduled,
+                self.recovery.recovered_deliveries,
+                self.recovery.gave_up_copies,
+                self.recovery.gave_up_receptions
+            )?;
+        }
+        if self.flow.rejected_broadcasts + self.flow.rejected_unicasts > 0
+            || self.flow.deferred_injections > 0
+            || self.flow.evicted_packets > 0
+        {
+            writeln!(
+                f,
+                "flow: rejected {}b/{}u, deferred {} (mean {:.1} slots), evicted {}, goodput={:.4}",
+                self.flow.rejected_broadcasts,
+                self.flow.rejected_unicasts,
+                self.flow.deferred_injections,
+                self.flow.defer_delay.mean,
+                self.flow.evicted_packets,
+                self.flow.goodput_fraction
             )?;
         }
         for (k, c) in self.class.iter().enumerate() {

@@ -69,6 +69,10 @@ pub struct Packet {
     pub priority: u8,
     /// Virtual channel (informational; see §3.1 of the paper).
     pub vc: u8,
+    /// Retransmission attempt this copy is on (0 = the original
+    /// transmission; only ever nonzero with ARQ recovery enabled).
+    /// Forwards emitted after a successful delivery start back at 0.
+    pub attempt: u8,
     /// Task kind and routing state.
     pub kind: PacketKind,
 }

@@ -64,6 +64,14 @@ impl PriorityQueue {
     /// Re-enqueues a packet at the *head* of its class FIFO — used when a
     /// link fault interrupts an in-service packet under the requeue
     /// policy, so it resumes first after repair.
+    ///
+    /// This deliberately bypasses the engine's `queue_capacity` check:
+    /// the packet was already admitted to this queue once, and
+    /// re-admitting an interrupted transmission must never fail. A full
+    /// queue may therefore hold `capacity + 1` packets after a fault
+    /// requeue — a documented one-slot overflow, bounded because at most
+    /// one packet is ever in service per link (regression-tested by
+    /// `requeue_overflows_capacity_by_at_most_one` in the engine).
     pub fn push_front(&mut self, packet: Packet) {
         debug_assert!((packet.priority as usize) < MAX_PRIORITY_CLASSES);
         self.classes[packet.priority as usize].push_front(packet);
@@ -81,6 +89,22 @@ impl PriorityQueue {
     pub fn class_len(&self, class: usize) -> usize {
         self.classes[class].len()
     }
+
+    /// Evicts and returns the *tail* of the lowest-priority non-empty
+    /// class strictly below class `than` (i.e. numerically above it) —
+    /// the drop-lowest-priority-class full-queue policy: the most
+    /// recently queued packet of the least important backlog makes room
+    /// for a more important arrival. Returns `None` when nothing
+    /// strictly lower-priority is queued.
+    pub fn evict_lower_tail(&mut self, than: u8) -> Option<Packet> {
+        for class in (than as usize + 1..MAX_PRIORITY_CLASSES).rev() {
+            if let Some(p) = self.classes[class].pop_back() {
+                self.len -= 1;
+                return Some(p);
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +121,7 @@ mod tests {
             len: 1,
             priority,
             vc: 1,
+            attempt: 0,
             kind: PacketKind::Unicast { dest: NodeId(0) },
         }
     }
@@ -157,6 +182,26 @@ mod tests {
         assert_eq!(drained, vec![2, 1]);
         assert!(q.is_empty());
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn evict_lower_tail_takes_lowest_class_newest_packet() {
+        let mut q = PriorityQueue::new();
+        q.push(pkt(1, 10));
+        q.push(pkt(2, 20));
+        q.push(pkt(2, 21));
+        q.push(pkt(3, 30));
+        // A class-0 arrival evicts the newest packet of the lowest class.
+        let victim = q.evict_lower_tail(0).unwrap();
+        assert_eq!(victim.task, 30);
+        let victim = q.evict_lower_tail(0).unwrap();
+        assert_eq!(victim.task, 21, "tail of class 2, not its head");
+        assert_eq!(q.len(), 2);
+        // A class-2 arrival cannot evict class 1 or class 2 packets.
+        assert!(q.evict_lower_tail(2).is_none());
+        // Nothing below the lowest class.
+        assert!(q.evict_lower_tail(3).is_none());
+        assert_eq!(q.len(), 2);
     }
 
     #[test]

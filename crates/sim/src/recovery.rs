@@ -1,0 +1,266 @@
+//! Loss recovery (end-to-end ARQ) and overload-protection vocabulary.
+//!
+//! The engine's default behaviour treats every drop — dead link, full
+//! finite buffer — as permanent: the receptions a packet was responsible
+//! for are cancelled and the task is damaged. The types here configure
+//! the optional recovery layer that turns those losses into *retries*:
+//!
+//! * [`ArqConfig`] — an end-to-end ARQ protocol. Receptions are
+//!   acknowledged (instantly, on a contention-free control plane); a lost
+//!   copy is parked in a retransmit buffer and re-injected at the failed
+//!   hop after a deterministic exponential-backoff timeout with seeded
+//!   jitter. A bounded retry budget ends in a `GaveUp` terminal state
+//!   that settles the loss exactly like the non-ARQ engine.
+//! * [`FullQueuePolicy`] — what a *full* bounded output queue does with a
+//!   newcomer: drop the newcomer (tail drop), evict the lowest-priority
+//!   backlogged packet, or defer injection at the source (backpressure).
+//! * [`AdmissionConfig`] — a per-node token bucket gating task creation,
+//!   so offered loads at or above saturation (ρ ≥ 1) degrade goodput
+//!   smoothly instead of diverging.
+//!
+//! Everything is seeded and slot-driven — no wall clock — so runs remain
+//! bit-for-bit reproducible, and the whole layer is carried behind
+//! `Option`s so a run with recovery disabled is bit-identical to one on
+//! an engine built before this module existed (enforced by the
+//! zero-overhead proptests).
+
+use crate::packet::Packet;
+
+/// End-to-end ARQ (retransmission) configuration; install via
+/// [`crate::SimConfig::arq`].
+///
+/// A lost copy's attempt `a` (0 = the original transmission) waits
+/// `base_timeout << min(a, max_backoff_exp)` slots plus a uniform jitter
+/// in `0..=jitter` before being re-injected at the hop where it was
+/// lost. The jitter is drawn from a dedicated RNG stream derived from
+/// the run seed, so enabling ARQ never perturbs traffic randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArqConfig {
+    /// Slots before the first retransmission attempt (must be ≥ 1; 0 is
+    /// clamped to 1 so a retransmission never fires in its loss slot).
+    pub base_timeout: u64,
+    /// Exponential-backoff cap: attempt `a` waits
+    /// `base_timeout << min(a, max_backoff_exp)`.
+    pub max_backoff_exp: u32,
+    /// Maximum extra jitter slots added to every timeout (uniform over
+    /// `0..=jitter`), decorrelating synchronized losses.
+    pub jitter: u64,
+    /// Retry budget per lost copy: after this many failed
+    /// retransmissions the copy enters the `GaveUp` terminal state and
+    /// its receptions are settled as lost. `None` retries forever.
+    pub max_retries: Option<u32>,
+}
+
+impl Default for ArqConfig {
+    fn default() -> Self {
+        Self {
+            base_timeout: 32,
+            max_backoff_exp: 5,
+            jitter: 7,
+            max_retries: Some(16),
+        }
+    }
+}
+
+impl ArqConfig {
+    /// The deterministic (pre-jitter) backoff delay of attempt `a`.
+    #[inline]
+    pub fn backoff(&self, attempt: u32) -> u64 {
+        let exp = attempt.min(self.max_backoff_exp).min(63);
+        self.base_timeout.saturating_mul(1u64 << exp).max(1)
+    }
+}
+
+/// Policy applied when a packet arrives at a full bounded output queue
+/// (only meaningful with [`crate::SimConfig::queue_capacity`] set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FullQueuePolicy {
+    /// Drop the arriving packet (the engine's historical behaviour).
+    #[default]
+    DropTail,
+    /// Evict the tail of the lowest-priority backlogged class that is
+    /// strictly below the arriving packet's class, then enqueue the
+    /// arrival; if nothing lower is queued, the arrival is dropped.
+    DropLowestClass,
+    /// Never drop at the queue: new tasks are *deferred at the source*
+    /// while any of the source node's output queues is full, and
+    /// re-attempted each slot in arrival order. In-transit forwards may
+    /// briefly exceed the bound (a store-and-forward hop cannot refuse a
+    /// packet already on the wire), exactly like the documented
+    /// one-slot overflow of a fault requeue.
+    Backpressure,
+}
+
+/// Per-node token-bucket admission control; install via
+/// [`crate::SimConfig::admission`].
+///
+/// Each node holds a fractional token balance, refilled by `rate`
+/// tokens per slot and capped at `burst`. Creating a task consumes one
+/// token; an arrival finding an empty bucket is *rejected* (counted,
+/// never created). With `rate` below the per-node saturation task rate,
+/// admitted load stays in the stable region for any offered ρ.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Tokens added per slot (tasks per slot per node).
+    pub rate: f64,
+    /// Bucket depth (maximum burst of back-to-back admissions).
+    pub burst: f64,
+}
+
+/// A lost transmission parked in the retransmit buffer, waiting for its
+/// backoff timer: the packet re-enters service at `link` when the timer
+/// fires (its `attempt` counter has already been advanced).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RetxEntry {
+    /// Dense id of the link the copy was lost at.
+    pub link: u32,
+    /// The copy to re-inject (with `attempt` already incremented).
+    pub pkt: Packet,
+}
+
+const WHEEL_BUCKETS: usize = 256;
+
+/// A hashed timing wheel holding armed retransmission timers.
+///
+/// `schedule` and per-slot `drain_due` are O(bucket occupancy); with
+/// 256 buckets and backoff delays that rarely exceed a few thousand
+/// slots, buckets stay short. Within a slot, timers fire in the order
+/// they were armed, keeping runs deterministic.
+#[derive(Debug)]
+pub(crate) struct TimeoutWheel {
+    buckets: Vec<Vec<(u64, RetxEntry)>>,
+    len: usize,
+}
+
+impl TimeoutWheel {
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),
+            len: 0,
+        }
+    }
+
+    /// Number of armed timers.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no timer is armed.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arms a timer firing at slot `fire` (must be in the future).
+    pub fn schedule(&mut self, fire: u64, entry: RetxEntry) {
+        self.buckets[(fire as usize) & (WHEEL_BUCKETS - 1)].push((fire, entry));
+        self.len += 1;
+    }
+
+    /// Moves every entry due exactly at `now` into `out`, preserving
+    /// arming order; entries for later rounds of the wheel stay put.
+    pub fn drain_due(&mut self, now: u64, out: &mut Vec<RetxEntry>) {
+        if self.len == 0 {
+            return;
+        }
+        let bucket = &mut self.buckets[(now as usize) & (WHEEL_BUCKETS - 1)];
+        let mut kept = 0;
+        for i in 0..bucket.len() {
+            let (fire, entry) = bucket[i];
+            if fire == now {
+                out.push(entry);
+                self.len -= 1;
+            } else {
+                bucket[kept] = (fire, entry);
+                kept += 1;
+            }
+        }
+        bucket.truncate(kept);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::PacketKind;
+    use pstar_topology::NodeId;
+
+    fn entry(link: u32, task: u32) -> RetxEntry {
+        RetxEntry {
+            link,
+            pkt: Packet {
+                task,
+                gen_time: 0,
+                enqueue_time: 0,
+                len: 1,
+                priority: 0,
+                vc: 0,
+                attempt: 1,
+                kind: PacketKind::Unicast { dest: NodeId(0) },
+            },
+        }
+    }
+
+    #[test]
+    fn backoff_doubles_then_caps() {
+        let cfg = ArqConfig {
+            base_timeout: 8,
+            max_backoff_exp: 3,
+            jitter: 0,
+            max_retries: None,
+        };
+        assert_eq!(cfg.backoff(0), 8);
+        assert_eq!(cfg.backoff(1), 16);
+        assert_eq!(cfg.backoff(3), 64);
+        assert_eq!(cfg.backoff(10), 64, "capped at max_backoff_exp");
+    }
+
+    #[test]
+    fn zero_base_timeout_still_waits_a_slot() {
+        let cfg = ArqConfig {
+            base_timeout: 0,
+            max_backoff_exp: 0,
+            jitter: 0,
+            max_retries: None,
+        };
+        assert_eq!(cfg.backoff(0), 1);
+    }
+
+    #[test]
+    fn wheel_fires_at_exact_slot_in_arming_order() {
+        let mut w = TimeoutWheel::new();
+        w.schedule(10, entry(1, 1));
+        w.schedule(12, entry(2, 2));
+        w.schedule(10, entry(3, 3));
+        assert_eq!(w.len(), 3);
+        let mut out = Vec::new();
+        w.drain_due(9, &mut out);
+        assert!(out.is_empty());
+        w.drain_due(10, &mut out);
+        assert_eq!(out.iter().map(|e| e.link).collect::<Vec<_>>(), [1, 3]);
+        assert_eq!(w.len(), 1);
+        out.clear();
+        w.drain_due(12, &mut out);
+        assert_eq!(out[0].link, 2);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn wheel_wraparound_keeps_later_rounds() {
+        // Two timers that hash to the same bucket, one full wheel
+        // revolution apart: only the earlier one fires at its slot.
+        let mut w = TimeoutWheel::new();
+        w.schedule(5, entry(1, 1));
+        w.schedule(5 + WHEEL_BUCKETS as u64, entry(2, 2));
+        let mut out = Vec::new();
+        w.drain_due(5, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].link, 1);
+        assert_eq!(w.len(), 1);
+        out.clear();
+        w.drain_due(5 + WHEEL_BUCKETS as u64, &mut out);
+        assert_eq!(out[0].link, 2);
+        assert!(w.is_empty());
+    }
+}

@@ -54,6 +54,19 @@ pub trait Scheme {
     /// every later phase.
     fn subtree_receptions(&self, state: &BroadcastState) -> u32;
 
+    /// Priority class a *retransmitted* copy rides in, given the class
+    /// it was originally emitted at (ARQ recovery). The default keeps
+    /// the original class, which preserves every baseline discipline
+    /// exactly; priority schemes may boost recovery copies (they are
+    /// the oldest outstanding work, so serving them first bounds
+    /// time-to-full-delivery). Must return a class `< num_priorities()`.
+    ///
+    /// Called only when a retransmission is scheduled — never on the
+    /// recovery-free path.
+    fn retransmit_priority(&self, original: u8) -> u8 {
+        original
+    }
+
     /// Notification that the set of dead links/nodes changed (fault
     /// injection). Schemes may re-balance their routing around the
     /// surviving links (degraded mode); the default ignores faults.
@@ -99,6 +112,10 @@ impl<S: Scheme + ?Sized> Scheme for &S {
 
     fn subtree_receptions(&self, state: &BroadcastState) -> u32 {
         (**self).subtree_receptions(state)
+    }
+
+    fn retransmit_priority(&self, original: u8) -> u8 {
+        (**self).retransmit_priority(original)
     }
 
     // `on_liveness_change` keeps its no-op default: a shared reference

@@ -23,6 +23,10 @@ pub struct TaskSlot {
     /// Receptions lost to finite-buffer drops (the task is "damaged" and
     /// excluded from completion-delay statistics when > 0).
     pub lost: u32,
+    /// At least one copy of this task was retransmitted (ARQ recovery);
+    /// completed tasks with this flag contribute to the recovered
+    /// time-to-full-delivery statistic.
+    pub retx: bool,
 }
 
 /// Slab of active tasks with slot reuse. Completed slots are recycled so
@@ -77,6 +81,12 @@ impl TaskTable {
         }
     }
 
+    /// Flags task `idx` as having needed at least one retransmission.
+    #[inline(always)]
+    pub fn mark_retx(&mut self, idx: u32) {
+        self.slots[idx as usize].retx = true;
+    }
+
     /// Settles `lost` receptions that will never occur (finite-buffer
     /// drop of a copy responsible for that many deliveries); returns
     /// `true` when the task just completed.
@@ -117,6 +127,7 @@ mod tests {
             measured: true,
             kind,
             lost: 0,
+            retx: false,
         }
     }
 

@@ -325,6 +325,91 @@ proptest! {
         prop_assert_eq!(rep.faults.events_applied, 2 * dead.len() as u64);
     }
 
+    /// ARQ completeness: with an unbounded retry budget and a *transient*
+    /// fault plan (every failure repaired — the guarantee's
+    /// precondition, checked via `FaultPlan::is_transient`), every
+    /// measured reception is eventually delivered exactly once, on any
+    /// topology, for any outage size and seed.
+    #[test]
+    fn arq_eventually_delivers_exactly_once_under_transient_faults(
+        topo in torus_strategy(),
+        seed in any::<u64>(),
+        eighths in 1usize..4,
+    ) {
+        let links = pstar_sim::shuffled_links(topo.link_count(), seed ^ 0xF00D);
+        let dead = &links[..(links.len() * eighths / 8).max(1)];
+        let plan = pstar_sim::FaultPlan::link_outage_window(dead, 200, 400);
+        prop_assert!(plan.is_transient());
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.2,
+            ..Default::default()
+        };
+        let mut cfg = SimConfig::quick(seed);
+        cfg.warmup_slots = 100;
+        cfg.measure_slots = 500;
+        cfg.arq = Some(pstar_sim::ArqConfig {
+            base_timeout: 8,
+            max_backoff_exp: 4,
+            jitter: 3,
+            max_retries: None,
+        });
+        let rep = pstar_sim::run_with_faults(
+            &topo,
+            StarScheme::priority_star(&topo),
+            spec.mix(&topo),
+            cfg,
+            plan,
+            pstar_sim::DeadLinkPolicy::Drop,
+        );
+        prop_assert!(rep.completed, "{} on {}", rep, topo);
+        // Nothing lost, nothing duplicated: the delivered count equals
+        // the offered count exactly.
+        prop_assert_eq!(rep.lost_receptions, 0);
+        prop_assert_eq!(
+            rep.reception_delay.count,
+            rep.measured_broadcasts * (topo.node_count() as u64 - 1)
+        );
+        prop_assert_eq!(rep.faults.delivered_reception_fraction, 1.0);
+        prop_assert_eq!(rep.recovery.gave_up_receptions, 0);
+        prop_assert_eq!(rep.recovery.pending_at_end, 0);
+    }
+
+    /// Zero-overhead guard: an installed-but-idle recovery layer (ARQ
+    /// armed, no faults, infinite queues) is slot-for-slot identical to
+    /// the recovery-free engine, for every scheme, topology and seed.
+    #[test]
+    fn idle_recovery_layer_is_bit_identical(
+        topo in torus_strategy(),
+        kind_idx in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let kind = SchemeKind::all()[kind_idx];
+        let spec = ScenarioSpec {
+            scheme: kind,
+            rho: 0.15,
+            broadcast_load_fraction: 0.7,
+            ..Default::default()
+        };
+        let mut cfg = SimConfig::quick(seed);
+        cfg.warmup_slots = 100;
+        cfg.measure_slots = 500;
+        let mix = spec.mix(&topo);
+        let base = pstar_sim::run(&topo, spec.build_scheme(&topo), mix, cfg);
+        let mut armed_cfg = cfg;
+        armed_cfg.arq = Some(pstar_sim::ArqConfig::default());
+        let armed = pstar_sim::run(&topo, spec.build_scheme(&topo), mix, armed_cfg);
+        prop_assert_eq!(base.reception_delay.mean, armed.reception_delay.mean);
+        prop_assert_eq!(base.broadcast_delay.mean, armed.broadcast_delay.mean);
+        prop_assert_eq!(base.unicast_delay.mean, armed.unicast_delay.mean);
+        prop_assert_eq!(base.window_transmissions, armed.window_transmissions);
+        prop_assert_eq!(base.peak_queue_total, armed.peak_queue_total);
+        prop_assert_eq!(base.vc_transmissions, armed.vc_transmissions);
+        prop_assert_eq!(armed.recovery.retransmissions, 0);
+        prop_assert_eq!(armed.recovery.timeouts_scheduled, 0);
+        prop_assert!(armed.recovery.enabled && !base.recovery.enabled);
+    }
+
     /// Variable lengths: the offered utilization is preserved for any
     /// length law, because the runner rescales task rates by the mean.
     #[test]
