@@ -63,7 +63,9 @@ pub use discipline::{Discipline, TrafficClass};
 pub use distribution::EndingDimDistribution;
 pub use mesh_scheme::MeshStarScheme;
 pub use replicate::{run_replicated, Replicated, TargetMetric};
-pub use runner::{run_scenario, run_scenario_with_faults, ScenarioSpec, SchemeKind};
+pub use runner::{
+    run_scenario, run_scenario_observed, run_scenario_with_faults, ScenarioSpec, SchemeKind,
+};
 pub use scheme::{DegradedPolicy, StarScheme};
 pub use tree::SpanningTree;
 
@@ -79,7 +81,9 @@ pub mod prelude {
     pub use crate::distribution::EndingDimDistribution;
     pub use crate::mesh_scheme::MeshStarScheme;
     pub use crate::replicate::{run_replicated, Replicated, TargetMetric};
-    pub use crate::runner::{run_scenario, run_scenario_with_faults, ScenarioSpec, SchemeKind};
+    pub use crate::runner::{
+        run_scenario, run_scenario_observed, run_scenario_with_faults, ScenarioSpec, SchemeKind,
+    };
     pub use crate::scheme::{DegradedPolicy, StarScheme};
     pub use crate::tree::SpanningTree;
     pub use pstar_queueing::{rates_for_rho, throughput_factor, TrafficRates};

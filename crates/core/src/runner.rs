@@ -144,6 +144,24 @@ pub fn run_scenario(topo: &Torus, spec: &ScenarioSpec, mut cfg: SimConfig) -> Si
     pstar_sim::run(topo, scheme, spec.mix(topo), cfg)
 }
 
+/// Runs one experiment point with an observability sink installed (see
+/// `pstar-obs`). The returned sink is the one passed in, with whatever
+/// it collected; downcast through `TraceSink::into_any` to read it. The
+/// report is bit-identical to [`run_scenario`]'s.
+pub fn run_scenario_observed(
+    topo: &Torus,
+    spec: &ScenarioSpec,
+    mut cfg: SimConfig,
+    sink: Box<dyn pstar_sim::TraceSink>,
+) -> (SimReport, Box<dyn pstar_sim::TraceSink>) {
+    cfg.lengths = spec.lengths;
+    let scheme = spec.build_scheme(topo);
+    let (report, sink) = pstar_sim::Engine::new(topo.clone(), scheme, spec.mix(topo), cfg)
+        .with_trace(sink)
+        .run_observed();
+    (report, sink.expect("engine returns the installed sink"))
+}
+
 /// Runs one experiment point under a fault plan (see `pstar-faults`).
 /// With an empty plan this is exactly [`run_scenario`], bit for bit.
 pub fn run_scenario_with_faults(

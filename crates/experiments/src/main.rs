@@ -27,6 +27,10 @@
 //!                       protection: fault-rate × ρ × policy sweep plus
 //!                       an admission-control overload sweep (`--smoke`
 //!                       asserts the recovery guarantees for CI)
+//!   profile             instrumented pilot runs per scheme (trace, slot
+//!                       series, link-load heatmap, MSER steady-state
+//!                       estimate) + engine-throughput bench; writes
+//!                       BENCH_obs.json to the working directory
 //!   plot                render previously generated CSVs as SVG figures
 //!   collectives         static MNB / total-exchange completion vs bounds
 //!   verify              reproduction gate: re-check every headline claim
@@ -41,6 +45,7 @@ mod csvout;
 mod custom;
 mod figures;
 mod plot;
+mod profile;
 mod record;
 mod recovery;
 mod resilience;
@@ -49,8 +54,10 @@ mod sweep;
 mod tables;
 mod verify;
 
+use pstar_obs::{config_hash, PhaseTiming, RunManifest};
 use pstar_sim::SimConfig;
 use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// Prints a clear error and exits nonzero. Used for unrecoverable I/O
 /// failures (output directory, CSV/JSONL/SVG writes): an experiment
@@ -72,6 +79,10 @@ pub struct Ctx {
     /// `--smoke`: tiny network + short windows (CI gate for the
     /// `resilience` sweep).
     pub smoke: bool,
+    /// Timed phases accumulated by the running command, drained into its
+    /// manifest afterwards. A `Mutex` because sweeps time phases from
+    /// `parallel_map` workers holding `&Ctx`.
+    pub phases: Mutex<Vec<PhaseTiming>>,
 }
 
 impl Ctx {
@@ -98,7 +109,17 @@ impl Ctx {
             sat_cfg,
             out,
             smoke,
+            phases: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Records a timed phase for the current command's manifest.
+    pub fn push_phase(&self, name: &str, wall_secs: f64, slots: Option<u64>) {
+        self.phases.lock().expect("phase lock").push(PhaseTiming {
+            name: name.to_string(),
+            wall_secs,
+            slots,
+        });
     }
 
     /// Per-point deterministic seed: FNV-1a over the tag bytes, mixed
@@ -144,7 +165,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|all>"
+                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|all>"
                 );
                 return;
             }
@@ -195,6 +216,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "balance_gallery" => tables::balance_gallery(ctx),
         "resilience" => resilience::resilience(ctx),
         "recovery" => recovery::recovery(ctx),
+        "profile" => profile::profile(ctx),
         "plot" => plot::plot_all(ctx),
         "verify" => verify::verify(ctx),
         "collectives" => tables::collectives(ctx),
@@ -223,6 +245,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "balance_gallery",
                 "resilience",
                 "recovery",
+                "profile",
                 "plot",
             ] {
                 run_command(ctx, c);
@@ -234,7 +257,19 @@ fn run_command(ctx: &Ctx, cmd: &str) {
             std::process::exit(2);
         }
     }
-    eprintln!("[{cmd}] done in {:.1}s", started.elapsed().as_secs_f64());
+    let wall = started.elapsed().as_secs_f64();
+
+    // Sidecar manifest: every artifact in the results directory is
+    // attributable to a seed, config and revision without shell history.
+    let mut manifest = RunManifest::new(cmd, ctx.cfg.seed, config_hash(&format!("{:?}", ctx.cfg)));
+    manifest.phases = std::mem::take(&mut *ctx.phases.lock().expect("phase lock"));
+    manifest.push_phase("total", wall, None);
+    manifest.push_extra("smoke", if ctx.smoke { "true" } else { "false" });
+    let path = ctx.out.join(format!("{cmd}.manifest.json"));
+    if let Err(e) = manifest.write(&path) {
+        fatal(&format!("writing {}", path.display()), &e);
+    }
+    eprintln!("[{cmd}] done in {wall:.1}s");
 }
 
 #[cfg(test)]

@@ -1,0 +1,307 @@
+//! `experiments profile`: instrumented pilot runs and an
+//! engine-throughput bench over the five schemes.
+//!
+//! Per scheme this produces:
+//!
+//! * `profile_series_<scheme>.csv` — the decimated queue-population /
+//!   in-flight time series from an instrumented pilot run (warmup 0, so
+//!   the initialization transient is visible);
+//! * `profile_heatmap_<scheme>.svg` — per-link utilization laid out on
+//!   the torus grid, one panel per (dimension, direction);
+//! * an MSER steady-state estimate (a measured replacement for the
+//!   hardcoded warmup guess — the console output compares the two);
+//! * wall-clock slots/sec for the step engine, the event engine, and the
+//!   step engine with a discarding trace installed (trace overhead).
+//!
+//! The summary lands in `results/profile.csv` and, for the benchmark
+//! dashboard, in `BENCH_obs.json` in the working directory.
+
+use crate::csvout::Table;
+use crate::{fatal, Ctx};
+use priority_star::prelude::*;
+use priority_star::run_scenario_observed;
+use pstar_obs::{git_rev, render_heatmap, HeatPanel, NullSink, ObsCollector};
+use pstar_sim::EventEngine;
+use pstar_topology::{Direction, Link, NodeId};
+use std::fmt::Write as _;
+
+struct SchemeProfile {
+    scheme: &'static str,
+    steady_state_slot: Option<u64>,
+    step_slots_per_sec: f64,
+    event_slots_per_sec: f64,
+    traced_slots_per_sec: f64,
+    trace_overhead_frac: f64,
+}
+
+/// Runs the full profile sweep (see module docs).
+pub fn profile(ctx: &Ctx) {
+    let dims: &[u32] = if ctx.smoke { &[4, 4] } else { &[8, 8] };
+    let topo = Torus::new(dims);
+    let rho = 0.5;
+    let decim = if ctx.smoke { 16 } else { 32 };
+
+    // Pilot: no warmup, so the transient the MSER estimate should find
+    // is actually in the series.
+    let pilot_cfg = SimConfig {
+        warmup_slots: 0,
+        measure_slots: if ctx.smoke { 4_000 } else { 16_000 },
+        max_slots: 400_000,
+        ..SimConfig::default()
+    };
+    // Bench: ordinary windows; throughput is wall-clock per slot run.
+    let bench_cfg = SimConfig {
+        warmup_slots: if ctx.smoke { 500 } else { 4_000 },
+        measure_slots: if ctx.smoke { 2_000 } else { 16_000 },
+        max_slots: 400_000,
+        ..SimConfig::default()
+    };
+
+    let mut results = Vec::new();
+    for (i, scheme) in SchemeKind::all().into_iter().enumerate() {
+        let label = scheme.label();
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            ..Default::default()
+        };
+
+        // Instrumented pilot.
+        let t0 = std::time::Instant::now();
+        let mut cfg = pilot_cfg;
+        cfg.seed = ctx.seed("profile-pilot", i);
+        let (pilot_rep, sink) =
+            run_scenario_observed(&topo, &spec, cfg, Box::new(ObsCollector::new(4096, decim)));
+        let obs = sink
+            .into_any()
+            .downcast::<ObsCollector>()
+            .expect("collector comes back from the engine");
+        ctx.push_phase(
+            &format!("pilot:{label}"),
+            t0.elapsed().as_secs_f64(),
+            Some(pilot_rep.slots_run),
+        );
+        write_series_csv(ctx, label, &obs);
+        write_heatmap(ctx, label, &topo, &obs);
+        let steady = obs.steady_state_slot();
+
+        // Throughput: step engine, event engine, step + discarding trace.
+        let mut cfg = bench_cfg;
+        cfg.seed = ctx.seed("profile-bench", i);
+        let t0 = std::time::Instant::now();
+        let step_rep = run_scenario(&topo, &spec, cfg);
+        let step_secs = t0.elapsed().as_secs_f64();
+        ctx.push_phase(
+            &format!("step:{label}"),
+            step_secs,
+            Some(step_rep.slots_run),
+        );
+
+        let t0 = std::time::Instant::now();
+        let mut ev_cfg = cfg;
+        ev_cfg.lengths = spec.lengths;
+        let event_rep = EventEngine::new(
+            topo.clone(),
+            spec.build_scheme(&topo),
+            spec.mix(&topo),
+            ev_cfg,
+        )
+        .run();
+        let event_secs = t0.elapsed().as_secs_f64();
+        ctx.push_phase(
+            &format!("event:{label}"),
+            event_secs,
+            Some(event_rep.slots_run),
+        );
+
+        let t0 = std::time::Instant::now();
+        let (traced_rep, _) = run_scenario_observed(&topo, &spec, cfg, Box::new(NullSink::new()));
+        let traced_secs = t0.elapsed().as_secs_f64();
+        ctx.push_phase(
+            &format!("traced:{label}"),
+            traced_secs,
+            Some(traced_rep.slots_run),
+        );
+        assert!(
+            step_rep.ok() && event_rep.ok() && traced_rep.ok(),
+            "profile bench runs must be clean at rho=0.5"
+        );
+
+        let sps = |slots: u64, secs: f64| {
+            if secs > 0.0 {
+                slots as f64 / secs
+            } else {
+                f64::NAN
+            }
+        };
+        let step_sps = sps(step_rep.slots_run, step_secs);
+        let traced_sps = sps(traced_rep.slots_run, traced_secs);
+        results.push(SchemeProfile {
+            scheme: label,
+            steady_state_slot: steady,
+            step_slots_per_sec: step_sps,
+            event_slots_per_sec: sps(event_rep.slots_run, event_secs),
+            traced_slots_per_sec: traced_sps,
+            trace_overhead_frac: if step_sps.is_finite() && step_sps > 0.0 {
+                1.0 - traced_sps / step_sps
+            } else {
+                f64::NAN
+            },
+        });
+    }
+
+    // Console + CSV summary.
+    let mut table = Table::new(&[
+        "scheme",
+        "steady_state_slot",
+        "configured_warmup",
+        "step_slots_per_sec",
+        "event_slots_per_sec",
+        "traced_slots_per_sec",
+        "trace_overhead_frac",
+    ]);
+    for r in &results {
+        table.row(vec![
+            r.scheme.to_string(),
+            r.steady_state_slot
+                .map_or("n/a".to_string(), |s| s.to_string()),
+            ctx.cfg.warmup_slots.to_string(),
+            Table::f(r.step_slots_per_sec),
+            Table::f(r.event_slots_per_sec),
+            Table::f(r.traced_slots_per_sec),
+            Table::f(r.trace_overhead_frac),
+        ]);
+    }
+    table.emit(&ctx.out, "profile");
+
+    write_bench_json(ctx, &topo, rho, &results);
+}
+
+/// The pilot's decimated queue-state series as CSV columns.
+fn write_series_csv(ctx: &Ctx, label: &str, obs: &ObsCollector) {
+    let mut table = Table::new(&[
+        "slot",
+        "queued_total",
+        "in_flight_links",
+        "q_class0",
+        "q_class1",
+        "q_class2",
+        "q_class3",
+    ]);
+    for s in &obs.samples {
+        table.row(vec![
+            s.slot.to_string(),
+            s.queued_total.to_string(),
+            s.in_flight_links.to_string(),
+            s.queued_by_class[0].to_string(),
+            s.queued_by_class[1].to_string(),
+            s.queued_by_class[2].to_string(),
+            s.queued_by_class[3].to_string(),
+        ]);
+    }
+    if let Err(e) = table.try_write_csv(&ctx.out, &format!("profile_series_{label}")) {
+        fatal(&format!("writing profile_series_{label}.csv"), &e);
+    }
+}
+
+/// Per-link utilization on the torus grid: one panel per (dim, dir),
+/// cell (row, col) = the link leaving node (col, row) in that direction.
+fn write_heatmap(ctx: &Ctx, label: &str, topo: &Torus, obs: &ObsCollector) {
+    if topo.d() != 2 {
+        return; // the grid layout is only meaningful for 2-D tori
+    }
+    let util = obs.link_utilization();
+    if util.is_empty() {
+        return;
+    }
+    let cols = topo.dim_size(0) as usize;
+    let rows = topo.dim_size(1) as usize;
+    let mut panels = Vec::new();
+    for dim in 0..2 {
+        for dir in [Direction::Plus, Direction::Minus] {
+            let mut values = vec![0.0; rows * cols];
+            for node in 0..topo.node_count() {
+                let node = NodeId(node);
+                let r = topo.coords().digit(node, 1) as usize;
+                let c = topo.coords().digit(node, 0) as usize;
+                let l = topo
+                    .link_id(Link {
+                        from: node,
+                        dim,
+                        dir,
+                    })
+                    .index();
+                values[r * cols + c] = util.get(l).copied().unwrap_or(0.0);
+            }
+            let sign = if dir == Direction::Plus { '+' } else { '-' };
+            panels.push(HeatPanel {
+                label: format!("dim {dim} {sign}"),
+                rows,
+                cols,
+                values,
+            });
+        }
+    }
+    let svg = render_heatmap(&format!("link utilization — {label}"), &panels);
+    let path = ctx.out.join(format!("profile_heatmap_{label}.svg"));
+    if let Err(e) = std::fs::write(&path, svg) {
+        fatal(&format!("writing {}", path.display()), &e);
+    }
+}
+
+/// The benchmark summary for dashboards, at the repository root (the
+/// working directory) by convention with the other `BENCH_*.json` files.
+fn write_bench_json(ctx: &Ctx, topo: &Torus, rho: f64, results: &[SchemeProfile]) {
+    let json_f64 = |out: &mut String, v: f64| {
+        if v.is_finite() {
+            let _ = write!(out, "{v}");
+        } else {
+            out.push_str("null");
+        }
+    };
+    let mut s = String::with_capacity(1024);
+    let _ = write!(
+        s,
+        "{{\"schema\":1,\"bench\":\"profile\",\"topology\":\"torus({}x{})\",\"rho\":{rho},\"smoke\":{},",
+        topo.dim_size(0),
+        topo.dim_size(1),
+        ctx.smoke
+    );
+    match git_rev() {
+        Some(rev) => {
+            let _ = write!(s, "\"git_rev\":\"{rev}\",");
+        }
+        None => s.push_str("\"git_rev\":null,"),
+    }
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = write!(s, "\"unix_time_secs\":{unix},\"results\":[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"scheme\":\"{}\",", r.scheme);
+        match r.steady_state_slot {
+            Some(v) => {
+                let _ = write!(s, "\"steady_state_slot\":{v},");
+            }
+            None => s.push_str("\"steady_state_slot\":null,"),
+        }
+        s.push_str("\"step_slots_per_sec\":");
+        json_f64(&mut s, r.step_slots_per_sec);
+        s.push_str(",\"event_slots_per_sec\":");
+        json_f64(&mut s, r.event_slots_per_sec);
+        s.push_str(",\"traced_slots_per_sec\":");
+        json_f64(&mut s, r.traced_slots_per_sec);
+        s.push_str(",\"trace_overhead_frac\":");
+        json_f64(&mut s, r.trace_overhead_frac);
+        s.push('}');
+    }
+    s.push_str("]}\n");
+    if let Err(e) = std::fs::write("BENCH_obs.json", &s) {
+        fatal("writing BENCH_obs.json", &e);
+    }
+    println!("(benchmark summary written to BENCH_obs.json)");
+}

@@ -1,11 +1,13 @@
 //! Embarrassingly parallel sweep execution.
 
-use std::sync::Mutex;
-
 /// Maps `f` over `items` on all available cores, preserving order.
 ///
 /// Simulation points are independent runs, so a work-stealing-free static
-/// round-robin over a shared index is plenty.
+/// round-robin over a shared index is plenty. Each worker accumulates its
+/// results locally and hands them back through its join handle — no
+/// shared lock on the completion path, and a panicking worker's payload
+/// is re-raised verbatim in the caller (a poisoned-lock message used to
+/// mask the original panic).
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -16,23 +18,36 @@ where
         .map(|n| n.get())
         .unwrap_or(1)
         .min(items.len().max(1));
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
     let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => {
+                    for (i, r) in local {
+                        results[i] = Some(r);
+                    }
                 }
-                let r = f(i, &items[i]);
-                results.lock().expect("sweep worker panicked")[i] = Some(r);
-            });
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     });
     results
-        .into_inner()
-        .expect("sweep worker panicked")
         .into_iter()
         .map(|r| r.expect("every index computed"))
         .collect()
@@ -59,6 +74,24 @@ mod tests {
     fn parallel_map_handles_empty() {
         let out: Vec<u32> = parallel_map(&[] as &[u32], |_, &x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_map_propagates_original_panic_payload() {
+        let items: Vec<u32> = (0..8).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, |i, &x| {
+                if i == 2 {
+                    panic!("boom at {i}");
+                }
+                x
+            })
+        }));
+        let payload = caught.expect_err("must propagate the panic");
+        let msg = payload
+            .downcast_ref::<String>()
+            .expect("panic! with args carries a String");
+        assert_eq!(msg, "boom at 2");
     }
 
     #[test]

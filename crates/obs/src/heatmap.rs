@@ -1,0 +1,189 @@
+//! Dependency-free SVG link-load heatmaps.
+//!
+//! A heatmap is a row of panels — one per (dimension, direction) — each
+//! an `rows × cols` grid of cells colored white → red by the directed
+//! link's utilization, with a shared scale and a min/max legend. The
+//! experiments binary builds panels from an `ObsCollector`'s per-link
+//! utilization joined against the torus link layout.
+
+use std::fmt::Write as _;
+
+/// One panel of a heatmap: a dense grid of values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeatPanel {
+    /// Panel caption (e.g. `"dim 0 +"`).
+    pub label: String,
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+    /// Row-major cell values; `rows * cols` entries.
+    pub values: Vec<f64>,
+}
+
+const CELL: f64 = 22.0;
+const GAP: f64 = 26.0; // between panels
+const MT: f64 = 46.0; // top margin (title)
+const MB: f64 = 54.0; // bottom margin (labels + legend)
+const ML: f64 = 16.0;
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+/// White → red color for `v` on a `[0, max]` scale.
+fn cell_color(v: f64, max: f64) -> String {
+    let t = if max > 0.0 {
+        (v / max).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let g = (255.0 * (1.0 - t)).round() as u8;
+    format!("#ff{g:02x}{g:02x}")
+}
+
+/// Renders panels side by side under `title` with a shared color scale.
+///
+/// # Panics
+///
+/// Panics when `panels` is empty or a panel's value count does not match
+/// its grid shape.
+pub fn render_heatmap(title: &str, panels: &[HeatPanel]) -> String {
+    assert!(!panels.is_empty(), "heatmap has no panels");
+    for p in panels {
+        assert_eq!(
+            p.values.len(),
+            p.rows * p.cols,
+            "panel '{}' shape mismatch",
+            p.label
+        );
+    }
+    let max = panels
+        .iter()
+        .flat_map(|p| p.values.iter().copied())
+        .filter(|v| v.is_finite())
+        .fold(0.0f64, f64::max);
+    let height = MT + MB + panels.iter().map(|p| p.rows).max().unwrap() as f64 * CELL;
+    let width = ML * 2.0
+        + panels.iter().map(|p| p.cols as f64 * CELL).sum::<f64>()
+        + GAP * (panels.len() - 1) as f64;
+
+    let mut svg = String::with_capacity(4096);
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0}" height="{height:.0}" viewBox="0 0 {width:.0} {height:.0}">"#
+    );
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="26" font-family="sans-serif" font-size="16" text-anchor="middle">{}</text>"#,
+        width / 2.0,
+        xml_escape(title)
+    );
+
+    let mut x0 = ML;
+    for p in panels {
+        for r in 0..p.rows {
+            for c in 0..p.cols {
+                let v = p.values[r * p.cols + c];
+                let _ = write!(
+                    svg,
+                    r##"<rect x="{:.1}" y="{:.1}" width="{CELL}" height="{CELL}" fill="{}" stroke="#ccc" stroke-width="0.5"/>"##,
+                    x0 + c as f64 * CELL,
+                    MT + r as f64 * CELL,
+                    cell_color(v, max)
+                );
+            }
+        }
+        let _ = write!(
+            svg,
+            r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="12" text-anchor="middle">{}</text>"#,
+            x0 + p.cols as f64 * CELL / 2.0,
+            MT + p.rows as f64 * CELL + 18.0,
+            xml_escape(&p.label)
+        );
+        x0 += p.cols as f64 * CELL + GAP;
+    }
+
+    // Legend: the shared scale's endpoints.
+    let _ = write!(
+        svg,
+        r##"<rect x="{ML}" y="{:.1}" width="14" height="14" fill="#ffffff" stroke="#ccc"/>"##,
+        height - 24.0
+    );
+    let _ = write!(
+        svg,
+        r##"<rect x="{:.1}" y="{:.1}" width="14" height="14" fill="#ff0000" stroke="#ccc"/>"##,
+        ML + 76.0,
+        height - 24.0
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">0</text>"#,
+        ML + 18.0,
+        height - 13.0
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">{max:.3}</text>"#,
+        ML + 94.0,
+        height - 13.0
+    );
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel(label: &str, rows: usize, cols: usize) -> HeatPanel {
+        HeatPanel {
+            label: label.into(),
+            rows,
+            cols,
+            values: (0..rows * cols).map(|i| i as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn renders_one_rect_per_cell() {
+        let svg = render_heatmap("t", &[panel("dim 0 +", 3, 4), panel("dim 0 -", 3, 4)]);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        // 24 cells + background + 2 legend swatches.
+        assert_eq!(svg.matches("<rect").count(), 24 + 1 + 2);
+        assert!(svg.contains("dim 0 +"));
+    }
+
+    #[test]
+    fn color_scale_is_white_to_red() {
+        assert_eq!(cell_color(0.0, 1.0), "#ffffff");
+        assert_eq!(cell_color(1.0, 1.0), "#ff0000");
+        assert_eq!(cell_color(0.5, 1.0), "#ff8080");
+        // Degenerate all-zero scale stays white.
+        assert_eq!(cell_color(0.0, 0.0), "#ffffff");
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let svg = render_heatmap("a<b", &[panel("x&y", 1, 1)]);
+        assert!(svg.contains("a&lt;b"));
+        assert!(svg.contains("x&amp;y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn rejects_bad_shape() {
+        let mut p = panel("p", 2, 2);
+        p.values.pop();
+        render_heatmap("t", &[p]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no panels")]
+    fn rejects_empty() {
+        render_heatmap("t", &[]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # pstar-obs
+//!
+//! Observability for the pstar simulators: a structured event trace, a
+//! per-slot time-series sampler, run manifests, and a link-load heatmap
+//! renderer. The engines know nothing about *what* is observed — they
+//! push typed records through the [`TraceSink`] trait, and a disabled
+//! sink costs the hot loop exactly one `Option` branch per potential
+//! record (asserted bit-identical by the `tests/obs.rs` proptest).
+//!
+//! The three layers:
+//!
+//! * **Event trace** — [`TraceEvent`] records (enqueue, service start,
+//!   delivery, drop, retransmit, fault epoch) timestamped into
+//!   [`TraceRecord`]s and kept in a bounded [`RingTrace`] so a
+//!   long run's trace memory is fixed.
+//! * **Time series** — [`SlotSample`] snapshots of per-link / per-class
+//!   queue occupancy and in-flight counts at a configurable decimation
+//!   ([`TraceSink::decimation`]), feeding CSV columns, the
+//!   [`render_heatmap`] renderer, and the MSER time-to-steady-state estimate
+//!   ([`ObsCollector::steady_state_slot`]).
+//! * **Run manifests** — [`RunManifest`] sidecar JSON documents (seed,
+//!   config hash, git revision, wall-clock per phase, slots/sec) written
+//!   next to every experiments artifact.
+
+#![warn(missing_docs)]
+
+mod heatmap;
+mod manifest;
+mod series;
+mod trace;
+
+pub use heatmap::{render_heatmap, HeatPanel};
+pub use manifest::{config_hash, fnv1a64, git_rev, PhaseTiming, RunManifest};
+pub use series::{SeriesStats, SlotSample, MAX_OBS_CLASSES};
+pub use trace::{DropKind, NullSink, ObsCollector, RingTrace, TraceEvent, TraceRecord, TraceSink};

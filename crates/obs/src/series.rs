@@ -1,0 +1,93 @@
+//! Per-slot time-series samples.
+
+/// Priority classes a sample distinguishes. Must equal the simulator's
+/// `MAX_PRIORITY_CLASSES` (the sim crate carries a compile-time assert).
+pub const MAX_OBS_CLASSES: usize = 4;
+
+/// One decimated snapshot of the network's queueing state.
+///
+/// Built by the engine at sampling instants and handed to
+/// [`crate::TraceSink::on_slot_sample`]. The per-link vector is indexed
+/// by dense link id, so a sample can be joined against topology tables.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlotSample {
+    /// Simulation slot the snapshot was taken at.
+    pub slot: u64,
+    /// Total queued packets across every link and class.
+    pub queued_total: u64,
+    /// Links with a packet in service this slot.
+    pub in_flight_links: u32,
+    /// Queued packets per priority class, summed over links.
+    pub queued_by_class: [u64; MAX_OBS_CLASSES],
+    /// Queued packets per link (dense link-id order).
+    pub queued_by_link: Vec<u32>,
+}
+
+/// Aggregate statistics over a collected sample series.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SeriesStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean of `queued_total` over the samples.
+    pub mean_queued: f64,
+    /// Maximum `queued_total` observed.
+    pub max_queued: u64,
+    /// Mean fraction of links busy (in-flight) at sample instants.
+    pub mean_busy_fraction: f64,
+}
+
+impl SeriesStats {
+    /// Summarizes a sample series. Returns the default (all zeros) for an
+    /// empty series.
+    pub fn of(samples: &[SlotSample]) -> Self {
+        if samples.is_empty() {
+            return Self::default();
+        }
+        let n = samples.len() as f64;
+        let mut mean_queued = 0.0;
+        let mut max_queued = 0;
+        let mut busy = 0.0;
+        for s in samples {
+            mean_queued += s.queued_total as f64;
+            max_queued = max_queued.max(s.queued_total);
+            let links = s.queued_by_link.len().max(1) as f64;
+            busy += s.in_flight_links as f64 / links;
+        }
+        Self {
+            count: samples.len(),
+            mean_queued: mean_queued / n,
+            max_queued,
+            mean_busy_fraction: busy / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(slot: u64, queued: u64, busy: u32) -> SlotSample {
+        SlotSample {
+            slot,
+            queued_total: queued,
+            in_flight_links: busy,
+            queued_by_class: [queued, 0, 0, 0],
+            queued_by_link: vec![0; 4],
+        }
+    }
+
+    #[test]
+    fn stats_of_empty_series_are_zero() {
+        assert_eq!(SeriesStats::of(&[]), SeriesStats::default());
+    }
+
+    #[test]
+    fn stats_aggregate_correctly() {
+        let s = SeriesStats::of(&[sample(0, 2, 1), sample(8, 6, 3)]);
+        assert_eq!(s.count, 2);
+        assert!((s.mean_queued - 4.0).abs() < 1e-12);
+        assert_eq!(s.max_queued, 6);
+        // (1/4 + 3/4) / 2 = 0.5
+        assert!((s.mean_busy_fraction - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,484 @@
+//! Structured event trace: typed records, the sink trait, and the
+//! bounded ring buffer.
+
+use crate::series::SlotSample;
+use pstar_stats::mser_truncation;
+use std::any::Any;
+
+/// Why a traced packet copy left the network at a hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropKind {
+    /// Lost to a dead link.
+    Fault,
+    /// Lost to a full bounded queue (tail drop or eviction).
+    Overflow,
+    /// A retransmission attempt that could not be re-injected.
+    RetryFailed,
+}
+
+/// One simulator event, as seen by a [`TraceSink`].
+///
+/// Fields are the minimum needed to reconstruct per-link / per-class
+/// activity; task-level joins go through the report, not the trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A packet copy entered a link's output queue.
+    Enqueue {
+        /// Dense link id.
+        link: u32,
+        /// Priority class.
+        class: u8,
+    },
+    /// A link began serving a packet.
+    ServiceStart {
+        /// Dense link id.
+        link: u32,
+        /// Priority class.
+        class: u8,
+        /// Slots the packet waited in the queue.
+        wait: u64,
+        /// Service length in slots (the packet length).
+        len: u16,
+    },
+    /// A packet copy arrived at the link's receiving node.
+    Delivery {
+        /// Dense link id.
+        link: u32,
+        /// Priority class.
+        class: u8,
+        /// Slots since the task was generated.
+        age: u64,
+    },
+    /// A packet copy was lost at a hop (possibly recovered later by ARQ;
+    /// terminal settlement is a report-level concern).
+    Drop {
+        /// Dense link id.
+        link: u32,
+        /// Priority class.
+        class: u8,
+        /// What took the copy out.
+        cause: DropKind,
+    },
+    /// An ARQ retransmission was re-injected at the hop that lost it.
+    Retransmit {
+        /// Dense link id.
+        link: u32,
+        /// Priority class (after the retransmit boost).
+        class: u8,
+        /// Retry attempt number (1 = first retransmission).
+        attempt: u8,
+    },
+    /// The fault plan changed the liveness view.
+    FaultEpoch {
+        /// Dead directed links after the change.
+        dead_links: u32,
+        /// Crashed nodes after the change.
+        dead_nodes: u32,
+    },
+}
+
+/// A timestamped [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation slot the event occurred at.
+    pub slot: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Receiver of engine observability data.
+///
+/// The engines call [`TraceSink::record`] at every traced event and
+/// [`TraceSink::on_slot_sample`] every [`TraceSink::decimation`] slots.
+/// Implementations must never influence the simulation — the engines
+/// hand out copies of their state, and the `tests/obs.rs` proptest pins
+/// reports bit-identical with and without a sink installed.
+pub trait TraceSink: Send {
+    /// Receives one traced event.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// Receives a decimated queue-state snapshot. Default: ignored.
+    fn on_slot_sample(&mut self, _sample: &SlotSample) {}
+
+    /// Slot-sampling period; `0` disables [`TraceSink::on_slot_sample`]
+    /// entirely (the engine then never builds samples). Queried once at
+    /// installation.
+    fn decimation(&self) -> u64 {
+        0
+    }
+
+    /// Recovers the concrete sink after a run (engines return the boxed
+    /// sink; downcast through `Any` to read collected data back out).
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A sink that discards everything — the cheapest possible enabled
+/// trace, used to prove the trace path itself never perturbs results.
+#[derive(Debug, Default)]
+pub struct NullSink {
+    decimation: u64,
+    records: u64,
+    samples: u64,
+}
+
+impl NullSink {
+    /// Discarding sink with slot sampling disabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discarding sink that still requests slot samples every
+    /// `decimation` slots (exercises the sampling path).
+    pub fn with_decimation(decimation: u64) -> Self {
+        Self {
+            decimation,
+            ..Self::default()
+        }
+    }
+
+    /// Events received (and discarded).
+    pub fn records_seen(&self) -> u64 {
+        self.records
+    }
+
+    /// Samples received (and discarded).
+    pub fn samples_seen(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _rec: TraceRecord) {
+        self.records += 1;
+    }
+
+    fn on_slot_sample(&mut self, _sample: &SlotSample) {
+        self.samples += 1;
+    }
+
+    fn decimation(&self) -> u64 {
+        self.decimation
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Fixed-capacity ring of [`TraceRecord`]s: O(1) insertion, bounded
+/// memory, keeps the most recent `capacity` records.
+#[derive(Debug)]
+pub struct RingTrace {
+    buf: Vec<TraceRecord>,
+    /// Next write position once the ring has wrapped.
+    head: usize,
+    total: u64,
+    capacity: usize,
+}
+
+impl RingTrace {
+    /// Empty ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring trace needs a non-zero capacity");
+        Self {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            head: 0,
+            total: 0,
+            capacity,
+        }
+    }
+
+    /// Appends a record, evicting the oldest once full.
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+        }
+        self.total += 1;
+    }
+
+    /// Records currently retained.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records ever pushed (retained + evicted).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Retained records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (newer, older) = self.buf.split_at(self.head);
+        older.iter().chain(newer.iter())
+    }
+}
+
+/// Per-event-type counters kept by [`ObsCollector`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventCounts {
+    /// `Enqueue` events.
+    pub enqueues: u64,
+    /// `ServiceStart` events.
+    pub service_starts: u64,
+    /// `Delivery` events.
+    pub deliveries: u64,
+    /// `Drop` events.
+    pub drops: u64,
+    /// `Retransmit` events.
+    pub retransmits: u64,
+    /// `FaultEpoch` events.
+    pub fault_epochs: u64,
+}
+
+/// Batteries-included sink: bounded ring of recent events, per-event
+/// counters, per-link busy-slot accumulation (for the heatmap), and the
+/// full decimated sample series (for CSV columns and the steady-state
+/// estimate).
+#[derive(Debug)]
+pub struct ObsCollector {
+    /// Most recent events.
+    pub ring: RingTrace,
+    decimation: u64,
+    /// Collected sample series, in slot order.
+    pub samples: Vec<SlotSample>,
+    /// Per-event-type totals.
+    pub counts: EventCounts,
+    busy_by_link: Vec<u64>,
+    first_slot: Option<u64>,
+    last_slot: u64,
+}
+
+impl ObsCollector {
+    /// Collector retaining `ring_capacity` recent events and sampling
+    /// every `decimation` slots (`0` = no sampling).
+    pub fn new(ring_capacity: usize, decimation: u64) -> Self {
+        Self {
+            ring: RingTrace::with_capacity(ring_capacity),
+            decimation,
+            samples: Vec::new(),
+            counts: EventCounts::default(),
+            busy_by_link: Vec::new(),
+            first_slot: None,
+            last_slot: 0,
+        }
+    }
+
+    /// Observed span in slots (first event/sample to last, inclusive).
+    pub fn observed_slots(&self) -> u64 {
+        match self.first_slot {
+            Some(first) => self.last_slot - first + 1,
+            None => 0,
+        }
+    }
+
+    /// Per-link utilization over the observed span: busy slots credited
+    /// at service start divided by the span. Empty before any event.
+    pub fn link_utilization(&self) -> Vec<f64> {
+        let span = self.observed_slots();
+        if span == 0 {
+            return Vec::new();
+        }
+        self.busy_by_link
+            .iter()
+            .map(|&b| b as f64 / span as f64)
+            .collect()
+    }
+
+    /// MSER estimate of the slot where the run reached steady state,
+    /// computed over the `queued_total` sample series. `None` without
+    /// at least a handful of samples to judge from.
+    pub fn steady_state_slot(&self) -> Option<u64> {
+        if self.samples.len() < 8 {
+            return None;
+        }
+        let series: Vec<f64> = self.samples.iter().map(|s| s.queued_total as f64).collect();
+        let cut = mser_truncation(&series);
+        Some(self.samples[cut].slot)
+    }
+
+    fn touch(&mut self, slot: u64) {
+        if self.first_slot.is_none() {
+            self.first_slot = Some(slot);
+        }
+        self.last_slot = self.last_slot.max(slot);
+    }
+}
+
+impl TraceSink for ObsCollector {
+    fn record(&mut self, rec: TraceRecord) {
+        self.touch(rec.slot);
+        match rec.event {
+            TraceEvent::Enqueue { .. } => self.counts.enqueues += 1,
+            TraceEvent::ServiceStart { link, len, .. } => {
+                self.counts.service_starts += 1;
+                let l = link as usize;
+                if self.busy_by_link.len() <= l {
+                    self.busy_by_link.resize(l + 1, 0);
+                }
+                self.busy_by_link[l] += len as u64;
+            }
+            TraceEvent::Delivery { .. } => self.counts.deliveries += 1,
+            TraceEvent::Drop { .. } => self.counts.drops += 1,
+            TraceEvent::Retransmit { .. } => self.counts.retransmits += 1,
+            TraceEvent::FaultEpoch { .. } => self.counts.fault_epochs += 1,
+        }
+        self.ring.push(rec);
+    }
+
+    fn on_slot_sample(&mut self, sample: &SlotSample) {
+        self.touch(sample.slot);
+        self.samples.push(sample.clone());
+    }
+
+    fn decimation(&self) -> u64 {
+        self.decimation
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::MAX_OBS_CLASSES;
+
+    fn rec(slot: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord { slot, event }
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_records() {
+        let mut r = RingTrace::with_capacity(3);
+        for slot in 0..5 {
+            r.push(rec(slot, TraceEvent::Enqueue { link: 0, class: 0 }));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.total_recorded(), 5);
+        let slots: Vec<u64> = r.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_iterates_in_order_before_wrapping() {
+        let mut r = RingTrace::with_capacity(8);
+        for slot in [3, 7, 9] {
+            r.push(rec(
+                slot,
+                TraceEvent::Delivery {
+                    link: 1,
+                    class: 0,
+                    age: 2,
+                },
+            ));
+        }
+        let slots: Vec<u64> = r.iter().map(|r| r.slot).collect();
+        assert_eq!(slots, vec![3, 7, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero capacity")]
+    fn ring_rejects_zero_capacity() {
+        RingTrace::with_capacity(0);
+    }
+
+    #[test]
+    fn null_sink_counts_but_discards() {
+        let mut s = NullSink::with_decimation(8);
+        assert_eq!(s.decimation(), 8);
+        s.record(rec(0, TraceEvent::Enqueue { link: 0, class: 0 }));
+        s.on_slot_sample(&SlotSample::default());
+        assert_eq!(s.records_seen(), 1);
+        assert_eq!(s.samples_seen(), 1);
+    }
+
+    #[test]
+    fn collector_accumulates_busy_and_counts() {
+        let mut c = ObsCollector::new(16, 4);
+        c.record(rec(
+            0,
+            TraceEvent::ServiceStart {
+                link: 2,
+                class: 0,
+                wait: 1,
+                len: 3,
+            },
+        ));
+        c.record(rec(
+            5,
+            TraceEvent::ServiceStart {
+                link: 2,
+                class: 0,
+                wait: 0,
+                len: 1,
+            },
+        ));
+        c.record(rec(
+            9,
+            TraceEvent::Delivery {
+                link: 2,
+                class: 0,
+                age: 4,
+            },
+        ));
+        assert_eq!(c.counts.service_starts, 2);
+        assert_eq!(c.counts.deliveries, 1);
+        assert_eq!(c.observed_slots(), 10);
+        let util = c.link_utilization();
+        assert_eq!(util.len(), 3);
+        assert!((util[2] - 0.4).abs() < 1e-12, "util {:?}", util);
+    }
+
+    #[test]
+    fn collector_estimates_steady_state_after_transient() {
+        let mut c = ObsCollector::new(16, 8);
+        // A ramp-up transient followed by a flat steady state: MSER must
+        // cut somewhere inside the ramp, never deep into the plateau.
+        for i in 0..40u64 {
+            let queued = if i < 10 { 100 - 10 * i } else { 4 + (i % 2) };
+            c.on_slot_sample(&SlotSample {
+                slot: i * 8,
+                queued_total: queued,
+                in_flight_links: 0,
+                queued_by_class: [queued, 0, 0, 0],
+                queued_by_link: Vec::new(),
+            });
+        }
+        let steady = c.steady_state_slot().unwrap();
+        assert!((7 * 8..=12 * 8).contains(&steady), "steady at {steady}");
+    }
+
+    #[test]
+    fn collector_without_samples_has_no_estimate() {
+        let c = ObsCollector::new(16, 0);
+        assert!(c.steady_state_slot().is_none());
+        assert!(c.link_utilization().is_empty());
+    }
+
+    #[test]
+    fn collector_downcasts_through_any() {
+        let sink: Box<dyn TraceSink> = Box::new(ObsCollector::new(4, 0));
+        let back = sink.into_any().downcast::<ObsCollector>();
+        assert!(back.is_ok());
+    }
+
+    #[test]
+    fn class_constant_is_in_sync_comment() {
+        // The sim crate asserts MAX_OBS_CLASSES == MAX_PRIORITY_CLASSES
+        // at compile time; this pins the obs side of the contract.
+        assert_eq!(MAX_OBS_CLASSES, 4);
+    }
+}

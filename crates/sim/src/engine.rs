@@ -8,6 +8,7 @@ use crate::recovery::{ArqConfig, FullQueuePolicy, RetxEntry, TimeoutWheel};
 use crate::scheme::Scheme;
 use crate::task::{TaskKind, TaskSlot, TaskTable};
 use pstar_faults::{DeadLinkPolicy, FaultPlan, FaultRuntime};
+use pstar_obs::{DropKind, SlotSample, TraceEvent, TraceRecord, TraceSink};
 use pstar_stats::{BatchMeans, Histogram, Moments, TimeWeighted};
 use pstar_topology::{Link, LinkId, Network, NodeId};
 use pstar_traffic::{ArrivalProcess, PoissonArrivals, TrafficMix, UniformDestinations};
@@ -187,6 +188,14 @@ pub struct Engine<N: Network, S: Scheme> {
     faults: Option<Box<FaultState>>,
     recovery: Option<Box<RecoveryState>>,
     flow: Box<FlowState>,
+    /// Observability sink; `None` (default) keeps every trace site at a
+    /// single never-taken branch and the run bit-identical to an engine
+    /// built before tracing existed (pinned by the `tests/obs.rs`
+    /// proptest). Sinks receive copies of engine state and can never
+    /// influence the simulation (in particular: never the RNG).
+    obs: Option<Box<dyn TraceSink>>,
+    /// Cached `obs.decimation()`; 0 disables slot sampling.
+    obs_decim: u64,
 }
 
 impl<N: Network, S: Scheme> Engine<N, S> {
@@ -266,6 +275,8 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             faults: None,
             recovery: cfg.arq.map(|a| Box::new(RecoveryState::new(a, cfg.seed))),
             flow,
+            obs: None,
+            obs_decim: 0,
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             topo,
@@ -306,6 +317,49 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             wait_fault: [Moments::new(); MAX_PRIORITY_CLASSES],
         }));
         self
+    }
+
+    /// Installs an observability sink (builder style). The sink's
+    /// decimation is queried once here; see [`pstar_obs::TraceSink`].
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.obs_decim = sink.decimation();
+        self.obs = Some(sink);
+        self
+    }
+
+    /// Records one trace event — the single branch the hot loop pays
+    /// when tracing is disabled.
+    #[inline]
+    fn obs_record(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.obs.as_deref_mut() {
+            let slot = self.now;
+            sink.record(TraceRecord { slot, event });
+        }
+    }
+
+    /// Builds and delivers one decimated queue-state snapshot. Only
+    /// called at sampling instants (`obs_decim > 0`), so the O(links)
+    /// scan never touches an untraced run.
+    fn obs_sample(&mut self, slot: u64) {
+        let mut sample = SlotSample {
+            slot,
+            queued_total: self.queued_total.max(0) as u64,
+            in_flight_links: 0,
+            queued_by_class: [0; MAX_PRIORITY_CLASSES],
+            queued_by_link: Vec::with_capacity(self.queues.len()),
+        };
+        for (l, q) in self.queues.iter().enumerate() {
+            sample.queued_by_link.push(q.len() as u32);
+            for (c, acc) in sample.queued_by_class.iter_mut().enumerate() {
+                *acc += q.class_len(c) as u64;
+            }
+            if self.in_flight[l].is_some() {
+                sample.in_flight_links += 1;
+            }
+        }
+        if let Some(sink) = self.obs.as_deref_mut() {
+            sink.on_slot_sample(&sample);
+        }
     }
 
     /// Current simulation time.
@@ -413,7 +467,15 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     }
 
     /// Runs the full warmup → measure → drain protocol and reports.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_observed().0
+    }
+
+    /// As [`Engine::run`], but also hands back the installed
+    /// observability sink (if any) so collected traces, samples, and
+    /// counters can be read after the run (downcast via
+    /// [`pstar_obs::TraceSink::into_any`]).
+    pub fn run_observed(mut self) -> (SimReport, Option<Box<dyn TraceSink>>) {
         let end_measure = self.cfg.measure_end();
         let queue_limit = (self.cfg.unstable_queue_per_link * self.queues.len() as f64) as i64;
         let mut completed = true;
@@ -447,7 +509,8 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             }
             self.step(true);
         }
-        self.report(completed)
+        let sink = self.obs.take();
+        (self.report(completed), sink)
     }
 
     // ------------------------------------------------------------------
@@ -468,6 +531,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             if t % k == 0 {
                 self.queue_trace.push((t, self.queued_total as u64));
             }
+        }
+
+        // Decimated observability snapshot of the state the previous
+        // slot left behind. `obs_decim > 0` only with a sink installed.
+        if self.obs_decim > 0 && t % self.obs_decim == 0 {
+            self.obs_sample(t);
         }
 
         // Window boundaries for the time-weighted concurrency counters:
@@ -577,6 +646,13 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     f.pending_recovery.push((link.0, t, false));
                 }
                 self.scheme.on_liveness_change(f.runtime.view());
+                if self.obs.is_some() {
+                    let view = f.runtime.view();
+                    self.obs_record(TraceEvent::FaultEpoch {
+                        dead_links: view.dead_link_count(),
+                        dead_nodes: view.dead_node_count(),
+                    });
+                }
             }
             f.any_now = f.runtime.view().any_faults();
         }
@@ -655,6 +731,20 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         faults: Option<&mut FaultState>,
     ) {
         let is_retry = cause == DropCause::Retry;
+        if self.obs.is_some() {
+            // A copy lost at this hop — possibly recovered later by ARQ;
+            // terminal losses are distinguishable by a missing follow-up
+            // `Retransmit` for the same link/class.
+            self.obs_record(TraceEvent::Drop {
+                link: link as u32,
+                class: pkt.priority,
+                cause: match cause {
+                    DropCause::Fault => DropKind::Fault,
+                    DropCause::Overflow => DropKind::Overflow,
+                    DropCause::Retry => DropKind::RetryFailed,
+                },
+            });
+        }
         if self.recovery.is_some() {
             // Re-inject at the failed hop: the source's retransmission
             // would be duplicate-suppressed along the already-ACKed tree
@@ -729,6 +819,14 @@ impl<N: Network, S: Scheme> Engine<N, S> {
 
     fn start_service(&mut self, link: usize, pkt: Packet, in_window: bool) {
         let t = self.now;
+        if self.obs.is_some() {
+            self.obs_record(TraceEvent::ServiceStart {
+                link: link as u32,
+                class: pkt.priority,
+                wait: t - pkt.enqueue_time,
+                len: pkt.len,
+            });
+        }
         self.tx_by_dim[self.link_dim[link] as usize] += 1;
         self.tx_by_vc[(pkt.vc as usize).min(3)] += 1;
         if in_window {
@@ -751,6 +849,13 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     }
 
     fn deliver(&mut self, link: usize, pkt: Packet) {
+        if self.obs.is_some() {
+            self.obs_record(TraceEvent::Delivery {
+                link: link as u32,
+                class: pkt.priority,
+                age: self.now - pkt.gen_time,
+            });
+        }
         let node = self.link_target[link];
         match pkt.kind {
             PacketKind::Broadcast(state) => {
@@ -903,6 +1008,13 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             }
             let mut pkt = e.pkt;
             pkt.enqueue_time = now;
+            if self.obs.is_some() {
+                self.obs_record(TraceEvent::Retransmit {
+                    link: e.link,
+                    class: pkt.priority,
+                    attempt: pkt.attempt,
+                });
+            }
             self.queues[link].push(pkt);
             self.queued_total += 1;
             self.peak_queue = self.peak_queue.max(self.queued_total);
@@ -1163,6 +1275,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     continue;
                 }
             }
+            if self.obs.is_some() {
+                self.obs_record(TraceEvent::Enqueue {
+                    link: link as u32,
+                    class: packet.priority,
+                });
+            }
             self.queues[link].push(packet);
             self.queued_total += 1;
             if !self.is_active[link] {
@@ -1192,7 +1310,17 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 false
             });
         }
-        let window = self.cfg.measure_slots as f64;
+        // Normalize by the *realized* measurement window: a run cut
+        // short by `max_slots` (overload bail-out) has measured fewer
+        // than `measure_slots` slots, and dividing busy time by the
+        // configured window would understate utilization. For completed
+        // runs `now >= measure_end()`, so this is exactly
+        // `measure_slots` and the report is unchanged.
+        let realized = self
+            .now
+            .min(self.cfg.measure_end())
+            .saturating_sub(self.cfg.warmup_slots);
+        let window = realized.max(1) as f64;
         let links = self.queues.len() as f64;
         let per_link: Vec<f64> = self
             .busy_by_link
@@ -1268,10 +1396,10 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             deferred_injections: self.flow.deferred_injections,
             defer_delay: self.flow.defer_delay.summary(),
             evicted_packets: self.flow.evicted,
-            mean_queued_packets: if self.cfg.measure_slots == 0 {
+            mean_queued_packets: if realized == 0 {
                 0.0
             } else {
-                self.flow.occupancy_sum as f64 / self.cfg.measure_slots as f64
+                self.flow.occupancy_sum as f64 / realized as f64
             },
             goodput_fraction: if offered_with_rejects == 0 {
                 1.0
@@ -2051,5 +2179,103 @@ mod tests {
         assert!(rep.ok());
         // Hop latency is 3 slots: mean reception ≥ 3·(average hops ≈ 1.7).
         assert!(rep.reception_delay.mean > 4.0);
+    }
+
+    #[test]
+    fn truncated_run_normalizes_utilization_by_realized_window() {
+        // Cut the horizon mid-measurement: only 4000 of the configured
+        // 8000 measure slots run. Utilization must be normalized by the
+        // realized window — dividing by the configured one reported
+        // roughly ρ/2 here before the fix.
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.6);
+        let mut cfg = SimConfig::quick(17);
+        cfg.max_slots = cfg.warmup_slots + 4000; // < measure_end()
+        let rep = crate::run(&t, s, TrafficMix::broadcast_only(lambda), cfg);
+        assert!(!rep.completed, "horizon must cut the window short");
+        assert!(
+            (rep.mean_link_utilization - 0.6).abs() < 0.05,
+            "measured {} vs offered 0.6 over the realized window",
+            rep.mean_link_utilization
+        );
+        // Per-class utilizations are normalized consistently: their sum
+        // over links equals the mean.
+        let class_sum: f64 = rep.class.iter().map(|c| c.utilization).sum();
+        assert!((class_sum - rep.mean_link_utilization).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_sink_sees_events_and_samples() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.5);
+        let cfg = SimConfig::quick(11);
+        let horizon = cfg.measure_end();
+        let (rep, sink) = Engine::new(t, s, TrafficMix::broadcast_only(lambda), cfg)
+            .with_trace(Box::new(pstar_obs::ObsCollector::new(1024, 64)))
+            .run_observed();
+        assert!(rep.ok());
+        let obs = sink
+            .expect("sink returned")
+            .into_any()
+            .downcast::<pstar_obs::ObsCollector>()
+            .expect("collector comes back out");
+        assert!(obs.counts.enqueues > 0, "saw enqueues");
+        assert!(obs.counts.service_starts > 0, "saw service starts");
+        assert!(obs.counts.deliveries > 0, "saw deliveries");
+        assert_eq!(obs.counts.drops, 0, "lossless run");
+        assert!(obs.samples.len() as u64 >= horizon / 64 - 1);
+        // Utilization reconstructed from ServiceStart events matches the
+        // report's busy accounting over the full run span.
+        let util = obs.link_utilization();
+        assert_eq!(util.len(), 16);
+        assert!(util.iter().all(|&u| u > 0.0 && u <= 1.0));
+    }
+
+    #[test]
+    fn traced_run_report_is_bit_identical_to_untraced() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.6);
+        let base = crate::run(
+            &t,
+            TestScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(29),
+        );
+        let (traced, _) = Engine::new(
+            t,
+            s,
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(29),
+        )
+        .with_trace(Box::new(pstar_obs::NullSink::with_decimation(8)))
+        .run_observed();
+        assert_eq!(format!("{base:?}"), format!("{traced:?}"));
+    }
+
+    #[test]
+    fn trace_sees_drops_and_faults() {
+        let (t, s) = ring(8);
+        let lambda = ring_lambda(&t, 0.5);
+        let plan = pstar_faults::FaultPlan::scripted(vec![pstar_faults::FaultEvent {
+            slot: 3000,
+            kind: pstar_faults::FaultKind::LinkDown(pstar_topology::LinkId(0)),
+        }]);
+        let (rep, sink) = Engine::new(
+            t,
+            s,
+            TrafficMix::broadcast_only(lambda),
+            SimConfig::quick(13),
+        )
+        .with_fault_plan(plan, DeadLinkPolicy::Drop)
+        .with_trace(Box::new(pstar_obs::ObsCollector::new(4096, 0)))
+        .run_observed();
+        let obs = sink
+            .unwrap()
+            .into_any()
+            .downcast::<pstar_obs::ObsCollector>()
+            .unwrap();
+        assert!(rep.faults.fault_dropped_packets > 0);
+        assert!(obs.counts.fault_epochs >= 1, "liveness change recorded");
+        assert!(obs.counts.drops > 0, "fault losses traced");
     }
 }

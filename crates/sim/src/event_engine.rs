@@ -24,6 +24,7 @@ use crate::packet::{Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 use crate::queue::PriorityQueue;
 use crate::scheme::Scheme;
 use crate::task::{TaskKind, TaskSlot, TaskTable};
+use pstar_obs::{SlotSample, TraceEvent, TraceRecord, TraceSink};
 use pstar_stats::Moments;
 use pstar_topology::{Link, Network, NodeId};
 use pstar_traffic::{TrafficMix, UniformDestinations};
@@ -73,6 +74,17 @@ pub struct EventEngine<N: Network, S: Scheme> {
     measured_unicasts: u64,
     emit_buf: Vec<Emit>,
     unstable: bool,
+
+    /// Observability sink; same contract as the step engine's — `None`
+    /// keeps every trace site at one never-taken branch, and sinks only
+    /// ever receive copies of state (never the RNG).
+    obs: Option<Box<dyn TraceSink>>,
+    /// Cached `obs.decimation()`; 0 disables slot sampling.
+    obs_decim: u64,
+    /// Next slot at or after which a sample is due. The event engine
+    /// skips empty slots, so sampling is sparse: the first *visited*
+    /// instant at or past each decimation boundary is sampled.
+    next_sample_slot: u64,
 }
 
 impl<N: Network, S: Scheme> EventEngine<N, S> {
@@ -85,6 +97,22 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
         assert!(
             !mix.bernoulli,
             "the event engine implements Poisson arrivals only"
+        );
+        // Reject configs enabling features this engine does not
+        // simulate. Silently accepting them used to yield reports with
+        // defaulted `recovery`/`flow` sections that looked like "no
+        // losses, nothing rejected" instead of "not simulated".
+        assert!(
+            cfg.arq.is_none(),
+            "the event engine does not simulate ARQ recovery; use crate::Engine"
+        );
+        assert!(
+            cfg.admission.is_none(),
+            "the event engine does not simulate admission control; use crate::Engine"
+        );
+        assert!(
+            cfg.queue_capacity.is_none(),
+            "the event engine models infinite queues only; use crate::Engine"
         );
         let links = topo.link_count() as usize;
         let n = topo.node_count();
@@ -111,6 +139,9 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             measured_unicasts: 0,
             emit_buf: Vec::with_capacity(64),
             unstable: false,
+            obs: None,
+            obs_decim: 0,
+            next_sample_slot: 0,
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             topo,
@@ -120,8 +151,52 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
         }
     }
 
+    /// Installs an observability sink (see [`crate::Engine::with_trace`]).
+    pub fn with_trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.obs_decim = sink.decimation();
+        self.obs = Some(sink);
+        self
+    }
+
+    /// Records one trace event; a single branch when no sink is installed.
+    #[inline]
+    fn obs_record(&mut self, event: TraceEvent) {
+        if let Some(sink) = self.obs.as_deref_mut() {
+            sink.record(TraceRecord {
+                slot: self.now,
+                event,
+            });
+        }
+    }
+
+    /// Delivers a queue-state snapshot of the current instant.
+    fn obs_sample(&mut self, slot: u64) {
+        let mut sample = SlotSample {
+            slot,
+            queued_total: self.queued_total.max(0) as u64,
+            in_flight_links: self.in_flight.iter().filter(|p| p.is_some()).count() as u32,
+            queued_by_class: [0; MAX_PRIORITY_CLASSES],
+            queued_by_link: Vec::with_capacity(self.queues.len()),
+        };
+        for q in &self.queues {
+            sample.queued_by_link.push(q.len() as u32);
+            for (k, acc) in sample.queued_by_class.iter_mut().enumerate() {
+                *acc += q.class_len(k) as u64;
+            }
+        }
+        if let Some(sink) = self.obs.as_deref_mut() {
+            sink.on_slot_sample(&sample);
+        }
+    }
+
     /// Runs the warmup → measure → drain protocol and reports.
-    pub fn run(mut self) -> SimReport {
+    pub fn run(self) -> SimReport {
+        self.run_observed().0
+    }
+
+    /// Like [`EventEngine::run`], returning the installed trace sink so
+    /// collected data can be downcast back out.
+    pub fn run_observed(mut self) -> (SimReport, Option<Box<dyn TraceSink>>) {
         let end_measure = self.cfg.measure_end();
         let queue_limit = (self.cfg.unstable_queue_per_link * self.queues.len() as f64) as i64;
         let total_rate =
@@ -161,6 +236,14 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             }
             self.now = next;
 
+            // Decimated snapshot of the state the previous instant left
+            // behind; because empty slots are skipped, this fires at the
+            // first visited instant past each boundary.
+            if self.obs_decim > 0 && next >= self.next_sample_slot {
+                self.obs_sample(next);
+                self.next_sample_slot = (next / self.obs_decim + 1) * self.obs_decim;
+            }
+
             // Phase 1: completions at `now` (deliveries + freeing links).
             while let Some(&Reverse((t, link))) = self.calendar.peek() {
                 if t != self.now {
@@ -190,7 +273,8 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             // the queues touched this round (recorded during enqueue).
             self.start_pending();
         }
-        self.report(completed)
+        let sink = self.obs.take();
+        (self.report(completed), sink)
     }
 
     /// Skips ahead to the next slot that contains at least one arrival:
@@ -272,6 +356,13 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
     }
 
     fn deliver(&mut self, link: usize, pkt: Packet) {
+        if self.obs.is_some() {
+            self.obs_record(TraceEvent::Delivery {
+                link: link as u32,
+                class: pkt.priority,
+                age: self.now - pkt.gen_time,
+            });
+        }
         let node = self.link_target[link];
         match pkt.kind {
             PacketKind::Broadcast(state) => {
@@ -333,6 +424,14 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
         };
         self.queued_total -= 1;
         let t = self.now;
+        if self.obs.is_some() {
+            self.obs_record(TraceEvent::ServiceStart {
+                link: link as u32,
+                class: pkt.priority,
+                wait: t - pkt.enqueue_time,
+                len: pkt.len,
+            });
+        }
         if self.in_measure_window() {
             self.wait_by_class[pkt.priority as usize].push((t - pkt.enqueue_time) as f64);
             self.window_transmissions += 1;
@@ -358,6 +457,12 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
                     dir: emit.dir,
                 })
                 .index();
+            if self.obs.is_some() {
+                self.obs_record(TraceEvent::Enqueue {
+                    link: link as u32,
+                    class: emit.priority,
+                });
+            }
             self.queues[link].push(Packet {
                 task,
                 gen_time,
@@ -377,7 +482,14 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
     }
 
     fn report(self, completed: bool) -> SimReport {
-        let window = self.cfg.measure_slots as f64;
+        // Same realized-window normalization as the step engine: runs
+        // cut short by the horizon measured fewer than `measure_slots`
+        // slots (see `Engine::report`).
+        let realized = self
+            .now
+            .min(self.cfg.measure_end())
+            .saturating_sub(self.cfg.warmup_slots);
+        let window = realized.max(1) as f64;
         let links = self.queues.len() as f64;
         let num_classes = self.scheme.num_priorities();
         let class = (0..num_classes)
@@ -650,6 +762,137 @@ mod tests {
         cfg.unstable_queue_per_link = 50.0;
         let rep = EventEngine::new(t, s, TrafficMix::broadcast_only(lambda), cfg).run();
         assert!(!rep.ok());
+    }
+
+    #[test]
+    fn engines_agree_near_saturation_without_warmup() {
+        // The hardest regime for cross-validation: ρ = 0.95 queues are
+        // long and warmup_slots = 0 folds the entire transient into the
+        // window, so any intra-slot ordering discrepancy between the
+        // implementations is amplified rather than averaged away.
+        let (t, _) = ring(8);
+        let lambda = 0.95 * 2.0 / 7.0;
+        let cfg = SimConfig {
+            warmup_slots: 0,
+            measure_slots: 40_000,
+            // Near-critical queues make excursions far beyond their mean;
+            // loosen the divergence guard so a legitimate ρ = 0.95 run is
+            // not declared unstable mid-excursion.
+            unstable_queue_per_link: 10_000.0,
+            ..SimConfig::quick(9)
+        };
+        let step = crate::run(
+            &t,
+            RingScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            cfg,
+        );
+        let event = EventEngine::new(
+            t.clone(),
+            RingScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            cfg,
+        )
+        .run();
+        assert!(
+            step.ok() && event.ok(),
+            "step ok={} stable={} completed={} slots={}; event ok={} stable={} completed={} slots={}",
+            step.ok(),
+            step.stable,
+            step.completed,
+            step.slots_run,
+            event.ok(),
+            event.stable,
+            event.completed,
+            event.slots_run
+        );
+        // Delay means are noisy this close to saturation (they are
+        // dominated by the queue-length distribution's heavy tail);
+        // utilization is not.
+        let du = (step.mean_link_utilization - event.mean_link_utilization).abs();
+        assert!(
+            du < 0.03,
+            "util {} vs {}",
+            step.mean_link_utilization,
+            event.mean_link_utilization
+        );
+        let rel = (step.reception_delay.mean - event.reception_delay.mean).abs()
+            / step.reception_delay.mean;
+        assert!(
+            rel < 0.15,
+            "step {} vs event {}",
+            step.reception_delay.mean,
+            event.reception_delay.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not simulate ARQ")]
+    fn rejects_arq_configs() {
+        let (t, s) = ring(8);
+        let mut cfg = SimConfig::quick(1);
+        cfg.arq = Some(crate::recovery::ArqConfig::default());
+        EventEngine::new(t, s, TrafficMix::broadcast_only(0.1), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not simulate admission")]
+    fn rejects_admission_configs() {
+        let (t, s) = ring(8);
+        let mut cfg = SimConfig::quick(1);
+        cfg.admission = Some(crate::recovery::AdmissionConfig {
+            rate: 0.1,
+            burst: 1.0,
+        });
+        EventEngine::new(t, s, TrafficMix::broadcast_only(0.1), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "infinite queues only")]
+    fn rejects_bounded_queue_configs() {
+        let (t, s) = ring(8);
+        let mut cfg = SimConfig::quick(1);
+        cfg.queue_capacity = Some(4);
+        EventEngine::new(t, s, TrafficMix::broadcast_only(0.1), cfg);
+    }
+
+    #[test]
+    fn traced_event_run_is_bit_identical_and_sampled() {
+        let (t, _) = ring(8);
+        let lambda = 0.6 * 2.0 / 7.0;
+        let cfg = SimConfig::quick(12);
+        let base = EventEngine::new(
+            t.clone(),
+            RingScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            cfg,
+        )
+        .run();
+        let (traced, sink) = EventEngine::new(
+            t.clone(),
+            RingScheme { topo: t.clone() },
+            TrafficMix::broadcast_only(lambda),
+            cfg,
+        )
+        .with_trace(Box::new(pstar_obs::ObsCollector::new(256, 32)))
+        .run_observed();
+        assert_eq!(format!("{base:?}"), format!("{traced:?}"));
+        let obs = sink
+            .unwrap()
+            .into_any()
+            .downcast::<pstar_obs::ObsCollector>()
+            .unwrap();
+        assert!(obs.counts.enqueues > 0);
+        // All but the post-measurement residue gets served (the run ends
+        // once measured tasks complete; unmeasured backlog stays queued).
+        assert!(obs.counts.service_starts <= obs.counts.enqueues);
+        assert!(obs.counts.enqueues - obs.counts.service_starts < 1000);
+        assert!(
+            !obs.samples.is_empty(),
+            "sparse sampling still fires under load"
+        );
+        // Samples respect decimation boundaries: strictly increasing slots.
+        assert!(obs.samples.windows(2).all(|w| w[0].slot < w[1].slot));
     }
 
     #[test]

@@ -57,6 +57,21 @@ pub use pstar_faults::{
     StochasticFaultConfig,
 };
 
+// Observability vocabulary, re-exported for the same reason: a test or
+// experiment installing a [`pstar_obs::TraceSink`] via
+// [`Engine::with_trace`] needs only this crate.
+pub use pstar_obs::{
+    DropKind, NullSink, ObsCollector, RingTrace, SlotSample, TraceEvent, TraceRecord, TraceSink,
+};
+
+// `SlotSample::queued_by_class` is sized by the obs crate independently
+// of the packet format; the engines copy between the two arrays
+// index-for-index.
+const _: () = assert!(
+    MAX_PRIORITY_CLASSES == pstar_obs::MAX_OBS_CLASSES,
+    "pstar-obs class array out of sync with packet format"
+);
+
 /// Replays a recorded workload trace through a fresh engine.
 pub fn run_trace<N, S: Scheme>(
     topo: &N,

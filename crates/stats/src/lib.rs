@@ -13,11 +13,13 @@
 mod batch;
 mod histogram;
 mod moments;
+mod mser;
 mod timeavg;
 
 pub use batch::BatchMeans;
 pub use histogram::Histogram;
 pub use moments::{Moments, Summary};
+pub use mser::{mser_truncation, mser_truncation_batched};
 pub use timeavg::TimeWeighted;
 
 /// Two-sided normal-approximation confidence half-width for the mean of

@@ -1,0 +1,116 @@
+//! MSER (Marginal Standard Error Rule) warmup truncation.
+//!
+//! Given a time series of an output statistic (here: sampled queue
+//! populations), MSER picks the truncation point `d` minimizing the
+//! marginal standard error of the remaining mean,
+//!
+//! ```text
+//! MSER(d) = (1 / (n − d)²) · Σ_{i ≥ d} (x_i − x̄_d)²
+//! ```
+//!
+//! — the classic bias/variance trade-off for initialization transients
+//! (White 1997; Hoad, Robinson & Davies 2010 recommend it as the default
+//! automated warmup rule). The search is restricted to the first half of
+//! the series: beyond that the denominator is small enough that noise
+//! dominates and MSER is known to over-truncate.
+
+/// MSER truncation index for `xs`: the sample index where measurement
+/// should begin. Returns 0 for series too short to judge (< 4 samples),
+/// and never truncates more than half the series.
+pub fn mser_truncation(xs: &[f64]) -> usize {
+    let n = xs.len();
+    if n < 4 {
+        return 0;
+    }
+    // Suffix sums, accumulated right-to-left so each candidate `d` is
+    // O(1): sum and sum-of-squares of xs[d..].
+    let mut stat = vec![f64::INFINITY; n];
+    let mut s = 0.0;
+    let mut q = 0.0;
+    for d in (0..n).rev() {
+        s += xs[d];
+        q += xs[d] * xs[d];
+        let m = (n - d) as f64;
+        if m >= 2.0 {
+            // Guard the catastrophic-cancellation floor at 0.
+            let sse = (q - s * s / m).max(0.0);
+            stat[d] = sse / (m * m);
+        }
+    }
+    let mut best = 0;
+    for (d, &v) in stat.iter().enumerate().take(n / 2 + 1) {
+        if v < stat[best] {
+            best = d;
+        }
+    }
+    best
+}
+
+/// MSER over non-overlapping batch means of size `batch` (MSER-5 style:
+/// batching smooths autocorrelated series before the rule is applied).
+/// Returns a truncation index in the *original* series.
+pub fn mser_truncation_batched(xs: &[f64], batch: usize) -> usize {
+    assert!(batch > 0, "batch size must be positive");
+    if batch == 1 {
+        return mser_truncation(xs);
+    }
+    let means: Vec<f64> = xs
+        .chunks_exact(batch)
+        .map(|c| c.iter().sum::<f64>() / batch as f64)
+        .collect();
+    mser_truncation(&means) * batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_series_needs_no_truncation() {
+        let xs = vec![5.0; 100];
+        assert_eq!(mser_truncation(&xs), 0);
+    }
+
+    #[test]
+    fn short_series_returns_zero() {
+        assert_eq!(mser_truncation(&[]), 0);
+        assert_eq!(mser_truncation(&[1.0, 2.0, 3.0]), 0);
+    }
+
+    #[test]
+    fn transient_is_cut_near_its_end() {
+        // 20 samples of decaying transient, then a flat plateau.
+        let mut xs = Vec::new();
+        for i in 0..20 {
+            xs.push(200.0 - 10.0 * i as f64);
+        }
+        for i in 0..80 {
+            xs.push(3.0 + (i % 2) as f64);
+        }
+        let d = mser_truncation(&xs);
+        assert!((15..=25).contains(&d), "truncated at {d}");
+    }
+
+    #[test]
+    fn truncation_never_exceeds_half() {
+        // Monotone series: every prefix looks like transient, but the
+        // search is capped at n/2.
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert!(mser_truncation(&xs) <= 25);
+    }
+
+    #[test]
+    fn batched_maps_back_to_original_index() {
+        let mut xs = vec![100.0; 30];
+        xs.extend(std::iter::repeat_n(2.0, 170));
+        let d = mser_truncation_batched(&xs, 5);
+        assert_eq!(d % 5, 0);
+        assert!((25..=40).contains(&d), "truncated at {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn batched_rejects_zero_batch() {
+        mser_truncation_batched(&[1.0], 0);
+    }
+}

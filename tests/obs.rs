@@ -1,0 +1,81 @@
+//! Observability must be free: a run with a trace sink installed (even
+//! one that requests slot samples) must produce a report bit-identical
+//! to the same run without one, for every scheme. The sinks receive
+//! copies of engine state and never touch the RNG — these tests pin that
+//! contract so a future hook can't silently perturb results.
+
+use priority_star::prelude::*;
+use priority_star::run_scenario_observed;
+use proptest::prelude::*;
+use pstar_sim::{NullSink, ObsCollector};
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_slots: 500,
+        measure_slots: 2_000,
+        max_slots: 100_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Bit-identity across the whole (scheme × load × seed) space: the
+    /// Debug rendering of the report captures every field, including the
+    /// f64s' exact bits.
+    #[test]
+    fn traced_runs_are_bit_identical(
+        rho in 0.1f64..0.8,
+        seed in 0u64..1_000,
+    ) {
+        let topo = Torus::new(&[4, 4]);
+        for scheme in SchemeKind::all() {
+            let spec = ScenarioSpec { scheme, rho, ..Default::default() };
+            let base = run_scenario(&topo, &spec, cfg(seed));
+            // Decimation 8 exercises the slot-sampling path too.
+            let (traced, sink) = run_scenario_observed(
+                &topo,
+                &spec,
+                cfg(seed),
+                Box::new(NullSink::with_decimation(8)),
+            );
+            prop_assert_eq!(
+                format!("{base:?}"),
+                format!("{traced:?}"),
+                "scheme {} diverged under tracing",
+                scheme.label()
+            );
+            let sink = sink.into_any().downcast::<NullSink>().expect("same sink back");
+            prop_assert!(sink.records_seen() > 0, "sink actually saw traffic");
+            prop_assert!(sink.samples_seen() > 0, "sink actually saw samples");
+        }
+    }
+}
+
+/// The collector's reconstructed utilization agrees with the report's.
+#[test]
+fn collector_utilization_matches_report() {
+    let topo = Torus::new(&[4, 4]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.5,
+        ..Default::default()
+    };
+    let (rep, sink) =
+        run_scenario_observed(&topo, &spec, cfg(7), Box::new(ObsCollector::new(4096, 16)));
+    assert!(rep.ok());
+    let obs = sink.into_any().downcast::<ObsCollector>().unwrap();
+    let util = obs.link_utilization();
+    assert_eq!(util.len(), topo.link_count() as usize);
+    let mean = util.iter().sum::<f64>() / util.len() as f64;
+    // The collector spans warmup + drain too, so its mean sits below the
+    // window utilization but in the same regime.
+    assert!(
+        mean > 0.2 && mean < rep.mean_link_utilization * 1.2,
+        "collector mean {mean} vs report {}",
+        rep.mean_link_utilization
+    );
+    assert!(obs.steady_state_slot().is_some());
+}
