@@ -87,7 +87,7 @@ pub mod prelude {
     pub use crate::scheme::{DegradedPolicy, StarScheme};
     pub use crate::tree::SpanningTree;
     pub use pstar_queueing::{rates_for_rho, throughput_factor, TrafficRates};
-    pub use pstar_sim::{Engine, SimConfig, SimReport};
+    pub use pstar_sim::{Engine, HopPhase, SimConfig, SimReport, TailQuantiles, TailReport};
     pub use pstar_topology::{Direction, Mesh, NodeId, Torus};
     pub use pstar_traffic::{TrafficMix, WorkloadSpec};
 }

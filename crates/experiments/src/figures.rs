@@ -35,6 +35,9 @@ fn delay_figure(ctx: &Ctx, name: &str, dims: &[u32], metric: DelayMetric) {
     let reports = parallel_map(&points, |i, &(rho, scheme)| {
         let mut cfg = ctx.cfg;
         cfg.seed = ctx.seed(name, i);
+        // Tail percentiles ride along for free: the instrumentation
+        // never touches the RNG, so every legacy column is unchanged.
+        cfg.tails = true;
         let spec = ScenarioSpec {
             scheme,
             rho,
@@ -75,6 +78,10 @@ fn delay_figure(ctx: &Ctx, name: &str, dims: &[u32], metric: DelayMetric) {
         "pstar_predicted",
         "fcfs_ok",
         "pstar_ok",
+        "fcfs_recv_p50",
+        "fcfs_recv_p99",
+        "pstar_recv_p50",
+        "pstar_recv_p99",
     ]);
     let mut records = Vec::new();
     for (gi, &rho) in grid.iter().enumerate() {
@@ -90,6 +97,10 @@ fn delay_figure(ctx: &Ctx, name: &str, dims: &[u32], metric: DelayMetric) {
             Table::f(pstar_pred(&topo, rho)),
             fcfs.ok().to_string(),
             pstar.ok().to_string(),
+            fcfs.tails.reception_all.p50.to_string(),
+            fcfs.tails.reception_all.p99.to_string(),
+            pstar.tails.reception_all.p50.to_string(),
+            pstar.tails.reception_all.p99.to_string(),
         ]);
         records.push(PointRecord::new(
             name,
@@ -131,6 +142,8 @@ pub fn concurrent_tasks_figure(ctx: &Ctx) {
         "reception_delay",
         "unicast_delay",
         "ok",
+        "recv_p50",
+        "recv_p99",
     ]);
     let mut records = Vec::new();
     for topo in &topos {
@@ -141,6 +154,7 @@ pub fn concurrent_tasks_figure(ctx: &Ctx) {
         let reports = parallel_map(&points, |i, &(rho, scheme)| {
             let mut cfg = ctx.cfg;
             cfg.seed = ctx.seed("fig8", i);
+            cfg.tails = true;
             let spec = ScenarioSpec {
                 scheme,
                 rho,
@@ -160,6 +174,8 @@ pub fn concurrent_tasks_figure(ctx: &Ctx) {
                 Table::f(rep.reception_delay.mean),
                 Table::f(rep.unicast_delay.mean),
                 rep.ok().to_string(),
+                rep.tails.reception_all.p50.to_string(),
+                rep.tails.reception_all.p99.to_string(),
             ]);
             records.push(PointRecord::new(
                 "fig8",

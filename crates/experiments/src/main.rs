@@ -31,6 +31,12 @@
 //!                       series, link-load heatmap, MSER steady-state
 //!                       estimate) + engine-throughput bench; writes
 //!                       BENCH_obs.json to the working directory
+//!   tails               tail-latency decomposition: per-class reception
+//!                       percentiles, trunk vs ending-dim HOL waits,
+//!                       delay CDFs, BENCH_tails.json (`--smoke` gates
+//!                       the p99 orderings for CI)
+//!   trace export        Chrome trace-event JSON per scheme (view in
+//!                       chrome://tracing or ui.perfetto.dev)
 //!   plot                render previously generated CSVs as SVG figures
 //!   collectives         static MNB / total-exchange completion vs bounds
 //!   verify              reproduction gate: re-check every headline claim
@@ -52,6 +58,7 @@ mod resilience;
 mod svg;
 mod sweep;
 mod tables;
+mod tails;
 mod verify;
 
 use pstar_obs::{config_hash, PhaseTiming, RunManifest};
@@ -181,9 +188,13 @@ fn main() {
     }
     let ctx = Ctx::new(quick, smoke, out);
 
-    // `custom` consumes every argument after it.
+    // `custom` and `trace` consume every argument after them.
     if cmds[0] == "custom" {
         custom::run(&ctx, &cmds[1..]);
+        return;
+    }
+    if cmds[0] == "trace" {
+        tails::trace_cmd(&ctx, &cmds[1..]);
         return;
     }
     for cmd in &cmds {
@@ -217,6 +228,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "resilience" => resilience::resilience(ctx),
         "recovery" => recovery::recovery(ctx),
         "profile" => profile::profile(ctx),
+        "tails" => tails::tails(ctx),
         "plot" => plot::plot_all(ctx),
         "verify" => verify::verify(ctx),
         "collectives" => tables::collectives(ctx),
@@ -246,6 +258,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "resilience",
                 "recovery",
                 "profile",
+                "tails",
                 "plot",
             ] {
                 run_command(ctx, c);

@@ -191,6 +191,9 @@ fn fault_sweep(ctx: &Ctx, topo: &Torus, cfg0: SimConfig, gate: &mut Gate) {
         // Common random numbers: one traffic seed per (scheme, ρ) row,
         // so fault rates and arms differ only through losses & recovery.
         cfg.seed = ctx.seed("recovery", i / arms_per_row);
+        // Tail percentiles ride along for free (no RNG impact), so the
+        // legacy columns and the CRN pairing are unchanged.
+        cfg.tails = true;
         arm.apply(&mut cfg);
         let k = dead_count(topo.link_count(), rate);
         let plan = if k == 0 {
@@ -228,6 +231,8 @@ fn fault_sweep(ctx: &Ctx, topo: &Torus, cfg0: SimConfig, gate: &mut Gate) {
         "deferred_injections",
         "evicted_packets",
         "ok",
+        "recv_p50",
+        "recv_p99",
     ]);
     let mut records = Vec::new();
     for (pi, &(scheme, rho, rate, arm)) in points.iter().enumerate() {
@@ -250,6 +255,8 @@ fn fault_sweep(ctx: &Ctx, topo: &Torus, cfg0: SimConfig, gate: &mut Gate) {
             rep.flow.deferred_injections.to_string(),
             rep.flow.evicted_packets.to_string(),
             rep.ok().to_string(),
+            rep.tails.reception_all.p50.to_string(),
+            rep.tails.reception_all.p99.to_string(),
         ]);
         let mut rec =
             PointRecord::new("recovery", &topo.to_string(), scheme.label(), rho, 1.0, rep);
@@ -337,6 +344,7 @@ fn overload_sweep(ctx: &Ctx, topo: &Torus, gate: &mut Gate) {
     let reports = parallel_map(&points, |i, &(scheme, rho, admission)| {
         let mut cfg = cfg0;
         cfg.seed = ctx.seed("recovery-overload", i / 2);
+        cfg.tails = true;
         if admission {
             cfg.admission = Some(AdmissionConfig {
                 rate: admitted_lambda,
@@ -365,6 +373,8 @@ fn overload_sweep(ctx: &Ctx, topo: &Torus, gate: &mut Gate) {
         "peak_queue_total",
         "reception_delay",
         "ok",
+        "recv_p50",
+        "recv_p99",
     ]);
     let mut records = Vec::new();
     for (pi, &(scheme, rho, admission)) in points.iter().enumerate() {
@@ -381,6 +391,8 @@ fn overload_sweep(ctx: &Ctx, topo: &Torus, gate: &mut Gate) {
             rep.peak_queue_total.to_string(),
             Table::f(rep.reception_delay.mean),
             rep.ok().to_string(),
+            rep.tails.reception_all.p50.to_string(),
+            rep.tails.reception_all.p99.to_string(),
         ]);
         let mut rec = PointRecord::new(
             "recovery_overload",

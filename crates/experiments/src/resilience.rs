@@ -66,6 +66,9 @@ pub fn resilience(ctx: &Ctx) {
         // One traffic seed per (scheme, ρ): rates on the same row of the
         // sweep see identical offered workloads.
         cfg.seed = ctx.seed("resilience", i / FAULT_RATES.len());
+        // Tail percentiles ride along for free (no RNG impact), so the
+        // legacy columns and the CRN pairing are unchanged.
+        cfg.tails = true;
         let k = dead_count(topo.link_count(), rate);
         let plan = if k == 0 {
             FaultPlan::none()
@@ -96,6 +99,8 @@ pub fn resilience(ctx: &Ctx) {
         "wait_fault_hi",
         "wait_fault_lo",
         "ok",
+        "recv_p50",
+        "recv_p99",
     ]);
     let mut records = Vec::new();
     for (pi, &(scheme, rho, rate)) in points.iter().enumerate() {
@@ -120,6 +125,8 @@ pub fn resilience(ctx: &Ctx) {
             Table::f(wait_fault(Some(0))),
             Table::f(wait_fault(f.class_wait_fault.len().checked_sub(1))),
             rep.ok().to_string(),
+            rep.tails.reception_all.p50.to_string(),
+            rep.tails.reception_all.p99.to_string(),
         ]);
         records.push(PointRecord::new(
             "resilience",

@@ -1,0 +1,483 @@
+//! `experiments tails`: tail-latency decomposition sweep, delay-CDF
+//! figures, and the `trace export` Chrome converter.
+//!
+//! The sweep crosses every scheme with a ρ grid and runs each point with
+//! [`SimConfig::tails`] enabled, reporting log-bucketed reception-delay
+//! percentiles (p50/p90/p99/p99.9) next to the per-hop HOL-wait
+//! decomposition — trunk hops vs ending-dimension hops vs unicast — and
+//! service time. Artifacts:
+//!
+//! * `results/tails.csv` — the decomposition table;
+//! * `results/tails_cdf_reception.svg` — reception-delay CDFs per scheme
+//!   at the highest swept ρ;
+//! * `results/tails_cdf_wait.svg` — trunk vs ending-dimension wait CDFs
+//!   for priority STAR at the same ρ;
+//! * `BENCH_tails.json` — machine-readable summary plus the tails-on vs
+//!   tails-off engine-throughput bench (working directory, next to the
+//!   other `BENCH_*.json` files).
+//!
+//! Under `--smoke` the run doubles as a CI regression gate: priority
+//! STAR must beat the FCFS direct scheme on p99 reception delay at
+//! ρ = 0.9, and its trunk-hop p99 wait must sit below its
+//! ending-dimension p99 wait — the queueing asymmetry the priority
+//! discipline exists to produce (trunk packets preempt ending-dimension
+//! packets at every head-of-line decision).
+//!
+//! `experiments trace export [--chrome]` runs a short instrumented pilot
+//! per scheme and converts the retained ring-trace records into Chrome
+//! trace-event JSON (`results/trace_<scheme>.chrome.json`), viewable in
+//! `chrome://tracing` or <https://ui.perfetto.dev>.
+
+use crate::csvout::Table;
+use crate::svg::{Chart, Series};
+use crate::sweep::parallel_map;
+use crate::{fatal, Ctx};
+use priority_star::prelude::*;
+use pstar_obs::{chrome_trace, git_rev, ObsCollector};
+use pstar_sim::{HopPhase, SimConfig, SimReport};
+use std::fmt::Write as _;
+
+/// Per-scheme series colors (matplotlib "tab" palette, as in `plot`).
+const COLORS: [&str; 5] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b"];
+
+/// Smoke-gate bookkeeping: prints PASS/FAIL per claim.
+struct Gate {
+    failures: u32,
+}
+
+impl Gate {
+    fn check(&mut self, name: &str, ok: bool, detail: String) {
+        if ok {
+            println!("PASS  {name}: {detail}");
+        } else {
+            println!("FAIL  {name}: {detail}");
+            self.failures += 1;
+        }
+    }
+}
+
+fn topo_label(topo: &Torus) -> String {
+    let dims: Vec<String> = (0..topo.d())
+        .map(|i| topo.dim_size(i).to_string())
+        .collect();
+    format!("torus({})", dims.join("x"))
+}
+
+/// Runs the decomposition sweep, writes the artifacts, and (under
+/// `--smoke`) enforces the tail-ordering acceptance criteria.
+pub fn tails(ctx: &Ctx) {
+    let topo = if ctx.smoke {
+        Torus::new(&[4, 4])
+    } else {
+        Torus::new(&[8, 8])
+    };
+    let cfg0 = if ctx.smoke {
+        SimConfig::quick(0)
+    } else {
+        ctx.cfg
+    };
+    let rhos: &[f64] = if ctx.smoke {
+        &[0.5, 0.9]
+    } else {
+        &[0.3, 0.5, 0.7, 0.8, 0.9]
+    };
+    let schemes = SchemeKind::all();
+
+    // scheme-major point grid; common random numbers across schemes at
+    // the same ρ (seed depends only on the ρ index).
+    let points: Vec<(SchemeKind, f64)> = schemes
+        .iter()
+        .flat_map(|&s| rhos.iter().map(move |&r| (s, r)))
+        .collect();
+    let reports: Vec<SimReport> = parallel_map(&points, |i, &(scheme, rho)| {
+        let t0 = std::time::Instant::now();
+        let mut cfg = cfg0;
+        cfg.tails = true;
+        cfg.seed = ctx.seed("tails", i % rhos.len());
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            ..Default::default()
+        };
+        let rep = run_scenario(&topo, &spec, cfg);
+        ctx.push_phase(
+            &format!("{}:rho{rho}", scheme.label()),
+            t0.elapsed().as_secs_f64(),
+            Some(rep.slots_run),
+        );
+        rep
+    });
+
+    // Decomposition table.
+    let mut table = Table::new(&[
+        "scheme",
+        "rho",
+        "recv_p50",
+        "recv_p90",
+        "recv_p99",
+        "recv_p999",
+        "recv_max",
+        "c0_p99",
+        "c1_p99",
+        "wait_trunk_p50",
+        "wait_trunk_p99",
+        "wait_ending_p50",
+        "wait_ending_p99",
+        "wait_unicast_p99",
+        "service_p99",
+        "ok",
+    ]);
+    for (i, &(scheme, rho)) in points.iter().enumerate() {
+        let t = &reports[i].tails;
+        table.row(vec![
+            scheme.label().to_string(),
+            Table::f(rho),
+            t.reception_all.p50.to_string(),
+            t.reception_all.p90.to_string(),
+            t.reception_all.p99.to_string(),
+            t.reception_all.p999.to_string(),
+            t.reception_all.max.to_string(),
+            t.reception_by_class[0].p99.to_string(),
+            t.reception_by_class[1].p99.to_string(),
+            t.hop_wait[HopPhase::Trunk as usize].p50.to_string(),
+            t.hop_wait[HopPhase::Trunk as usize].p99.to_string(),
+            t.hop_wait[HopPhase::Ending as usize].p50.to_string(),
+            t.hop_wait[HopPhase::Ending as usize].p99.to_string(),
+            t.hop_wait[HopPhase::Unicast as usize].p99.to_string(),
+            t.service.p99.to_string(),
+            reports[i].ok().to_string(),
+        ]);
+    }
+    table.emit(&ctx.out, "tails");
+
+    let rho_hi = *rhos.last().expect("non-empty rho grid");
+    write_cdf_figures(ctx, &points, &reports, rho_hi);
+
+    let (base_sps, tails_sps, overhead) = overhead_bench(ctx, &topo);
+    println!(
+        "tails overhead bench: base {base_sps:.0} slots/s, tails {tails_sps:.0} slots/s \
+         ({:+.2}% overhead)",
+        overhead * 100.0
+    );
+    write_bench_json(
+        ctx,
+        &topo,
+        &points,
+        &reports,
+        (base_sps, tails_sps, overhead),
+    );
+
+    if ctx.smoke {
+        let mut gate = Gate { failures: 0 };
+        let at = |scheme: SchemeKind| {
+            let i = points
+                .iter()
+                .position(|&(s, r)| s == scheme && r == rho_hi)
+                .expect("swept point");
+            &reports[i].tails
+        };
+        let pstar = at(SchemeKind::PriorityStar);
+        let fcfs = at(SchemeKind::FcfsDirect);
+        gate.check(
+            "p99-reception",
+            pstar.reception_all.p99 < fcfs.reception_all.p99,
+            format!(
+                "priority-star p99 {} < fcfs-direct p99 {} at rho={rho_hi}",
+                pstar.reception_all.p99, fcfs.reception_all.p99
+            ),
+        );
+        let trunk = pstar.hop_wait[HopPhase::Trunk as usize].p99;
+        let ending = pstar.hop_wait[HopPhase::Ending as usize].p99;
+        gate.check(
+            "wait-decomposition",
+            trunk < ending,
+            format!("priority-star trunk p99 wait {trunk} < ending-dim p99 wait {ending} at rho={rho_hi}"),
+        );
+        if gate.failures > 0 {
+            eprintln!("tails: {} smoke claim(s) FAILED", gate.failures);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Reception-delay CDFs per scheme and the trunk/ending wait CDFs for
+/// priority STAR, both at the highest swept ρ.
+fn write_cdf_figures(ctx: &Ctx, points: &[(SchemeKind, f64)], reports: &[SimReport], rho_hi: f64) {
+    let cdf_series = |cdf: &[(u64, f64)], label: &str, color: &str, dashed: bool| {
+        let pts: Vec<(f64, f64)> = cdf.iter().map(|&(x, y)| (x as f64, y)).collect();
+        (!pts.is_empty()).then(|| Series {
+            label: label.to_string(),
+            points: pts,
+            color: color.to_string(),
+            dashed,
+        })
+    };
+
+    let mut series = Vec::new();
+    for (i, &(scheme, rho)) in points.iter().enumerate() {
+        if rho != rho_hi {
+            continue;
+        }
+        let color = COLORS[series.len() % COLORS.len()];
+        series.extend(cdf_series(
+            &reports[i].tails.reception_cdf,
+            scheme.label(),
+            color,
+            false,
+        ));
+    }
+    if !series.is_empty() {
+        let chart = Chart {
+            title: format!("reception-delay CDF at rho={rho_hi}"),
+            x_label: "reception delay (slots)".into(),
+            y_label: "cumulative fraction".into(),
+            series,
+        };
+        write_svg(ctx, "tails_cdf_reception", &chart);
+    }
+
+    let Some(pi) = points
+        .iter()
+        .position(|&(s, r)| s == SchemeKind::PriorityStar && r == rho_hi)
+    else {
+        return;
+    };
+    let t = &reports[pi].tails;
+    let mut series = Vec::new();
+    series.extend(cdf_series(
+        &t.hop_wait_cdf[HopPhase::Trunk as usize],
+        "trunk-hop wait",
+        COLORS[0],
+        false,
+    ));
+    series.extend(cdf_series(
+        &t.hop_wait_cdf[HopPhase::Ending as usize],
+        "ending-dim wait",
+        COLORS[1],
+        true,
+    ));
+    if !series.is_empty() {
+        let chart = Chart {
+            title: format!("priority STAR HOL-wait decomposition at rho={rho_hi}"),
+            x_label: "queueing wait (slots)".into(),
+            y_label: "cumulative fraction".into(),
+            series,
+        };
+        write_svg(ctx, "tails_cdf_wait", &chart);
+    }
+}
+
+fn write_svg(ctx: &Ctx, name: &str, chart: &Chart) {
+    let path = ctx.out.join(format!("{name}.svg"));
+    if let Err(e) = std::fs::write(&path, chart.render()) {
+        fatal(&format!("writing {}", path.display()), &e);
+    }
+    println!("plotted {}", path.display());
+}
+
+/// Same seed, same scenario, tails off vs on: the instrumentation never
+/// touches the RNG, so any slots/sec delta is pure recording cost.
+///
+/// Machine noise between single runs easily reaches ±10% on shared
+/// hardware — larger than the effect being measured — so the bench
+/// interleaves the two arms over several rounds and reports the median
+/// of each, which is stable to ~1–2%.
+fn overhead_bench(ctx: &Ctx, topo: &Torus) -> (f64, f64, f64) {
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.7,
+        ..Default::default()
+    };
+    let mut cfg = SimConfig {
+        warmup_slots: if ctx.smoke { 500 } else { 2_000 },
+        measure_slots: if ctx.smoke { 4_000 } else { 12_000 },
+        max_slots: 400_000,
+        ..SimConfig::default()
+    };
+    cfg.seed = ctx.seed("tails-bench", 0);
+    let rounds = if ctx.smoke { 3 } else { 7 };
+
+    let timed = |cfg: SimConfig| {
+        let t0 = std::time::Instant::now();
+        let rep = run_scenario(topo, &spec, cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        assert!(rep.ok(), "tails bench runs must be clean at rho=0.7");
+        if secs > 0.0 {
+            rep.slots_run as f64 / secs
+        } else {
+            f64::NAN
+        }
+    };
+    let mut base = Vec::with_capacity(rounds);
+    let mut tails = Vec::with_capacity(rounds);
+    let t0 = std::time::Instant::now();
+    for _ in 0..rounds {
+        base.push(timed(cfg));
+        tails.push(timed(SimConfig { tails: true, ..cfg }));
+    }
+    ctx.push_phase(
+        "bench",
+        t0.elapsed().as_secs_f64(),
+        Some((rounds as u64) * 2 * (cfg.warmup_slots + cfg.measure_slots)),
+    );
+
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(|a, b| a.total_cmp(b));
+        xs[xs.len() / 2]
+    };
+    let base_sps = median(&mut base);
+    let tails_sps = median(&mut tails);
+    let overhead = if base_sps.is_finite() && base_sps > 0.0 {
+        1.0 - tails_sps / base_sps
+    } else {
+        f64::NAN
+    };
+    (base_sps, tails_sps, overhead)
+}
+
+/// The benchmark summary for dashboards, in the working directory by
+/// convention with the other `BENCH_*.json` files.
+fn write_bench_json(
+    ctx: &Ctx,
+    topo: &Torus,
+    points: &[(SchemeKind, f64)],
+    reports: &[SimReport],
+    (base_sps, tails_sps, overhead): (f64, f64, f64),
+) {
+    let json_f64 = |out: &mut String, v: f64| {
+        if v.is_finite() {
+            let _ = write!(out, "{v}");
+        } else {
+            out.push_str("null");
+        }
+    };
+    let mut s = String::with_capacity(4096);
+    let _ = write!(
+        s,
+        "{{\"schema\":1,\"bench\":\"tails\",\"topology\":\"{}\",\"smoke\":{},",
+        topo_label(topo),
+        ctx.smoke
+    );
+    match git_rev() {
+        Some(rev) => {
+            let _ = write!(s, "\"git_rev\":\"{rev}\",");
+        }
+        None => s.push_str("\"git_rev\":null,"),
+    }
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let _ = write!(s, "\"unix_time_secs\":{unix},");
+    s.push_str("\"overhead\":{\"base_slots_per_sec\":");
+    json_f64(&mut s, base_sps);
+    s.push_str(",\"tails_slots_per_sec\":");
+    json_f64(&mut s, tails_sps);
+    s.push_str(",\"overhead_frac\":");
+    json_f64(&mut s, overhead);
+    s.push_str("},\"results\":[");
+    for (i, &(scheme, rho)) in points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let t = &reports[i].tails;
+        let _ = write!(
+            s,
+            "{{\"scheme\":\"{}\",\"rho\":{rho},\"ok\":{},\
+             \"recv\":{{\"count\":{},\"mean\":",
+            scheme.label(),
+            reports[i].ok(),
+            t.reception_all.count,
+        );
+        json_f64(&mut s, t.reception_all.mean);
+        let _ = write!(
+            s,
+            ",\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"max\":{}}},\
+             \"wait_trunk_p99\":{},\"wait_ending_p99\":{},\"wait_unicast_p99\":{},\
+             \"service_p99\":{}}}",
+            t.reception_all.p50,
+            t.reception_all.p90,
+            t.reception_all.p99,
+            t.reception_all.p999,
+            t.reception_all.max,
+            t.hop_wait[HopPhase::Trunk as usize].p99,
+            t.hop_wait[HopPhase::Ending as usize].p99,
+            t.hop_wait[HopPhase::Unicast as usize].p99,
+            t.service.p99,
+        );
+    }
+    s.push_str("]}\n");
+    if let Err(e) = std::fs::write("BENCH_tails.json", &s) {
+        fatal("writing BENCH_tails.json", &e);
+    }
+    println!("(benchmark summary written to BENCH_tails.json)");
+}
+
+/// `experiments trace export [--chrome]`: short instrumented pilot per
+/// scheme, retained ring records converted to Chrome trace-event JSON.
+pub fn trace_cmd(ctx: &Ctx, args: &[String]) {
+    if args.first().map(String::as_str) != Some("export") {
+        eprintln!("usage: experiments trace export [--chrome]");
+        std::process::exit(2);
+    }
+    for a in &args[1..] {
+        match a.as_str() {
+            // Chrome trace-event JSON is (currently) the only format, so
+            // the flag is accepted but not required.
+            "--chrome" => {}
+            other => {
+                eprintln!("trace export: unknown option `{other}` (only --chrome)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let topo = if ctx.smoke {
+        Torus::new(&[4, 4])
+    } else {
+        Torus::new(&[8, 8])
+    };
+    // Short windows: the point is a readable timeline, not statistics,
+    // and the ring should retain the whole measured span.
+    let base_cfg = SimConfig {
+        warmup_slots: 100,
+        measure_slots: if ctx.smoke { 400 } else { 1_000 },
+        max_slots: 100_000,
+        ..SimConfig::default()
+    };
+    let ring_capacity = if ctx.smoke { 65_536 } else { 262_144 };
+
+    for (i, scheme) in SchemeKind::all().into_iter().enumerate() {
+        let label = scheme.label();
+        let mut cfg = base_cfg;
+        cfg.seed = ctx.seed("trace", i);
+        let spec = ScenarioSpec {
+            scheme,
+            rho: 0.6,
+            ..Default::default()
+        };
+        let (rep, sink) = run_scenario_observed(
+            &topo,
+            &spec,
+            cfg,
+            Box::new(ObsCollector::new(ring_capacity, 0)),
+        );
+        let obs = sink
+            .into_any()
+            .downcast::<ObsCollector>()
+            .expect("collector comes back from the engine");
+        let json = chrome_trace(obs.ring.iter());
+        let path = ctx.out.join(format!("trace_{label}.chrome.json"));
+        if let Err(e) = std::fs::write(&path, &json) {
+            fatal(&format!("writing {}", path.display()), &e);
+        }
+        println!(
+            "exported {} ({} of {} records retained, {} slots, ok={})",
+            path.display(),
+            obs.ring.len(),
+            obs.ring.total_recorded(),
+            rep.slots_run,
+            rep.ok(),
+        );
+    }
+}

@@ -19,7 +19,9 @@ pub enum DropKind {
 /// One simulator event, as seen by a [`TraceSink`].
 ///
 /// Fields are the minimum needed to reconstruct per-link / per-class
-/// activity; task-level joins go through the report, not the trace.
+/// activity plus the owning task id, which lets exporters stitch the
+/// copies of one broadcast/unicast into a lifetime span (Chrome async
+/// arrows); statistical task-level joins still go through the report.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
     /// A packet copy entered a link's output queue.
@@ -28,6 +30,8 @@ pub enum TraceEvent {
         link: u32,
         /// Priority class.
         class: u8,
+        /// Owning task id.
+        task: u32,
     },
     /// A link began serving a packet.
     ServiceStart {
@@ -39,6 +43,8 @@ pub enum TraceEvent {
         wait: u64,
         /// Service length in slots (the packet length).
         len: u16,
+        /// Owning task id.
+        task: u32,
     },
     /// A packet copy arrived at the link's receiving node.
     Delivery {
@@ -48,6 +54,8 @@ pub enum TraceEvent {
         class: u8,
         /// Slots since the task was generated.
         age: u64,
+        /// Owning task id.
+        task: u32,
     },
     /// A packet copy was lost at a hop (possibly recovered later by ARQ;
     /// terminal settlement is a report-level concern).
@@ -58,6 +66,8 @@ pub enum TraceEvent {
         class: u8,
         /// What took the copy out.
         cause: DropKind,
+        /// Owning task id.
+        task: u32,
     },
     /// An ARQ retransmission was re-injected at the hop that lost it.
     Retransmit {
@@ -67,6 +77,8 @@ pub enum TraceEvent {
         class: u8,
         /// Retry attempt number (1 = first retransmission).
         attempt: u8,
+        /// Owning task id.
+        task: u32,
     },
     /// The fault plan changed the liveness view.
     FaultEpoch {
@@ -364,7 +376,14 @@ mod tests {
     fn ring_keeps_most_recent_records() {
         let mut r = RingTrace::with_capacity(3);
         for slot in 0..5 {
-            r.push(rec(slot, TraceEvent::Enqueue { link: 0, class: 0 }));
+            r.push(rec(
+                slot,
+                TraceEvent::Enqueue {
+                    link: 0,
+                    class: 0,
+                    task: 0,
+                },
+            ));
         }
         assert_eq!(r.len(), 3);
         assert_eq!(r.total_recorded(), 5);
@@ -382,6 +401,7 @@ mod tests {
                     link: 1,
                     class: 0,
                     age: 2,
+                    task: 0,
                 },
             ));
         }
@@ -399,7 +419,14 @@ mod tests {
     fn null_sink_counts_but_discards() {
         let mut s = NullSink::with_decimation(8);
         assert_eq!(s.decimation(), 8);
-        s.record(rec(0, TraceEvent::Enqueue { link: 0, class: 0 }));
+        s.record(rec(
+            0,
+            TraceEvent::Enqueue {
+                link: 0,
+                class: 0,
+                task: 0,
+            },
+        ));
         s.on_slot_sample(&SlotSample::default());
         assert_eq!(s.records_seen(), 1);
         assert_eq!(s.samples_seen(), 1);
@@ -415,6 +442,7 @@ mod tests {
                 class: 0,
                 wait: 1,
                 len: 3,
+                task: 7,
             },
         ));
         c.record(rec(
@@ -424,6 +452,7 @@ mod tests {
                 class: 0,
                 wait: 0,
                 len: 1,
+                task: 7,
             },
         ));
         c.record(rec(
@@ -432,6 +461,7 @@ mod tests {
                 link: 2,
                 class: 0,
                 age: 4,
+                task: 7,
             },
         ));
         assert_eq!(c.counts.service_starts, 2);

@@ -60,6 +60,13 @@ pub struct SimConfig {
     /// unbounded past saturation" diagnostic. `None` (default) disables
     /// tracing.
     pub trace_interval: Option<u64>,
+    /// Tail-latency instrumentation: per-class reception-delay
+    /// percentiles and the trunk/ending/unicast hop-wait decomposition
+    /// ([`crate::SimReport::tails`]). Off by default; when disabled the
+    /// hot loop pays one never-taken branch per record site and the
+    /// report is bit-identical to a run without the flag (pinned by
+    /// `tests/tails.rs`).
+    pub tails: bool,
 }
 
 impl Default for SimConfig {
@@ -80,6 +87,7 @@ impl Default for SimConfig {
             delay_histogram_cap: 4096,
             profile_by_distance: false,
             trace_interval: None,
+            tails: false,
         }
     }
 }

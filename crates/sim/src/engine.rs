@@ -1,7 +1,10 @@
 //! The slotted simulation engine.
 
 use crate::config::SimConfig;
-use crate::metrics::{ClassStats, FaultReport, FlowReport, RecoveryReport, SimReport};
+use crate::metrics::{
+    ClassStats, FaultReport, FlowReport, HopPhase, RecoveryReport, SimReport, TailQuantiles,
+    TailReport,
+};
 use crate::packet::{Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 use crate::queue::PriorityQueue;
 use crate::recovery::{ArqConfig, FullQueuePolicy, RetxEntry, TimeoutWheel};
@@ -9,7 +12,7 @@ use crate::scheme::Scheme;
 use crate::task::{TaskKind, TaskSlot, TaskTable};
 use pstar_faults::{DeadLinkPolicy, FaultPlan, FaultRuntime};
 use pstar_obs::{DropKind, SlotSample, TraceEvent, TraceRecord, TraceSink};
-use pstar_stats::{BatchMeans, Histogram, Moments, TimeWeighted};
+use pstar_stats::{BatchMeans, Histogram, LogHistogram, Moments, TimeWeighted};
 use pstar_topology::{Link, LinkId, Network, NodeId};
 use pstar_traffic::{ArrivalProcess, PoissonArrivals, TrafficMix, UniformDestinations};
 use rand::rngs::StdRng;
@@ -37,6 +40,146 @@ struct FaultState {
     pending_recovery: Vec<(u32, u64, bool)>,
     recovery: Moments,
     wait_fault: [Moments; MAX_PRIORITY_CLASSES],
+}
+
+/// Tail-latency instrumentation carried by an engine with
+/// [`SimConfig::tails`] set: log-bucketed reception-delay and hop-wait
+/// histograms (`pstar_stats::LogHistogram`, full `u64` range — no
+/// overflow clamp, unlike the linear reception histogram).
+///
+/// Kept behind an `Option` so the disabled path pays exactly one
+/// never-taken branch per record site, and the recorders never touch
+/// the RNG: a run with tails on is bit-identical to one without, apart
+/// from [`SimReport::tails`] itself (pinned by `tests/tails.rs`).
+pub(crate) struct TailsState {
+    /// Flat per-class counts for reception delays below
+    /// [`FLAT_COUNT_LIMIT`] — the reception fast path.
+    small_reception: Vec<[u32; MAX_PRIORITY_CLASSES]>,
+    /// Reception delays at or above the flat-array limit (rare).
+    reception_overflow: [LogHistogram; MAX_PRIORITY_CLASSES],
+    /// Flat per-phase counts for hop waits below [`FLAT_COUNT_LIMIT`]
+    /// (column = `HopPhase` value) — the service-start fast path.
+    small_wait: Vec<[u32; 3]>,
+    /// Hop waits at or above the flat-array limit (rare), by phase.
+    wait_overflow: [LogHistogram; 3],
+    /// Flat counts for service times (packet lengths) below
+    /// [`FLAT_COUNT_LIMIT`]; lengths are tiny, so overflow is unheard of.
+    small_service: Vec<u32>,
+    /// Service times at or above the flat-array limit.
+    service_overflow: LogHistogram,
+}
+
+/// Values below this take the flat-count fast path.
+///
+/// Receptions and service starts are the simulator's highest-frequency
+/// events (~163 each per slot on an 8×8 at ρ = 0.7), and full per-event
+/// `LogHistogram::record`s on those paths measurably slow the engine
+/// (~10–15% each, dominated by the chain of dependent loads into the
+/// boxed histograms). Small values — all of them, in any stable run —
+/// instead bump one flat `u32` counter, and the counts are folded into
+/// the histograms once at report time via [`LogHistogram::record_n`].
+/// The fold is value-exact and histograms are order-independent, so the
+/// resulting report is identical to what per-event recording would have
+/// produced.
+const FLAT_COUNT_LIMIT: usize = 4096;
+
+impl TailsState {
+    pub(crate) fn new() -> Box<Self> {
+        Box::new(Self {
+            small_reception: vec![[0; MAX_PRIORITY_CLASSES]; FLAT_COUNT_LIMIT],
+            reception_overflow: std::array::from_fn(|_| LogHistogram::new()),
+            small_wait: vec![[0; 3]; FLAT_COUNT_LIMIT],
+            wait_overflow: std::array::from_fn(|_| LogHistogram::new()),
+            small_service: vec![0; FLAT_COUNT_LIMIT],
+            service_overflow: LogHistogram::new(),
+        })
+    }
+
+    /// Records an in-window service start: wait decomposed by path
+    /// phase (the packet's ending dimension is its last rotation phase,
+    /// `d - 1`), plus the service time.
+    #[inline]
+    pub(crate) fn record_service(&mut self, pkt: &Packet, wait: u64, d: usize) {
+        let phase = match pkt.kind {
+            PacketKind::Broadcast(state) => {
+                if state.phase as usize == d - 1 {
+                    HopPhase::Ending
+                } else {
+                    HopPhase::Trunk
+                }
+            }
+            PacketKind::Unicast { .. } => HopPhase::Unicast,
+        };
+        match self.small_wait.get_mut(wait as usize) {
+            Some(row) => row[phase as usize] += 1,
+            None => self.wait_overflow[phase as usize].record(wait),
+        }
+        let len = pkt.len as u64;
+        match self.small_service.get_mut(len as usize) {
+            Some(n) => *n += 1,
+            None => self.service_overflow.record(len),
+        }
+    }
+
+    /// Records a measured reception delay under the delivering class.
+    #[inline]
+    pub(crate) fn record_reception(&mut self, class: u8, delay: u64) {
+        // Rows are `[count; class]` per delay value, so the common case
+        // is one indexed increment; `get_mut` doubles as the range test.
+        match self.small_reception.get_mut(delay as usize) {
+            Some(row) => row[class as usize] += 1,
+            None => self.reception_overflow[class as usize].record(delay),
+        }
+    }
+
+    /// One class's reception histogram: the flat small-delay counts
+    /// folded (value-exactly) over the overflow records.
+    fn class_reception_hist(&self, class: usize) -> LogHistogram {
+        let mut h = self.reception_overflow[class].clone();
+        for (delay, row) in self.small_reception.iter().enumerate() {
+            if row[class] > 0 {
+                h.record_n(delay as u64, u64::from(row[class]));
+            }
+        }
+        h
+    }
+
+    /// One phase's hop-wait histogram, folded the same way.
+    fn phase_wait_hist(&self, phase: usize) -> LogHistogram {
+        let mut h = self.wait_overflow[phase].clone();
+        for (wait, row) in self.small_wait.iter().enumerate() {
+            if row[phase] > 0 {
+                h.record_n(wait as u64, u64::from(row[phase]));
+            }
+        }
+        h
+    }
+
+    pub(crate) fn report(&mut self) -> TailReport {
+        let by_class: Vec<LogHistogram> = (0..MAX_PRIORITY_CLASSES)
+            .map(|c| self.class_reception_hist(c))
+            .collect();
+        let mut all = LogHistogram::new();
+        for h in &by_class {
+            all.merge(h);
+        }
+        let hop_wait: [LogHistogram; 3] = std::array::from_fn(|i| self.phase_wait_hist(i));
+        let mut service = self.service_overflow.clone();
+        for (len, &n) in self.small_service.iter().enumerate() {
+            if n > 0 {
+                service.record_n(len as u64, u64::from(n));
+            }
+        }
+        TailReport {
+            enabled: true,
+            reception_by_class: by_class.iter().map(TailQuantiles::from_hist).collect(),
+            reception_all: TailQuantiles::from_hist(&all),
+            reception_cdf: all.cdf_points(),
+            hop_wait: std::array::from_fn(|i| TailQuantiles::from_hist(&hop_wait[i])),
+            hop_wait_cdf: std::array::from_fn(|i| hop_wait[i].cdf_points()),
+            service: TailQuantiles::from_hist(&service),
+        }
+    }
 }
 
 /// Seed perturbation for the ARQ jitter RNG: recovery draws come from
@@ -196,6 +339,9 @@ pub struct Engine<N: Network, S: Scheme> {
     obs: Option<Box<dyn TraceSink>>,
     /// Cached `obs.decimation()`; 0 disables slot sampling.
     obs_decim: u64,
+    /// Tail-latency instrumentation; `None` (default) keeps every record
+    /// site at a single never-taken branch (see [`TailsState`]).
+    tails: Option<Box<TailsState>>,
 }
 
 impl<N: Network, S: Scheme> Engine<N, S> {
@@ -277,6 +423,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             flow,
             obs: None,
             obs_decim: 0,
+            tails: cfg.tails.then(TailsState::new),
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             topo,
@@ -743,6 +890,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     DropCause::Overflow => DropKind::Overflow,
                     DropCause::Retry => DropKind::RetryFailed,
                 },
+                task: pkt.task,
             });
         }
         if self.recovery.is_some() {
@@ -825,6 +973,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 class: pkt.priority,
                 wait: t - pkt.enqueue_time,
                 len: pkt.len,
+                task: pkt.task,
             });
         }
         self.tx_by_dim[self.link_dim[link] as usize] += 1;
@@ -835,6 +984,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             if let Some(f) = self.faults.as_mut() {
                 if f.any_now {
                     f.wait_fault[pkt.priority as usize].push(wait);
+                }
+            }
+            if self.tails.is_some() {
+                let d = self.topo.d();
+                if let Some(tl) = self.tails.as_deref_mut() {
+                    tl.record_service(&pkt, t - pkt.enqueue_time, d);
                 }
             }
             self.window_transmissions += 1;
@@ -854,6 +1009,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 link: link as u32,
                 class: pkt.priority,
                 age: self.now - pkt.gen_time,
+                task: pkt.task,
             });
         }
         let node = self.link_target[link];
@@ -873,7 +1029,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     let dist = self.topo.distance(state.src, node) as usize;
                     self.delay_by_distance[dist].push((self.now - pkt.gen_time) as f64);
                 }
-                self.record_broadcast_reception(pkt.task);
+                self.record_broadcast_reception(pkt.task, pkt.priority);
                 self.emit_buf.clear();
                 self.scheme
                     .on_broadcast_arrival(node, &state, &mut self.emit_buf);
@@ -899,7 +1055,9 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         }
     }
 
-    fn record_broadcast_reception(&mut self, task: u32) {
+    /// `class` is the delivering packet's priority, used only by the
+    /// tails decomposition (which class pays which reception tail).
+    fn record_broadcast_reception(&mut self, task: u32, class: u8) {
         let t = self.now;
         let slot = *self.tasks.get(task);
         if slot.measured {
@@ -907,6 +1065,9 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             self.reception_delay.push(delay);
             self.reception_hist.record(t - slot.gen_time);
             self.reception_batch.push(delay);
+            if let Some(tl) = self.tails.as_deref_mut() {
+                tl.record_reception(class, t - slot.gen_time);
+            }
         }
         if self.tasks.record_reception(task) {
             // Last reception completes the broadcast. Damaged tasks
@@ -1013,6 +1174,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     link: e.link,
                     class: pkt.priority,
                     attempt: pkt.attempt,
+                    task: pkt.task,
                 });
             }
             self.queues[link].push(pkt);
@@ -1279,6 +1441,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 self.obs_record(TraceEvent::Enqueue {
                     link: link as u32,
                     class: packet.priority,
+                    task: packet.task,
                 });
             }
             self.queues[link].push(packet);
@@ -1440,6 +1603,10 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             faults,
             recovery,
             flow,
+            tails: match self.tails.as_deref_mut() {
+                Some(tl) => tl.report(),
+                None => TailReport::default(),
+            },
         }
     }
 }

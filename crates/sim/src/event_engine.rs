@@ -19,7 +19,8 @@
 //! (finite buffers, histograms, traces, distance profiles).
 
 use crate::config::SimConfig;
-use crate::metrics::{ClassStats, SimReport};
+use crate::engine::TailsState;
+use crate::metrics::{ClassStats, SimReport, TailReport};
 use crate::packet::{Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 use crate::queue::PriorityQueue;
 use crate::scheme::Scheme;
@@ -85,6 +86,9 @@ pub struct EventEngine<N: Network, S: Scheme> {
     /// skips empty slots, so sampling is sparse: the first *visited*
     /// instant at or past each decimation boundary is sampled.
     next_sample_slot: u64,
+    /// Tail-latency instrumentation; same contract as the step
+    /// engine's (`None` ⇒ one never-taken branch per record site).
+    tails: Option<Box<TailsState>>,
 }
 
 impl<N: Network, S: Scheme> EventEngine<N, S> {
@@ -142,6 +146,7 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             obs: None,
             obs_decim: 0,
             next_sample_slot: 0,
+            tails: cfg.tails.then(TailsState::new),
             rng: StdRng::seed_from_u64(cfg.seed),
             now: 0,
             topo,
@@ -361,12 +366,13 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
                 link: link as u32,
                 class: pkt.priority,
                 age: self.now - pkt.gen_time,
+                task: pkt.task,
             });
         }
         let node = self.link_target[link];
         match pkt.kind {
             PacketKind::Broadcast(state) => {
-                self.record_broadcast_reception(pkt.task);
+                self.record_broadcast_reception(pkt.task, pkt.priority);
                 self.emit_buf.clear();
                 self.scheme
                     .on_broadcast_arrival(node, &state, &mut self.emit_buf);
@@ -385,11 +391,16 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
         }
     }
 
-    fn record_broadcast_reception(&mut self, task: u32) {
+    /// `class` is the delivering packet's priority, used only by the
+    /// tails decomposition (mirrors the step engine).
+    fn record_broadcast_reception(&mut self, task: u32, class: u8) {
         let t = self.now;
         let slot = *self.tasks.get(task);
         if slot.measured {
             self.reception_delay.push((t - slot.gen_time) as f64);
+            if let Some(tl) = self.tails.as_deref_mut() {
+                tl.record_reception(class, t - slot.gen_time);
+            }
         }
         if self.tasks.record_reception(task) && slot.measured {
             self.broadcast_delay.push((t - slot.gen_time) as f64);
@@ -430,10 +441,17 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
                 class: pkt.priority,
                 wait: t - pkt.enqueue_time,
                 len: pkt.len,
+                task: pkt.task,
             });
         }
         if self.in_measure_window() {
             self.wait_by_class[pkt.priority as usize].push((t - pkt.enqueue_time) as f64);
+            if self.tails.is_some() {
+                let d = self.topo.d();
+                if let Some(tl) = self.tails.as_deref_mut() {
+                    tl.record_service(&pkt, t - pkt.enqueue_time, d);
+                }
+            }
             self.window_transmissions += 1;
             let end = self.cfg.measure_end();
             let busy = (t + pkt.len as u64).min(end) - t;
@@ -461,6 +479,7 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
                 self.obs_record(TraceEvent::Enqueue {
                     link: link as u32,
                     class: emit.priority,
+                    task,
                 });
             }
             self.queues[link].push(Packet {
@@ -481,7 +500,7 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
         self.emit_buf = buf;
     }
 
-    fn report(self, completed: bool) -> SimReport {
+    fn report(mut self, completed: bool) -> SimReport {
         // Same realized-window normalization as the step engine: runs
         // cut short by the horizon measured fewer than `measure_slots`
         // slots (see `Engine::report`).
@@ -527,6 +546,10 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             faults: Default::default(),
             recovery: Default::default(),
             flow: Default::default(),
+            tails: match self.tails.as_deref_mut() {
+                Some(tl) => tl.report(),
+                None => TailReport::default(),
+            },
         }
     }
 }

@@ -44,7 +44,10 @@ mod task;
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use event_engine::EventEngine;
-pub use metrics::{ClassStats, FaultReport, FlowReport, RecoveryReport, SimReport};
+pub use metrics::{
+    ClassStats, FaultReport, FlowReport, HopPhase, RecoveryReport, SimReport, TailQuantiles,
+    TailReport,
+};
 pub use packet::{BroadcastState, Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 pub use queue::PriorityQueue;
 pub use recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy};

@@ -1,6 +1,6 @@
 //! Simulation output report.
 
-use pstar_stats::Summary;
+use pstar_stats::{LogHistogram, Summary};
 
 /// Per-priority-class measurements.
 #[derive(Debug, Clone, Copy)]
@@ -151,6 +151,100 @@ impl Default for FlowReport {
     }
 }
 
+/// Path-phase of a hop, for the per-hop wait decomposition of
+/// [`TailReport`]. The paper's mechanism lives in this split: priority
+/// STAR pays o(1) waits on trunk hops and O(1/(1−ρ)) only on the
+/// ending-dimension hops (§3.2, Theorems 1–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HopPhase {
+    /// Broadcast hop in a non-ending dimension (high priority under
+    /// priority STAR).
+    Trunk = 0,
+    /// Broadcast hop in the packet's ending dimension (low priority
+    /// under priority STAR).
+    Ending = 1,
+    /// Unicast routing hop (never part of a broadcast tree).
+    Unicast = 2,
+}
+
+impl HopPhase {
+    /// All phases, in index order.
+    pub const ALL: [HopPhase; 3] = [HopPhase::Trunk, HopPhase::Ending, HopPhase::Unicast];
+
+    /// Stable lowercase label for tables and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            HopPhase::Trunk => "trunk",
+            HopPhase::Ending => "ending",
+            HopPhase::Unicast => "unicast",
+        }
+    }
+}
+
+/// Quantile digest of one log-bucketed delay distribution. Quantiles
+/// come from [`LogHistogram`] and never underestimate; their relative
+/// overestimate is bounded by `2^-DEFAULT_SUB_BITS` (< 0.79%).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TailQuantiles {
+    /// Observations recorded.
+    pub count: u64,
+    /// Exact mean.
+    pub mean: f64,
+    /// Median (slots).
+    pub p50: u64,
+    /// 90th percentile (slots).
+    pub p90: u64,
+    /// 99th percentile (slots).
+    pub p99: u64,
+    /// 99.9th percentile (slots).
+    pub p999: u64,
+    /// Largest observation (slots).
+    pub max: u64,
+}
+
+impl TailQuantiles {
+    /// Digest of a histogram (all-zero when the histogram is empty).
+    pub fn from_hist(h: &LogHistogram) -> Self {
+        Self {
+            count: h.count(),
+            mean: h.mean(),
+            p50: h.quantile(0.5),
+            p90: h.quantile(0.9),
+            p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
+            max: h.max(),
+        }
+    }
+}
+
+/// Tail-latency measurements, populated when [`crate::SimConfig::tails`]
+/// is set. The [`Default`] value is the disabled report (all zeros).
+///
+/// Reception delays are split by the delivering packet's priority class;
+/// per-hop waits are split by [`HopPhase`]. CDF point lists carry the
+/// full empirical distributions for plotting (upper bucket edges,
+/// cumulative fraction).
+#[derive(Debug, Clone, Default)]
+pub struct TailReport {
+    /// `true` when tail instrumentation was on for this run.
+    pub enabled: bool,
+    /// Reception-delay digest per priority class of the delivering
+    /// packet (index 0 = highest priority; length
+    /// `MAX_PRIORITY_CLASSES`, classes a scheme never uses stay empty).
+    pub reception_by_class: Vec<TailQuantiles>,
+    /// Reception-delay digest over all classes combined.
+    pub reception_all: TailQuantiles,
+    /// Reception-delay empirical CDF over all classes.
+    pub reception_cdf: Vec<(u64, f64)>,
+    /// Per-hop wait digest by path phase (index = [`HopPhase`] value).
+    pub hop_wait: [TailQuantiles; 3],
+    /// Per-hop wait empirical CDF by path phase.
+    pub hop_wait_cdf: [Vec<(u64, f64)>; 3],
+    /// Service-time digest (degenerate under the paper's unit lengths;
+    /// informative for mixed-length workloads).
+    pub service: TailQuantiles,
+}
+
 /// Everything a run measures.
 ///
 /// All delay statistics cover tasks *generated inside the measurement
@@ -234,6 +328,9 @@ pub struct SimReport {
     /// Flow-control measurements (admission, backpressure, eviction,
     /// queue occupancy).
     pub flow: FlowReport,
+    /// Tail-latency decomposition (the [`Default`] disabled report
+    /// unless [`crate::SimConfig::tails`] was set).
+    pub tails: TailReport,
 }
 
 impl SimReport {
@@ -324,6 +421,28 @@ impl std::fmt::Display for SimReport {
                 "  class {k}: rho={:.4} wait={:.3}",
                 c.utilization, c.wait.mean
             )?;
+        }
+        if self.tails.enabled {
+            let r = &self.tails.reception_all;
+            writeln!(
+                f,
+                "tails: reception p50/p90/p99/p99.9 = {}/{}/{}/{} (n={})",
+                r.p50, r.p90, r.p99, r.p999, r.count
+            )?;
+            for phase in HopPhase::ALL {
+                let w = &self.tails.hop_wait[phase as usize];
+                if w.count > 0 {
+                    writeln!(
+                        f,
+                        "  {} wait: p50={} p99={} max={} (n={})",
+                        phase.label(),
+                        w.p50,
+                        w.p99,
+                        w.max,
+                        w.count
+                    )?;
+                }
+            }
         }
         Ok(())
     }

@@ -44,6 +44,20 @@ impl Histogram {
         self.overflow
     }
 
+    /// Fraction of observations that exceeded the cap (0 when empty).
+    ///
+    /// Any quantile `q` with `q > 1 - overflow_fraction()` is saturated:
+    /// the true value lies somewhere above the cap and
+    /// [`Histogram::quantile`] can only clamp it. Check this before
+    /// trusting a tail percentile from the linear histogram.
+    pub fn overflow_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.overflow as f64 / self.count as f64
+        }
+    }
+
     /// Exact mean of all observations (including overflowed ones).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -69,6 +83,26 @@ impl Histogram {
             }
         }
         self.buckets.len() as u64
+    }
+
+    /// Like [`Histogram::quantile`], but flags saturation: the second
+    /// component is `true` when the requested rank fell into the
+    /// overflow bucket, i.e. the returned value is the cap standing in
+    /// for an unknown larger observation.
+    pub fn quantile_checked(&self, q: f64) -> (u64, bool) {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return (0, false);
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (value, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return (value as u64, false);
+            }
+        }
+        (self.buckets.len() as u64, true)
     }
 
     /// Count in an exact bucket (`None` past the cap).
@@ -126,6 +160,29 @@ mod tests {
     fn quantile_of_empty_is_zero() {
         let h = Histogram::new(4);
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn saturated_quantiles_are_flagged() {
+        // 10 observations, 3 above the cap: everything past q = 0.7 is
+        // saturated and must say so instead of silently reporting `cap`.
+        let mut h = Histogram::new(8);
+        for v in [0u64, 1, 2, 3, 4, 5, 6, 20, 30, 40] {
+            h.record(v);
+        }
+        assert!((h.overflow_fraction() - 0.3).abs() < 1e-12);
+        assert_eq!(h.quantile_checked(0.5), (4, false));
+        assert_eq!(h.quantile_checked(0.7), (6, false));
+        let (v, saturated) = h.quantile_checked(0.99);
+        assert_eq!(v, 8);
+        assert!(saturated, "p99 inside overflow must be flagged");
+        // The legacy API still clamps (pinned for compatibility).
+        assert_eq!(h.quantile(0.99), 8);
+    }
+
+    #[test]
+    fn overflow_fraction_of_empty_is_zero() {
+        assert_eq!(Histogram::new(4).overflow_fraction(), 0.0);
     }
 
     #[test]

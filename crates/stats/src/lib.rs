@@ -12,12 +12,14 @@
 
 mod batch;
 mod histogram;
+mod loghist;
 mod moments;
 mod mser;
 mod timeavg;
 
 pub use batch::BatchMeans;
 pub use histogram::Histogram;
+pub use loghist::{LogHistogram, DEFAULT_SUB_BITS};
 pub use moments::{Moments, Summary};
 pub use mser::{mser_truncation, mser_truncation_batched};
 pub use timeavg::TimeWeighted;

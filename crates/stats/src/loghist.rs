@@ -1,0 +1,298 @@
+//! Log2-bucketed histogram with bounded relative-error quantiles.
+//!
+//! The linear [`Histogram`](crate::Histogram) is exact below its cap but
+//! clamps everything above it — exactly the high-ρ tail a percentile
+//! query cares about. `LogHistogram` trades exactness for range: buckets
+//! are log-linear (HDR-style), covering the full `u64` domain with a
+//! relative error bounded by the configured precision, so p99.9 of a
+//! heavy-tailed delay distribution is never silently wrong.
+
+/// Number of sub-buckets per octave is `2^sub_bits`; relative quantile
+/// error is at most `2^-sub_bits`. 7 bits ⇒ < 0.79% error in ~7.5 KiB.
+pub const DEFAULT_SUB_BITS: u32 = 7;
+
+/// Log-linear histogram over `u64` observations with mergeable buckets
+/// and quantiles whose relative error is bounded by `2^-sub_bits`.
+///
+/// Values below `2^sub_bits` are recorded exactly (one bucket per
+/// value). Larger values fall into one of `2^sub_bits` equal-width
+/// sub-buckets of their octave `[2^e, 2^(e+1))`. A quantile query
+/// returns the *upper inclusive edge* of the bucket containing the
+/// requested rank, so the estimate `q̂` satisfies
+/// `exact ≤ q̂` and `(q̂ - exact) / exact ≤ 2^-sub_bits`.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    sub_bits: u32,
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Histogram with [`DEFAULT_SUB_BITS`] precision.
+    pub fn new() -> Self {
+        Self::with_sub_bits(DEFAULT_SUB_BITS)
+    }
+
+    /// Histogram with `2^sub_bits` sub-buckets per octave
+    /// (`1 ≤ sub_bits ≤ 16`).
+    pub fn with_sub_bits(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits out of range");
+        // Octaves sub_bits..64 each contribute 2^sub_bits sub-buckets on
+        // top of the 2^sub_bits exact low values.
+        let n = ((64 - sub_bits as usize) + 1) << sub_bits;
+        Self {
+            sub_bits,
+            buckets: vec![0; n],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for `value`.
+    #[inline(always)]
+    fn index(&self, value: u64) -> usize {
+        let m = self.sub_bits;
+        if value < (1 << m) {
+            value as usize
+        } else {
+            let e = 63 - value.leading_zeros();
+            let sub = (value ^ (1u64 << e)) >> (e - m);
+            (((e - m + 1) as usize) << m) + sub as usize
+        }
+    }
+
+    /// Upper inclusive edge of bucket `i`: the largest value mapping to it.
+    fn upper_edge(&self, i: usize) -> u64 {
+        let m = self.sub_bits;
+        if i < (1usize << m) {
+            i as u64
+        } else {
+            let e = (i >> m) as u32 + m - 1;
+            let sub = (i & ((1 << m) - 1)) as u64;
+            // `- 1` before the add: the top octave's last edge is
+            // u64::MAX and the naive order overflows.
+            (1u64 << e) - 1 + ((sub + 1) << (e - m))
+        }
+    }
+
+    /// Records one observation.
+    #[inline(always)]
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical observations at once — exactly equivalent
+    /// to `n` calls to [`Self::record`], in one bucket update. Lets
+    /// callers keep flat per-value counters on their hot path and fold
+    /// them in later. `n = 0` is a no-op.
+    #[inline(always)]
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let i = self.index(value);
+        self.buckets[i] += n;
+        self.count += n;
+        self.sum += value as u128 * n as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// `q`-quantile (0 ≤ q ≤ 1): the upper inclusive edge of the bucket
+    /// holding the rank-⌈q·count⌉ observation, clamped to the recorded
+    /// max. Never underestimates; relative overestimate ≤ `2^-sub_bits`.
+    /// Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return self.upper_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another histogram with the same `sub_bits`. Merge is
+    /// commutative and associative: bucket counts, count, and sum add;
+    /// min/max combine.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert_eq!(self.sub_bits, other.sub_bits, "sub_bits mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(upper_edge, cumulative_fraction)` points —
+    /// the empirical CDF, ready to plot. Empty histogram yields nothing.
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::new();
+        if self.count == 0 {
+            return out;
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            seen += n;
+            out.push((
+                self.upper_edge(i).min(self.max),
+                seen as f64 / self.count as f64,
+            ));
+        }
+        out
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LogHistogram::new();
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 49);
+        assert_eq!(h.quantile(1.0), 99);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 99);
+    }
+
+    #[test]
+    fn index_is_monotone_and_edge_consistent() {
+        let h = LogHistogram::with_sub_bits(3);
+        let mut prev = 0usize;
+        for v in 0..100_000u64 {
+            let i = h.index(v);
+            assert!(i >= prev, "index not monotone at {v}");
+            assert!(v <= h.upper_edge(i), "value {v} above its edge");
+            prev = i;
+        }
+        // Every bucket's upper edge maps back into that bucket.
+        for i in 0..h.buckets.len() - 1 {
+            assert_eq!(h.index(h.upper_edge(i)), i, "edge of {i} escapes");
+        }
+    }
+
+    #[test]
+    fn extremes_do_not_panic() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+    }
+
+    #[test]
+    fn quantile_never_underestimates() {
+        let mut h = LogHistogram::new();
+        let mut vals: Vec<u64> = (0..1000).map(|i| i * i * 37 + 5).collect();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * vals.len() as f64).ceil() as usize).max(1);
+            let exact = vals[rank - 1];
+            let est = h.quantile(q);
+            assert!(est >= exact, "q{q}: {est} < exact {exact}");
+            let rel = (est - exact) as f64 / exact as f64;
+            assert!(rel <= 1.0 / 128.0 + 1e-12, "q{q}: rel err {rel}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        let mut c = LogHistogram::new();
+        for v in 0..500u64 {
+            let v = v * 13 + 1;
+            a.record(v);
+            c.record(v);
+        }
+        for v in 0..500u64 {
+            let v = v * 7919 + 3;
+            b.record(v);
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.min(), c.min());
+        assert_eq!(a.max(), c.max());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), c.quantile(q));
+        }
+    }
+
+    #[test]
+    fn cdf_points_end_at_one() {
+        let mut h = LogHistogram::new();
+        for v in [1u64, 5, 5, 9, 1000] {
+            h.record(v);
+        }
+        let pts = h.cdf_points();
+        assert!(!pts.is_empty());
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LogHistogram::new();
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.cdf_points().is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for `LogHistogram`: the quantile error bound, merge
+//! algebra, and the `record_n` fast path hold over arbitrary inputs,
+//! not just the hand-picked cases in the unit tests.
+
+use proptest::prelude::*;
+use pstar_stats::{LogHistogram, DEFAULT_SUB_BITS};
+
+/// The advertised relative-error bound for the default precision.
+const REL_BOUND: f64 = 1.0 / (1u64 << DEFAULT_SUB_BITS) as f64;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantiles never underestimate the exact order statistic and
+    /// overestimate by at most `2^-sub_bits`, across arbitrary value
+    /// sets spanning the exact-low range and several octaves.
+    #[test]
+    fn quantile_error_is_bounded(
+        vals in prop::collection::vec(0u64..1_000_000_000, 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let mut vals = vals;
+        let mut h = LogHistogram::new();
+        for &v in &vals {
+            h.record(v);
+        }
+        vals.sort_unstable();
+        let rank = ((q * vals.len() as f64).ceil() as usize).max(1);
+        let exact = vals[rank - 1];
+        let est = h.quantile(q);
+        prop_assert!(est >= exact, "q{}: {} underestimates exact {}", q, est, exact);
+        let rel = (est - exact) as f64 / (exact as f64).max(1.0);
+        prop_assert!(
+            rel <= REL_BOUND + 1e-12,
+            "q{}: relative error {} exceeds bound {}",
+            q, rel, REL_BOUND
+        );
+    }
+
+    /// Merge is associative (and commutative): any grouping of three
+    /// histograms yields identical counts, means, extremes, quantiles,
+    /// and CDFs.
+    #[test]
+    fn merge_is_associative(
+        xs in prop::collection::vec(0u64..1_000_000, 0..100),
+        ys in prop::collection::vec(0u64..1_000_000, 0..100),
+        zs in prop::collection::vec(0u64..1_000_000, 0..100),
+    ) {
+        let hist_of = |vals: &[u64]| {
+            let mut h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let (a, b, c) = (hist_of(&xs), hist_of(&ys), hist_of(&zs));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c), built in the other association and order.
+        let mut bc = c.clone();
+        bc.merge(&b);
+        let mut right = bc;
+        right.merge(&a);
+
+        prop_assert_eq!(left.count(), right.count());
+        prop_assert_eq!(left.min(), right.min());
+        prop_assert_eq!(left.max(), right.max());
+        prop_assert_eq!(left.mean().to_bits(), right.mean().to_bits());
+        for q in [0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(left.quantile(q), right.quantile(q));
+        }
+        prop_assert_eq!(left.cdf_points(), right.cdf_points());
+    }
+
+    /// `record_n(v, n)` is exactly `n` calls to `record(v)` — the
+    /// contract the engines' flat-count fast path relies on when it
+    /// folds per-value counters into histograms at report time.
+    #[test]
+    fn record_n_matches_repeated_record(
+        vals in prop::collection::vec(0u64..10_000_000, 1..40),
+        ns in prop::collection::vec(0u64..50, 1..40),
+    ) {
+        let mut bulk = LogHistogram::new();
+        let mut looped = LogHistogram::new();
+        for (&v, &n) in vals.iter().zip(&ns) {
+            bulk.record_n(v, n);
+            for _ in 0..n {
+                looped.record(v);
+            }
+        }
+        prop_assert_eq!(bulk.count(), looped.count());
+        prop_assert_eq!(bulk.min(), looped.min());
+        prop_assert_eq!(bulk.max(), looped.max());
+        prop_assert_eq!(bulk.mean().to_bits(), looped.mean().to_bits());
+        for q in [0.1, 0.5, 0.99, 0.999] {
+            prop_assert_eq!(bulk.quantile(q), looped.quantile(q));
+        }
+        prop_assert_eq!(bulk.cdf_points(), looped.cdf_points());
+    }
+}

@@ -1,0 +1,148 @@
+//! Tail instrumentation must be free: a run with `SimConfig::tails` set
+//! must produce a report bit-identical to the same run without it,
+//! apart from the `tails` field itself, on *both* engines. The
+//! recorders never touch the RNG and the flat-count fast path folds
+//! into histograms only at report time — these tests pin that contract
+//! so a future hook can't silently perturb results.
+
+use priority_star::prelude::*;
+use proptest::prelude::*;
+use pstar_sim::TailReport;
+
+fn cfg(seed: u64, tails: bool) -> SimConfig {
+    SimConfig {
+        warmup_slots: 500,
+        measure_slots: 2_000,
+        max_slots: 100_000,
+        seed,
+        tails,
+        ..SimConfig::default()
+    }
+}
+
+/// Debug rendering with the tails field neutralized — captures every
+/// other field, including the f64s' exact bits.
+fn fingerprint(rep: &SimReport) -> String {
+    let mut rep = rep.clone();
+    rep.tails = TailReport::default();
+    format!("{rep:?}")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Bit-identity across the (scheme × load × seed) space on the
+    /// step-based engine, plus: the instrumented run actually measured
+    /// something.
+    #[test]
+    fn instrumented_runs_are_bit_identical(
+        rho in 0.1f64..0.8,
+        seed in 0u64..1_000,
+    ) {
+        let topo = Torus::new(&[4, 4]);
+        for scheme in SchemeKind::all() {
+            let spec = ScenarioSpec { scheme, rho, ..Default::default() };
+            let plain = run_scenario(&topo, &spec, cfg(seed, false));
+            let tailed = run_scenario(&topo, &spec, cfg(seed, true));
+            prop_assert_eq!(
+                fingerprint(&plain),
+                fingerprint(&tailed),
+                "scheme {} diverged under tail instrumentation",
+                scheme.label()
+            );
+            prop_assert!(!plain.tails.enabled);
+            prop_assert!(tailed.tails.enabled);
+            prop_assert!(
+                tailed.tails.reception_all.count > 0,
+                "scheme {} recorded no receptions",
+                scheme.label()
+            );
+            prop_assert_eq!(
+                tailed.tails.reception_all.count,
+                tailed.tails.reception_by_class.iter().map(|c| c.count).sum::<u64>()
+            );
+        }
+    }
+
+    /// Same contract on the event-driven engine.
+    #[test]
+    fn event_engine_is_bit_identical_too(
+        rho in 0.1f64..0.8,
+        seed in 0u64..1_000,
+    ) {
+        let topo = Torus::new(&[4, 4]);
+        for scheme in SchemeKind::all() {
+            let spec = ScenarioSpec { scheme, rho, ..Default::default() };
+            let run = |tails: bool| {
+                pstar_sim::EventEngine::new(
+                    topo.clone(),
+                    spec.build_scheme(&topo),
+                    spec.mix(&topo),
+                    cfg(seed, tails),
+                )
+                .run()
+            };
+            let plain = run(false);
+            let tailed = run(true);
+            prop_assert_eq!(
+                fingerprint(&plain),
+                fingerprint(&tailed),
+                "scheme {} diverged under tail instrumentation (event engine)",
+                scheme.label()
+            );
+            prop_assert!(tailed.tails.enabled);
+            prop_assert!(tailed.tails.reception_all.count > 0);
+        }
+    }
+}
+
+/// The wait decomposition shows the paper's mechanism: under priority
+/// STAR, trunk hops barely wait while ending-dimension hops absorb the
+/// queueing, and the trunk population is the busier one.
+#[test]
+fn priority_star_wait_decomposition_is_populated() {
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.8,
+        broadcast_load_fraction: 1.0,
+        ..Default::default()
+    };
+    let rep = run_scenario(&topo, &spec, cfg(11, true));
+    assert!(rep.ok());
+    let trunk = &rep.tails.hop_wait[HopPhase::Trunk as usize];
+    let ending = &rep.tails.hop_wait[HopPhase::Ending as usize];
+    assert!(trunk.count > 0 && ending.count > 0);
+    // All-broadcast workload: no unicast hops at all.
+    assert_eq!(rep.tails.hop_wait[HopPhase::Unicast as usize].count, 0);
+    assert!(
+        trunk.p99 < ending.p99,
+        "trunk p99 {} not below ending p99 {}",
+        trunk.p99,
+        ending.p99
+    );
+    // Unit-length packets: the service distribution is degenerate at 1.
+    assert_eq!(rep.tails.service.p50, 1);
+    assert_eq!(rep.tails.service.max, 1);
+}
+
+/// Quantiles in the tail report are self-consistent and the CDF is a
+/// proper distribution function.
+#[test]
+fn tail_report_is_internally_consistent() {
+    let topo = Torus::new(&[4, 4]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::FcfsDirect,
+        rho: 0.6,
+        ..Default::default()
+    };
+    let rep = run_scenario(&topo, &spec, cfg(3, true));
+    let t = &rep.tails.reception_all;
+    assert!(t.p50 <= t.p90 && t.p90 <= t.p99 && t.p99 <= t.p999 && t.p999 <= t.max);
+    let cdf = &rep.tails.reception_cdf;
+    assert!(!cdf.is_empty());
+    assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    assert!(cdf.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1));
+    // The digest mean agrees with the legacy (linear-histogram) mean.
+    assert!((t.mean - rep.reception_delay.mean).abs() < 1e-9 * t.mean.max(1.0));
+}
