@@ -1,0 +1,119 @@
+//! Microbenchmarks for the pstar-net runtime: the bounded-channel hot
+//! path (every inter-worker message crosses one), and end-to-end
+//! slot throughput of the thread-per-core runtime at 1 and 4 workers,
+//! in both clock modes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use priority_star::prelude::*;
+use pstar_net::{run_net, Channel, ClockMode, NetConfig};
+use std::time::Duration;
+
+fn channel_hot_path(c: &mut Criterion) {
+    const BATCH: usize = 256;
+    let mut g = c.benchmark_group("net_channel");
+    g.bench_function("bounded_send_drain_256", |b| {
+        let ch: Channel<u64> = Channel::bounded(BATCH);
+        let mut out = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            for i in 0..BATCH as u64 {
+                ch.send(black_box(i));
+            }
+            out.clear();
+            ch.drain_into(&mut out);
+            black_box(out.len())
+        })
+    });
+    g.bench_function("unbounded_send_drain_256", |b| {
+        let ch: Channel<u64> = Channel::unbounded();
+        let mut out = Vec::with_capacity(BATCH);
+        b.iter(|| {
+            for i in 0..BATCH as u64 {
+                ch.send(black_box(i));
+            }
+            out.clear();
+            ch.drain_into(&mut out);
+            black_box(out.len())
+        })
+    });
+    // Contended: one producer thread racing the drain loop through a
+    // small bounded channel, the shape of a busy inter-worker link.
+    g.bench_function("bounded_contended_2thread_4096", |b| {
+        // One producer racing the drain loop through a small bounded
+        // channel, the shape of a busy inter-worker link. The batch is
+        // large so thread spawn cost amortizes out.
+        const TOTAL: usize = 4096;
+        b.iter(|| {
+            let ch: Channel<u64> = Channel::bounded(32);
+            let mut seen = 0usize;
+            std::thread::scope(|s| {
+                s.spawn(|| {
+                    for i in 0..TOTAL as u64 {
+                        ch.send(i);
+                    }
+                });
+                let mut out = Vec::with_capacity(64);
+                while seen < TOTAL {
+                    ch.drain_into(&mut out);
+                    seen += out.len();
+                    out.clear();
+                }
+            });
+            black_box(seen)
+        })
+    });
+    g.finish();
+}
+
+fn runtime_throughput(c: &mut Criterion) {
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.7,
+        ..Default::default()
+    };
+    let mut sim = SimConfig {
+        warmup_slots: 500,
+        measure_slots: 2_000,
+        max_slots: 100_000,
+        seed: 9,
+        ..SimConfig::default()
+    };
+    sim.lengths = spec.lengths;
+    let mut g = c.benchmark_group("net_runtime");
+    for (label, workers, mode) in [
+        ("virtual_w1", 1, ClockMode::Virtual),
+        ("virtual_w4", 4, ClockMode::Virtual),
+        ("wall_w4", 4, ClockMode::WallClock),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                run_net(
+                    &topo,
+                    spec.build_scheme(&topo),
+                    spec.mix(&topo),
+                    NetConfig {
+                        sim,
+                        workers,
+                        mode,
+                        trace_capacity: 0,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = net;
+    config = configured();
+    targets = channel_hot_path, runtime_throughput
+}
+criterion_main!(net);

@@ -259,6 +259,22 @@ pub mod collection {
         }
     }
 
+    macro_rules! tuple_strategy {
+        ($($name:ident),*) => {
+            impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+                type Value = ($($name::Value,)*);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)*) = self;
+                    ($($name.generate(rng),)*)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+
     /// Strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {

@@ -277,6 +277,14 @@ impl StarScheme {
     }
 }
 
+/// `StarScheme` is plain immutable data once built, so one instance can be
+/// shared by every worker thread of a parallel backend (`pstar-net`). This
+/// assertion keeps that property from regressing silently.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<StarScheme>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

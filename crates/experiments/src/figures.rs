@@ -2,7 +2,7 @@
 
 use crate::csvout::Table;
 use crate::record::{write_jsonl, PointRecord};
-use crate::sweep::{parallel_map, rho_grid};
+use crate::sweep::{broadcast_arm, mixed_arm, parallel_map, rho_grid, rho_scheme_points};
 use crate::Ctx;
 use priority_star::prelude::*;
 
@@ -27,10 +27,7 @@ fn delay_figure(ctx: &Ctx, name: &str, dims: &[u32], metric: DelayMetric) {
     let topo = Torus::new(dims);
     let grid = rho_grid();
     let schemes = [SchemeKind::FcfsDirect, SchemeKind::PriorityStar];
-    let points: Vec<(f64, SchemeKind)> = grid
-        .iter()
-        .flat_map(|&r| schemes.iter().map(move |&s| (r, s)))
-        .collect();
+    let points = rho_scheme_points(&grid, &schemes);
 
     let reports = parallel_map(&points, |i, &(rho, scheme)| {
         let mut cfg = ctx.cfg;
@@ -38,13 +35,7 @@ fn delay_figure(ctx: &Ctx, name: &str, dims: &[u32], metric: DelayMetric) {
         // Tail percentiles ride along for free: the instrumentation
         // never touches the RNG, so every legacy column is unchanged.
         cfg.tails = true;
-        let spec = ScenarioSpec {
-            scheme,
-            rho,
-            broadcast_load_fraction: 1.0,
-            ..Default::default()
-        };
-        run_scenario(&topo, &spec, cfg)
+        run_scenario(&topo, &broadcast_arm(scheme, rho), cfg)
     });
 
     let metric_of = |rep: &SimReport| match metric {
@@ -147,21 +138,12 @@ pub fn concurrent_tasks_figure(ctx: &Ctx) {
     ]);
     let mut records = Vec::new();
     for topo in &topos {
-        let points: Vec<(f64, SchemeKind)> = grid
-            .iter()
-            .flat_map(|&r| schemes.iter().map(move |&s| (r, s)))
-            .collect();
+        let points = rho_scheme_points(&grid, &schemes);
         let reports = parallel_map(&points, |i, &(rho, scheme)| {
             let mut cfg = ctx.cfg;
             cfg.seed = ctx.seed("fig8", i);
             cfg.tails = true;
-            let spec = ScenarioSpec {
-                scheme,
-                rho,
-                broadcast_load_fraction: 0.5,
-                ..Default::default()
-            };
-            run_scenario(topo, &spec, cfg)
+            run_scenario(topo, &mixed_arm(scheme, rho, 0.5), cfg)
         });
         for (pi, &(rho, scheme)) in points.iter().enumerate() {
             let rep = &reports[pi];

@@ -37,6 +37,12 @@
 //!                       the p99 orderings for CI)
 //!   trace export        Chrome trace-event JSON per scheme (view in
 //!                       chrome://tracing or ui.perfetto.dev)
+//!   net                 run the schemes on the pstar-net thread-per-core
+//!                       runtime: sim-vs-net agreement table, CDF
+//!                       overlays, per-worker Chrome trace, and the
+//!                       worker-scaling bench (BENCH_net.json). `--smoke`
+//!                       gates exact delivered-count agreement and the
+//!                       runtime p99 ordering for CI
 //!   plot                render previously generated CSVs as SVG figures
 //!   collectives         static MNB / total-exchange completion vs bounds
 //!   verify              reproduction gate: re-check every headline claim
@@ -50,6 +56,7 @@
 mod csvout;
 mod custom;
 mod figures;
+mod net;
 mod plot;
 mod profile;
 mod record;
@@ -172,7 +179,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|all>"
+                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|tails|net|all>"
                 );
                 return;
             }
@@ -227,6 +234,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "balance_gallery" => tables::balance_gallery(ctx),
         "resilience" => resilience::resilience(ctx),
         "recovery" => recovery::recovery(ctx),
+        "net" => net::net(ctx),
         "profile" => profile::profile(ctx),
         "tails" => tails::tails(ctx),
         "plot" => plot::plot_all(ctx),
@@ -257,6 +265,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "balance_gallery",
                 "resilience",
                 "recovery",
+                "net",
                 "profile",
                 "tails",
                 "plot",

@@ -60,11 +60,7 @@ pub fn profile(ctx: &Ctx) {
     let mut results = Vec::new();
     for (i, scheme) in SchemeKind::all().into_iter().enumerate() {
         let label = scheme.label();
-        let spec = ScenarioSpec {
-            scheme,
-            rho,
-            ..Default::default()
-        };
+        let spec = crate::sweep::broadcast_arm(scheme, rho);
 
         // Instrumented pilot.
         let t0 = std::time::Instant::now();

@@ -32,7 +32,7 @@
 
 use crate::csvout::Table;
 use crate::record::{write_jsonl, PointRecord};
-use crate::sweep::parallel_map;
+use crate::sweep::{broadcast_arm, parallel_map};
 use crate::Ctx;
 use priority_star::prelude::*;
 use priority_star::run_scenario_with_faults;
@@ -204,13 +204,13 @@ fn fault_sweep(ctx: &Ctx, topo: &Torus, cfg0: SimConfig, gate: &mut Gate) {
         // The completeness guarantee asserted below only holds for
         // transient plans; an outage window is transient by construction.
         debug_assert!(plan.is_transient());
-        let spec = ScenarioSpec {
-            scheme,
-            rho,
-            broadcast_load_fraction: 1.0,
-            ..Default::default()
-        };
-        run_scenario_with_faults(topo, &spec, cfg, plan, DeadLinkPolicy::Drop)
+        run_scenario_with_faults(
+            topo,
+            &broadcast_arm(scheme, rho),
+            cfg,
+            plan,
+            DeadLinkPolicy::Drop,
+        )
     });
 
     let mut table = Table::new(&[
@@ -324,13 +324,9 @@ fn overload_sweep(ctx: &Ctx, topo: &Torus, gate: &mut Gate) {
     cfg0.unstable_queue_per_link = 150.0;
 
     // Bucket rate = the per-node arrival rate of an admitted ρ.
-    let admitted_lambda = ScenarioSpec {
-        rho: ADMITTED_RHO,
-        broadcast_load_fraction: 1.0,
-        ..Default::default()
-    }
-    .mix(topo)
-    .lambda_broadcast;
+    let admitted_lambda = broadcast_arm(SchemeKind::PriorityStar, ADMITTED_RHO)
+        .mix(topo)
+        .lambda_broadcast;
 
     let points: Vec<(SchemeKind, f64, bool)> = SchemeKind::all()
         .iter()
@@ -351,13 +347,7 @@ fn overload_sweep(ctx: &Ctx, topo: &Torus, gate: &mut Gate) {
                 burst: 4.0,
             });
         }
-        let spec = ScenarioSpec {
-            scheme,
-            rho,
-            broadcast_load_fraction: 1.0,
-            ..Default::default()
-        };
-        run_scenario(topo, &spec, cfg)
+        run_scenario(topo, &broadcast_arm(scheme, rho), cfg)
     });
 
     let links = topo.link_count() as f64;

@@ -18,7 +18,7 @@
 
 use crate::csvout::Table;
 use crate::record::{write_jsonl, PointRecord};
-use crate::sweep::parallel_map;
+use crate::sweep::{broadcast_arm, parallel_map};
 use crate::Ctx;
 use priority_star::prelude::*;
 use priority_star::run_scenario_with_faults;
@@ -75,13 +75,13 @@ pub fn resilience(ctx: &Ctx) {
         } else {
             FaultPlan::link_outage_window(&perm[..k], down, up)
         };
-        let spec = ScenarioSpec {
-            scheme,
-            rho,
-            broadcast_load_fraction: 1.0,
-            ..Default::default()
-        };
-        run_scenario_with_faults(&topo, &spec, cfg, plan, DeadLinkPolicy::Drop)
+        run_scenario_with_faults(
+            &topo,
+            &broadcast_arm(scheme, rho),
+            cfg,
+            plan,
+            DeadLinkPolicy::Drop,
+        )
     });
 
     let mut table = Table::new(&[

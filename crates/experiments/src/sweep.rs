@@ -1,4 +1,6 @@
-//! Embarrassingly parallel sweep execution.
+//! Embarrassingly parallel sweep execution and shared arm construction.
+
+use priority_star::{ScenarioSpec, SchemeKind};
 
 /// Maps `f` over `items` on all available cores, preserving order.
 ///
@@ -59,6 +61,48 @@ pub fn rho_grid() -> Vec<f64> {
     vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.85, 0.9, 0.95]
 }
 
+/// The broadcast-only experiment arm (the paper's random-broadcasting
+/// model): one scheme at one offered load, everything else the
+/// scenario default. Every sweep builds its arms through this (or
+/// [`mixed_arm`]) so the spec shape is defined in exactly one place.
+pub fn broadcast_arm(scheme: SchemeKind, rho: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        scheme,
+        rho,
+        broadcast_load_fraction: 1.0,
+        ..Default::default()
+    }
+}
+
+/// A mixed broadcast/unicast arm: like [`broadcast_arm`] but with the
+/// given fraction of the offered load contributed by broadcasts.
+pub fn mixed_arm(scheme: SchemeKind, rho: f64, broadcast_load_fraction: f64) -> ScenarioSpec {
+    ScenarioSpec {
+        scheme,
+        rho,
+        broadcast_load_fraction,
+        ..Default::default()
+    }
+}
+
+/// Scheme-major `(scheme, ρ)` sweep grid. With a seed derived from
+/// `i % rhos.len()`, every scheme arm at the same ρ sees common random
+/// numbers — the pairing the delay-comparison sweeps rely on.
+pub fn scheme_rho_points(schemes: &[SchemeKind], rhos: &[f64]) -> Vec<(SchemeKind, f64)> {
+    schemes
+        .iter()
+        .flat_map(|&s| rhos.iter().map(move |&r| (s, r)))
+        .collect()
+}
+
+/// ρ-major `(ρ, scheme)` sweep grid — the figure sweeps' row order
+/// (one output row per ρ, scheme columns side by side).
+pub fn rho_scheme_points(rhos: &[f64], schemes: &[SchemeKind]) -> Vec<(f64, SchemeKind)> {
+    rhos.iter()
+        .flat_map(|&r| schemes.iter().map(move |&s| (r, s)))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -99,5 +143,46 @@ mod tests {
         let g = rho_grid();
         assert!(g.windows(2).all(|w| w[0] < w[1]));
         assert!(g.iter().all(|&r| r > 0.0 && r < 1.0));
+    }
+
+    #[test]
+    fn arm_helpers_set_only_the_named_fields() {
+        let b = broadcast_arm(SchemeKind::PriorityStar, 0.8);
+        assert_eq!(b.scheme, SchemeKind::PriorityStar);
+        assert_eq!(b.rho, 0.8);
+        assert_eq!(b.broadcast_load_fraction, 1.0);
+        let d = ScenarioSpec::default();
+        assert_eq!(b.lengths, d.lengths);
+
+        let m = mixed_arm(SchemeKind::FcfsDirect, 0.5, 0.25);
+        assert_eq!(m.scheme, SchemeKind::FcfsDirect);
+        assert_eq!(m.rho, 0.5);
+        assert_eq!(m.broadcast_load_fraction, 0.25);
+    }
+
+    #[test]
+    fn point_grids_cover_the_product_in_major_order() {
+        let schemes = [SchemeKind::PriorityStar, SchemeKind::FcfsDirect];
+        let rhos = [0.3, 0.9];
+        let sm = scheme_rho_points(&schemes, &rhos);
+        assert_eq!(
+            sm,
+            vec![
+                (SchemeKind::PriorityStar, 0.3),
+                (SchemeKind::PriorityStar, 0.9),
+                (SchemeKind::FcfsDirect, 0.3),
+                (SchemeKind::FcfsDirect, 0.9),
+            ]
+        );
+        let rm = rho_scheme_points(&rhos, &schemes);
+        assert_eq!(
+            rm,
+            vec![
+                (0.3, SchemeKind::PriorityStar),
+                (0.3, SchemeKind::FcfsDirect),
+                (0.9, SchemeKind::PriorityStar),
+                (0.9, SchemeKind::FcfsDirect),
+            ]
+        );
     }
 }

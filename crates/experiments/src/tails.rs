@@ -30,7 +30,7 @@
 
 use crate::csvout::Table;
 use crate::svg::{Chart, Series};
-use crate::sweep::parallel_map;
+use crate::sweep::{broadcast_arm, parallel_map, scheme_rho_points};
 use crate::{fatal, Ctx};
 use priority_star::prelude::*;
 use pstar_obs::{chrome_trace, git_rev, ObsCollector};
@@ -85,21 +85,13 @@ pub fn tails(ctx: &Ctx) {
 
     // scheme-major point grid; common random numbers across schemes at
     // the same ρ (seed depends only on the ρ index).
-    let points: Vec<(SchemeKind, f64)> = schemes
-        .iter()
-        .flat_map(|&s| rhos.iter().map(move |&r| (s, r)))
-        .collect();
+    let points = scheme_rho_points(&schemes, rhos);
     let reports: Vec<SimReport> = parallel_map(&points, |i, &(scheme, rho)| {
         let t0 = std::time::Instant::now();
         let mut cfg = cfg0;
         cfg.tails = true;
         cfg.seed = ctx.seed("tails", i % rhos.len());
-        let spec = ScenarioSpec {
-            scheme,
-            rho,
-            ..Default::default()
-        };
-        let rep = run_scenario(&topo, &spec, cfg);
+        let rep = run_scenario(&topo, &broadcast_arm(scheme, rho), cfg);
         ctx.push_phase(
             &format!("{}:rho{rho}", scheme.label()),
             t0.elapsed().as_secs_f64(),
@@ -283,11 +275,7 @@ fn write_svg(ctx: &Ctx, name: &str, chart: &Chart) {
 /// interleaves the two arms over several rounds and reports the median
 /// of each, which is stable to ~1–2%.
 fn overhead_bench(ctx: &Ctx, topo: &Torus) -> (f64, f64, f64) {
-    let spec = ScenarioSpec {
-        scheme: SchemeKind::PriorityStar,
-        rho: 0.7,
-        ..Default::default()
-    };
+    let spec = broadcast_arm(SchemeKind::PriorityStar, 0.7);
     let mut cfg = SimConfig {
         warmup_slots: if ctx.smoke { 500 } else { 2_000 },
         measure_slots: if ctx.smoke { 4_000 } else { 12_000 },
@@ -451,11 +439,7 @@ pub fn trace_cmd(ctx: &Ctx, args: &[String]) {
         let label = scheme.label();
         let mut cfg = base_cfg;
         cfg.seed = ctx.seed("trace", i);
-        let spec = ScenarioSpec {
-            scheme,
-            rho: 0.6,
-            ..Default::default()
-        };
+        let spec = broadcast_arm(scheme, 0.6);
         let (rep, sink) = run_scenario_observed(
             &topo,
             &spec,

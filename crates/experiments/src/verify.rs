@@ -35,13 +35,7 @@ fn quick(seed: u64) -> SimConfig {
 }
 
 fn run(topo: &Torus, kind: SchemeKind, rho: f64, frac: f64, seed: u64) -> SimReport {
-    let spec = ScenarioSpec {
-        scheme: kind,
-        rho,
-        broadcast_load_fraction: frac,
-        ..Default::default()
-    };
-    run_scenario(topo, &spec, quick(seed))
+    run_scenario(topo, &crate::sweep::mixed_arm(kind, rho, frac), quick(seed))
 }
 
 /// Runs the full gate; exits the process with status 1 on any failure.
@@ -161,11 +155,7 @@ pub fn verify(_ctx: &Ctx) {
     // Claim 7: engine cross-validation.
     {
         let topo = Torus::new(&[8, 8]);
-        let spec = ScenarioSpec {
-            scheme: SchemeKind::PriorityStar,
-            rho: 0.8,
-            ..Default::default()
-        };
+        let spec = crate::sweep::broadcast_arm(SchemeKind::PriorityStar, 0.8);
         let step = run_scenario(&topo, &spec, quick(8));
         let event = pstar_sim::EventEngine::new(
             topo.clone(),

@@ -1,0 +1,156 @@
+//! Mutex + condvar channels for the slot-synchronous message plane.
+//!
+//! The workspace is offline (no crossbeam, no tokio — see the
+//! `compat-*` stub precedent), so the runtime's channels are a small
+//! `Mutex<VecDeque>` with a condvar for the bounded data plane. The
+//! phase protocol of [`crate::runtime`] guarantees that receivers only
+//! drain at barriers where every in-flight send has completed, so there
+//! is no `recv`-blocking path at all: consumers call
+//! [`Channel::drain_into`] and always observe a complete, deterministic
+//! batch.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A multi-producer channel drained in batches.
+///
+/// Two flavors:
+/// * [`Channel::bounded`] — `send` blocks while the buffer holds
+///   `capacity` messages (the data plane: one slot's deliveries between
+///   a worker pair can never exceed the number of links between them,
+///   so a correctly sized channel never actually blocks — the bound is
+///   an enforced invariant, not a throttle).
+/// * [`Channel::unbounded`] — `send` never blocks (the control and
+///   injection lanes, mirroring the simulator's contention-free ARQ
+///   control plane).
+#[derive(Debug)]
+pub struct Channel<T> {
+    inner: Mutex<VecDeque<T>>,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> Channel<T> {
+    /// A channel whose `send` blocks at `capacity` queued messages.
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// A channel whose `send` never blocks.
+    pub fn unbounded() -> Self {
+        Self {
+            inner: Mutex::new(VecDeque::new()),
+            not_full: Condvar::new(),
+            capacity: usize::MAX,
+        }
+    }
+
+    /// Enqueues one message, blocking while the channel is full.
+    pub fn send(&self, value: T) {
+        let mut q = self.inner.lock().unwrap();
+        while q.len() >= self.capacity {
+            q = self.not_full.wait(q).unwrap();
+        }
+        q.push_back(value);
+    }
+
+    /// Moves every queued message into `out`, preserving send order, and
+    /// wakes any sender blocked on a full buffer.
+    pub fn drain_into(&self, out: &mut Vec<T>) {
+        let mut q = self.inner.lock().unwrap();
+        let was_full = q.len() >= self.capacity;
+        out.extend(q.drain(..));
+        drop(q);
+        if was_full {
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn drain_preserves_send_order() {
+        let ch = Channel::unbounded();
+        for i in 0..100 {
+            ch.send(i);
+        }
+        let mut out = Vec::new();
+        ch.drain_into(&mut out);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+        assert!(ch.is_empty());
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_drained() {
+        let ch = Arc::new(Channel::bounded(4));
+        for i in 0..4 {
+            ch.send(i);
+        }
+        let unblocked = Arc::new(AtomicBool::new(false));
+        let t = {
+            let ch = Arc::clone(&ch);
+            let unblocked = Arc::clone(&unblocked);
+            std::thread::spawn(move || {
+                ch.send(99); // must block: channel holds 4 of 4
+                unblocked.store(true, Ordering::SeqCst);
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        assert!(
+            !unblocked.load(Ordering::SeqCst),
+            "send should block on a full bounded channel"
+        );
+        let mut out = Vec::new();
+        ch.drain_into(&mut out);
+        t.join().unwrap();
+        assert!(unblocked.load(Ordering::SeqCst));
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        out.clear();
+        ch.drain_into(&mut out);
+        assert_eq!(out, vec![99]);
+    }
+
+    #[test]
+    fn concurrent_senders_lose_no_messages() {
+        let ch = Arc::new(Channel::bounded(1024));
+        let mut handles = Vec::new();
+        for s in 0..4u64 {
+            let ch = Arc::clone(&ch);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    ch.send(s * 1000 + i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        ch.drain_into(&mut out);
+        assert_eq!(out.len(), 800);
+        // Per-sender FIFO: each sender's messages appear in its order.
+        for s in 0..4u64 {
+            let mine: Vec<u64> = out.iter().copied().filter(|v| v / 1000 == s).collect();
+            assert_eq!(mine, (0..200).map(|i| s * 1000 + i).collect::<Vec<_>>());
+        }
+    }
+}

@@ -1,0 +1,364 @@
+//! Traffic injection for the runtime's two clock modes.
+//!
+//! [`VirtualInjector`] is the virtual-time coordinator: one global
+//! generator that consumes its RNG in **exactly** the order
+//! `pstar_sim::Engine::generate_arrivals` does (Poisson totals → per-task
+//! source/destination draws → admission gate → length draw → scheme
+//! generation draws). Seeded with the same `SimConfig::seed`, it
+//! therefore produces the *identical* measured task set as a simulator
+//! run of the same spec — the foundation of the sim-vs-net agreement
+//! gates. The mirror is exact for workloads whose forwarding consumes no
+//! randomness (broadcast-only mixes: `on_broadcast_arrival` takes no
+//! RNG); unicast forwarding draws tie-break bits mid-slot
+//! (`unicast::next_hop`), which the simulator interleaves with arrival
+//! draws, so mixed workloads agree statistically but not per-task.
+//!
+//! [`WallInjector`] is the wall-clock sharded generator: each worker
+//! owns an independent per-node RNG stream, so injection scales with the
+//! worker count instead of serializing through a coordinator. Per-node
+//! Poisson superposes to the same aggregate law, making the two modes
+//! statistically interchangeable while only virtual mode is
+//! draw-for-draw comparable with the simulator.
+
+use pstar_sim::{sample_poisson, Emit, Scheme, SimConfig};
+use pstar_topology::NodeId;
+use pstar_traffic::{TrafficMix, UniformDestinations};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Worker-id tag width of wall-clock task ids: id = `worker << 26 | seq`.
+pub(crate) const TASK_SEQ_BITS: u32 = 26;
+
+/// A freshly generated task, routed to the owner of its source node for
+/// enqueueing (and, for broadcasts, registration — unicast tasks are
+/// registered at the owner of their destination via a control message).
+#[derive(Debug)]
+pub(crate) struct InjectMsg {
+    pub task: u32,
+    pub src: NodeId,
+    pub gen_time: u64,
+    pub len: u16,
+    pub measured: bool,
+    pub broadcast: bool,
+    pub emits: Vec<Emit>,
+}
+
+/// splitmix64 finalizer: decorrelates per-node seed streams.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seed of node `v`'s wall-clock arrival stream.
+pub(crate) fn node_stream_seed(seed: u64, node: u32) -> u64 {
+    splitmix64(seed ^ (u64::from(node) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Shared per-arrival generation: admission gate, then the length and
+/// scheme draws in the engine's exact order.
+#[allow(clippy::too_many_arguments)]
+fn generate_task<S: Scheme + ?Sized>(
+    rng: &mut StdRng,
+    cfg: &SimConfig,
+    scheme: &S,
+    tokens: Option<&mut f64>,
+    task: u32,
+    src: NodeId,
+    dest: Option<NodeId>,
+    t: u64,
+    measured: bool,
+    rejected: &mut (u64, u64),
+    out: &mut Vec<InjectMsg>,
+) -> bool {
+    if let Some(tok) = tokens {
+        // The admission gate consumes no randomness and fires *before*
+        // the length/scheme draws, exactly like `Engine::arrive` — a
+        // rejected arrival leaves the RNG stream untouched.
+        if *tok < 1.0 {
+            if measured {
+                match dest {
+                    None => rejected.0 += 1,
+                    Some(_) => rejected.1 += 1,
+                }
+            }
+            return false;
+        }
+        *tok -= 1.0;
+    }
+    let len = cfg.lengths.sample_length(rng);
+    let mut emits = Vec::new();
+    match dest {
+        None => scheme.on_broadcast_generated(src, rng, &mut emits),
+        Some(d) => scheme.on_unicast_generated(src, d, rng, &mut emits),
+    }
+    debug_assert!(!emits.is_empty(), "task with no transmissions");
+    out.push(InjectMsg {
+        task,
+        src,
+        gen_time: t,
+        len,
+        measured,
+        broadcast: dest.is_none(),
+        emits,
+    });
+    true
+}
+
+/// The virtual-time global injector (see module docs).
+pub(crate) struct VirtualInjector {
+    rng: StdRng,
+    mix: TrafficMix,
+    dests: UniformDestinations,
+    cfg: SimConfig,
+    n: u32,
+    /// Per-node token balances; empty unless admission control is on.
+    tokens: Vec<f64>,
+    next_task: u32,
+    /// (broadcasts, unicasts) rejected by admission while measured.
+    pub rejected: (u64, u64),
+}
+
+impl VirtualInjector {
+    pub fn new(n: u32, mix: TrafficMix, cfg: SimConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed),
+            mix,
+            dests: UniformDestinations::new(n),
+            tokens: match cfg.admission {
+                Some(adm) => vec![adm.burst; n as usize],
+                None => Vec::new(),
+            },
+            cfg,
+            n,
+            next_task: 0,
+            rejected: (0, 0),
+        }
+    }
+
+    fn measured_at(&self, t: u64) -> bool {
+        t >= self.cfg.warmup_slots && t < self.cfg.measure_end()
+    }
+
+    /// Generates slot `t`'s arrivals into `out`, mirroring
+    /// `Engine::step`'s phase-2 order: token refill, then the arrival
+    /// draws.
+    pub fn slot<S: Scheme + ?Sized>(&mut self, t: u64, scheme: &S, out: &mut Vec<InjectMsg>) {
+        if let Some(adm) = self.cfg.admission {
+            for tok in &mut self.tokens {
+                *tok = (*tok + adm.rate).min(adm.burst);
+            }
+        }
+        let n = self.n;
+        if self.mix.bernoulli {
+            for node in 0..n {
+                let (b, u) = self.mix.sample(&mut self.rng);
+                for _ in 0..b {
+                    let task = self.next_task;
+                    let measured = self.measured_at(t);
+                    if generate_task(
+                        &mut self.rng,
+                        &self.cfg,
+                        scheme,
+                        self.tokens.get_mut(node as usize),
+                        task,
+                        NodeId(node),
+                        None,
+                        t,
+                        measured,
+                        &mut self.rejected,
+                        out,
+                    ) {
+                        self.next_task += 1;
+                    }
+                }
+                for _ in 0..u {
+                    let src = NodeId(node);
+                    let dest = self.dests.sample(&mut self.rng, src);
+                    let task = self.next_task;
+                    let measured = self.measured_at(t);
+                    if generate_task(
+                        &mut self.rng,
+                        &self.cfg,
+                        scheme,
+                        self.tokens.get_mut(node as usize),
+                        task,
+                        src,
+                        Some(dest),
+                        t,
+                        measured,
+                        &mut self.rejected,
+                        out,
+                    ) {
+                        self.next_task += 1;
+                    }
+                }
+            }
+        } else {
+            let measured = self.measured_at(t);
+            let sources = self.mix.sources;
+            let total_b = sample_poisson(&mut self.rng, self.mix.lambda_broadcast * n as f64);
+            for _ in 0..total_b {
+                let src = sources.sample(&mut self.rng, n);
+                let task = self.next_task;
+                if generate_task(
+                    &mut self.rng,
+                    &self.cfg,
+                    scheme,
+                    token_of(&mut self.tokens, src),
+                    task,
+                    src,
+                    None,
+                    t,
+                    measured,
+                    &mut self.rejected,
+                    out,
+                ) {
+                    self.next_task += 1;
+                }
+            }
+            let total_u = sample_poisson(&mut self.rng, self.mix.lambda_unicast * n as f64);
+            for _ in 0..total_u {
+                let src = sources.sample(&mut self.rng, n);
+                let dest = self.dests.sample(&mut self.rng, src);
+                let task = self.next_task;
+                if generate_task(
+                    &mut self.rng,
+                    &self.cfg,
+                    scheme,
+                    token_of(&mut self.tokens, src),
+                    task,
+                    src,
+                    Some(dest),
+                    t,
+                    measured,
+                    &mut self.rejected,
+                    out,
+                ) {
+                    self.next_task += 1;
+                }
+            }
+        }
+    }
+}
+
+fn token_of(tokens: &mut [f64], src: NodeId) -> Option<&mut f64> {
+    tokens.get_mut(src.index())
+}
+
+/// The wall-clock sharded injector: one per worker, covering the
+/// worker's owned nodes with independent per-node RNG streams.
+pub(crate) struct WallInjector {
+    /// First owned node id (nodes are contiguous per worker).
+    first_node: u32,
+    rngs: Vec<StdRng>,
+    tokens: Vec<f64>,
+    mix: TrafficMix,
+    dests: UniformDestinations,
+    cfg: SimConfig,
+    next_seq: u32,
+    worker_tag: u32,
+    pub rejected: (u64, u64),
+}
+
+impl WallInjector {
+    pub fn new(
+        worker: usize,
+        nodes: std::ops::Range<u32>,
+        n: u32,
+        mix: TrafficMix,
+        cfg: SimConfig,
+    ) -> Self {
+        assert!(
+            worker < (1usize << (32 - TASK_SEQ_BITS)),
+            "too many workers"
+        );
+        let mut per_node_mix = mix;
+        // The aggregate Poisson superposition trick of the global
+        // injector does not shard; per-node sampling does (and is the
+        // same law).
+        per_node_mix.bernoulli = mix.bernoulli;
+        Self {
+            first_node: nodes.start,
+            rngs: nodes
+                .clone()
+                .map(|v| StdRng::seed_from_u64(node_stream_seed(cfg.seed, v)))
+                .collect(),
+            tokens: match cfg.admission {
+                Some(adm) => vec![adm.burst; nodes.len()],
+                None => Vec::new(),
+            },
+            mix: per_node_mix,
+            dests: UniformDestinations::new(n),
+            cfg,
+            next_seq: 0,
+            worker_tag: (worker as u32) << TASK_SEQ_BITS,
+            rejected: (0, 0),
+        }
+    }
+
+    fn next_task(&mut self) -> u32 {
+        assert!(
+            self.next_seq < 1 << TASK_SEQ_BITS,
+            "task id space exhausted"
+        );
+        let id = self.worker_tag | self.next_seq;
+        self.next_seq += 1;
+        id
+    }
+
+    /// Generates slot `t`'s arrivals of this worker's nodes into `out`.
+    pub fn slot<S: Scheme + ?Sized>(&mut self, t: u64, scheme: &S, out: &mut Vec<InjectMsg>) {
+        let measured = t >= self.cfg.warmup_slots && t < self.cfg.measure_end();
+        if let Some(adm) = self.cfg.admission {
+            for tok in &mut self.tokens {
+                *tok = (*tok + adm.rate).min(adm.burst);
+            }
+        }
+        for i in 0..self.rngs.len() {
+            let node = NodeId(self.first_node + i as u32);
+            let (b, u) = self.mix.sample(&mut self.rngs[i]);
+            for _ in 0..b {
+                let task = self.next_task();
+                let ok = generate_task(
+                    &mut self.rngs[i],
+                    &self.cfg,
+                    scheme,
+                    self.tokens.get_mut(i),
+                    task,
+                    node,
+                    None,
+                    t,
+                    measured,
+                    &mut self.rejected,
+                    out,
+                );
+                if !ok {
+                    self.next_seq -= 1;
+                }
+            }
+            for _ in 0..u {
+                let dest = self.dests.sample(&mut self.rngs[i], node);
+                let task = self.next_task();
+                let ok = generate_task(
+                    &mut self.rngs[i],
+                    &self.cfg,
+                    scheme,
+                    self.tokens.get_mut(i),
+                    task,
+                    node,
+                    Some(dest),
+                    t,
+                    measured,
+                    &mut self.rejected,
+                    out,
+                );
+                if !ok {
+                    self.next_seq -= 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,1493 @@
+//! The thread-per-core slot-synchronous runtime.
+//!
+//! Topology nodes are sharded into contiguous ranges over `W` worker
+//! threads; each worker owns its nodes' outgoing links (their priority
+//! queues and in-flight registers), a private [`crate::stats::WorkerStats`]
+//! accumulator, and — with ARQ on — its own retransmit timing wheel.
+//! Workers never share mutable state: everything crosses core
+//! boundaries as messages over [`crate::channel::Channel`]s.
+//!
+//! # Slot protocol
+//!
+//! Every slot `t` runs three barrier-separated phases:
+//!
+//! * **Phase A (send)** — each worker moves deliveries finishing at `t`
+//!   off its in-flight registers into the data channel of the target
+//!   node's owner, and traffic is injected (virtual mode: worker 0 runs
+//!   the global [`crate::inject::VirtualInjector`] and scatters
+//!   [`crate::inject::InjectMsg`]s to source owners; wall-clock mode:
+//!   every worker injects for its own nodes).
+//! * **Phase B (process)** — each worker drains control messages
+//!   (acks/losses/registrations from slot `t − 1`), then data channels
+//!   (this slot's deliveries, applying scheme forwarding), then fires
+//!   its due ARQ retransmissions, then processes injections, and
+//!   finally starts service on idle owned links — the same
+//!   deliveries → retransmissions → arrivals → service order as one
+//!   `Engine::step`.
+//! * **Phase C (decide)** — worker 0 totals the per-worker queue gauges
+//!   and decides whether the run completed, hit the horizon, or went
+//!   unstable, with the simulator's exact criteria.
+//!
+//! # Determinism
+//!
+//! Channels are drained at barriers in a fixed sender order, each
+//! channel is FIFO per sender, and control channels are split into two
+//! slot-parity generations so messages produced while a channel's other
+//! generation is being drained never race. Every RNG is seeded from
+//! `SimConfig::seed`, so a run is bit-reproducible for a given
+//! `(seed, workers, mode)` triple. In virtual mode the injector consumes
+//! its RNG in the engine's exact draw order, which makes the measured
+//! task population identical to a simulator run of the same config —
+//! the sim-vs-net agreement tests in `tests/net.rs` assert equality of
+//! delivered-reception counts on exactly that basis.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU8, AtomicUsize, Ordering};
+
+use pstar_obs::{DropKind, TraceEvent, TraceRecord};
+use pstar_sim::{
+    ArqConfig, Emit, FullQueuePolicy, Packet, PacketKind, PriorityQueue, RetxEntry, Scheme,
+    SimConfig, SimReport, TimeoutWheel, MAX_PRIORITY_CLASSES,
+};
+use pstar_topology::{Link, Network, NodeId};
+use pstar_traffic::TrafficMix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::channel::Channel;
+use crate::inject::{node_stream_seed, InjectMsg, VirtualInjector, WallInjector};
+use crate::stats::{assemble_report, ReportInputs, WorkerStats, BACKOFF_HIST_BUCKETS};
+
+/// Same salt the engine uses for its ARQ jitter stream: recovery
+/// randomness is independent of traffic randomness.
+const ARQ_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Salt of the per-worker unicast-forwarding RNG streams.
+const FWD_SEED_SALT: u64 = 0x5BF0_3635_0D52_A34F;
+
+/// How simulated time is driven (both modes are slot-synchronous and
+/// deterministic; they differ in who generates traffic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ClockMode {
+    /// Worker 0 runs a single global injector that mirrors the
+    /// simulator's RNG draw order — bit-comparable measured task sets,
+    /// the mode the CI agreement gates run in.
+    #[default]
+    Virtual,
+    /// Every worker injects for its own nodes from independent per-node
+    /// RNG streams — no serialized coordinator, the mode for throughput
+    /// benchmarking. Statistically equivalent to `Virtual`, but not
+    /// draw-for-draw comparable with the simulator.
+    WallClock,
+}
+
+/// Configuration of one runtime execution.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// The simulation parameters (window, seed, ARQ, admission, …) —
+    /// the same struct the simulator runs from.
+    /// [`FullQueuePolicy::Backpressure`] is not supported (injection is
+    /// distributed; there is no global source gate) and panics.
+    pub sim: SimConfig,
+    /// Worker threads; `0` uses the machine's available parallelism.
+    /// Clamped to the node count (and to 64 in wall-clock mode, the
+    /// task-id tag width).
+    pub workers: usize,
+    /// Traffic generation mode.
+    pub mode: ClockMode,
+    /// Per-worker cap on collected [`TraceRecord`]s (the first
+    /// `trace_capacity` events are kept); `0` disables tracing. Feed
+    /// the collected tracks to `pstar_obs::chrome_trace_workers`.
+    pub trace_capacity: usize,
+}
+
+impl NetConfig {
+    /// A runtime config wrapping `sim` with the default mode and worker
+    /// count.
+    pub fn new(sim: SimConfig) -> Self {
+        Self {
+            sim,
+            workers: 0,
+            mode: ClockMode::Virtual,
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// A runtime execution's outcome: the simulator-shaped [`SimReport`]
+/// plus runtime-level measurements.
+#[derive(Debug)]
+pub struct NetReport {
+    /// The run's measurements, same shape and normalization as the
+    /// simulator's (crate docs list the documented deviations).
+    pub report: SimReport,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Wall-clock execution time.
+    pub wall_secs: f64,
+    /// Simulated slots per wall-clock second.
+    pub slots_per_sec: f64,
+    /// Cross-worker messages sent (data + control + injection).
+    pub messages_sent: u64,
+    /// Per-worker trace tracks `(worker, records)`, when
+    /// [`NetConfig::trace_capacity`] is nonzero.
+    pub worker_traces: Vec<(u32, Vec<TraceRecord>)>,
+}
+
+// Stop codes in the shared stop flag.
+const RUN: u8 = 0;
+const COMPLETED: u8 = 1;
+const HORIZON: u8 = 2;
+const UNSTABLE: u8 = 3;
+
+/// A sense-reversing spin barrier: spins briefly, then yields. All
+/// workers run in lockstep, so waits are short and a futex-free spin
+/// wins over `std::sync::Barrier`'s mutex+condvar on the per-slot path.
+pub(crate) struct SlotBarrier {
+    count: AtomicUsize,
+    generation: AtomicUsize,
+    total: usize,
+}
+
+impl SlotBarrier {
+    pub fn new(total: usize) -> Self {
+        Self {
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+            total,
+        }
+    }
+
+    pub fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+            self.count.store(0, Ordering::Relaxed);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// A delivery crossing a worker boundary (or looped back locally).
+struct DataMsg {
+    link: u32,
+    pkt: Packet,
+}
+
+/// Control-plane traffic: task registration, acks, loss settlements.
+/// Mirrors the simulator's contention-free ARQ control plane — these
+/// channels are unbounded and never modeled as carrying load.
+enum CtrlMsg {
+    /// A unicast task registered at its home (the destination's owner).
+    Register {
+        task: u32,
+        gen_time: u64,
+        measured: bool,
+    },
+    /// One broadcast reception delivered at `slot`, acked to the home.
+    Ack { task: u32, slot: u64 },
+    /// `receptions` of the task settled as permanently lost.
+    Lost { task: u32, receptions: u32 },
+    /// The task had a copy retransmitted (ARQ bookkeeping at the home).
+    MarkRetx { task: u32 },
+}
+
+/// Completion bookkeeping of one task at its home worker (broadcast:
+/// the source's owner; unicast: the destination's owner).
+struct TaskState {
+    gen_time: u64,
+    remaining: u32,
+    measured: bool,
+    broadcast: bool,
+    lost: u32,
+    retx: bool,
+    /// Largest delivery slot acked so far (the broadcast completion
+    /// time, since acks arrive in slot batches).
+    last_slot: u64,
+}
+
+/// Everything the workers share. Channels are indexed `from * W + to`.
+struct Shared {
+    workers: usize,
+    node_owner: Vec<u32>,
+    link_target: Vec<NodeId>,
+    link_dim: Vec<u8>,
+    barrier_a: SlotBarrier,
+    barrier_b: SlotBarrier,
+    barrier_c: SlotBarrier,
+    data: Vec<Channel<DataMsg>>,
+    /// Two slot-parity generations: messages sent during phase B of
+    /// slot `t` go to generation `(t + 1) % 2` and are drained in phase
+    /// B of slot `t + 1` (which reads generation `(t + 1) % 2`), so a
+    /// generation is never written and drained concurrently.
+    ctrl: [Vec<Channel<CtrlMsg>>; 2],
+    inject: Vec<Channel<InjectMsg>>,
+    /// Measured tasks not yet completed, incremented by the *creating*
+    /// worker at injection (so the count can never transiently read
+    /// zero between creation and registration).
+    outstanding: AtomicI64,
+    stop: AtomicU8,
+    /// End-of-slot queued-packet gauge per worker.
+    queued_by_worker: Vec<AtomicI64>,
+    peak_queue: AtomicI64,
+}
+
+enum Injector {
+    Virtual(VirtualInjector),
+    Wall(WallInjector),
+    /// Virtual-mode workers other than 0 generate nothing.
+    Passive,
+}
+
+/// One worker thread's whole state.
+struct Worker<'a, N: Network + Sync, S: Scheme + Sync> {
+    id: usize,
+    topo: &'a N,
+    scheme: &'a S,
+    cfg: SimConfig,
+    shared: &'a Shared,
+    /// Owned links' global ids, ascending (service order).
+    owned_links: Vec<u32>,
+    /// Global link id → local index (`u32::MAX` for links of others).
+    link_local: Vec<u32>,
+    queues: Vec<PriorityQueue>,
+    in_flight: Vec<Option<(Packet, u64)>>,
+    queued: i64,
+    tasks: HashMap<u32, TaskState>,
+    injector: Injector,
+    arq: Option<WorkerArq>,
+    fwd_rng: StdRng,
+    stats: WorkerStats,
+    trace: Vec<TraceRecord>,
+    trace_cap: usize,
+    // Drain scratch buffers, reused across slots.
+    inject_gen: Vec<InjectMsg>,
+    inject_buf: Vec<InjectMsg>,
+    deliver_local: Vec<DataMsg>,
+    data_buf: Vec<DataMsg>,
+    ctrl_buf: Vec<CtrlMsg>,
+    emit_buf: Vec<Emit>,
+    retx_buf: Vec<RetxEntry>,
+}
+
+struct WorkerArq {
+    cfg: ArqConfig,
+    wheel: TimeoutWheel,
+    rng: StdRng,
+}
+
+impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
+    #[inline]
+    fn owner_of(&self, node: NodeId) -> usize {
+        self.shared.node_owner[node.index()] as usize
+    }
+
+    #[inline]
+    fn in_window(&self, slot: u64) -> bool {
+        slot >= self.cfg.warmup_slots && slot < self.cfg.measure_end()
+    }
+
+    #[inline]
+    fn record_trace(&mut self, slot: u64, event: TraceEvent) {
+        if self.trace.len() < self.trace_cap {
+            self.trace.push(TraceRecord { slot, event });
+        }
+    }
+
+    fn send_ctrl(&mut self, t: u64, to: usize, msg: CtrlMsg) {
+        debug_assert_ne!(to, self.id, "local ctrl must be applied directly");
+        let w = self.shared.workers;
+        self.shared.ctrl[((t + 1) % 2) as usize][self.id * w + to].send(msg);
+        self.stats.messages_sent += 1;
+    }
+
+    // ---------------------------------------------------------------
+    // Phase A: move finished deliveries + inject traffic
+    // ---------------------------------------------------------------
+
+    fn phase_a(&mut self, t: u64) {
+        if t == self.cfg.warmup_slots {
+            self.stats.concurrent_bcast.reset_window(t);
+            self.stats.concurrent_ucast.reset_window(t);
+        }
+        if t == self.cfg.measure_end() && self.stats.concurrent_snapshot.is_none() {
+            self.stats.concurrent_snapshot = Some((
+                self.stats.concurrent_bcast.average(t),
+                self.stats.concurrent_ucast.average(t),
+            ));
+        }
+        let w = self.shared.workers;
+        for li in 0..self.owned_links.len() {
+            if let Some((pkt, finish)) = self.in_flight[li] {
+                if finish == t {
+                    self.in_flight[li] = None;
+                    let gl = self.owned_links[li];
+                    let to = self.owner_of(self.shared.link_target[gl as usize]);
+                    let msg = DataMsg { link: gl, pkt };
+                    if to == self.id {
+                        self.deliver_local.push(msg);
+                    } else {
+                        self.shared.data[self.id * w + to].send(msg);
+                        self.stats.messages_sent += 1;
+                    }
+                }
+            }
+        }
+        let mut gen = std::mem::take(&mut self.inject_gen);
+        gen.clear();
+        match &mut self.injector {
+            Injector::Virtual(inj) => {
+                inj.slot(t, self.scheme, &mut gen);
+                for msg in gen.drain(..) {
+                    let to = self.owner_of(msg.src);
+                    if to == self.id {
+                        self.inject_buf.push(msg);
+                    } else {
+                        self.shared.inject[to].send(msg);
+                        self.stats.messages_sent += 1;
+                    }
+                }
+            }
+            Injector::Wall(inj) => {
+                inj.slot(t, self.scheme, &mut gen);
+                self.inject_buf.append(&mut gen);
+            }
+            Injector::Passive => {}
+        }
+        self.inject_gen = gen;
+    }
+
+    // ---------------------------------------------------------------
+    // Phase B: drain + process, engine step order
+    // ---------------------------------------------------------------
+
+    fn phase_b(&mut self, t: u64) {
+        let w = self.shared.workers;
+        // 1. Control plane from slot t − 1: registrations must precede
+        //    the data drain so a task's home record always exists
+        //    before its first ack or loss can arrive.
+        let mut ctrl = std::mem::take(&mut self.ctrl_buf);
+        for from in 0..w {
+            if from == self.id {
+                continue;
+            }
+            ctrl.clear();
+            self.shared.ctrl[(t % 2) as usize][from * w + self.id].drain_into(&mut ctrl);
+            for msg in ctrl.drain(..) {
+                self.handle_ctrl(msg, t);
+            }
+        }
+        self.ctrl_buf = ctrl;
+        // 2. Deliveries of slot t, fixed sender order.
+        let mut data = std::mem::take(&mut self.data_buf);
+        for from in 0..w {
+            data.clear();
+            if from == self.id {
+                std::mem::swap(&mut data, &mut self.deliver_local);
+            } else {
+                self.shared.data[from * w + self.id].drain_into(&mut data);
+            }
+            for msg in data.drain(..) {
+                self.process_deliver(msg.link as usize, msg.pkt, t);
+            }
+        }
+        self.data_buf = data;
+        // 3. Due retransmissions (before arrivals, like the engine).
+        if self.arq.as_ref().is_some_and(|a| !a.wheel.is_empty()) {
+            self.fire_retx(t);
+        }
+        // 4. Injections of slot t.
+        let mut inj = std::mem::take(&mut self.inject_buf);
+        if matches!(self.injector, Injector::Passive) {
+            self.shared.inject[self.id].drain_into(&mut inj);
+        }
+        for msg in inj.drain(..) {
+            self.process_inject(msg, t);
+        }
+        self.inject_buf = inj;
+        // 5. Occupancy sample at the engine's exact point: after
+        //    arrivals, before service starts.
+        if self.in_window(t) {
+            self.stats.occupancy_sum += self.queued.max(0) as u128;
+        }
+        // 6. Service starts on idle owned links, link-id order.
+        let in_window = self.in_window(t);
+        for li in 0..self.owned_links.len() {
+            if self.in_flight[li].is_none() {
+                if let Some(pkt) = self.queues[li].pop() {
+                    self.queued -= 1;
+                    self.start_service(li, pkt, t, in_window);
+                }
+            }
+        }
+        // 7. Local single-queue divergence guard (engine scans every
+        //    4096 slots; each worker scans its own links).
+        if (t + 1) % 4096 == 0 {
+            let max_q = self.queues.iter().map(|q| q.len()).max().unwrap_or(0);
+            if max_q as f64 > self.cfg.unstable_single_queue {
+                let _ = self.shared.stop.compare_exchange(
+                    RUN,
+                    UNSTABLE,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+        }
+        self.shared.queued_by_worker[self.id].store(self.queued, Ordering::Release);
+    }
+
+    fn handle_ctrl(&mut self, msg: CtrlMsg, t: u64) {
+        match msg {
+            CtrlMsg::Register {
+                task,
+                gen_time,
+                measured,
+            } => self.home_register_unicast(task, gen_time, measured),
+            CtrlMsg::Ack { task, slot } => self.home_ack(task, slot, t),
+            CtrlMsg::Lost { task, receptions } => self.home_lost(task, receptions, t),
+            CtrlMsg::MarkRetx { task } => {
+                if let Some(s) = self.tasks.get_mut(&task) {
+                    s.retx = true;
+                }
+            }
+        }
+    }
+
+    fn home_register_unicast(&mut self, task: u32, gen_time: u64, measured: bool) {
+        let prev = self.tasks.insert(
+            task,
+            TaskState {
+                gen_time,
+                remaining: 1,
+                measured,
+                broadcast: false,
+                lost: 0,
+                retx: false,
+                last_slot: 0,
+            },
+        );
+        debug_assert!(prev.is_none(), "duplicate task id {task}");
+    }
+
+    /// One broadcast reception acked to the task's home.
+    fn home_ack(&mut self, task: u32, slot: u64, t: u64) {
+        let state = self.tasks.get_mut(&task).expect("ack for unknown task");
+        state.last_slot = state.last_slot.max(slot);
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            let state = self.tasks.remove(&task).expect("just present");
+            if state.measured {
+                if state.lost == 0 {
+                    let delay = (state.last_slot - state.gen_time) as f64;
+                    self.stats.broadcast_delay.push(delay);
+                    if state.retx && self.cfg.arq.is_some() {
+                        self.stats.recovered_task_delay.push(delay);
+                    }
+                } else {
+                    self.stats.damaged_broadcasts += 1;
+                }
+                self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+            self.stats.concurrent_bcast.add(t, -1);
+        }
+    }
+
+    /// Permanently lost receptions settled against the task's home.
+    fn home_lost(&mut self, task: u32, receptions: u32, t: u64) {
+        let state = self.tasks.get_mut(&task).expect("loss for unknown task");
+        debug_assert!(state.remaining >= receptions);
+        state.remaining -= receptions;
+        state.lost += receptions;
+        if state.remaining == 0 {
+            let state = self.tasks.remove(&task).expect("just present");
+            if state.measured {
+                if state.broadcast {
+                    self.stats.damaged_broadcasts += 1;
+                }
+                self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+            }
+            if state.broadcast {
+                self.stats.concurrent_bcast.add(t, -1);
+            } else {
+                self.stats.concurrent_ucast.add(t, -1);
+            }
+        }
+    }
+
+    fn process_inject(&mut self, msg: InjectMsg, t: u64) {
+        if msg.broadcast {
+            let prev = self.tasks.insert(
+                msg.task,
+                TaskState {
+                    gen_time: msg.gen_time,
+                    remaining: self.topo.node_count() - 1,
+                    measured: msg.measured,
+                    broadcast: true,
+                    lost: 0,
+                    retx: false,
+                    last_slot: 0,
+                },
+            );
+            debug_assert!(prev.is_none(), "duplicate task id {}", msg.task);
+            self.stats.concurrent_bcast.add(t, 1);
+        } else {
+            let dest = match msg.emits.first().map(|e| e.kind) {
+                Some(PacketKind::Unicast { dest }) => dest,
+                _ => unreachable!("unicast inject without unicast emit"),
+            };
+            let home = self.owner_of(dest);
+            if home == self.id {
+                self.home_register_unicast(msg.task, msg.gen_time, msg.measured);
+            } else {
+                self.send_ctrl(
+                    t,
+                    home,
+                    CtrlMsg::Register {
+                        task: msg.task,
+                        gen_time: msg.gen_time,
+                        measured: msg.measured,
+                    },
+                );
+            }
+            self.stats.concurrent_ucast.add(t, 1);
+        }
+        if msg.measured {
+            self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+            if msg.broadcast {
+                self.stats.measured_broadcasts += 1;
+            } else {
+                self.stats.measured_unicasts += 1;
+            }
+        }
+        self.emit_buf = msg.emits;
+        self.enqueue_emits(msg.src, msg.task, msg.gen_time, msg.len, t);
+    }
+
+    fn process_deliver(&mut self, link: usize, pkt: Packet, t: u64) {
+        if self.trace_cap > 0 {
+            self.record_trace(
+                t,
+                TraceEvent::Delivery {
+                    link: link as u32,
+                    class: pkt.priority,
+                    age: t - pkt.gen_time,
+                    task: pkt.task,
+                },
+            );
+        }
+        let node = self.shared.link_target[link];
+        let measured = self.in_window(pkt.gen_time);
+        match pkt.kind {
+            PacketKind::Broadcast(state) => {
+                if self.cfg.arq.is_some() {
+                    self.stats.acked_receptions += 1;
+                    if pkt.attempt > 0 {
+                        self.stats.recovered_deliveries += 1;
+                    }
+                }
+                if measured {
+                    let delay = t - pkt.gen_time;
+                    if !self.stats.delay_by_distance.is_empty() {
+                        let dist = self.topo.distance(state.src, node) as usize;
+                        self.stats.delay_by_distance[dist].push(delay as f64);
+                    }
+                    self.stats.reception_delay.push(delay as f64);
+                    self.stats.reception_hist.record(delay);
+                    if let Some(tl) = self.stats.tails.as_deref_mut() {
+                        tl.record_reception(pkt.priority, delay);
+                    }
+                }
+                let home = self.owner_of(state.src);
+                if home == self.id {
+                    self.home_ack(pkt.task, t, t);
+                } else {
+                    self.send_ctrl(
+                        t,
+                        home,
+                        CtrlMsg::Ack {
+                            task: pkt.task,
+                            slot: t,
+                        },
+                    );
+                }
+                self.emit_buf.clear();
+                self.scheme
+                    .on_broadcast_arrival(node, &state, &mut self.emit_buf);
+                self.enqueue_emits(node, pkt.task, pkt.gen_time, pkt.len, t);
+            }
+            PacketKind::Unicast { dest } => {
+                if node == dest {
+                    // The destination's owner *is* the unicast home, so
+                    // completion is settled locally.
+                    if self.cfg.arq.is_some() {
+                        self.stats.acked_receptions += 1;
+                        if pkt.attempt > 0 {
+                            self.stats.recovered_deliveries += 1;
+                        }
+                    }
+                    let state = self
+                        .tasks
+                        .remove(&pkt.task)
+                        .expect("unicast delivered before registration");
+                    if state.measured {
+                        let delay = (t - state.gen_time) as f64;
+                        self.stats.unicast_delay.push(delay);
+                        if state.retx && self.cfg.arq.is_some() {
+                            self.stats.recovered_task_delay.push(delay);
+                        }
+                        self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+                    }
+                    self.stats.concurrent_ucast.add(t, -1);
+                } else {
+                    self.emit_buf.clear();
+                    self.scheme.on_unicast_arrival(
+                        node,
+                        dest,
+                        &mut self.fwd_rng,
+                        &mut self.emit_buf,
+                    );
+                    debug_assert!(!self.emit_buf.is_empty(), "unicast stranded");
+                    self.enqueue_emits(node, pkt.task, pkt.gen_time, pkt.len, t);
+                }
+            }
+        }
+    }
+
+    /// Enqueues `self.emit_buf` as packets on `from`'s outgoing links —
+    /// the engine's `flush_emits_with_len` without the fault paths.
+    fn enqueue_emits(&mut self, from: NodeId, task: u32, gen_time: u64, len: u16, t: u64) {
+        let capacity = self.cfg.queue_capacity.map_or(usize::MAX, |c| c as usize);
+        let buf = std::mem::take(&mut self.emit_buf);
+        for emit in &buf {
+            debug_assert!(
+                (emit.priority as usize) < self.scheme.num_priorities(),
+                "emit priority out of range"
+            );
+            let link = self
+                .topo
+                .link_id(Link {
+                    from,
+                    dim: emit.dim,
+                    dir: emit.dir,
+                })
+                .index();
+            let li = self.link_local[link] as usize;
+            debug_assert!(li != u32::MAX as usize, "emit on a link of another worker");
+            let packet = Packet {
+                task,
+                gen_time,
+                enqueue_time: t,
+                len,
+                priority: emit.priority,
+                vc: emit.vc,
+                attempt: 0,
+                kind: emit.kind,
+            };
+            if self.queues[li].len() >= capacity {
+                let enqueue_anyway = match self.cfg.full_queue_policy {
+                    FullQueuePolicy::Backpressure => unreachable!("rejected at validation"),
+                    FullQueuePolicy::DropLowestClass => {
+                        match self.queues[li].evict_lower_tail(packet.priority) {
+                            Some(victim) => {
+                                self.queued -= 1;
+                                self.stats.evicted_packets += 1;
+                                self.lose_packet(link, victim, t, false);
+                                true
+                            }
+                            None => false,
+                        }
+                    }
+                    FullQueuePolicy::DropTail => false,
+                };
+                if !enqueue_anyway {
+                    self.lose_packet(link, packet, t, false);
+                    continue;
+                }
+            }
+            if self.trace_cap > 0 {
+                self.record_trace(
+                    t,
+                    TraceEvent::Enqueue {
+                        link: link as u32,
+                        class: packet.priority,
+                        task: packet.task,
+                    },
+                );
+            }
+            self.queues[li].push(packet);
+            self.queued += 1;
+        }
+        self.emit_buf = buf;
+        self.emit_buf.clear();
+    }
+
+    /// The engine's `handle_loss` without the fault paths: ARQ arms a
+    /// backoff timer, otherwise (or once the retry budget is spent) the
+    /// loss is settled permanently. `is_retry` marks a failed
+    /// re-injection, which is not a new packet drop.
+    fn lose_packet(&mut self, link: usize, pkt: Packet, t: u64, is_retry: bool) {
+        if self.trace_cap > 0 {
+            self.record_trace(
+                t,
+                TraceEvent::Drop {
+                    link: link as u32,
+                    class: pkt.priority,
+                    cause: if is_retry {
+                        DropKind::RetryFailed
+                    } else {
+                        DropKind::Overflow
+                    },
+                    task: pkt.task,
+                },
+            );
+        }
+        if let Some(arq) = self.arq.as_mut() {
+            let boosted = self.scheme.retransmit_priority(pkt.priority);
+            debug_assert!((boosted as usize) < self.scheme.num_priorities());
+            let attempt = pkt.attempt as u32;
+            if arq.cfg.max_retries.is_none_or(|m| attempt < m) {
+                let jitter = if arq.cfg.jitter > 0 {
+                    arq.rng.gen_range(0..=arq.cfg.jitter)
+                } else {
+                    0
+                };
+                let fire = t + arq.cfg.backoff(attempt) + jitter;
+                self.stats.backoff_hist[(attempt as usize).min(BACKOFF_HIST_BUCKETS - 1)] += 1;
+                self.stats.timeouts_scheduled += 1;
+                let mut p = pkt;
+                p.attempt = p.attempt.saturating_add(1);
+                p.priority = boosted;
+                arq.wheel.schedule(
+                    fire,
+                    RetxEntry {
+                        link: link as u32,
+                        pkt: p,
+                    },
+                );
+                let home = self.task_home(&pkt);
+                if home == self.id {
+                    if let Some(s) = self.tasks.get_mut(&pkt.task) {
+                        s.retx = true;
+                    }
+                } else {
+                    self.send_ctrl(t, home, CtrlMsg::MarkRetx { task: pkt.task });
+                }
+                if !is_retry {
+                    self.stats.dropped_packets += 1;
+                }
+                return;
+            }
+            self.stats.gave_up_copies += 1;
+        }
+        if !is_retry {
+            self.stats.dropped_packets += 1;
+        }
+        let before_lost = self.stats.lost_receptions;
+        self.settle_drop(&pkt, t);
+        if self.cfg.arq.is_some() {
+            self.stats.gave_up_receptions += self.stats.lost_receptions - before_lost;
+        }
+    }
+
+    /// The worker owning a packet's task-completion record.
+    fn task_home(&self, pkt: &Packet) -> usize {
+        match pkt.kind {
+            PacketKind::Broadcast(state) => self.owner_of(state.src),
+            PacketKind::Unicast { dest } => self.owner_of(dest),
+        }
+    }
+
+    /// Settles a terminally lost packet: loss-site counters here, the
+    /// completion record updated at the task's home.
+    fn settle_drop(&mut self, pkt: &Packet, t: u64) {
+        let measured = self.in_window(pkt.gen_time);
+        let (home, receptions) = match pkt.kind {
+            PacketKind::Broadcast(state) => {
+                let lost = self.scheme.subtree_receptions(&state);
+                debug_assert!(lost >= 1);
+                if measured {
+                    self.stats.lost_receptions += lost as u64;
+                }
+                (self.owner_of(state.src), lost)
+            }
+            PacketKind::Unicast { dest } => {
+                if measured {
+                    self.stats.lost_receptions += 1;
+                    self.stats.dropped_unicasts += 1;
+                }
+                (self.owner_of(dest), 1)
+            }
+        };
+        if home == self.id {
+            self.home_lost(pkt.task, receptions, t);
+        } else {
+            self.send_ctrl(
+                t,
+                home,
+                CtrlMsg::Lost {
+                    task: pkt.task,
+                    receptions,
+                },
+            );
+        }
+    }
+
+    /// Fires due ARQ timers — the engine's `fire_retransmissions` for
+    /// this worker's links.
+    fn fire_retx(&mut self, t: u64) {
+        let mut due = std::mem::take(&mut self.retx_buf);
+        due.clear();
+        self.arq
+            .as_mut()
+            .expect("fire without recovery")
+            .wheel
+            .drain_due(t, &mut due);
+        let capacity = self.cfg.queue_capacity.map_or(usize::MAX, |c| c as usize);
+        for e in &due {
+            let link = e.link as usize;
+            let li = self.link_local[link] as usize;
+            if self.queues[li].len() >= capacity {
+                self.lose_packet(link, e.pkt, t, true);
+                continue;
+            }
+            let mut pkt = e.pkt;
+            pkt.enqueue_time = t;
+            if self.trace_cap > 0 {
+                self.record_trace(
+                    t,
+                    TraceEvent::Retransmit {
+                        link: e.link,
+                        class: pkt.priority,
+                        attempt: pkt.attempt,
+                        task: pkt.task,
+                    },
+                );
+            }
+            self.queues[li].push(pkt);
+            self.queued += 1;
+            self.stats.retransmissions += 1;
+        }
+        due.clear();
+        self.retx_buf = due;
+    }
+
+    fn start_service(&mut self, li: usize, pkt: Packet, t: u64, in_window: bool) {
+        let link = self.owned_links[li];
+        if self.trace_cap > 0 {
+            self.record_trace(
+                t,
+                TraceEvent::ServiceStart {
+                    link,
+                    class: pkt.priority,
+                    wait: t - pkt.enqueue_time,
+                    len: pkt.len,
+                    task: pkt.task,
+                },
+            );
+        }
+        self.stats.tx_by_vc[(pkt.vc as usize).min(3)] += 1;
+        if in_window {
+            let wait = t - pkt.enqueue_time;
+            self.stats.wait_by_class[pkt.priority as usize].push(wait as f64);
+            if let Some(tl) = self.stats.tails.as_deref_mut() {
+                tl.record_service(&pkt, wait, self.topo.d());
+            }
+            self.stats.window_transmissions += 1;
+            let end = self.cfg.measure_end();
+            let busy = (t + pkt.len as u64).min(end) - t;
+            self.stats.busy_by_class[pkt.priority as usize] += busy;
+            self.stats.busy_by_link[link as usize] += busy;
+        }
+        self.in_flight[li] = Some((pkt, t + pkt.len as u64));
+    }
+
+    // ---------------------------------------------------------------
+    // Phase C: worker 0 decides
+    // ---------------------------------------------------------------
+
+    fn decide(&mut self, t: u64, queue_limit: i64, queue_trace: &mut Vec<(u64, u64)>) {
+        let total: i64 = self
+            .shared
+            .queued_by_worker
+            .iter()
+            .map(|q| q.load(Ordering::Acquire))
+            .sum();
+        self.shared.peak_queue.fetch_max(total, Ordering::AcqRel);
+        if self.shared.stop.load(Ordering::Acquire) == RUN {
+            let next = t + 1;
+            let decision = if next >= self.cfg.measure_end()
+                && self.shared.outstanding.load(Ordering::Acquire) == 0
+            {
+                COMPLETED
+            } else if next >= self.cfg.max_slots {
+                HORIZON
+            } else if total > queue_limit {
+                UNSTABLE
+            } else {
+                RUN
+            };
+            if decision != RUN {
+                self.shared.stop.store(decision, Ordering::Release);
+            } else if let Some(k) = self.cfg.trace_interval {
+                if (t + 1) % k == 0 {
+                    queue_trace.push((t + 1, total.max(0) as u64));
+                }
+            }
+        }
+    }
+}
+
+/// What each worker thread hands back: its stats shard, its trace ring,
+/// the queue trace (worker 0 only), and its cross-worker message count.
+type WorkerOutput = (WorkerStats, Vec<TraceRecord>, Vec<(u64, u64)>, u64);
+
+/// Runs the full warmup → measure → drain protocol on the
+/// thread-per-core runtime and reports. See the module docs for the
+/// phase protocol; see [`NetConfig`] for knobs.
+///
+/// # Panics
+///
+/// On configs the runtime cannot execute:
+/// [`FullQueuePolicy::Backpressure`] with a finite queue capacity, or a
+/// scheme using more than [`MAX_PRIORITY_CLASSES`] classes.
+pub fn run_net<N, S>(topo: &N, scheme: S, mix: TrafficMix, cfg: NetConfig) -> NetReport
+where
+    N: Network + Sync,
+    S: Scheme + Sync,
+{
+    assert!(
+        scheme.num_priorities() <= MAX_PRIORITY_CLASSES,
+        "scheme uses too many priority classes"
+    );
+    assert!(
+        !(cfg.sim.queue_capacity.is_some()
+            && matches!(cfg.sim.full_queue_policy, FullQueuePolicy::Backpressure)),
+        "pstar-net does not support FullQueuePolicy::Backpressure \
+         (injection is distributed; there is no global source gate)"
+    );
+    let sim = cfg.sim;
+    let n = topo.node_count();
+    let links = topo.link_count() as usize;
+    let mut workers = if cfg.workers == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        cfg.workers
+    };
+    workers = workers.clamp(1, n as usize);
+    if matches!(cfg.mode, ClockMode::WallClock) {
+        workers = workers.min(64);
+    }
+    let w = workers;
+
+    // Contiguous node shards; owner tables for nodes and links.
+    let ranges: Vec<std::ops::Range<u32>> = (0..w)
+        .map(|i| (i as u32 * n / w as u32)..((i as u32 + 1) * n / w as u32))
+        .collect();
+    let mut node_owner = vec![0u32; n as usize];
+    for (i, r) in ranges.iter().enumerate() {
+        for v in r.clone() {
+            node_owner[v as usize] = i as u32;
+        }
+    }
+    let link_target = topo.link_target_table();
+    let link_source = topo.link_source_table();
+    let link_dim = topo.link_dim_table();
+    let link_owner: Vec<u32> = link_source.iter().map(|s| node_owner[s.index()]).collect();
+
+    // Data channels bounded by the link count between each worker pair:
+    // at most one delivery per link per slot, so a correctly sized
+    // channel never blocks — the bound is an enforced invariant.
+    let mut pair_links = vec![0usize; w * w];
+    for l in 0..links {
+        let from = link_owner[l] as usize;
+        let to = node_owner[link_target[l].index()] as usize;
+        pair_links[from * w + to] += 1;
+    }
+    let shared = Shared {
+        workers: w,
+        node_owner,
+        link_target,
+        link_dim,
+        barrier_a: SlotBarrier::new(w),
+        barrier_b: SlotBarrier::new(w),
+        barrier_c: SlotBarrier::new(w),
+        data: pair_links
+            .iter()
+            .map(|&c| Channel::bounded(c.max(1)))
+            .collect(),
+        ctrl: [
+            (0..w * w).map(|_| Channel::unbounded()).collect(),
+            (0..w * w).map(|_| Channel::unbounded()).collect(),
+        ],
+        inject: (0..w).map(|_| Channel::unbounded()).collect(),
+        outstanding: AtomicI64::new(0),
+        stop: AtomicU8::new(RUN),
+        queued_by_worker: (0..w).map(|_| AtomicI64::new(0)).collect(),
+        peak_queue: AtomicI64::new(0),
+    };
+    let diameter = topo.diameter();
+    let queue_limit = (sim.unstable_queue_per_link * links as f64) as i64;
+
+    // Zero-slot configs mirror the engine's pre-step checks.
+    if sim.measure_end() == 0 || sim.max_slots == 0 {
+        let completed = sim.measure_end() == 0;
+        let report = assemble_report(
+            WorkerStats::new(links, &sim, diameter),
+            ReportInputs {
+                cfg: &sim,
+                link_dim: &shared.link_dim,
+                d: topo.d(),
+                node_count: n as u64,
+                num_priorities: scheme.num_priorities(),
+                slots_run: 0,
+                stable: true,
+                completed,
+                peak_queue_total: 0,
+                queue_trace: Vec::new(),
+            },
+        );
+        return NetReport {
+            report,
+            workers: w,
+            wall_secs: 0.0,
+            slots_per_sec: 0.0,
+            messages_sent: 0,
+            worker_traces: Vec::new(),
+        };
+    }
+
+    let scheme = &scheme;
+    let shared_ref = &shared;
+    let started = std::time::Instant::now();
+    let results: Vec<WorkerOutput> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..w)
+            .map(|id| {
+                let range = ranges[id].clone();
+                let link_owner = &link_owner;
+                let link_source = &link_source;
+                s.spawn(move || {
+                    let owned_links: Vec<u32> = (0..links as u32)
+                        .filter(|&l| link_owner[l as usize] == id as u32)
+                        .collect();
+                    let mut link_local = vec![u32::MAX; links];
+                    for (li, &gl) in owned_links.iter().enumerate() {
+                        link_local[gl as usize] = li as u32;
+                    }
+                    debug_assert!(link_source
+                        .iter()
+                        .enumerate()
+                        .all(|(l, src)| (link_owner[l] == id as u32) == range.contains(&src.0)));
+                    let injector = match cfg.mode {
+                        ClockMode::Virtual if id == 0 => {
+                            Injector::Virtual(VirtualInjector::new(n, mix, sim))
+                        }
+                        ClockMode::Virtual => Injector::Passive,
+                        ClockMode::WallClock => {
+                            Injector::Wall(WallInjector::new(id, range, n, mix, sim))
+                        }
+                    };
+                    let mut worker = Worker {
+                        id,
+                        topo,
+                        scheme,
+                        cfg: sim,
+                        shared: shared_ref,
+                        queues: (0..owned_links.len())
+                            .map(|_| PriorityQueue::new())
+                            .collect(),
+                        in_flight: vec![None; owned_links.len()],
+                        owned_links,
+                        link_local,
+                        queued: 0,
+                        tasks: HashMap::new(),
+                        injector,
+                        arq: sim.arq.map(|a| WorkerArq {
+                            cfg: a,
+                            wheel: TimeoutWheel::new(),
+                            rng: StdRng::seed_from_u64(node_stream_seed(
+                                sim.seed ^ ARQ_SEED_SALT,
+                                id as u32,
+                            )),
+                        }),
+                        fwd_rng: StdRng::seed_from_u64(node_stream_seed(
+                            sim.seed ^ FWD_SEED_SALT,
+                            id as u32,
+                        )),
+                        stats: WorkerStats::new(links, &sim, diameter),
+                        trace: Vec::new(),
+                        trace_cap: cfg.trace_capacity,
+                        inject_gen: Vec::new(),
+                        inject_buf: Vec::new(),
+                        deliver_local: Vec::new(),
+                        data_buf: Vec::new(),
+                        ctrl_buf: Vec::new(),
+                        emit_buf: Vec::with_capacity(64),
+                        retx_buf: Vec::new(),
+                    };
+                    let mut queue_trace: Vec<(u64, u64)> = Vec::new();
+                    if id == 0 {
+                        if let Some(k) = sim.trace_interval {
+                            if 0 % k == 0 {
+                                queue_trace.push((0, 0));
+                            }
+                        }
+                    }
+                    let mut t: u64 = 0;
+                    loop {
+                        worker.phase_a(t);
+                        shared_ref.barrier_a.wait();
+                        worker.phase_b(t);
+                        shared_ref.barrier_b.wait();
+                        if id == 0 {
+                            worker.decide(t, queue_limit, &mut queue_trace);
+                        }
+                        shared_ref.barrier_c.wait();
+                        if shared_ref.stop.load(Ordering::Acquire) != RUN {
+                            break;
+                        }
+                        t += 1;
+                    }
+                    let slots_run = t + 1;
+                    if worker.stats.concurrent_snapshot.is_none() {
+                        worker.stats.concurrent_snapshot = Some((
+                            worker.stats.concurrent_bcast.average(slots_run),
+                            worker.stats.concurrent_ucast.average(slots_run),
+                        ));
+                    }
+                    worker.stats.pending_at_end = worker.arq.as_ref().map_or(0, |a| a.wheel.len());
+                    match &worker.injector {
+                        Injector::Virtual(inj) => {
+                            worker.stats.rejected_broadcasts = inj.rejected.0;
+                            worker.stats.rejected_unicasts = inj.rejected.1;
+                        }
+                        Injector::Wall(inj) => {
+                            worker.stats.rejected_broadcasts = inj.rejected.0;
+                            worker.stats.rejected_unicasts = inj.rejected.1;
+                        }
+                        Injector::Passive => {}
+                    }
+                    (worker.stats, worker.trace, queue_trace, slots_run)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+    let wall_secs = started.elapsed().as_secs_f64();
+
+    let stop = shared.stop.load(Ordering::Acquire);
+    let slots_run = results[0].3;
+    let mut iter = results.into_iter();
+    let (mut merged, trace0, queue_trace, _) = iter.next().expect("at least one worker");
+    let mut worker_traces = Vec::new();
+    if cfg.trace_capacity > 0 {
+        worker_traces.push((0u32, trace0));
+    }
+    for (i, (stats, trace, _, _)) in iter.enumerate() {
+        merged.merge(&stats);
+        if cfg.trace_capacity > 0 {
+            worker_traces.push((i as u32 + 1, trace));
+        }
+    }
+    let messages_sent = merged.messages_sent;
+    let report = assemble_report(
+        merged,
+        ReportInputs {
+            cfg: &sim,
+            link_dim: &shared.link_dim,
+            d: topo.d(),
+            node_count: n as u64,
+            num_priorities: scheme.num_priorities(),
+            slots_run,
+            stable: stop != UNSTABLE,
+            completed: stop == COMPLETED,
+            peak_queue_total: shared.peak_queue.load(Ordering::Acquire),
+            queue_trace,
+        },
+    );
+    NetReport {
+        report,
+        workers: w,
+        wall_secs,
+        slots_per_sec: if wall_secs > 0.0 {
+            slots_run as f64 / wall_secs
+        } else {
+            0.0
+        },
+        messages_sent,
+        worker_traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use priority_star::{ScenarioSpec, SchemeKind};
+    use pstar_topology::Torus;
+
+    fn run(
+        scheme: SchemeKind,
+        rho: f64,
+        mut sim: SimConfig,
+        workers: usize,
+        mode: ClockMode,
+    ) -> NetReport {
+        let topo = Torus::new(&[4, 4]);
+        let spec = ScenarioSpec {
+            scheme,
+            rho,
+            ..ScenarioSpec::default()
+        };
+        sim.lengths = spec.lengths;
+        run_net(
+            &topo,
+            spec.build_scheme(&topo),
+            spec.mix(&topo),
+            NetConfig {
+                sim,
+                workers,
+                mode,
+                trace_capacity: 0,
+            },
+        )
+    }
+
+    /// Every measured broadcast reaches all 15 other nodes of the 4×4
+    /// torus, and with infinite queues nothing is ever lost.
+    #[test]
+    fn virtual_run_completes_and_conserves_receptions() {
+        let net = run(
+            SchemeKind::PriorityStar,
+            0.5,
+            SimConfig::quick(7),
+            3,
+            ClockMode::Virtual,
+        );
+        let r = &net.report;
+        assert!(r.completed, "drain did not finish: {r:?}");
+        assert!(r.stable);
+        assert!(r.measured_broadcasts > 0);
+        assert_eq!(r.reception_delay.count, r.measured_broadcasts * 15);
+        assert_eq!(r.lost_receptions, 0);
+        assert_eq!(r.dropped_packets, 0);
+        assert_eq!(r.damaged_broadcasts, 0);
+        assert!(r.mean_link_utilization > 0.0);
+    }
+
+    #[test]
+    fn same_seed_same_workers_is_bit_deterministic() {
+        let a = run(
+            SchemeKind::ThreeClass,
+            0.7,
+            SimConfig::quick(21),
+            4,
+            ClockMode::Virtual,
+        );
+        let b = run(
+            SchemeKind::ThreeClass,
+            0.7,
+            SimConfig::quick(21),
+            4,
+            ClockMode::Virtual,
+        );
+        assert_eq!(a.report.measured_broadcasts, b.report.measured_broadcasts);
+        assert_eq!(
+            a.report.reception_delay.count,
+            b.report.reception_delay.count
+        );
+        assert_eq!(
+            a.report.reception_delay.mean.to_bits(),
+            b.report.reception_delay.mean.to_bits()
+        );
+        assert_eq!(a.report.window_transmissions, b.report.window_transmissions);
+        assert_eq!(a.report.slots_run, b.report.slots_run);
+    }
+
+    /// In virtual mode the measured task set comes from one global RNG
+    /// stream, so the delivered counts cannot depend on the sharding.
+    #[test]
+    fn worker_count_does_not_change_delivered_counts() {
+        let a = run(
+            SchemeKind::FcfsDirect,
+            0.6,
+            SimConfig::quick(3),
+            1,
+            ClockMode::Virtual,
+        );
+        let b = run(
+            SchemeKind::FcfsDirect,
+            0.6,
+            SimConfig::quick(3),
+            4,
+            ClockMode::Virtual,
+        );
+        assert_eq!(a.report.measured_broadcasts, b.report.measured_broadcasts);
+        assert_eq!(
+            a.report.reception_delay.count,
+            b.report.reception_delay.count
+        );
+        // The delay multiset is identical; only the float summation
+        // order differs across worker counts.
+        let (ma, mb) = (a.report.reception_delay.mean, b.report.reception_delay.mean);
+        assert!(
+            (ma - mb).abs() <= 1e-9 * ma.abs().max(1.0),
+            "per-reception delays should be worker-independent: {ma} vs {mb}"
+        );
+    }
+
+    #[test]
+    fn wall_clock_mode_completes_and_conserves() {
+        let net = run(
+            SchemeKind::PriorityStar,
+            0.5,
+            SimConfig::quick(11),
+            4,
+            ClockMode::WallClock,
+        );
+        let r = &net.report;
+        assert!(r.completed);
+        assert!(r.measured_broadcasts > 0);
+        assert_eq!(r.reception_delay.count, r.measured_broadcasts * 15);
+        assert_eq!(r.lost_receptions, 0);
+    }
+
+    /// Bounded queues with tail drop: every measured reception is
+    /// either delivered or settled lost — none double counted, none
+    /// missing.
+    #[test]
+    fn drop_tail_conservation() {
+        let mut sim = SimConfig::quick(5);
+        sim.queue_capacity = Some(1);
+        let net = run(SchemeKind::FcfsDirect, 0.9, sim, 3, ClockMode::Virtual);
+        let r = &net.report;
+        assert!(r.completed, "losses must not strand the drain");
+        assert!(r.dropped_packets > 0, "capacity 1 at rho .9 must drop");
+        assert_eq!(
+            r.reception_delay.count + r.lost_receptions,
+            r.measured_broadcasts * 15
+        );
+        assert!(r.damaged_broadcasts > 0);
+        assert!(r.flow.goodput_fraction < 1.0);
+    }
+
+    #[test]
+    fn arq_retransmits_and_still_conserves() {
+        let mut sim = SimConfig::quick(13);
+        sim.queue_capacity = Some(1);
+        sim.arq = Some(ArqConfig::default());
+        let net = run(SchemeKind::PriorityStar, 0.7, sim, 4, ClockMode::Virtual);
+        let r = &net.report;
+        assert!(r.completed);
+        assert!(r.recovery.enabled);
+        assert!(r.recovery.retransmissions > 0);
+        assert_eq!(
+            r.reception_delay.count + r.lost_receptions,
+            r.measured_broadcasts * 15
+        );
+        // Recovered deliveries arrived on attempt > 0.
+        assert!(r.recovery.recovered_deliveries > 0);
+    }
+
+    #[test]
+    fn overload_is_flagged_unstable() {
+        let net = run(
+            SchemeKind::FcfsDirect,
+            3.0,
+            SimConfig::quick(2),
+            2,
+            ClockMode::Virtual,
+        );
+        assert!(!net.report.stable);
+        assert!(!net.report.completed);
+    }
+
+    #[test]
+    fn zero_slot_configs_return_empty_reports() {
+        let mut sim = SimConfig::quick(1);
+        sim.warmup_slots = 0;
+        sim.measure_slots = 0;
+        let net = run(SchemeKind::PriorityStar, 0.5, sim, 2, ClockMode::Virtual);
+        assert!(net.report.completed);
+        assert_eq!(net.report.slots_run, 0);
+        assert_eq!(net.report.measured_broadcasts, 0);
+
+        let mut sim = SimConfig::quick(1);
+        sim.max_slots = 0;
+        let net = run(SchemeKind::PriorityStar, 0.5, sim, 2, ClockMode::Virtual);
+        assert!(!net.report.completed);
+        assert_eq!(net.report.slots_run, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Backpressure")]
+    fn backpressure_is_rejected() {
+        let mut sim = SimConfig::quick(1);
+        sim.queue_capacity = Some(4);
+        sim.full_queue_policy = FullQueuePolicy::Backpressure;
+        run(SchemeKind::PriorityStar, 0.5, sim, 2, ClockMode::Virtual);
+    }
+
+    #[test]
+    fn traces_are_collected_per_worker() {
+        let topo = Torus::new(&[4, 4]);
+        let spec = ScenarioSpec::default();
+        let mut sim = SimConfig::quick(9);
+        sim.lengths = spec.lengths;
+        let net = run_net(
+            &topo,
+            spec.build_scheme(&topo),
+            spec.mix(&topo),
+            NetConfig {
+                sim,
+                workers: 3,
+                mode: ClockMode::Virtual,
+                trace_capacity: 500,
+            },
+        );
+        assert_eq!(net.worker_traces.len(), 3);
+        let total: usize = net.worker_traces.iter().map(|(_, t)| t.len()).sum();
+        assert!(total > 0, "tracing produced nothing");
+        for (_, track) in &net.worker_traces {
+            assert!(track.len() <= 500);
+            // Slot-monotone within a worker.
+            assert!(track.windows(2).all(|w| w[0].slot <= w[1].slot));
+        }
+    }
+
+    #[test]
+    fn slot_barrier_keeps_threads_in_lockstep() {
+        use std::sync::atomic::AtomicU64;
+        const THREADS: usize = 4;
+        const ROUNDS: u64 = 2000;
+        let enter = SlotBarrier::new(THREADS);
+        let exit = SlotBarrier::new(THREADS);
+        let counter = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for round in 0..ROUNDS {
+                        counter.fetch_add(1, Ordering::AcqRel);
+                        enter.wait();
+                        assert_eq!(
+                            counter.load(Ordering::Acquire),
+                            (round + 1) * THREADS as u64,
+                            "a thread raced past the barrier"
+                        );
+                        exit.wait();
+                    }
+                });
+            }
+        });
+    }
+}

@@ -117,68 +117,215 @@ where
     // Per-record events.
     for r in &records {
         line.clear();
-        match r.event {
-            TraceEvent::ServiceStart {
-                link,
-                class,
-                wait,
-                len,
-                task,
-            } => {
-                let _ = write!(
-                    line,
-                    "{{\"name\":\"serve t{task}\",\"cat\":\"service\",\"ph\":\"X\",\
-                     \"ts\":{},\"dur\":{len},\"pid\":0,\"tid\":{link},\
-                     \"args\":{{\"class\":{class},\"wait\":{wait},\"task\":{task}}}}}",
-                    r.slot
-                );
-            }
-            TraceEvent::Drop {
-                link,
-                class,
-                cause,
-                task,
-            } => {
-                let _ = write!(
-                    line,
-                    "{{\"name\":\"drop {cause:?}\",\"cat\":\"loss\",\"ph\":\"i\",\"s\":\"t\",\
-                     \"ts\":{},\"pid\":0,\"tid\":{link},\
-                     \"args\":{{\"class\":{class},\"task\":{task}}}}}",
-                    r.slot
-                );
-            }
-            TraceEvent::Retransmit {
-                link,
-                class,
-                attempt,
-                task,
-            } => {
-                let _ = write!(
-                    line,
-                    "{{\"name\":\"retx #{attempt}\",\"cat\":\"loss\",\"ph\":\"i\",\"s\":\"t\",\
-                     \"ts\":{},\"pid\":0,\"tid\":{link},\
-                     \"args\":{{\"class\":{class},\"task\":{task}}}}}",
-                    r.slot
-                );
-            }
-            TraceEvent::FaultEpoch {
-                dead_links,
-                dead_nodes,
-            } => {
-                let _ = write!(
-                    line,
-                    "{{\"name\":\"fault epoch\",\"cat\":\"faults\",\"ph\":\"i\",\"s\":\"g\",\
-                     \"ts\":{},\"pid\":0,\"tid\":0,\
-                     \"args\":{{\"dead_links\":{dead_links},\"dead_nodes\":{dead_nodes}}}}}",
-                    r.slot
-                );
-            }
-            // Enqueues and deliveries are endpoints already captured by
-            // the async spans and the X events; emitting all of them
-            // would double the file size for no extra timeline signal.
-            TraceEvent::Enqueue { .. } | TraceEvent::Delivery { .. } => continue,
+        if write_record_event(&mut line, r, 0) {
+            emit(&mut out, &line);
         }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes the Chrome event for one record onto `pid`'s tracks; returns
+/// `false` for records that produce no event of their own (enqueues and
+/// deliveries are endpoints already captured by the async spans and the
+/// `"X"` events; emitting all of them would double the file size for no
+/// extra timeline signal).
+fn write_record_event(line: &mut String, r: &TraceRecord, pid: u32) -> bool {
+    match r.event {
+        TraceEvent::ServiceStart {
+            link,
+            class,
+            wait,
+            len,
+            task,
+        } => {
+            let _ = write!(
+                line,
+                "{{\"name\":\"serve t{task}\",\"cat\":\"service\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{len},\"pid\":{pid},\"tid\":{link},\
+                 \"args\":{{\"class\":{class},\"wait\":{wait},\"task\":{task}}}}}",
+                r.slot
+            );
+        }
+        TraceEvent::Drop {
+            link,
+            class,
+            cause,
+            task,
+        } => {
+            let _ = write!(
+                line,
+                "{{\"name\":\"drop {cause:?}\",\"cat\":\"loss\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":{pid},\"tid\":{link},\
+                 \"args\":{{\"class\":{class},\"task\":{task}}}}}",
+                r.slot
+            );
+        }
+        TraceEvent::Retransmit {
+            link,
+            class,
+            attempt,
+            task,
+        } => {
+            let _ = write!(
+                line,
+                "{{\"name\":\"retx #{attempt}\",\"cat\":\"loss\",\"ph\":\"i\",\"s\":\"t\",\
+                 \"ts\":{},\"pid\":{pid},\"tid\":{link},\
+                 \"args\":{{\"class\":{class},\"task\":{task}}}}}",
+                r.slot
+            );
+        }
+        TraceEvent::FaultEpoch {
+            dead_links,
+            dead_nodes,
+        } => {
+            let _ = write!(
+                line,
+                "{{\"name\":\"fault epoch\",\"cat\":\"faults\",\"ph\":\"i\",\"s\":\"g\",\
+                 \"ts\":{},\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"dead_links\":{dead_links},\"dead_nodes\":{dead_nodes}}}}}",
+                r.slot
+            );
+        }
+        TraceEvent::Enqueue { .. } | TraceEvent::Delivery { .. } => return false,
+    }
+    true
+}
+
+/// Converts per-worker [`TraceRecord`] streams (as produced by the
+/// `pstar-net` runtime, one stream per worker thread in slot order) into
+/// one Chrome trace-event JSON document with a process track per worker.
+///
+/// Layout:
+/// * `pid 0` is a synthetic "tasks" process carrying the async task
+///   lifetime spans (tasks migrate across workers, so their spans cannot
+///   live on any single worker's track).
+/// * Worker `w` becomes `pid w + 1`, named `worker w`; inside it each
+///   directed link the worker owns gets a `tid` named `link N`.
+/// * Events are emitted after a **stable sort on (slot, worker id)**.
+///   Workers own contiguous node ranges, so worker order is node order;
+///   within one worker and slot, records keep their generation order.
+///   The output is therefore a deterministic function of the track
+///   contents, independent of thread scheduling or track array order
+///   (provided worker ids are distinct).
+pub fn chrome_trace_workers(tracks: &[(u32, Vec<TraceRecord>)]) -> String {
+    // Merge with the worker id attached, then stable-sort.
+    let mut merged: Vec<(u64, u32, &TraceRecord)> = tracks
+        .iter()
+        .flat_map(|(w, recs)| recs.iter().map(move |r| (r.slot, *w, r)))
+        .collect();
+    merged.sort_by_key(|&(slot, worker, _)| (slot, worker));
+
+    // Task lifetimes (global: a task's records span workers) and the
+    // per-worker link sets, collected in merged order so "first record"
+    // is deterministic.
+    let mut tasks: Vec<(u32, u64, u64, u8)> = Vec::new();
+    let mut worker_links: Vec<(u32, u32)> = Vec::new(); // (worker, link)
+    for &(slot, worker, r) in &merged {
+        let (link, task, class) = match r.event {
+            TraceEvent::Enqueue { link, class, task } => (Some(link), Some(task), class),
+            TraceEvent::ServiceStart {
+                link, class, task, ..
+            } => (Some(link), Some(task), class),
+            TraceEvent::Delivery {
+                link, class, task, ..
+            } => (Some(link), Some(task), class),
+            TraceEvent::Drop {
+                link, class, task, ..
+            } => (Some(link), Some(task), class),
+            TraceEvent::Retransmit {
+                link, class, task, ..
+            } => (Some(link), Some(task), class),
+            TraceEvent::FaultEpoch { .. } => (None, None, 0),
+        };
+        if let Some(l) = link {
+            if let Err(i) = worker_links.binary_search(&(worker, l)) {
+                worker_links.insert(i, (worker, l));
+            }
+        }
+        if let Some(t) = task {
+            match tasks.binary_search_by_key(&t, |e| e.0) {
+                Ok(i) => {
+                    let e = &mut tasks[i];
+                    if slot < e.1 {
+                        e.1 = slot;
+                        e.3 = class;
+                    }
+                    e.2 = e.2.max(slot);
+                }
+                Err(i) => tasks.insert(i, (t, slot, slot, class)),
+            }
+        }
+    }
+
+    let mut out = String::with_capacity(merged.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |out: &mut String, line: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(line);
+    };
+
+    // Process and track names.
+    let mut line = String::new();
+    line.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"tasks\"}}",
+    );
+    emit(&mut out, &line);
+    let mut workers: Vec<u32> = tracks.iter().map(|(w, _)| *w).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for &w in &workers {
+        line.clear();
+        let _ = write!(
+            line,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\
+             \"args\":{{\"name\":\"worker {w}\"}}}}",
+            w + 1
+        );
         emit(&mut out, &line);
+    }
+    for &(w, l) in &worker_links {
+        line.clear();
+        let _ = write!(
+            line,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{l},\
+             \"args\":{{\"name\":\"link {l}\"}}}}",
+            w + 1
+        );
+        emit(&mut out, &line);
+    }
+
+    // Async lifetime spans (one per task, on the synthetic pid 0).
+    for &(task, lo, hi, class) in &tasks {
+        let hi = hi.max(lo + 1);
+        line.clear();
+        let _ = write!(
+            line,
+            "{{\"name\":\"task {task}\",\"cat\":\"task\",\"ph\":\"b\",\"id\":{task},\
+             \"ts\":{lo},\"pid\":0,\"tid\":0,\"args\":{{\"class\":{class}}}}}"
+        );
+        emit(&mut out, &line);
+        line.clear();
+        let _ = write!(
+            line,
+            "{{\"name\":\"task {task}\",\"cat\":\"task\",\"ph\":\"e\",\"id\":{task},\
+             \"ts\":{hi},\"pid\":0,\"tid\":0}}"
+        );
+        emit(&mut out, &line);
+    }
+
+    // Per-record events on the owning worker's process.
+    for &(_, worker, r) in &merged {
+        line.clear();
+        if write_record_event(&mut line, r, worker + 1) {
+            emit(&mut out, &line);
+        }
     }
 
     out.push_str("\n]}\n");
@@ -277,5 +424,105 @@ mod tests {
     fn empty_trace_is_an_empty_document() {
         let json = chrome_trace(std::iter::empty());
         assert!(json.contains("\"traceEvents\":[\n\n]"));
+    }
+
+    fn worker_tracks() -> Vec<(u32, Vec<TraceRecord>)> {
+        vec![
+            (
+                0,
+                vec![
+                    rec(
+                        3,
+                        TraceEvent::Enqueue {
+                            link: 1,
+                            class: 0,
+                            task: 7,
+                        },
+                    ),
+                    rec(
+                        4,
+                        TraceEvent::ServiceStart {
+                            link: 1,
+                            class: 0,
+                            wait: 1,
+                            len: 2,
+                            task: 7,
+                        },
+                    ),
+                ],
+            ),
+            (
+                1,
+                vec![
+                    rec(
+                        4,
+                        TraceEvent::ServiceStart {
+                            link: 9,
+                            class: 1,
+                            wait: 0,
+                            len: 1,
+                            task: 8,
+                        },
+                    ),
+                    rec(
+                        6,
+                        TraceEvent::Delivery {
+                            link: 9,
+                            class: 1,
+                            age: 2,
+                            task: 7,
+                        },
+                    ),
+                ],
+            ),
+        ]
+    }
+
+    #[test]
+    fn worker_tracks_get_one_process_each() {
+        let json = chrome_trace_workers(&worker_tracks());
+        assert!(json.contains("\"name\":\"tasks\""), "{json}");
+        assert!(json.contains("\"name\":\"worker 0\""), "{json}");
+        assert!(json.contains("\"name\":\"worker 1\""), "{json}");
+        // Worker 0's link 1 lives on pid 1, worker 1's link 9 on pid 2.
+        assert!(json.contains("\"pid\":1,\"tid\":1"), "{json}");
+        assert!(json.contains("\"pid\":2,\"tid\":9"), "{json}");
+        // Task 7 crosses workers: its span covers slots 3..6 on pid 0.
+        assert!(
+            json.contains("\"name\":\"task 7\",\"cat\":\"task\",\"ph\":\"b\",\"id\":7,\"ts\":3")
+        );
+        assert!(json.contains("\"ph\":\"e\",\"id\":7,\"ts\":6"));
+        let opens = json.matches('{').count();
+        assert_eq!(opens, json.matches('}').count(), "unbalanced braces");
+        assert!(!json.contains(",\n]"), "trailing comma before close");
+    }
+
+    #[test]
+    fn worker_trace_is_independent_of_track_order() {
+        let tracks = worker_tracks();
+        let mut reversed = tracks.clone();
+        reversed.reverse();
+        assert_eq!(
+            chrome_trace_workers(&tracks),
+            chrome_trace_workers(&reversed)
+        );
+    }
+
+    #[test]
+    fn single_worker_trace_matches_event_count_of_flat_export() {
+        // Same records through both exporters: the worker variant adds
+        // process metadata but must carry the same service/loss events.
+        let tracks = worker_tracks();
+        let flat: Vec<TraceRecord> = tracks.iter().flat_map(|(_, r)| r.iter().copied()).collect();
+        let a = chrome_trace(flat.iter());
+        let b = chrome_trace_workers(&tracks);
+        assert_eq!(
+            a.matches("\"cat\":\"service\"").count(),
+            b.matches("\"cat\":\"service\"").count()
+        );
+        assert_eq!(
+            a.matches("\"cat\":\"task\"").count(),
+            b.matches("\"cat\":\"task\"").count()
+        );
     }
 }

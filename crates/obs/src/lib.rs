@@ -30,7 +30,7 @@ mod manifest;
 mod series;
 mod trace;
 
-pub use chrome::chrome_trace;
+pub use chrome::{chrome_trace, chrome_trace_workers};
 pub use heatmap::{render_heatmap, HeatPanel};
 pub use manifest::{config_hash, fnv1a64, git_rev, PhaseTiming, RunManifest};
 pub use series::{SeriesStats, SlotSample, MAX_OBS_CLASSES};

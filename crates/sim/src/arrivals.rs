@@ -1,0 +1,50 @@
+//! Backend-neutral arrival sampling.
+//!
+//! Both the slotted [`crate::Engine`] and any external runtime driving
+//! the same workload model (e.g. `pstar-net`'s virtual-time injector)
+//! must draw arrival counts identically for their task streams to be
+//! comparable under common random numbers — so the sampler lives here,
+//! outside either engine.
+
+use pstar_traffic::{ArrivalProcess, PoissonArrivals};
+use rand::rngs::StdRng;
+
+/// Poisson sampling with chunking so that very large aggregate rates never
+/// underflow Knuth's product method.
+pub fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let mut remaining = lambda;
+    let mut total = 0u32;
+    while remaining > 200.0 {
+        total += PoissonArrivals::new(200.0).sample(rng);
+        remaining -= 200.0;
+    }
+    total + PoissonArrivals::new(remaining).sample(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_and_negative_rates_yield_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+        assert_eq!(sample_poisson(&mut rng, -3.0), 0);
+    }
+
+    #[test]
+    fn chunked_mean_matches_large_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lambda = 1000.0;
+        let trials = 2_000;
+        let total: u64 = (0..trials)
+            .map(|_| sample_poisson(&mut rng, lambda) as u64)
+            .sum();
+        let mean = total as f64 / trials as f64;
+        assert!((mean - lambda).abs() < 0.02 * lambda, "mean {mean}");
+    }
+}

@@ -1,5 +1,6 @@
 //! The slotted simulation engine.
 
+use crate::arrivals::sample_poisson;
 use crate::config::SimConfig;
 use crate::metrics::{
     ClassStats, FaultReport, FlowReport, HopPhase, RecoveryReport, SimReport, TailQuantiles,
@@ -14,7 +15,7 @@ use pstar_faults::{DeadLinkPolicy, FaultPlan, FaultRuntime};
 use pstar_obs::{DropKind, SlotSample, TraceEvent, TraceRecord, TraceSink};
 use pstar_stats::{BatchMeans, Histogram, LogHistogram, Moments, TimeWeighted};
 use pstar_topology::{Link, LinkId, Network, NodeId};
-use pstar_traffic::{ArrivalProcess, PoissonArrivals, TrafficMix, UniformDestinations};
+use pstar_traffic::{TrafficMix, UniformDestinations};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -1609,21 +1610,6 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             },
         }
     }
-}
-
-/// Poisson sampling with chunking so that very large aggregate rates never
-/// underflow Knuth's product method.
-fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u32 {
-    if lambda <= 0.0 {
-        return 0;
-    }
-    let mut remaining = lambda;
-    let mut total = 0u32;
-    while remaining > 200.0 {
-        total += PoissonArrivals::new(200.0).sample(rng);
-        remaining -= 200.0;
-    }
-    total + PoissonArrivals::new(remaining).sample(rng)
 }
 
 #[cfg(test)]

@@ -31,6 +31,7 @@
 
 #![warn(missing_docs)]
 
+mod arrivals;
 mod config;
 mod engine;
 mod event_engine;
@@ -41,6 +42,7 @@ mod recovery;
 mod scheme;
 mod task;
 
+pub use arrivals::sample_poisson;
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use event_engine::EventEngine;
@@ -50,7 +52,7 @@ pub use metrics::{
 };
 pub use packet::{BroadcastState, Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
 pub use queue::PriorityQueue;
-pub use recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy};
+pub use recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy, RetxEntry, TimeoutWheel};
 pub use scheme::Scheme;
 
 // Fault-injection vocabulary, re-exported so downstream crates need not

@@ -111,7 +111,7 @@ pub struct AdmissionConfig {
 /// backoff timer: the packet re-enters service at `link` when the timer
 /// fires (its `attempt` counter has already been advanced).
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct RetxEntry {
+pub struct RetxEntry {
     /// Dense id of the link the copy was lost at.
     pub link: u32,
     /// The copy to re-inject (with `attempt` already incremented).
@@ -126,13 +126,23 @@ const WHEEL_BUCKETS: usize = 256;
 /// 256 buckets and backoff delays that rarely exceed a few thousand
 /// slots, buckets stay short. Within a slot, timers fire in the order
 /// they were armed, keeping runs deterministic.
+///
+/// Public so that external runtimes (`pstar-net`) can reuse the exact
+/// retransmission data path instead of reimplementing it.
 #[derive(Debug)]
-pub(crate) struct TimeoutWheel {
+pub struct TimeoutWheel {
     buckets: Vec<Vec<(u64, RetxEntry)>>,
     len: usize,
 }
 
+impl Default for TimeoutWheel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl TimeoutWheel {
+    /// An empty wheel.
     pub fn new() -> Self {
         Self {
             buckets: (0..WHEEL_BUCKETS).map(|_| Vec::new()).collect(),

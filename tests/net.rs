@@ -1,0 +1,232 @@
+//! Cross-backend validation: the thread-per-core runtime (`pstar-net`)
+//! against the slotted simulator (`pstar-sim`).
+//!
+//! In virtual-time mode the runtime's injector mirrors the engine's RNG
+//! draw order, so for a broadcast-only workload the *measured task set*
+//! of both backends is identical for a given seed — and since both run
+//! the drain protocol to completion with unbounded queues, the
+//! delivered-reception counts must agree **exactly**, for any worker
+//! count. Per-reception delays differ (the runtime's intra-slot service
+//! order is worker-sharded, the engine's is global), which is precisely
+//! why count agreement is the right invariant: it survives legitimate
+//! scheduling differences and breaks on any bookkeeping bug.
+//!
+//! The suite also checks the paper's headline ordering under common
+//! random numbers on the *runtime*: priority STAR's mean reception
+//! delay beats FCFS-direct's at high load, same seeds — the Eq. (2)/(4)
+//! discipline has to survive contact with a real concurrent harness,
+//! not just the simulator.
+
+use priority_star::{run_scenario, ScenarioSpec, SchemeKind};
+use proptest::prelude::*;
+use pstar_net::{run_net, Channel, ClockMode, NetConfig};
+use pstar_sim::{Packet, PacketKind, PriorityQueue, SimConfig};
+use pstar_topology::{NodeId, Torus};
+
+/// Common-random-numbers seed for a sweep point: one seed per ρ index,
+/// shared by every scheme arm at that load.
+fn crn_seed(rho_idx: usize) -> u64 {
+    0xC0FF_EE00 + rho_idx as u64
+}
+
+fn net_run(
+    spec: &ScenarioSpec,
+    topo: &Torus,
+    mut sim: SimConfig,
+    workers: usize,
+) -> pstar_net::NetReport {
+    sim.lengths = spec.lengths;
+    run_net(
+        topo,
+        spec.build_scheme(topo),
+        spec.mix(topo),
+        NetConfig {
+            sim,
+            workers,
+            mode: ClockMode::Virtual,
+            trace_capacity: 0,
+        },
+    )
+}
+
+/// Virtual-time net and sim agree exactly on the measured task set and
+/// the delivered-reception counts, per scheme × ρ.
+#[test]
+fn sim_and_net_agree_on_delivered_counts() {
+    let topo = Torus::new(&[4, 4]);
+    let schemes = [
+        SchemeKind::PriorityStar,
+        SchemeKind::ThreeClass,
+        SchemeKind::FcfsDirect,
+        SchemeKind::FcfsBalanced,
+    ];
+    for (ri, rho) in [0.5, 0.9].into_iter().enumerate() {
+        for scheme in schemes {
+            let spec = ScenarioSpec {
+                scheme,
+                rho,
+                ..ScenarioSpec::default()
+            };
+            let cfg = SimConfig::quick(crn_seed(ri));
+            let sim = run_scenario(&topo, &spec, cfg);
+            let net = net_run(&spec, &topo, cfg, 3);
+            let label = format!("{scheme:?} rho={rho}");
+            assert!(sim.completed, "{label}: sim did not complete");
+            assert!(net.report.completed, "{label}: net did not complete");
+            assert_eq!(
+                sim.measured_broadcasts, net.report.measured_broadcasts,
+                "{label}: measured task sets diverged — RNG mirror broken"
+            );
+            assert_eq!(
+                sim.reception_delay.count, net.report.reception_delay.count,
+                "{label}: delivered-reception counts diverged"
+            );
+            assert_eq!(net.report.lost_receptions, 0, "{label}: phantom losses");
+            assert_eq!(
+                net.report.reception_delay.count,
+                net.report.measured_broadcasts * (topo.node_count() as u64 - 1),
+                "{label}: not every measured broadcast fully delivered"
+            );
+        }
+    }
+}
+
+/// The agreement is independent of the worker count — sharding moves
+/// work between threads, never creates or destroys it.
+#[test]
+fn agreement_holds_across_worker_counts() {
+    let topo = Torus::new(&[4, 4]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.9,
+        ..ScenarioSpec::default()
+    };
+    let cfg = SimConfig::quick(crn_seed(1));
+    let sim = run_scenario(&topo, &spec, cfg);
+    for workers in [1, 2, 5, 16] {
+        let net = net_run(&spec, &topo, cfg, workers);
+        assert!(net.report.completed, "W={workers}");
+        assert_eq!(
+            sim.reception_delay.count, net.report.reception_delay.count,
+            "W={workers}: delivered counts diverged"
+        );
+        assert_eq!(net.workers, workers.min(16));
+    }
+}
+
+/// CRN-paired ordering on the real runtime: at high load, priority STAR
+/// delivers receptions faster than FCFS-direct with the same seeds, and
+/// its class-0 (trunk) service wait is below FCFS's single-class wait.
+#[test]
+fn priority_star_beats_fcfs_on_the_runtime_crn() {
+    let topo = Torus::new(&[4, 4]);
+    let cfg = SimConfig::quick(crn_seed(1));
+    let pstar = net_run(
+        &ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.9,
+            ..ScenarioSpec::default()
+        },
+        &topo,
+        cfg,
+        4,
+    );
+    let fcfs = net_run(
+        &ScenarioSpec {
+            scheme: SchemeKind::FcfsDirect,
+            rho: 0.9,
+            ..ScenarioSpec::default()
+        },
+        &topo,
+        cfg,
+        4,
+    );
+    assert!(pstar.report.completed && fcfs.report.completed);
+    assert!(
+        pstar.report.reception_delay.mean < fcfs.report.reception_delay.mean,
+        "priority STAR should beat FCFS mean reception delay at rho .9: {} vs {}",
+        pstar.report.reception_delay.mean,
+        fcfs.report.reception_delay.mean
+    );
+    assert!(
+        pstar.report.broadcast_delay.mean < fcfs.report.broadcast_delay.mean,
+        "and full-broadcast completion delay: {} vs {}",
+        pstar.report.broadcast_delay.mean,
+        fcfs.report.broadcast_delay.mean
+    );
+}
+
+fn packet(task: u32, priority: u8) -> Packet {
+    Packet {
+        task,
+        gen_time: 0,
+        enqueue_time: 0,
+        len: 1,
+        priority,
+        vc: 0,
+        attempt: 0,
+        kind: PacketKind::Unicast { dest: NodeId(0) },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The per-link priority queue against a reference model, under a
+    /// random interleaving of pushes and pops: within a class strictly
+    /// FIFO (never reorders), across classes strict head-of-line
+    /// priority (class 0 is never starved while present — it is always
+    /// served first).
+    #[test]
+    fn priority_queue_fifo_per_class_and_no_class0_starvation(
+        ops in prop::collection::vec((any::<bool>(), 0u8..4), 1..200)
+    ) {
+        let mut q = PriorityQueue::new();
+        let mut model: Vec<std::collections::VecDeque<u32>> =
+            vec![std::collections::VecDeque::new(); 4];
+        let mut next_id = 0u32;
+        for (push, class) in ops {
+            if push {
+                q.push(packet(next_id, class));
+                model[class as usize].push_back(next_id);
+                next_id += 1;
+            } else {
+                let got = q.pop();
+                let want = model
+                    .iter_mut()
+                    .find(|c| !c.is_empty())
+                    .and_then(|c| c.pop_front());
+                prop_assert_eq!(got.map(|p| p.task), want);
+            }
+        }
+        // Drain: the remainder comes out in class order, FIFO within.
+        while let Some(p) = q.pop() {
+            let want = model
+                .iter_mut()
+                .find(|c| !c.is_empty())
+                .and_then(|c| c.pop_front());
+            prop_assert_eq!(Some(p.task), want);
+        }
+        prop_assert!(model.iter().all(|c| c.is_empty()));
+    }
+
+    /// The runtime's channel preserves per-sender FIFO order for any
+    /// batch split across drains.
+    #[test]
+    fn channel_never_reorders(
+        batches in prop::collection::vec(1usize..40, 1..10)
+    ) {
+        let ch = Channel::unbounded();
+        let mut sent = 0u32;
+        let mut received = Vec::new();
+        for batch in batches {
+            for _ in 0..batch {
+                ch.send(sent);
+                sent += 1;
+            }
+            ch.drain_into(&mut received);
+        }
+        prop_assert_eq!(received, (0..sent).collect::<Vec<_>>());
+        prop_assert!(ch.is_empty());
+    }
+}
