@@ -92,12 +92,12 @@ fn runtime_throughput(c: &mut Criterion) {
                     spec.build_scheme(&topo),
                     spec.mix(&topo),
                     NetConfig {
-                        sim,
                         workers,
                         mode,
-                        trace_capacity: 0,
+                        ..NetConfig::new(sim)
                     },
                 )
+                .expect("run_net failed")
             })
         });
     }

@@ -23,6 +23,11 @@
 //!   balance_gallery     solved Eq.(2)/(4) vectors for a gallery of tori
 //!   resilience          delivered fraction & recovery under link faults
 //!                       (fault-rate × ρ grid; `--smoke` for the CI gate)
+//!   resilience_net      the fault sweep on the pstar-net runtime:
+//!                       scheme × fault-rate × workers, sim-vs-net
+//!                       fault agreement table, delivered-fraction and
+//!                       recovery SVGs (`--smoke` gates exact agreement
+//!                       and monotone delivered fraction for CI)
 //!   recovery            end-to-end ARQ loss recovery and overload
 //!                       protection: fault-rate × ρ × policy sweep plus
 //!                       an admission-control overload sweep (`--smoke`
@@ -62,6 +67,7 @@ mod profile;
 mod record;
 mod recovery;
 mod resilience;
+mod resilience_net;
 mod svg;
 mod sweep;
 mod tables;
@@ -233,6 +239,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "saturation_trace" => tables::saturation_trace(ctx),
         "balance_gallery" => tables::balance_gallery(ctx),
         "resilience" => resilience::resilience(ctx),
+        "resilience_net" | "resilience-net" => resilience_net::resilience_net(ctx),
         "recovery" => recovery::recovery(ctx),
         "net" => net::net(ctx),
         "profile" => profile::profile(ctx),
@@ -264,6 +271,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "saturation_trace",
                 "balance_gallery",
                 "resilience",
+                "resilience_net",
                 "recovery",
                 "net",
                 "profile",

@@ -68,17 +68,18 @@ fn topo_label(topo: &Torus) -> String {
 
 fn net_point(topo: &Torus, spec: &ScenarioSpec, mut cfg: SimConfig, workers: usize) -> NetReport {
     cfg.lengths = spec.lengths;
-    run_net(
+    match run_net(
         topo,
         spec.build_scheme(topo),
         spec.mix(topo),
         NetConfig {
-            sim: cfg,
             workers,
-            mode: ClockMode::Virtual,
-            trace_capacity: 0,
+            ..NetConfig::new(cfg)
         },
-    )
+    ) {
+        Ok(net) => net,
+        Err(e) => fatal("running pstar-net", &e),
+    }
 }
 
 /// Runs the agreement sweep, the CDF overlays, the trace export and the
@@ -311,17 +312,19 @@ fn export_trace(ctx: &Ctx, topo: &Torus, cfg0: SimConfig) {
     cfg.measure_slots = 400;
     let spec = broadcast_arm(SchemeKind::PriorityStar, 0.7);
     cfg.lengths = spec.lengths;
-    let net = run_net(
+    let net = match run_net(
         topo,
         spec.build_scheme(topo),
         spec.mix(topo),
         NetConfig {
-            sim: cfg,
             workers: 4,
-            mode: ClockMode::Virtual,
             trace_capacity: 20_000,
+            ..NetConfig::new(cfg)
         },
-    );
+    ) {
+        Ok(net) => net,
+        Err(e) => fatal("running pstar-net trace export", &e),
+    };
     let json = chrome_trace_workers(&net.worker_traces);
     let path = ctx.out.join("net_trace.chrome.json");
     if let Err(e) = std::fs::write(&path, json) {
@@ -359,17 +362,19 @@ fn throughput_bench(ctx: &Ctx, topo: &Torus, cfg0: SimConfig) {
         // Wall-clock (sharded-injection) mode for the scaling series.
         let mut bench_cfg = cfg;
         bench_cfg.lengths = spec.lengths;
-        let wall = run_net(
+        let wall = match run_net(
             topo,
             spec.build_scheme(topo),
             spec.mix(topo),
             NetConfig {
-                sim: bench_cfg,
                 workers,
                 mode: ClockMode::WallClock,
-                trace_capacity: 0,
+                ..NetConfig::new(bench_cfg)
             },
-        );
+        ) {
+            Ok(net) => net,
+            Err(e) => fatal("running pstar-net wall-clock bench", &e),
+        };
         println!(
             "net bench: workers={workers} virtual {:.0} slots/s, wall-mode {:.0} slots/s",
             net.slots_per_sec, wall.slots_per_sec

@@ -328,9 +328,49 @@ impl LivenessView {
         }
         true
     }
+
+    fn set_node(&mut self, node: usize, dead: bool) -> bool {
+        if self.dead_nodes[node] == dead {
+            return false;
+        }
+        self.dead_nodes[node] = dead;
+        if dead {
+            self.dead_node_count += 1;
+        } else {
+            self.dead_node_count -= 1;
+        }
+        true
+    }
+
+    /// Replays a [`FaultDelta`] onto this view, reproducing the state
+    /// transition that the originating [`FaultRuntime`] just made.
+    /// Deltas must be applied in the order they were produced, starting
+    /// from [`LivenessView::healthy`]; each is idempotent against its
+    /// own effects (flips already present are not double-counted).
+    pub fn apply_delta(&mut self, delta: &FaultDelta) {
+        for &l in &delta.newly_dead {
+            self.set_link(l.index(), true);
+        }
+        for &l in &delta.repaired {
+            self.set_link(l.index(), false);
+        }
+        for &n in &delta.crashed {
+            self.set_node(n.0 as usize, true);
+        }
+        for &n in &delta.recovered {
+            self.set_node(n.0 as usize, false);
+        }
+    }
 }
 
 /// What changed when the runtime advanced to a slot.
+///
+/// A delta is a complete, self-contained description of the effective
+/// liveness transition: replaying a run's deltas in order against a
+/// [`LivenessView::healthy`] view (via [`LivenessView::apply_delta`])
+/// reproduces the [`FaultRuntime`]'s view exactly. This is what lets a
+/// distributed runtime keep one authoritative `FaultRuntime` and
+/// broadcast deltas to per-worker replica views.
 #[derive(Debug, Clone, Default)]
 pub struct FaultDelta {
     /// Events that took effect.
@@ -339,12 +379,19 @@ pub struct FaultDelta {
     pub newly_dead: Vec<LinkId>,
     /// Links whose effective state flipped back to alive.
     pub repaired: Vec<LinkId>,
+    /// Nodes whose state flipped to crashed.
+    pub crashed: Vec<NodeId>,
+    /// Nodes whose state flipped back to up.
+    pub recovered: Vec<NodeId>,
 }
 
 impl FaultDelta {
     /// `true` when any effective liveness changed.
     pub fn changed(&self) -> bool {
-        !self.newly_dead.is_empty() || !self.repaired.is_empty()
+        !self.newly_dead.is_empty()
+            || !self.repaired.is_empty()
+            || !self.crashed.is_empty()
+            || !self.recovered.is_empty()
     }
 }
 
@@ -427,6 +474,7 @@ impl FaultRuntime {
                     if self.view.node_alive(n) {
                         self.view.dead_nodes[n.0 as usize] = true;
                         self.view.dead_node_count += 1;
+                        delta.crashed.push(n);
                         self.refresh_node_links(n, &mut delta);
                     }
                 }
@@ -434,6 +482,7 @@ impl FaultRuntime {
                     if !self.view.node_alive(n) {
                         self.view.dead_nodes[n.0 as usize] = false;
                         self.view.dead_node_count -= 1;
+                        delta.recovered.push(n);
                         self.refresh_node_links(n, &mut delta);
                     }
                 }
@@ -669,6 +718,67 @@ mod tests {
         assert_ne!(a[..10], shuffled_links(100, 10)[..10], "seed matters");
         // Nesting is by construction: first k of the same shuffle.
         assert_eq!(a[..5], a[..10][..5]);
+    }
+
+    #[test]
+    fn replica_view_tracks_runtime_via_deltas() {
+        let (src, dst) = ring4_tables();
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent {
+                slot: 1,
+                kind: FaultKind::LinkDown(LinkId(2)),
+            },
+            FaultEvent {
+                slot: 2,
+                kind: FaultKind::NodeCrash(NodeId(1)),
+            },
+            FaultEvent {
+                slot: 3,
+                kind: FaultKind::NodeRecover(NodeId(1)),
+            },
+            FaultEvent {
+                slot: 4,
+                kind: FaultKind::LinkUp(LinkId(2)),
+            },
+        ]);
+        let mut rt = FaultRuntime::new(plan, src.clone(), dst, 4);
+        let mut replica = LivenessView::healthy(src.len() as u32, 4);
+        for slot in 0..6 {
+            let delta = rt.advance_to(slot);
+            replica.apply_delta(&delta);
+            assert_eq!(&replica, rt.view(), "replica diverged at slot {slot}");
+        }
+        assert!(!replica.any_faults());
+    }
+
+    #[test]
+    fn deltas_report_node_flips() {
+        let (src, dst) = ring4_tables();
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent {
+                slot: 0,
+                kind: FaultKind::NodeCrash(NodeId(2)),
+            },
+            // A second crash of an already-dead node is not a flip.
+            FaultEvent {
+                slot: 1,
+                kind: FaultKind::NodeCrash(NodeId(2)),
+            },
+            FaultEvent {
+                slot: 2,
+                kind: FaultKind::NodeRecover(NodeId(2)),
+            },
+        ]);
+        let mut rt = FaultRuntime::new(plan, src, dst, 4);
+        let d = rt.advance_to(0);
+        assert_eq!(d.crashed, vec![NodeId(2)]);
+        assert!(d.recovered.is_empty());
+        let d = rt.advance_to(1);
+        assert!(d.crashed.is_empty(), "no flip on repeated crash");
+        assert!(!d.changed());
+        let d = rt.advance_to(2);
+        assert_eq!(d.recovered, vec![NodeId(2)]);
+        assert!(d.changed());
     }
 
     #[test]

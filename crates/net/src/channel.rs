@@ -8,9 +8,25 @@
 //! is no `recv`-blocking path at all: consumers call
 //! [`Channel::drain_into`] and always observe a complete, deterministic
 //! batch.
+//!
+//! Two robustness properties back the supervised-shutdown protocol:
+//!
+//! * **Poison recovery.** A panicking worker can leave any mutex
+//!   poisoned. Our queue state is a plain `VecDeque` that is valid after
+//!   every atomic push/drain, so a poisoned lock is recovered
+//!   (`into_inner` on the guard) instead of propagating the panic into
+//!   innocent peers — the panic itself is reported once, through the
+//!   supervisor, not N times through lock poisoning.
+//! * **Halt.** [`Channel::halt`] flips a teardown latch and wakes every
+//!   blocked sender; from then on `send` drops its message instead of
+//!   waiting for room. The supervisor halts all channels when a worker
+//!   dies so peers blocked mid-`send` unblock and reach the poisoned
+//!   barrier check instead of deadlocking on a consumer that will never
+//!   drain again.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// A multi-producer channel drained in batches.
 ///
@@ -28,6 +44,7 @@ pub struct Channel<T> {
     inner: Mutex<VecDeque<T>>,
     not_full: Condvar,
     capacity: usize,
+    halted: AtomicBool,
 }
 
 impl<T> Channel<T> {
@@ -37,6 +54,7 @@ impl<T> Channel<T> {
             inner: Mutex::new(VecDeque::new()),
             not_full: Condvar::new(),
             capacity: capacity.max(1),
+            halted: AtomicBool::new(false),
         }
     }
 
@@ -46,14 +64,30 @@ impl<T> Channel<T> {
             inner: Mutex::new(VecDeque::new()),
             not_full: Condvar::new(),
             capacity: usize::MAX,
+            halted: AtomicBool::new(false),
         }
     }
 
-    /// Enqueues one message, blocking while the channel is full.
+    /// Locks the queue, recovering from poisoning: the deque is valid
+    /// after every atomic operation, and panics are reported through the
+    /// supervisor rather than re-thrown at innocent lock sites.
+    fn lock(&self) -> MutexGuard<'_, VecDeque<T>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Enqueues one message, blocking while the channel is full. On a
+    /// [`Channel::halt`]ed channel the message is dropped instead — the
+    /// run is already dead, nobody will drain it.
     pub fn send(&self, value: T) {
-        let mut q = self.inner.lock().unwrap();
+        let mut q = self.lock();
         while q.len() >= self.capacity {
-            q = self.not_full.wait(q).unwrap();
+            if self.halted.load(Ordering::Acquire) {
+                return;
+            }
+            q = self.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
+        }
+        if self.halted.load(Ordering::Acquire) {
+            return;
         }
         q.push_back(value);
     }
@@ -61,7 +95,7 @@ impl<T> Channel<T> {
     /// Moves every queued message into `out`, preserving send order, and
     /// wakes any sender blocked on a full buffer.
     pub fn drain_into(&self, out: &mut Vec<T>) {
-        let mut q = self.inner.lock().unwrap();
+        let mut q = self.lock();
         let was_full = q.len() >= self.capacity;
         out.extend(q.drain(..));
         drop(q);
@@ -70,9 +104,20 @@ impl<T> Channel<T> {
         }
     }
 
+    /// Teardown latch: wakes every blocked sender and makes all future
+    /// `send`s drop their message. Irreversible; only the supervisor
+    /// calls this, after the run has already failed.
+    pub fn halt(&self) {
+        self.halted.store(true, Ordering::Release);
+        // Take the lock so a sender between its full-check and its wait
+        // cannot miss the wakeup.
+        drop(self.lock());
+        self.not_full.notify_all();
+    }
+
     /// Messages currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        self.lock().len()
     }
 
     /// `true` when nothing is queued.
@@ -152,5 +197,41 @@ mod tests {
             let mine: Vec<u64> = out.iter().copied().filter(|v| v / 1000 == s).collect();
             assert_eq!(mine, (0..200).map(|i| s * 1000 + i).collect::<Vec<_>>());
         }
+    }
+
+    #[test]
+    fn halt_unblocks_a_stuck_sender() {
+        let ch = Arc::new(Channel::bounded(1));
+        ch.send(0);
+        let t = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.send(1)) // blocks: 1 of 1 queued
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        ch.halt();
+        t.join().unwrap(); // must return, message dropped
+        ch.send(2); // post-halt sends drop instead of blocking
+        let mut out = Vec::new();
+        ch.drain_into(&mut out);
+        assert_eq!(out, vec![0], "halted channel drops late sends");
+    }
+
+    #[test]
+    fn poisoned_channel_still_works() {
+        let ch = Arc::new(Channel::bounded(8));
+        ch.send(7);
+        let ch2 = Arc::clone(&ch);
+        // Poison the mutex by panicking while holding it.
+        let _ = std::thread::spawn(move || {
+            let _guard = ch2.inner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(ch.inner.is_poisoned());
+        ch.send(8); // recovered, not propagated
+        let mut out = Vec::new();
+        ch.drain_into(&mut out);
+        assert_eq!(out, vec![7, 8]);
+        assert_eq!(ch.len(), 0);
     }
 }

@@ -20,7 +20,7 @@
 //! statistically interchangeable while only virtual mode is
 //! draw-for-draw comparable with the simulator.
 
-use pstar_sim::{sample_poisson, Emit, Scheme, SimConfig};
+use pstar_sim::{sample_poisson, Emit, LivenessView, Scheme, SimConfig};
 use pstar_topology::NodeId;
 use pstar_traffic::{TrafficMix, UniformDestinations};
 use rand::rngs::StdRng;
@@ -55,6 +55,14 @@ fn splitmix64(mut x: u64) -> u64 {
 /// Seed of node `v`'s wall-clock arrival stream.
 pub(crate) fn node_stream_seed(seed: u64, node: u32) -> u64 {
     splitmix64(seed ^ (u64::from(node) + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Dead-node injection suppression probe. `None` = no fault plan (the
+/// branch costs nothing); the check sites mirror
+/// `Engine::generate_arrivals` exactly — see each caller.
+#[inline]
+fn node_dead(view: Option<&LivenessView>, node: NodeId) -> bool {
+    view.is_some_and(|v| !v.node_alive(node))
 }
 
 /// Shared per-arrival generation: admission gate, then the length and
@@ -144,8 +152,17 @@ impl VirtualInjector {
 
     /// Generates slot `t`'s arrivals into `out`, mirroring
     /// `Engine::step`'s phase-2 order: token refill, then the arrival
-    /// draws.
-    pub fn slot<S: Scheme + ?Sized>(&mut self, t: u64, scheme: &S, out: &mut Vec<InjectMsg>) {
+    /// draws. `view` suppresses injection at dead nodes at exactly the
+    /// points `Engine::generate_arrivals` does — *after* the count/source
+    /// draws, *before* any per-task draw — so the RNG stream stays
+    /// aligned with the simulator under the same fault plan.
+    pub fn slot<S: Scheme + ?Sized>(
+        &mut self,
+        t: u64,
+        scheme: &S,
+        view: Option<&LivenessView>,
+        out: &mut Vec<InjectMsg>,
+    ) {
         if let Some(adm) = self.cfg.admission {
             for tok in &mut self.tokens {
                 *tok = (*tok + adm.rate).min(adm.burst);
@@ -155,6 +172,12 @@ impl VirtualInjector {
         if self.mix.bernoulli {
             for node in 0..n {
                 let (b, u) = self.mix.sample(&mut self.rng);
+                // Engine order: a dead node's Bernoulli draw happens,
+                // but every per-task draw (incl. unicast dest) is
+                // skipped.
+                if node_dead(view, NodeId(node)) {
+                    continue;
+                }
                 for _ in 0..b {
                     let task = self.next_task;
                     let measured = self.measured_at(t);
@@ -202,6 +225,10 @@ impl VirtualInjector {
             let total_b = sample_poisson(&mut self.rng, self.mix.lambda_broadcast * n as f64);
             for _ in 0..total_b {
                 let src = sources.sample(&mut self.rng, n);
+                // Engine order: source drawn, then suppressed if dead.
+                if node_dead(view, src) {
+                    continue;
+                }
                 let task = self.next_task;
                 if generate_task(
                     &mut self.rng,
@@ -223,6 +250,11 @@ impl VirtualInjector {
             for _ in 0..total_u {
                 let src = sources.sample(&mut self.rng, n);
                 let dest = self.dests.sample(&mut self.rng, src);
+                // Engine order: unicast draws *both* endpoints before the
+                // dead-source check.
+                if node_dead(view, src) {
+                    continue;
+                }
                 let task = self.next_task;
                 if generate_task(
                     &mut self.rng,
@@ -310,7 +342,15 @@ impl WallInjector {
     }
 
     /// Generates slot `t`'s arrivals of this worker's nodes into `out`.
-    pub fn slot<S: Scheme + ?Sized>(&mut self, t: u64, scheme: &S, out: &mut Vec<InjectMsg>) {
+    /// `view` suppresses arrivals at dead nodes (the per-node draw still
+    /// happens, keeping each node's stream aligned across fault plans).
+    pub fn slot<S: Scheme + ?Sized>(
+        &mut self,
+        t: u64,
+        scheme: &S,
+        view: Option<&LivenessView>,
+        out: &mut Vec<InjectMsg>,
+    ) {
         let measured = t >= self.cfg.warmup_slots && t < self.cfg.measure_end();
         if let Some(adm) = self.cfg.admission {
             for tok in &mut self.tokens {
@@ -320,6 +360,9 @@ impl WallInjector {
         for i in 0..self.rngs.len() {
             let node = NodeId(self.first_node + i as u32);
             let (b, u) = self.mix.sample(&mut self.rngs[i]);
+            if node_dead(view, node) {
+                continue;
+            }
             for _ in 0..b {
                 let task = self.next_task();
                 let ok = generate_task(

@@ -30,16 +30,34 @@
 //!   per-node streams, removing the coordinator bottleneck. This is the
 //!   throughput-benchmarking mode.
 //!
+//! ## Faults and supervised shutdown
+//!
+//! [`run_net_with_faults`] executes a scripted `pstar_faults::FaultPlan`
+//! at runtime: worker 0 advances the fault clock and broadcasts epoch
+//! deltas, every worker maintains a liveness replica, disposes of
+//! packets on dead links per `DeadLinkPolicy`, suppresses injection at
+//! dead nodes, and re-solves degraded-mode routing on its own scheme
+//! clone. Virtual-clock faulted runs reproduce the engine's delivered
+//! and fault-drop counts exactly under the same plan.
+//!
+//! Execution is panic-safe: [`run_net`] returns
+//! `Result<NetReport, NetError>` — a panicking worker poisons the fleet
+//! and peers drain cleanly ([`NetError::WorkerPanic`]), a hung fleet is
+//! converted by the supervisor's watchdog into
+//! [`NetError::BarrierTimeout`] with per-worker positions, and
+//! [`ChaosConfig`] injects exactly these failures deterministically for
+//! testing.
+//!
 //! ## Known, documented deviations from the engine
 //!
-//! * `FullQueuePolicy::Backpressure` is unsupported (panics): deferral
-//!   needs a global injection gate, which distributed injection does
-//!   not have. `DropTail` and `DropLowestClass` are supported exactly.
+//! * `FullQueuePolicy::Backpressure` is unsupported (rejected as
+//!   [`NetConfigError::Backpressure`]): deferral needs a global
+//!   injection gate, which distributed injection does not have.
+//!   `DropTail` and `DropLowestClass` are supported exactly.
 //! * `reception_ci_batch` is `None` — batch-means confidence intervals
 //!   require a single serial reception stream.
 //! * `peak_queue_total` is the end-of-slot peak (the engine tracks the
 //!   intra-slot peak); `mean_queued_packets` sampling is identical.
-//! * Fault plans (`run_with_faults`) are not modeled.
 //! * Concurrency time-averages account task completions at the slot the
 //!   home worker *processes* the ack, which can lag the delivery slot by
 //!   one control hop — a ≤ 1-slot smear on `avg_concurrent_*` only;
@@ -48,9 +66,11 @@
 #![warn(missing_docs)]
 
 mod channel;
+mod error;
 mod inject;
 mod runtime;
 mod stats;
 
 pub use channel::Channel;
-pub use runtime::{run_net, ClockMode, NetConfig, NetReport};
+pub use error::{ChaosConfig, NetConfigError, NetError, WorkerPosition};
+pub use runtime::{run_net, run_net_with_faults, ClockMode, NetConfig, NetReport};

@@ -39,22 +39,55 @@
 //! its RNG in the engine's exact draw order, which makes the measured
 //! task population identical to a simulator run of the same config —
 //! the sim-vs-net agreement tests in `tests/net.rs` assert equality of
-//! delivered-reception counts on exactly that basis.
+//! delivered-reception counts on exactly that basis. The agreement
+//! extends to *faulted* runs: [`run_net_with_faults`] reproduces the
+//! engine's delivered and fault-drop counts exactly under the same
+//! [`FaultPlan`].
+//!
+//! # Runtime faults
+//!
+//! Worker 0 owns the fault clock ([`pstar_faults::FaultRuntime`]): at
+//! the top of each slot that has a due plan event it advances the clock
+//! and broadcasts the [`FaultDelta`] to every worker over dedicated
+//! channels, separated by a dedicated barrier (deltas must take effect
+//! *this* slot — they cannot ride the parity ctrl lanes, which deliver
+//! with a one-slot lag). Each worker applies the delta to its private
+//! [`LivenessView`] replica, disposes of packets stranded on its
+//! newly-dead links per the [`DeadLinkPolicy`], and hands the new epoch
+//! to its owned scheme clone (`Scheme::on_liveness_change` — the
+//! degraded-mode re-solve). Fault-free slots cost one atomic load.
+//!
+//! # Supervised shutdown
+//!
+//! `run_net` never lets a panic or a deadlock escape. Each worker body
+//! runs under `catch_unwind`; a panic records the first
+//! [`NetError::WorkerPanic`], trips the shared poison flag, and halts
+//! the bounded data channels so blocked peers unblock, abort at their
+//! next poison-aware barrier wait, and exit cleanly. The main thread
+//! acts as supervisor: it polls per-worker progress words and converts
+//! a fleet that stops progressing for [`NetConfig::watchdog_ms`] into
+//! [`NetError::BarrierTimeout`] with every worker's last position.
+//! [`ChaosConfig`] injects exactly these failures deterministically.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicI64, AtomicU8, AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
 
+use pstar_faults::{DeadLinkPolicy, FaultDelta, FaultPlan, FaultRuntime, LivenessView};
 use pstar_obs::{DropKind, TraceEvent, TraceRecord};
 use pstar_sim::{
-    ArqConfig, Emit, FullQueuePolicy, Packet, PacketKind, PriorityQueue, RetxEntry, Scheme,
-    SimConfig, SimReport, TimeoutWheel, MAX_PRIORITY_CLASSES,
+    ArqConfig, Emit, FullQueuePolicy, LossCause, Packet, PacketKind, PriorityQueue,
+    RecoveryTracker, RetxEntry, Scheme, SimConfig, SimReport, TimeoutWheel, MAX_PRIORITY_CLASSES,
 };
-use pstar_topology::{Link, Network, NodeId};
+use pstar_topology::{Link, LinkId, Network, NodeId};
 use pstar_traffic::TrafficMix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::channel::Channel;
+use crate::error::{ChaosConfig, NetConfigError, NetError, WorkerPosition};
 use crate::inject::{node_stream_seed, InjectMsg, VirtualInjector, WallInjector};
 use crate::stats::{assemble_report, ReportInputs, WorkerStats, BACKOFF_HIST_BUCKETS};
 
@@ -86,7 +119,8 @@ pub struct NetConfig {
     /// The simulation parameters (window, seed, ARQ, admission, …) —
     /// the same struct the simulator runs from.
     /// [`FullQueuePolicy::Backpressure`] is not supported (injection is
-    /// distributed; there is no global source gate) and panics.
+    /// distributed; there is no global source gate) and is rejected as
+    /// [`NetConfigError::Backpressure`].
     pub sim: SimConfig,
     /// Worker threads; `0` uses the machine's available parallelism.
     /// Clamped to the node count (and to 64 in wall-clock mode, the
@@ -98,17 +132,25 @@ pub struct NetConfig {
     /// `trace_capacity` events are kept); `0` disables tracing. Feed
     /// the collected tracks to `pstar_obs::chrome_trace_workers`.
     pub trace_capacity: usize,
+    /// Supervisor watchdog: a fleet that makes no progress for this
+    /// long is poisoned and reported as [`NetError::BarrierTimeout`].
+    pub watchdog_ms: u64,
+    /// Deterministic failure injection for testing the teardown paths;
+    /// inert by default.
+    pub chaos: ChaosConfig,
 }
 
 impl NetConfig {
     /// A runtime config wrapping `sim` with the default mode and worker
-    /// count.
+    /// count, a 10-second watchdog, and no chaos.
     pub fn new(sim: SimConfig) -> Self {
         Self {
             sim,
             workers: 0,
             mode: ClockMode::Virtual,
             trace_capacity: 0,
+            watchdog_ms: 10_000,
+            chaos: ChaosConfig::default(),
         }
     }
 }
@@ -157,15 +199,27 @@ impl SlotBarrier {
         }
     }
 
-    pub fn wait(&self) {
+    /// Waits for the fleet, aborting when `poison` trips — returns
+    /// `true` when the caller should abandon the run instead of
+    /// continuing. Once poisoned, the barrier's counters may be left
+    /// inconsistent; that is fine because every worker also aborts and
+    /// never waits again.
+    pub fn wait_poisoned(&self, poison: &AtomicBool) -> bool {
+        if poison.load(Ordering::Acquire) {
+            return true;
+        }
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
             self.count.store(0, Ordering::Relaxed);
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
+            false
         } else {
             let mut spins = 0u32;
             while self.generation.load(Ordering::Acquire) == gen {
+                if poison.load(Ordering::Acquire) {
+                    return true;
+                }
                 spins += 1;
                 if spins < 64 {
                     std::hint::spin_loop();
@@ -173,6 +227,7 @@ impl SlotBarrier {
                     std::thread::yield_now();
                 }
             }
+            false
         }
     }
 }
@@ -195,8 +250,14 @@ enum CtrlMsg {
     },
     /// One broadcast reception delivered at `slot`, acked to the home.
     Ack { task: u32, slot: u64 },
-    /// `receptions` of the task settled as permanently lost.
-    Lost { task: u32, receptions: u32 },
+    /// `receptions` of the task settled as permanently lost. `fault`
+    /// carries the loss attribution (dead link vs. overflow) so the
+    /// home can count fault-damaged broadcasts like the engine does.
+    Lost {
+        task: u32,
+        receptions: u32,
+        fault: bool,
+    },
     /// The task had a copy retransmitted (ARQ bookkeeping at the home).
     MarkRetx { task: u32 },
 }
@@ -239,6 +300,63 @@ struct Shared {
     /// End-of-slot queued-packet gauge per worker.
     queued_by_worker: Vec<AtomicI64>,
     peak_queue: AtomicI64,
+    /// Fault-epoch coordination; `None` on fault-free runs.
+    faults: Option<SharedFaults>,
+    /// Supervised-shutdown latch: once `true`, every worker aborts at
+    /// its next barrier wait (and halted data channels unblock any
+    /// worker stuck mid-send).
+    poison: AtomicBool,
+    /// First failure observed (panic or watchdog timeout); later
+    /// failures are secondary casualties of the teardown.
+    first_error: Mutex<Option<NetError>>,
+    /// Per-worker progress words `(slot << 3) | phase`, stored at every
+    /// phase boundary; the supervisor's watchdog input and the
+    /// [`WorkerPosition`] context of a timeout.
+    progress: Vec<AtomicU64>,
+    /// Workers whose thread body (including panic handling) finished.
+    done: AtomicUsize,
+}
+
+/// Fault-epoch coordination: worker 0 advances the fault clock and
+/// broadcasts each [`FaultDelta`].
+struct SharedFaults {
+    /// Separates the delta broadcast from its application. Deltas must
+    /// take effect at the top of *this* slot (a link dying at `t` kills
+    /// the delivery it would have made at `t`), so they cannot ride the
+    /// parity ctrl lanes, which deliver with a one-slot lag.
+    barrier: SlotBarrier,
+    /// Per-worker delta channels (worker 0 sends to `1..w`).
+    deltas: Vec<Channel<FaultMsg>>,
+}
+
+/// A fault epoch as broadcast to the fleet: the delta plus the slot of
+/// the next plan event, which re-arms every receiver's *local* gate.
+/// The gate cannot live in shared state: worker 0 would overwrite it
+/// with the next event's slot while a slower worker is still deciding
+/// whether the *current* slot has an exchange, and the two would then
+/// disagree about whether the fault barrier is entered at all.
+struct FaultMsg {
+    delta: FaultDelta,
+    /// Slot of the next unapplied plan event (`u64::MAX` once
+    /// exhausted).
+    next: u64,
+}
+
+/// Per-worker fault state: the liveness replica (kept identical across
+/// workers by the delta broadcast), recovery bookkeeping for owned
+/// links, and — on worker 0 — the fault clock itself.
+struct WorkerFaults {
+    view: LivenessView,
+    policy: DeadLinkPolicy,
+    recovery: RecoveryTracker,
+    /// Cached `view.any_faults()` for the hot paths.
+    any_now: bool,
+    /// Local copy of the next plan-event slot: every worker decides
+    /// `t >= next_fault` from its own state, so the whole fleet takes
+    /// the fault barrier on exactly the same slots.
+    next_fault: u64,
+    /// Worker 0 owns the plan cursor and broadcasts deltas.
+    rt: Option<FaultRuntime>,
 }
 
 enum Injector {
@@ -248,11 +366,14 @@ enum Injector {
     Passive,
 }
 
-/// One worker thread's whole state.
-struct Worker<'a, N: Network + Sync, S: Scheme + Sync> {
+/// One worker thread's whole state. The scheme is held by value: on
+/// fault-free runs `SS` is `&S` (the blanket `Scheme for &S` impl, zero
+/// cost, shared); on faulted runs each worker owns a clone so
+/// `Scheme::on_liveness_change` can mutate degraded-mode state.
+struct Worker<'a, N: Network + Sync, SS: Scheme> {
     id: usize,
     topo: &'a N,
-    scheme: &'a S,
+    scheme: SS,
     cfg: SimConfig,
     shared: &'a Shared,
     /// Owned links' global ids, ascending (service order).
@@ -277,6 +398,11 @@ struct Worker<'a, N: Network + Sync, S: Scheme + Sync> {
     ctrl_buf: Vec<CtrlMsg>,
     emit_buf: Vec<Emit>,
     retx_buf: Vec<RetxEntry>,
+    /// `Some` on faulted runs: this worker's liveness replica.
+    faults: Option<WorkerFaults>,
+    /// Chaos: from this slot on, remote data channels are not drained
+    /// (a "deaf" worker, for exercising the watchdog).
+    deaf_from: Option<u64>,
 }
 
 struct WorkerArq {
@@ -285,7 +411,7 @@ struct WorkerArq {
     rng: StdRng,
 }
 
-impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
+impl<'a, N: Network + Sync, SS: Scheme> Worker<'a, N, SS> {
     #[inline]
     fn owner_of(&self, node: NodeId) -> usize {
         self.shared.node_owner[node.index()] as usize
@@ -344,9 +470,25 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
         }
         let mut gen = std::mem::take(&mut self.inject_gen);
         gen.clear();
-        match &mut self.injector {
-            Injector::Virtual(inj) => {
-                inj.slot(t, self.scheme, &mut gen);
+        {
+            // Disjoint borrows: the injector consumes the scheme and the
+            // liveness view (dead nodes generate no traffic, in the
+            // engine's exact RNG draw order).
+            let Self {
+                injector,
+                faults,
+                scheme,
+                ..
+            } = &mut *self;
+            let view = faults.as_ref().map(|f| &f.view);
+            match injector {
+                Injector::Virtual(inj) => inj.slot(t, &*scheme, view, &mut gen),
+                Injector::Wall(inj) => inj.slot(t, &*scheme, view, &mut gen),
+                Injector::Passive => {}
+            }
+        }
+        match &self.injector {
+            Injector::Virtual(_) => {
                 for msg in gen.drain(..) {
                     let to = self.owner_of(msg.src);
                     if to == self.id {
@@ -357,10 +499,7 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
                     }
                 }
             }
-            Injector::Wall(inj) => {
-                inj.slot(t, self.scheme, &mut gen);
-                self.inject_buf.append(&mut gen);
-            }
+            Injector::Wall(_) => self.inject_buf.append(&mut gen),
             Injector::Passive => {}
         }
         self.inject_gen = gen;
@@ -387,18 +526,30 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
             }
         }
         self.ctrl_buf = ctrl;
-        // 2. Deliveries of slot t, fixed sender order.
+        // 2. Deliveries of slot t, merged into ascending link order —
+        //    the engine's delivery-scan order. A link carries at most
+        //    one delivery per slot, so the sort is a total order; it
+        //    makes same-slot forwards enqueue identically to the
+        //    engine, which the fault-agreement gate relies on
+        //    (boundary-straddling drops are order-sensitive).
         let mut data = std::mem::take(&mut self.data_buf);
+        data.clear();
+        let deaf = self.deaf_from.is_some_and(|s| t >= s);
         for from in 0..w {
-            data.clear();
             if from == self.id {
-                std::mem::swap(&mut data, &mut self.deliver_local);
+                data.append(&mut self.deliver_local);
+            } else if deaf {
+                // Chaos: a deaf worker stops draining its peers, so
+                // their bounded sends eventually block — the hang the
+                // watchdog exists to catch.
+                continue;
             } else {
                 self.shared.data[from * w + self.id].drain_into(&mut data);
             }
-            for msg in data.drain(..) {
-                self.process_deliver(msg.link as usize, msg.pkt, t);
-            }
+        }
+        data.sort_unstable_by_key(|m| m.link);
+        for msg in data.drain(..) {
+            self.process_deliver(msg.link as usize, msg.pkt, t);
         }
         self.data_buf = data;
         // 3. Due retransmissions (before arrivals, like the engine).
@@ -419,10 +570,11 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
         if self.in_window(t) {
             self.stats.occupancy_sum += self.queued.max(0) as u128;
         }
-        // 6. Service starts on idle owned links, link-id order.
+        // 6. Service starts on idle *alive* owned links, link-id order
+        //    (the engine's scan gates on `link_alive` the same way).
         let in_window = self.in_window(t);
         for li in 0..self.owned_links.len() {
-            if self.in_flight[li].is_none() {
+            if self.in_flight[li].is_none() && !self.link_dead(self.owned_links[li] as usize) {
                 if let Some(pkt) = self.queues[li].pop() {
                     self.queued -= 1;
                     self.start_service(li, pkt, t, in_window);
@@ -453,7 +605,11 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
                 measured,
             } => self.home_register_unicast(task, gen_time, measured),
             CtrlMsg::Ack { task, slot } => self.home_ack(task, slot, t),
-            CtrlMsg::Lost { task, receptions } => self.home_lost(task, receptions, t),
+            CtrlMsg::Lost {
+                task,
+                receptions,
+                fault,
+            } => self.home_lost(task, receptions, fault, t),
             CtrlMsg::MarkRetx { task } => {
                 if let Some(s) = self.tasks.get_mut(&task) {
                     s.retx = true;
@@ -502,7 +658,10 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
     }
 
     /// Permanently lost receptions settled against the task's home.
-    fn home_lost(&mut self, task: u32, receptions: u32, t: u64) {
+    /// `fault` attributes the loss to a dead link, mirroring the
+    /// engine's fault-damaged delta: a measured broadcast whose
+    /// completing settlement was a fault loss counts as fault-damaged.
+    fn home_lost(&mut self, task: u32, receptions: u32, fault: bool, t: u64) {
         let state = self.tasks.get_mut(&task).expect("loss for unknown task");
         debug_assert!(state.remaining >= receptions);
         state.remaining -= receptions;
@@ -512,6 +671,9 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
             if state.measured {
                 if state.broadcast {
                     self.stats.damaged_broadcasts += 1;
+                    if fault {
+                        self.stats.fault_damaged += 1;
+                    }
                 }
                 self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
             }
@@ -663,7 +825,7 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
     }
 
     /// Enqueues `self.emit_buf` as packets on `from`'s outgoing links —
-    /// the engine's `flush_emits_with_len` without the fault paths.
+    /// the engine's `flush_emits_with_len`, dead-link disposal included.
     fn enqueue_emits(&mut self, from: NodeId, task: u32, gen_time: u64, len: u16, t: u64) {
         let capacity = self.cfg.queue_capacity.map_or(usize::MAX, |c| c as usize);
         let buf = std::mem::take(&mut self.emit_buf);
@@ -692,6 +854,18 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
                 attempt: 0,
                 kind: emit.kind,
             };
+            // A dead outgoing link loses the packet under `Drop` policy
+            // (under `Requeue` it queues normally and waits for repair)
+            // — engine order: before the capacity check.
+            if self.link_dead(link)
+                && matches!(
+                    self.faults.as_ref().map(|f| f.policy).unwrap_or_default(),
+                    DeadLinkPolicy::Drop
+                )
+            {
+                self.lose_packet(link, packet, t, LossCause::Fault);
+                continue;
+            }
             if self.queues[li].len() >= capacity {
                 let enqueue_anyway = match self.cfg.full_queue_policy {
                     FullQueuePolicy::Backpressure => unreachable!("rejected at validation"),
@@ -700,7 +874,7 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
                             Some(victim) => {
                                 self.queued -= 1;
                                 self.stats.evicted_packets += 1;
-                                self.lose_packet(link, victim, t, false);
+                                self.lose_packet(link, victim, t, LossCause::Overflow);
                                 true
                             }
                             None => false,
@@ -709,7 +883,7 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
                     FullQueuePolicy::DropTail => false,
                 };
                 if !enqueue_anyway {
-                    self.lose_packet(link, packet, t, false);
+                    self.lose_packet(link, packet, t, LossCause::Overflow);
                     continue;
                 }
             }
@@ -730,21 +904,23 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
         self.emit_buf.clear();
     }
 
-    /// The engine's `handle_loss` without the fault paths: ARQ arms a
-    /// backoff timer, otherwise (or once the retry budget is spent) the
-    /// loss is settled permanently. `is_retry` marks a failed
-    /// re-injection, which is not a new packet drop.
-    fn lose_packet(&mut self, link: usize, pkt: Packet, t: u64, is_retry: bool) {
+    /// The engine's `handle_loss`: ARQ arms a backoff timer, otherwise
+    /// (or once the retry budget is spent) the loss is settled
+    /// permanently. `LossCause::Retry` marks a failed re-injection,
+    /// which is not a new packet drop; `LossCause::Fault` feeds the
+    /// fault counters.
+    fn lose_packet(&mut self, link: usize, pkt: Packet, t: u64, cause: LossCause) {
+        let is_retry = cause == LossCause::Retry;
         if self.trace_cap > 0 {
             self.record_trace(
                 t,
                 TraceEvent::Drop {
                     link: link as u32,
                     class: pkt.priority,
-                    cause: if is_retry {
-                        DropKind::RetryFailed
-                    } else {
-                        DropKind::Overflow
+                    cause: match cause {
+                        LossCause::Fault => DropKind::Fault,
+                        LossCause::Overflow => DropKind::Overflow,
+                        LossCause::Retry => DropKind::RetryFailed,
                     },
                     task: pkt.task,
                 },
@@ -783,6 +959,9 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
                 }
                 if !is_retry {
                     self.stats.dropped_packets += 1;
+                    if cause == LossCause::Fault {
+                        self.stats.fault_dropped += 1;
+                    }
                 }
                 return;
             }
@@ -791,8 +970,13 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
         if !is_retry {
             self.stats.dropped_packets += 1;
         }
+        if cause == LossCause::Fault {
+            self.stats.fault_dropped += 1;
+        }
         let before_lost = self.stats.lost_receptions;
-        self.settle_drop(&pkt, t);
+        // The engine's fault-damaged delta around `settle_drop` travels
+        // as the `fault` flag to the task's home (see `home_lost`).
+        self.settle_drop(&pkt, t, cause == LossCause::Fault);
         if self.cfg.arq.is_some() {
             self.stats.gave_up_receptions += self.stats.lost_receptions - before_lost;
         }
@@ -807,8 +991,9 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
     }
 
     /// Settles a terminally lost packet: loss-site counters here, the
-    /// completion record updated at the task's home.
-    fn settle_drop(&mut self, pkt: &Packet, t: u64) {
+    /// completion record updated at the task's home. `fault` carries the
+    /// loss attribution to the home's fault-damaged accounting.
+    fn settle_drop(&mut self, pkt: &Packet, t: u64, fault: bool) {
         let measured = self.in_window(pkt.gen_time);
         let (home, receptions) = match pkt.kind {
             PacketKind::Broadcast(state) => {
@@ -828,7 +1013,7 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
             }
         };
         if home == self.id {
-            self.home_lost(pkt.task, receptions, t);
+            self.home_lost(pkt.task, receptions, fault, t);
         } else {
             self.send_ctrl(
                 t,
@@ -836,6 +1021,7 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
                 CtrlMsg::Lost {
                     task: pkt.task,
                     receptions,
+                    fault,
                 },
             );
         }
@@ -855,8 +1041,10 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
         for e in &due {
             let link = e.link as usize;
             let li = self.link_local[link] as usize;
-            if self.queues[li].len() >= capacity {
-                self.lose_packet(link, e.pkt, t, true);
+            // A dead link fails the re-injection like a full queue does
+            // (engine: `!link_alive || !room` → `Retry` loss).
+            if self.link_dead(link) || self.queues[li].len() >= capacity {
+                self.lose_packet(link, e.pkt, t, LossCause::Retry);
                 continue;
             }
             let mut pkt = e.pkt;
@@ -898,6 +1086,9 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
         if in_window {
             let wait = t - pkt.enqueue_time;
             self.stats.wait_by_class[pkt.priority as usize].push(wait as f64);
+            if self.faults.as_ref().is_some_and(|f| f.any_now) {
+                self.stats.wait_fault[pkt.priority as usize].push(wait as f64);
+            }
             if let Some(tl) = self.stats.tails.as_deref_mut() {
                 tl.record_service(&pkt, wait, self.topo.d());
             }
@@ -908,6 +1099,164 @@ impl<'a, N: Network + Sync, S: Scheme + Sync> Worker<'a, N, S> {
             self.stats.busy_by_link[link as usize] += busy;
         }
         self.in_flight[li] = Some((pkt, t + pkt.len as u64));
+    }
+
+    // ---------------------------------------------------------------
+    // Fault epochs (the engine's `fault_tick`, sharded)
+    // ---------------------------------------------------------------
+
+    /// `true` when global link `gl` is currently dead. One `None` branch
+    /// on fault-free runs; one cached-bool check while no fault is live.
+    #[inline]
+    fn link_dead(&self, gl: usize) -> bool {
+        match &self.faults {
+            Some(f) if f.any_now => !f.view.link_alive(LinkId(gl as u32)),
+            _ => false,
+        }
+    }
+
+    /// Top-of-slot fault exchange — the engine's `fault_tick`, run
+    /// before phase A so a delta lands exactly where the engine applies
+    /// it: before this slot's deliveries, arrivals, and service. Worker
+    /// 0 advances the fault clock and broadcasts the delta; everyone
+    /// applies it behind the dedicated fault barrier, then ticks the
+    /// per-slot fault accounting. Returns `true` when the run was
+    /// poisoned at the fault barrier.
+    fn fault_slot_top(&mut self, t: u64) -> bool {
+        let shared = self.shared;
+        let Some(sf) = shared.faults.as_ref() else {
+            return false;
+        };
+        if t >= self.faults.as_ref().map_or(u64::MAX, |f| f.next_fault) {
+            if self.id == 0 {
+                let (delta, next) = {
+                    let rt = self
+                        .faults
+                        .as_mut()
+                        .and_then(|f| f.rt.as_mut())
+                        .expect("worker 0 owns the fault clock");
+                    let delta = rt.advance_to(t);
+                    (delta, rt.next_event_slot().unwrap_or(u64::MAX))
+                };
+                for ch in &sf.deltas[1..] {
+                    ch.send(FaultMsg {
+                        delta: delta.clone(),
+                        next,
+                    });
+                    self.stats.messages_sent += 1;
+                }
+                self.faults.as_mut().expect("faulted run").next_fault = next;
+                self.stats.fault_events_applied += u64::from(delta.events_applied);
+                self.apply_fault_delta(&delta, t);
+                if sf.barrier.wait_poisoned(&shared.poison) {
+                    return true;
+                }
+            } else {
+                // The send above happens before worker 0's barrier
+                // arrival, so after release the message is guaranteed
+                // present.
+                if sf.barrier.wait_poisoned(&shared.poison) {
+                    return true;
+                }
+                let mut msgs = Vec::new();
+                sf.deltas[self.id].drain_into(&mut msgs);
+                for msg in &msgs {
+                    self.faults.as_mut().expect("faulted run").next_fault = msg.next;
+                    self.apply_fault_delta(&msg.delta, t);
+                }
+            }
+        }
+        // Per-slot fault accounting, engine order: the global
+        // fault-exposure gauge (worker 0, to avoid W-fold counting),
+        // then recovery probes over this worker's watched links.
+        let Self {
+            id,
+            faults,
+            queues,
+            in_flight,
+            link_local,
+            stats,
+            ..
+        } = self;
+        if let Some(f) = faults.as_mut() {
+            if *id == 0 && f.any_now {
+                stats.fault_slots += 1;
+            }
+            if f.recovery.is_watching() {
+                f.recovery.tick(t, |gl| {
+                    let li = link_local[gl as usize];
+                    li != u32::MAX
+                        && (!queues[li as usize].is_empty() || in_flight[li as usize].is_some())
+                });
+            }
+        }
+        false
+    }
+
+    /// Applies one epoch delta to this worker's replica: the liveness
+    /// view, stranded-packet disposal on newly dead *owned* links,
+    /// recovery bookkeeping, and the scheme's degraded-mode re-solve.
+    fn apply_fault_delta(&mut self, delta: &FaultDelta, t: u64) {
+        self.faults
+            .as_mut()
+            .expect("faulted run")
+            .view
+            .apply_delta(delta);
+        if delta.changed() {
+            for &l in &delta.newly_dead {
+                if self.link_local[l.index()] != u32::MAX {
+                    self.on_link_death_net(l, t);
+                }
+            }
+            let Self {
+                faults,
+                link_local,
+                scheme,
+                ..
+            } = self;
+            let f = faults.as_mut().expect("faulted run");
+            for &l in &delta.repaired {
+                if link_local[l.index()] != u32::MAX {
+                    f.recovery.on_repair(l.0, t);
+                }
+            }
+            // Every worker re-solves on its own clone: same view, same
+            // deterministic result as the engine's single re-solve.
+            scheme.on_liveness_change(&f.view);
+        }
+        let f = self.faults.as_mut().expect("faulted run");
+        f.any_now = f.view.any_faults();
+    }
+
+    /// The engine's `on_link_death` for one owned link: interrupt the
+    /// in-flight transmission and dispose of the backlog per policy.
+    fn on_link_death_net(&mut self, link: LinkId, t: u64) {
+        let gl = link.index();
+        let li = self.link_local[gl] as usize;
+        let policy = {
+            let f = self.faults.as_mut().expect("faulted run");
+            f.recovery.on_death(link.0);
+            f.policy
+        };
+        if let Some((pkt, _finish)) = self.in_flight[li].take() {
+            match policy {
+                DeadLinkPolicy::Drop => self.lose_packet(gl, pkt, t, LossCause::Fault),
+                DeadLinkPolicy::Requeue => {
+                    // Head requeue may overflow a bounded queue by one —
+                    // the engine documents the same allowance for the
+                    // interrupted transmission.
+                    self.queues[li].push_front(pkt);
+                    self.queued += 1;
+                }
+            }
+        }
+        if matches!(policy, DeadLinkPolicy::Drop) && !self.queues[li].is_empty() {
+            self.queued -= self.queues[li].len() as i64;
+            let stranded: Vec<Packet> = self.queues[li].drain_all().collect();
+            for pkt in stranded {
+                self.lose_packet(gl, pkt, t, LossCause::Fault);
+            }
+        }
     }
 
     // ---------------------------------------------------------------
@@ -954,26 +1303,117 @@ type WorkerOutput = (WorkerStats, Vec<TraceRecord>, Vec<(u64, u64)>, u64);
 /// thread-per-core runtime and reports. See the module docs for the
 /// phase protocol; see [`NetConfig`] for knobs.
 ///
-/// # Panics
-///
-/// On configs the runtime cannot execute:
-/// [`FullQueuePolicy::Backpressure`] with a finite queue capacity, or a
-/// scheme using more than [`MAX_PRIORITY_CLASSES`] classes.
-pub fn run_net<N, S>(topo: &N, scheme: S, mix: TrafficMix, cfg: NetConfig) -> NetReport
+/// Never panics and never hangs: invalid configs are rejected as
+/// [`NetError::Config`], a panicking worker becomes
+/// [`NetError::WorkerPanic`], and a hung fleet becomes
+/// [`NetError::BarrierTimeout`] after [`NetConfig::watchdog_ms`].
+pub fn run_net<N, S>(
+    topo: &N,
+    scheme: S,
+    mix: TrafficMix,
+    cfg: NetConfig,
+) -> Result<NetReport, NetError>
 where
     N: Network + Sync,
     S: Scheme + Sync,
 {
-    assert!(
-        scheme.num_priorities() <= MAX_PRIORITY_CLASSES,
-        "scheme uses too many priority classes"
-    );
-    assert!(
-        !(cfg.sim.queue_capacity.is_some()
-            && matches!(cfg.sim.full_queue_policy, FullQueuePolicy::Backpressure)),
-        "pstar-net does not support FullQueuePolicy::Backpressure \
-         (injection is distributed; there is no global source gate)"
-    );
+    // Fault-free runs share the scheme by reference across workers (the
+    // blanket `Scheme for &S` impl): zero clone cost, identical behavior.
+    let scheme = &scheme;
+    run_net_inner(topo, scheme.num_priorities(), |_| scheme, mix, cfg, None)
+}
+
+/// [`run_net`] under a scripted [`FaultPlan`]: links die and heal and
+/// nodes crash at planned slots, exactly as in the engine's
+/// `run_with_faults` — a virtual-clock run reproduces the engine's
+/// delivered and fault-drop counts bit-for-bit under the same plan.
+///
+/// The scheme must be `Clone`: each worker owns a clone so
+/// `Scheme::on_liveness_change` can re-solve degraded-mode state
+/// per epoch (all clones see identical [`LivenessView`]s, so they stay
+/// in agreement deterministically).
+pub fn run_net_with_faults<N, S>(
+    topo: &N,
+    scheme: S,
+    mix: TrafficMix,
+    cfg: NetConfig,
+    plan: FaultPlan,
+    policy: DeadLinkPolicy,
+) -> Result<NetReport, NetError>
+where
+    N: Network + Sync,
+    S: Scheme + Clone + Send + Sync,
+{
+    let scheme = &scheme;
+    run_net_inner(
+        topo,
+        scheme.num_priorities(),
+        |_| scheme.clone(),
+        mix,
+        cfg,
+        Some((plan, policy)),
+    )
+}
+
+/// Halts every bounded data channel (the only blocking sends in the
+/// runtime) so workers stuck mid-`send` unblock during teardown.
+fn halt_data(shared: &Shared) {
+    for ch in &shared.data {
+        ch.halt();
+    }
+}
+
+/// Records `err` as the run's failure if it is the first, then poisons
+/// the fleet and unblocks every blocked sender.
+fn poison_with(shared: &Shared, err: NetError) {
+    {
+        let mut first = shared.first_error.lock().unwrap_or_else(|e| e.into_inner());
+        if first.is_none() {
+            *first = Some(err);
+        }
+    }
+    shared.poison.store(true, Ordering::Release);
+    halt_data(shared);
+}
+
+/// Stringifies a panic payload (`&str` and `String` pass through).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The engine room behind [`run_net`] and [`run_net_with_faults`]:
+/// `make_scheme(id)` builds each worker's scheme instance on the main
+/// thread before its thread spawns.
+fn run_net_inner<N, SS>(
+    topo: &N,
+    num_priorities: usize,
+    mut make_scheme: impl FnMut(usize) -> SS,
+    mix: TrafficMix,
+    cfg: NetConfig,
+    faults: Option<(FaultPlan, DeadLinkPolicy)>,
+) -> Result<NetReport, NetError>
+where
+    N: Network + Sync,
+    SS: Scheme + Send,
+{
+    if num_priorities > MAX_PRIORITY_CLASSES {
+        return Err(NetConfigError::TooManyPriorityClasses {
+            requested: num_priorities,
+            max: MAX_PRIORITY_CLASSES,
+        }
+        .into());
+    }
+    if cfg.sim.queue_capacity.is_some()
+        && matches!(cfg.sim.full_queue_policy, FullQueuePolicy::Backpressure)
+    {
+        return Err(NetConfigError::Backpressure.into());
+    }
     let sim = cfg.sim;
     let n = topo.node_count();
     let links = topo.link_count() as usize;
@@ -1002,6 +1442,18 @@ where
     let link_source = topo.link_source_table();
     let link_dim = topo.link_dim_table();
     let link_owner: Vec<u32> = link_source.iter().map(|s| node_owner[s.index()]).collect();
+
+    let faults_enabled = faults.is_some();
+    let policy = faults.as_ref().map(|(_, p)| *p).unwrap_or_default();
+    // Worker 0's fault clock, built before `link_target` moves into the
+    // shared state.
+    let mut rt0 = faults
+        .map(|(plan, _)| FaultRuntime::new(plan, link_source.clone(), link_target.clone(), n));
+    // Every worker's local gate starts at the plan's first event slot.
+    let first_fault = rt0
+        .as_ref()
+        .and_then(|rt| rt.next_event_slot())
+        .unwrap_or(u64::MAX);
 
     // Data channels bounded by the link count between each worker pair:
     // at most one delivery per link per slot, so a correctly sized
@@ -1033,6 +1485,14 @@ where
         stop: AtomicU8::new(RUN),
         queued_by_worker: (0..w).map(|_| AtomicI64::new(0)).collect(),
         peak_queue: AtomicI64::new(0),
+        faults: rt0.as_ref().map(|_| SharedFaults {
+            barrier: SlotBarrier::new(w),
+            deltas: (0..w).map(|_| Channel::unbounded()).collect(),
+        }),
+        poison: AtomicBool::new(false),
+        first_error: Mutex::new(None),
+        progress: (0..w).map(|_| AtomicU64::new(0)).collect(),
+        done: AtomicUsize::new(0),
     };
     let diameter = topo.diameter();
     let queue_limit = (sim.unstable_queue_per_link * links as f64) as i64;
@@ -1047,144 +1507,307 @@ where
                 link_dim: &shared.link_dim,
                 d: topo.d(),
                 node_count: n as u64,
-                num_priorities: scheme.num_priorities(),
+                num_priorities,
                 slots_run: 0,
                 stable: true,
                 completed,
                 peak_queue_total: 0,
                 queue_trace: Vec::new(),
+                faults_enabled,
             },
         );
-        return NetReport {
+        return Ok(NetReport {
             report,
             workers: w,
             wall_secs: 0.0,
             slots_per_sec: 0.0,
             messages_sent: 0,
             worker_traces: Vec::new(),
-        };
+        });
     }
 
-    let scheme = &scheme;
     let shared_ref = &shared;
     let started = std::time::Instant::now();
-    let results: Vec<WorkerOutput> = std::thread::scope(|s| {
+    let outputs: Vec<Option<WorkerOutput>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..w)
             .map(|id| {
                 let range = ranges[id].clone();
                 let link_owner = &link_owner;
                 let link_source = &link_source;
+                // Built on the main thread: `make_scheme` is `FnMut` and
+                // worker 0 takes the fault clock.
+                let scheme_inst = make_scheme(id);
+                let rt = if id == 0 { rt0.take() } else { None };
                 s.spawn(move || {
-                    let owned_links: Vec<u32> = (0..links as u32)
-                        .filter(|&l| link_owner[l as usize] == id as u32)
-                        .collect();
-                    let mut link_local = vec![u32::MAX; links];
-                    for (li, &gl) in owned_links.iter().enumerate() {
-                        link_local[gl as usize] = li as u32;
-                    }
-                    debug_assert!(link_source
-                        .iter()
-                        .enumerate()
-                        .all(|(l, src)| (link_owner[l] == id as u32) == range.contains(&src.0)));
-                    let injector = match cfg.mode {
-                        ClockMode::Virtual if id == 0 => {
-                            Injector::Virtual(VirtualInjector::new(n, mix, sim))
-                        }
-                        ClockMode::Virtual => Injector::Passive,
-                        ClockMode::WallClock => {
-                            Injector::Wall(WallInjector::new(id, range, n, mix, sim))
-                        }
-                    };
-                    let mut worker = Worker {
-                        id,
-                        topo,
-                        scheme,
-                        cfg: sim,
-                        shared: shared_ref,
-                        queues: (0..owned_links.len())
-                            .map(|_| PriorityQueue::new())
-                            .collect(),
-                        in_flight: vec![None; owned_links.len()],
-                        owned_links,
-                        link_local,
-                        queued: 0,
-                        tasks: HashMap::new(),
-                        injector,
-                        arq: sim.arq.map(|a| WorkerArq {
-                            cfg: a,
-                            wheel: TimeoutWheel::new(),
-                            rng: StdRng::seed_from_u64(node_stream_seed(
-                                sim.seed ^ ARQ_SEED_SALT,
-                                id as u32,
-                            )),
-                        }),
-                        fwd_rng: StdRng::seed_from_u64(node_stream_seed(
-                            sim.seed ^ FWD_SEED_SALT,
-                            id as u32,
-                        )),
-                        stats: WorkerStats::new(links, &sim, diameter),
-                        trace: Vec::new(),
-                        trace_cap: cfg.trace_capacity,
-                        inject_gen: Vec::new(),
-                        inject_buf: Vec::new(),
-                        deliver_local: Vec::new(),
-                        data_buf: Vec::new(),
-                        ctrl_buf: Vec::new(),
-                        emit_buf: Vec::with_capacity(64),
-                        retx_buf: Vec::new(),
-                    };
-                    let mut queue_trace: Vec<(u64, u64)> = Vec::new();
-                    if id == 0 {
-                        if let Some(k) = sim.trace_interval {
-                            if 0 % k == 0 {
-                                queue_trace.push((0, 0));
+                    let body =
+                        move || {
+                            let owned_links: Vec<u32> = (0..links as u32)
+                                .filter(|&l| link_owner[l as usize] == id as u32)
+                                .collect();
+                            let mut link_local = vec![u32::MAX; links];
+                            for (li, &gl) in owned_links.iter().enumerate() {
+                                link_local[gl as usize] = li as u32;
                             }
+                            debug_assert!(link_source
+                                .iter()
+                                .enumerate()
+                                .all(|(l, src)| (link_owner[l] == id as u32)
+                                    == range.contains(&src.0)));
+                            let injector = match cfg.mode {
+                                ClockMode::Virtual if id == 0 => {
+                                    Injector::Virtual(VirtualInjector::new(n, mix, sim))
+                                }
+                                ClockMode::Virtual => Injector::Passive,
+                                ClockMode::WallClock => {
+                                    Injector::Wall(WallInjector::new(id, range, n, mix, sim))
+                                }
+                            };
+                            let worker_faults = faults_enabled.then(|| WorkerFaults {
+                                view: LivenessView::healthy(links as u32, n),
+                                policy,
+                                recovery: RecoveryTracker::new(),
+                                any_now: false,
+                                next_fault: first_fault,
+                                rt,
+                            });
+                            let mut worker = Worker {
+                                id,
+                                topo,
+                                scheme: scheme_inst,
+                                cfg: sim,
+                                shared: shared_ref,
+                                queues: (0..owned_links.len())
+                                    .map(|_| PriorityQueue::new())
+                                    .collect(),
+                                in_flight: vec![None; owned_links.len()],
+                                owned_links,
+                                link_local,
+                                queued: 0,
+                                tasks: HashMap::new(),
+                                injector,
+                                arq: sim.arq.map(|a| WorkerArq {
+                                    cfg: a,
+                                    wheel: TimeoutWheel::new(),
+                                    rng: StdRng::seed_from_u64(node_stream_seed(
+                                        sim.seed ^ ARQ_SEED_SALT,
+                                        id as u32,
+                                    )),
+                                }),
+                                fwd_rng: StdRng::seed_from_u64(node_stream_seed(
+                                    sim.seed ^ FWD_SEED_SALT,
+                                    id as u32,
+                                )),
+                                stats: WorkerStats::new(links, &sim, diameter),
+                                trace: Vec::new(),
+                                trace_cap: cfg.trace_capacity,
+                                inject_gen: Vec::new(),
+                                inject_buf: Vec::new(),
+                                deliver_local: Vec::new(),
+                                data_buf: Vec::new(),
+                                ctrl_buf: Vec::new(),
+                                emit_buf: Vec::with_capacity(64),
+                                retx_buf: Vec::new(),
+                                faults: worker_faults,
+                                deaf_from: cfg
+                                    .chaos
+                                    .deaf_from_slot
+                                    .filter(|_| cfg.chaos.victim(2, w) == id),
+                            };
+                            let mut queue_trace: Vec<(u64, u64)> = Vec::new();
+                            if id == 0 {
+                                if let Some(k) = sim.trace_interval {
+                                    if 0 % k == 0 {
+                                        queue_trace.push((0, 0));
+                                    }
+                                }
+                            }
+                            let chaos_panic = cfg
+                                .chaos
+                                .panic_at_slot
+                                .filter(|_| cfg.chaos.victim(0, w) == id);
+                            let chaos_delay = cfg
+                                .chaos
+                                .delay_at_slot
+                                .filter(|(_, _)| cfg.chaos.victim(1, w) == id);
+                            let poison = &shared_ref.poison;
+                            let mut t: u64 = 0;
+                            loop {
+                                shared_ref.progress[id].store(t << 3, Ordering::Release);
+                                if poison.load(Ordering::Acquire) {
+                                    break;
+                                }
+                                if chaos_panic == Some(t) {
+                                    panic!("chaos: injected panic at slot {t} on worker {id}");
+                                }
+                                if let Some((slot, ms)) = chaos_delay {
+                                    if slot == t {
+                                        std::thread::sleep(Duration::from_millis(ms));
+                                    }
+                                }
+                                if worker.fault_slot_top(t) {
+                                    break;
+                                }
+                                shared_ref.progress[id].store((t << 3) | 1, Ordering::Release);
+                                worker.phase_a(t);
+                                if shared_ref.barrier_a.wait_poisoned(poison) {
+                                    break;
+                                }
+                                shared_ref.progress[id].store((t << 3) | 2, Ordering::Release);
+                                worker.phase_b(t);
+                                if shared_ref.barrier_b.wait_poisoned(poison) {
+                                    break;
+                                }
+                                shared_ref.progress[id].store((t << 3) | 3, Ordering::Release);
+                                if id == 0 {
+                                    worker.decide(t, queue_limit, &mut queue_trace);
+                                }
+                                if shared_ref.barrier_c.wait_poisoned(poison) {
+                                    break;
+                                }
+                                if shared_ref.stop.load(Ordering::Acquire) != RUN {
+                                    break;
+                                }
+                                t += 1;
+                            }
+                            shared_ref.progress[id].store((t << 3) | 4, Ordering::Release);
+                            let slots_run = t + 1;
+                            if worker.stats.concurrent_snapshot.is_none() {
+                                worker.stats.concurrent_snapshot = Some((
+                                    worker.stats.concurrent_bcast.average(slots_run),
+                                    worker.stats.concurrent_ucast.average(slots_run),
+                                ));
+                            }
+                            worker.stats.pending_at_end =
+                                worker.arq.as_ref().map_or(0, |a| a.wheel.len());
+                            match &worker.injector {
+                                Injector::Virtual(inj) => {
+                                    worker.stats.rejected_broadcasts = inj.rejected.0;
+                                    worker.stats.rejected_unicasts = inj.rejected.1;
+                                }
+                                Injector::Wall(inj) => {
+                                    worker.stats.rejected_broadcasts = inj.rejected.0;
+                                    worker.stats.rejected_unicasts = inj.rejected.1;
+                                }
+                                Injector::Passive => {}
+                            }
+                            // Close out recovery measurements whose backlog
+                            // drained on the final slots, like the engine's
+                            // report-time finalize; merge the samples into the
+                            // mergeable stats shard.
+                            {
+                                let Worker {
+                                    faults,
+                                    queues,
+                                    in_flight,
+                                    link_local,
+                                    stats,
+                                    ..
+                                } = &mut worker;
+                                if let Some(f) = faults.as_mut() {
+                                    f.recovery.finalize(slots_run, |gl| {
+                                        let li = link_local[gl as usize];
+                                        li != u32::MAX
+                                            && (!queues[li as usize].is_empty()
+                                                || in_flight[li as usize].is_some())
+                                    });
+                                    stats.fault_recovery.merge(f.recovery.samples());
+                                }
+                            }
+                            (worker.stats, worker.trace, queue_trace, slots_run)
+                        };
+                    match catch_unwind(AssertUnwindSafe(body)) {
+                        Ok(out) => {
+                            shared_ref.done.fetch_add(1, Ordering::AcqRel);
+                            Some(out)
+                        }
+                        Err(payload) => {
+                            // Order matters: record the error and poison
+                            // *before* bumping `done`, so the supervisor
+                            // can never observe a finished fleet with a
+                            // missing output and no recorded failure.
+                            poison_with(
+                                shared_ref,
+                                NetError::WorkerPanic {
+                                    worker: id as u32,
+                                    message: panic_message(payload),
+                                },
+                            );
+                            shared_ref.done.fetch_add(1, Ordering::AcqRel);
+                            None
                         }
                     }
-                    let mut t: u64 = 0;
-                    loop {
-                        worker.phase_a(t);
-                        shared_ref.barrier_a.wait();
-                        worker.phase_b(t);
-                        shared_ref.barrier_b.wait();
-                        if id == 0 {
-                            worker.decide(t, queue_limit, &mut queue_trace);
-                        }
-                        shared_ref.barrier_c.wait();
-                        if shared_ref.stop.load(Ordering::Acquire) != RUN {
-                            break;
-                        }
-                        t += 1;
-                    }
-                    let slots_run = t + 1;
-                    if worker.stats.concurrent_snapshot.is_none() {
-                        worker.stats.concurrent_snapshot = Some((
-                            worker.stats.concurrent_bcast.average(slots_run),
-                            worker.stats.concurrent_ucast.average(slots_run),
-                        ));
-                    }
-                    worker.stats.pending_at_end = worker.arq.as_ref().map_or(0, |a| a.wheel.len());
-                    match &worker.injector {
-                        Injector::Virtual(inj) => {
-                            worker.stats.rejected_broadcasts = inj.rejected.0;
-                            worker.stats.rejected_unicasts = inj.rejected.1;
-                        }
-                        Injector::Wall(inj) => {
-                            worker.stats.rejected_broadcasts = inj.rejected.0;
-                            worker.stats.rejected_unicasts = inj.rejected.1;
-                        }
-                        Injector::Passive => {}
-                    }
-                    (worker.stats, worker.trace, queue_trace, slots_run)
                 })
             })
             .collect();
+        // Supervisor: the main thread polls the per-worker progress
+        // words; a fleet that stops moving for `watchdog_ms` is hung
+        // (blocked send into a dead consumer, lost barrier) and gets
+        // converted into a structured timeout instead of a deadlock.
+        let mut last: Vec<u64> = Vec::new();
+        let mut idle_ms: u64 = 0;
+        while shared_ref.done.load(Ordering::Acquire) < w {
+            std::thread::sleep(Duration::from_millis(10));
+            if shared_ref.poison.load(Ordering::Acquire) {
+                continue; // teardown already under way; just wait
+            }
+            let snap: Vec<u64> = shared_ref
+                .progress
+                .iter()
+                .map(|p| p.load(Ordering::Acquire))
+                .collect();
+            if snap == last {
+                idle_ms += 10;
+                if idle_ms >= cfg.watchdog_ms && shared_ref.done.load(Ordering::Acquire) < w {
+                    let workers_pos = snap
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &v)| WorkerPosition {
+                            worker: i as u32,
+                            slot: v >> 3,
+                            phase: (v & 7) as u8,
+                        })
+                        .collect();
+                    poison_with(
+                        shared_ref,
+                        NetError::BarrierTimeout {
+                            waited_ms: idle_ms,
+                            workers: workers_pos,
+                        },
+                    );
+                }
+            } else {
+                last = snap;
+                idle_ms = 0;
+            }
+        }
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| h.join().ok().flatten())
             .collect()
     });
     let wall_secs = started.elapsed().as_secs_f64();
+
+    if let Some(err) = shared
+        .first_error
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .take()
+    {
+        return Err(err);
+    }
+    let mut results: Vec<WorkerOutput> = Vec::with_capacity(w);
+    for out in outputs {
+        match out {
+            Some(o) => results.push(o),
+            // Defensive: a missing output always records an error first.
+            None => {
+                return Err(NetError::WorkerPanic {
+                    worker: u32::MAX,
+                    message: "worker produced no output but recorded no error".into(),
+                })
+            }
+        }
+    }
 
     let stop = shared.stop.load(Ordering::Acquire);
     let slots_run = results[0].3;
@@ -1208,15 +1831,16 @@ where
             link_dim: &shared.link_dim,
             d: topo.d(),
             node_count: n as u64,
-            num_priorities: scheme.num_priorities(),
+            num_priorities,
             slots_run,
             stable: stop != UNSTABLE,
             completed: stop == COMPLETED,
             peak_queue_total: shared.peak_queue.load(Ordering::Acquire),
             queue_trace,
+            faults_enabled,
         },
     );
-    NetReport {
+    Ok(NetReport {
         report,
         workers: w,
         wall_secs,
@@ -1227,7 +1851,7 @@ where
         },
         messages_sent,
         worker_traces,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -1255,12 +1879,12 @@ mod tests {
             spec.build_scheme(&topo),
             spec.mix(&topo),
             NetConfig {
-                sim,
                 workers,
                 mode,
-                trace_capacity: 0,
+                ..NetConfig::new(sim)
             },
         )
+        .expect("run_net failed")
     }
 
     /// Every measured broadcast reaches all 15 other nodes of the 4×4
@@ -1429,13 +2053,24 @@ mod tests {
         assert_eq!(net.report.slots_run, 0);
     }
 
+    /// Invalid configs come back as structured errors, not panics.
     #[test]
-    #[should_panic(expected = "Backpressure")]
     fn backpressure_is_rejected() {
+        let topo = Torus::new(&[4, 4]);
+        let spec = ScenarioSpec::default();
         let mut sim = SimConfig::quick(1);
+        sim.lengths = spec.lengths;
         sim.queue_capacity = Some(4);
         sim.full_queue_policy = FullQueuePolicy::Backpressure;
-        run(SchemeKind::PriorityStar, 0.5, sim, 2, ClockMode::Virtual);
+        let err = run_net(
+            &topo,
+            spec.build_scheme(&topo),
+            spec.mix(&topo),
+            NetConfig::new(sim),
+        )
+        .expect_err("Backpressure must be rejected");
+        assert_eq!(err, NetError::Config(NetConfigError::Backpressure));
+        assert!(err.to_string().contains("Backpressure"));
     }
 
     #[test]
@@ -1449,12 +2084,12 @@ mod tests {
             spec.build_scheme(&topo),
             spec.mix(&topo),
             NetConfig {
-                sim,
                 workers: 3,
-                mode: ClockMode::Virtual,
                 trace_capacity: 500,
+                ..NetConfig::new(sim)
             },
-        );
+        )
+        .expect("run_net failed");
         assert_eq!(net.worker_traces.len(), 3);
         let total: usize = net.worker_traces.iter().map(|(_, t)| t.len()).sum();
         assert!(total > 0, "tracing produced nothing");
@@ -1462,6 +2097,79 @@ mod tests {
             assert!(track.len() <= 500);
             // Slot-monotone within a worker.
             assert!(track.windows(2).all(|w| w[0].slot <= w[1].slot));
+        }
+    }
+
+    fn chaos_run(
+        chaos: ChaosConfig,
+        watchdog_ms: u64,
+        workers: usize,
+    ) -> Result<NetReport, NetError> {
+        let topo = Torus::new(&[4, 4]);
+        let spec = ScenarioSpec::default();
+        let mut sim = SimConfig::quick(17);
+        sim.lengths = spec.lengths;
+        run_net(
+            &topo,
+            spec.build_scheme(&topo),
+            spec.mix(&topo),
+            NetConfig {
+                workers,
+                watchdog_ms,
+                chaos,
+                ..NetConfig::new(sim)
+            },
+        )
+    }
+
+    /// A panicking worker becomes a structured error; peers drain and
+    /// join cleanly instead of deadlocking or re-panicking.
+    #[test]
+    fn chaos_panic_becomes_worker_panic_error() {
+        let chaos = ChaosConfig {
+            seed: 3,
+            panic_at_slot: Some(100),
+            ..Default::default()
+        };
+        match chaos_run(chaos, 10_000, 3) {
+            Err(NetError::WorkerPanic { message, .. }) => {
+                assert!(
+                    message.contains("chaos: injected panic at slot 100"),
+                    "{message}"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+    }
+
+    /// A stall shorter than the watchdog interval is NOT a failure —
+    /// the watchdog must not produce false positives.
+    #[test]
+    fn chaos_delay_below_watchdog_still_completes() {
+        let chaos = ChaosConfig {
+            seed: 5,
+            delay_at_slot: Some((50, 100)),
+            ..Default::default()
+        };
+        let net = chaos_run(chaos, 10_000, 3).expect("a short stall must not fail the run");
+        assert!(net.report.completed);
+    }
+
+    /// A worker that stops draining its peers hangs the fleet; the
+    /// watchdog converts the hang into a timeout with positions.
+    #[test]
+    fn chaos_deaf_worker_trips_the_watchdog() {
+        let chaos = ChaosConfig {
+            seed: 9,
+            deaf_from_slot: Some(10),
+            ..Default::default()
+        };
+        match chaos_run(chaos, 300, 4) {
+            Err(NetError::BarrierTimeout { waited_ms, workers }) => {
+                assert!(waited_ms >= 300);
+                assert_eq!(workers.len(), 4);
+            }
+            other => panic!("expected BarrierTimeout, got {other:?}"),
         }
     }
 
@@ -1473,21 +2181,36 @@ mod tests {
         let enter = SlotBarrier::new(THREADS);
         let exit = SlotBarrier::new(THREADS);
         let counter = AtomicU64::new(0);
+        let poison = AtomicBool::new(false);
         std::thread::scope(|s| {
             for _ in 0..THREADS {
                 s.spawn(|| {
                     for round in 0..ROUNDS {
                         counter.fetch_add(1, Ordering::AcqRel);
-                        enter.wait();
+                        assert!(!enter.wait_poisoned(&poison));
                         assert_eq!(
                             counter.load(Ordering::Acquire),
                             (round + 1) * THREADS as u64,
                             "a thread raced past the barrier"
                         );
-                        exit.wait();
+                        assert!(!exit.wait_poisoned(&poison));
                     }
                 });
             }
+        });
+    }
+
+    /// A poisoned barrier releases a waiter that would otherwise spin
+    /// forever.
+    #[test]
+    fn poisoned_barrier_releases_waiters() {
+        let barrier = SlotBarrier::new(2);
+        let poison = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let h = s.spawn(|| barrier.wait_poisoned(&poison));
+            std::thread::sleep(std::time::Duration::from_millis(50));
+            poison.store(true, Ordering::Release);
+            assert!(h.join().unwrap(), "waiter must abort, not spin forever");
         });
     }
 }

@@ -145,6 +145,21 @@ pub(crate) struct WorkerStats {
     pub unicast_delay: Moments,
     pub recovered_task_delay: Moments,
     pub damaged_broadcasts: u64,
+    // -- fault accounting (loss / home / owning-link sites) --
+    pub fault_dropped: u64,
+    pub fault_damaged: u64,
+    /// Time-to-recovery samples of this worker's owned links (tracker
+    /// watch lists are disjoint by link ownership, so merging samples
+    /// suffices).
+    pub fault_recovery: Moments,
+    /// Service waits observed while any fault was active (worker 0
+    /// broadcasts the liveness epoch, so "while faulted" is globally
+    /// consistent).
+    pub wait_fault: [Moments; MAX_PRIORITY_CLASSES],
+    /// Fault-plan events applied (worker 0 only; it owns the clock).
+    pub fault_events_applied: u64,
+    /// Slots with ≥1 active fault (worker 0 only).
+    pub fault_slots: u64,
     // -- occupancy / concurrency (window-bounded) --
     pub occupancy_sum: u128,
     pub concurrent_bcast: TimeWeighted,
@@ -194,6 +209,12 @@ impl WorkerStats {
             unicast_delay: Moments::new(),
             recovered_task_delay: Moments::new(),
             damaged_broadcasts: 0,
+            fault_dropped: 0,
+            fault_damaged: 0,
+            fault_recovery: Moments::new(),
+            wait_fault: std::array::from_fn(|_| Moments::new()),
+            fault_events_applied: 0,
+            fault_slots: 0,
             occupancy_sum: 0,
             concurrent_bcast: TimeWeighted::new(0, 0),
             concurrent_ucast: TimeWeighted::new(0, 0),
@@ -250,6 +271,14 @@ impl WorkerStats {
         self.unicast_delay.merge(&other.unicast_delay);
         self.recovered_task_delay.merge(&other.recovered_task_delay);
         self.damaged_broadcasts += other.damaged_broadcasts;
+        self.fault_dropped += other.fault_dropped;
+        self.fault_damaged += other.fault_damaged;
+        self.fault_recovery.merge(&other.fault_recovery);
+        for (a, b) in self.wait_fault.iter_mut().zip(&other.wait_fault) {
+            a.merge(b);
+        }
+        self.fault_events_applied += other.fault_events_applied;
+        self.fault_slots += other.fault_slots;
         self.occupancy_sum += other.occupancy_sum;
         // Concurrency levels decompose additively over workers (each
         // task counts at exactly one worker), so the time-averages sum.
@@ -280,13 +309,15 @@ pub(crate) struct ReportInputs<'a> {
     pub completed: bool,
     pub peak_queue_total: i64,
     pub queue_trace: Vec<(u64, u64)>,
+    /// A fault plan was installed: assemble a real [`FaultReport`]
+    /// instead of the fault-free default.
+    pub faults_enabled: bool,
 }
 
 /// Builds a [`SimReport`] from merged worker stats with the engine's
 /// exact normalization. Net-specific differences, all documented in the
 /// crate docs: `reception_ci_batch` is `None` (batch means require a
-/// single serial reception stream), `faults` is the fault-free default
-/// (the runtime models no fault plans), and `peak_queue_total` is the
+/// single serial reception stream), and `peak_queue_total` is the
 /// end-of-slot peak rather than the engine's intra-slot peak.
 pub(crate) fn assemble_report(merged: WorkerStats, inp: ReportInputs<'_>) -> SimReport {
     let cfg = inp.cfg;
@@ -358,6 +389,25 @@ pub(crate) fn assemble_report(merged: WorkerStats, inp: ReportInputs<'_>) -> Sim
         },
     };
     let (avg_cb, avg_cu) = merged.concurrent_snapshot.unwrap_or((0.0, 0.0));
+    let faults = if inp.faults_enabled {
+        FaultReport {
+            events_applied: merged.fault_events_applied,
+            delivered_reception_fraction: if offered == 0 {
+                1.0
+            } else {
+                delivered as f64 / offered as f64
+            },
+            fault_dropped_packets: merged.fault_dropped,
+            fault_damaged_broadcasts: merged.fault_damaged,
+            recovery_time: merged.fault_recovery.summary(),
+            fault_slots: merged.fault_slots,
+            class_wait_fault: (0..inp.num_priorities)
+                .map(|k| merged.wait_fault[k].summary())
+                .collect(),
+        }
+    } else {
+        FaultReport::default()
+    };
     SimReport {
         stable: inp.stable,
         completed: inp.completed,
@@ -392,7 +442,7 @@ pub(crate) fn assemble_report(merged: WorkerStats, inp: ReportInputs<'_>) -> Sim
             .map(|m| m.summary())
             .collect(),
         queue_trace: inp.queue_trace,
-        faults: FaultReport::default(),
+        faults,
         recovery,
         flow,
         tails: match merged.tails.as_deref() {

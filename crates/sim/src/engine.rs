@@ -2,6 +2,7 @@
 
 use crate::arrivals::sample_poisson;
 use crate::config::SimConfig;
+use crate::faultepoch::{LossCause as DropCause, RecoveryTracker};
 use crate::metrics::{
     ClassStats, FaultReport, FlowReport, HopPhase, RecoveryReport, SimReport, TailQuantiles,
     TailReport,
@@ -34,12 +35,9 @@ struct FaultState {
     fault_dropped: u64,
     fault_damaged: u64,
     fault_slots: u64,
-    /// `(link, repair_slot, served_since_repair)` for repaired links
-    /// still being watched for recovery: a link has recovered once it
-    /// has carried traffic again *and* its backlog first clears. Links
-    /// that never see traffic again are censored (no sample).
-    pending_recovery: Vec<(u32, u64, bool)>,
-    recovery: Moments,
+    /// Time-to-recovery bookkeeping for repaired links (shared rule —
+    /// see [`RecoveryTracker`]).
+    recovery: RecoveryTracker,
     wait_fault: [Moments; MAX_PRIORITY_CLASSES],
 }
 
@@ -191,18 +189,8 @@ const ARQ_SEED_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
 /// bucket saturates).
 const BACKOFF_HIST_BUCKETS: usize = 32;
 
-/// Why a packet is being taken out of circulation.
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum DropCause {
-    /// Lost to a dead link (counts toward the fault report).
-    Fault,
-    /// Lost to a full bounded queue (tail drop or eviction).
-    Overflow,
-    /// A retransmission attempt that could not be re-injected (link
-    /// still dead / queue still full). No transmission happened, so it
-    /// does not count as a new packet drop.
-    Retry,
-}
+// `DropCause` is the crate-shared `LossCause` (see `faultepoch`): the
+// runtime backend attributes losses with the identical vocabulary.
 
 /// ARQ recovery state carried by an engine with `cfg.arq` set; behind an
 /// `Option` so the recovery-free path pays nothing and stays
@@ -460,8 +448,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             fault_dropped: 0,
             fault_damaged: 0,
             fault_slots: 0,
-            pending_recovery: Vec::new(),
-            recovery: Moments::new(),
+            recovery: RecoveryTracker::new(),
             wait_fault: [Moments::new(); MAX_PRIORITY_CLASSES],
         }));
         self
@@ -702,7 +689,13 @@ impl<N: Network, S: Scheme> Engine<N, S> {
 
         // Phase 1: deliveries. Only links already active can be busy;
         // forwards appended during the loop are new (idle) links and have
-        // nothing to deliver this slot.
+        // nothing to deliver this slot. The scan runs in ascending link
+        // order — a deterministic tie-break shared with pstar-net's
+        // receiver-side merge, so both backends enqueue same-slot
+        // forwards into each queue in the same order and per-packet
+        // trajectories agree exactly (which the fault-agreement gate
+        // relies on: boundary-straddling drops are order-sensitive).
+        self.active.sort_unstable();
         let n_active = self.active.len();
         for i in 0..n_active {
             let l = self.active[i] as usize;
@@ -790,8 +783,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                     self.on_link_death(&mut f, link);
                 }
                 for &link in &delta.repaired {
-                    f.pending_recovery.retain(|&(l, ..)| l != link.0);
-                    f.pending_recovery.push((link.0, t, false));
+                    f.recovery.on_repair(link.0, t);
                 }
                 self.scheme.on_liveness_change(f.runtime.view());
                 if self.obs.is_some() {
@@ -808,26 +800,14 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             f.fault_slots += 1;
         }
         // A repaired link has recovered once it has carried traffic
-        // again and its backlog first clears.
-        if !f.pending_recovery.is_empty() {
+        // again and its backlog first clears (shared rule).
+        if f.recovery.is_watching() {
             let queues = &self.queues;
             let in_flight = &self.in_flight;
-            let recovery = &mut f.recovery;
-            f.pending_recovery
-                .retain_mut(|&mut (l, since, ref mut served)| {
-                    let l = l as usize;
-                    let busy = !queues[l].is_empty() || in_flight[l].is_some();
-                    if busy {
-                        *served = true;
-                        return true;
-                    }
-                    if *served {
-                        recovery.push((t - since) as f64);
-                        false
-                    } else {
-                        true
-                    }
-                });
+            f.recovery.tick(t, |l| {
+                let l = l as usize;
+                !queues[l].is_empty() || in_flight[l].is_some()
+            });
         }
         self.faults = Some(f);
     }
@@ -836,7 +816,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     /// its backlog according to the dead-link policy.
     fn on_link_death(&mut self, f: &mut FaultState, link: LinkId) {
         let l = link.index();
-        f.pending_recovery.retain(|&(p, ..)| p != link.0);
+        f.recovery.on_death(link.0);
         if let Some((pkt, _)) = self.in_flight[l].take() {
             match f.policy {
                 DeadLinkPolicy::Drop => {
@@ -1465,13 +1445,9 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             let now = self.now;
             let queues = &self.queues;
             let in_flight = &self.in_flight;
-            let recovery = &mut f.recovery;
-            f.pending_recovery.retain(|&(l, since, served)| {
+            f.recovery.finalize(now, |l| {
                 let l = l as usize;
-                if served && queues[l].is_empty() && in_flight[l].is_none() {
-                    recovery.push((now - since) as f64);
-                }
-                false
+                !queues[l].is_empty() || in_flight[l].is_some()
             });
         }
         // Normalize by the *realized* measurement window: a run cut
@@ -1527,7 +1503,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 },
                 fault_dropped_packets: f.fault_dropped,
                 fault_damaged_broadcasts: f.fault_damaged,
-                recovery_time: f.recovery.summary(),
+                recovery_time: f.recovery.samples().summary(),
                 fault_slots: f.fault_slots,
                 class_wait_fault: (0..num_classes)
                     .map(|k| f.wait_fault[k].summary())

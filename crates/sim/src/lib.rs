@@ -35,6 +35,7 @@ mod arrivals;
 mod config;
 mod engine;
 mod event_engine;
+mod faultepoch;
 mod metrics;
 mod packet;
 mod queue;
@@ -46,6 +47,7 @@ pub use arrivals::sample_poisson;
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use event_engine::EventEngine;
+pub use faultepoch::{LossCause, RecoveryTracker};
 pub use metrics::{
     ClassStats, FaultReport, FlowReport, HopPhase, RecoveryReport, SimReport, TailQuantiles,
     TailReport,

@@ -19,9 +19,12 @@
 
 use priority_star::{run_scenario, ScenarioSpec, SchemeKind};
 use proptest::prelude::*;
-use pstar_net::{run_net, Channel, ClockMode, NetConfig};
-use pstar_sim::{Packet, PacketKind, PriorityQueue, SimConfig};
-use pstar_topology::{NodeId, Torus};
+use pstar_net::{run_net, run_net_with_faults, Channel, ChaosConfig, NetConfig, NetError};
+use pstar_sim::{
+    run_with_faults, DeadLinkPolicy, FaultEvent, FaultKind, FaultPlan, Packet, PacketKind,
+    PriorityQueue, SimConfig,
+};
+use pstar_topology::{LinkId, NodeId, Torus};
 
 /// Common-random-numbers seed for a sweep point: one seed per ρ index,
 /// shared by every scheme arm at that load.
@@ -41,12 +44,11 @@ fn net_run(
         spec.build_scheme(topo),
         spec.mix(topo),
         NetConfig {
-            sim,
             workers,
-            mode: ClockMode::Virtual,
-            trace_capacity: 0,
+            ..NetConfig::new(sim)
         },
     )
+    .expect("run_net failed")
 }
 
 /// Virtual-time net and sim agree exactly on the measured task set and
@@ -156,6 +158,216 @@ fn priority_star_beats_fcfs_on_the_runtime_crn() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Faulted agreement: the gate extends to runs under a FaultPlan
+// ---------------------------------------------------------------------
+
+fn fault_net_run(
+    spec: &ScenarioSpec,
+    topo: &Torus,
+    mut sim: SimConfig,
+    workers: usize,
+    plan: FaultPlan,
+    policy: DeadLinkPolicy,
+) -> pstar_net::NetReport {
+    sim.lengths = spec.lengths;
+    run_net_with_faults(
+        topo,
+        spec.build_scheme(topo),
+        spec.mix(topo),
+        NetConfig {
+            workers,
+            ..NetConfig::new(sim)
+        },
+        plan,
+        policy,
+    )
+    .expect("run_net_with_faults failed")
+}
+
+fn fault_sim_run(
+    spec: &ScenarioSpec,
+    topo: &Torus,
+    mut sim: SimConfig,
+    plan: FaultPlan,
+    policy: DeadLinkPolicy,
+) -> pstar_sim::SimReport {
+    sim.lengths = spec.lengths;
+    run_with_faults(
+        topo,
+        spec.build_scheme(topo),
+        spec.mix(topo),
+        sim,
+        plan,
+        policy,
+    )
+}
+
+/// The scripted plans of the CI fault-agreement gate. All are transient
+/// and fully repaired inside the measurement window, so fault losses
+/// cannot leak into the timing-jittered drain slots.
+fn scripted_plans(topo: &Torus) -> Vec<(&'static str, FaultPlan)> {
+    let links: Vec<LinkId> = pstar_sim::shuffled_links(topo.link_count(), 0xFA)
+        .into_iter()
+        .take(6)
+        .collect();
+    let outage = FaultPlan::link_outage_window(&links[..3], 2_500, 4_000);
+    let staggered = FaultPlan::scripted(vec![
+        FaultEvent {
+            slot: 2_200,
+            kind: FaultKind::LinkDown(links[0]),
+        },
+        FaultEvent {
+            slot: 2_600,
+            kind: FaultKind::LinkDown(links[3]),
+        },
+        FaultEvent {
+            slot: 3_500,
+            kind: FaultKind::LinkUp(links[0]),
+        },
+        FaultEvent {
+            slot: 3_900,
+            kind: FaultKind::LinkDown(links[5]),
+        },
+        FaultEvent {
+            slot: 4_500,
+            kind: FaultKind::LinkUp(links[3]),
+        },
+        FaultEvent {
+            slot: 5_200,
+            kind: FaultKind::LinkUp(links[5]),
+        },
+    ]);
+    let node_crash = FaultPlan::scripted(vec![
+        FaultEvent {
+            slot: 2_200,
+            kind: FaultKind::NodeCrash(NodeId(5)),
+        },
+        FaultEvent {
+            slot: 3_000,
+            kind: FaultKind::LinkDown(links[4]),
+        },
+        FaultEvent {
+            slot: 3_800,
+            kind: FaultKind::NodeRecover(NodeId(5)),
+        },
+        FaultEvent {
+            slot: 4_600,
+            kind: FaultKind::LinkUp(links[4]),
+        },
+    ]);
+    vec![
+        ("outage-window", outage),
+        ("staggered", staggered),
+        ("node-crash", node_crash),
+    ]
+}
+
+/// The CI fault-agreement gate: under each scripted plan, every scheme,
+/// and 1/2/4 workers, the virtual-clock runtime reproduces the engine's
+/// delivered, lost, dropped, and fault-dropped counts exactly.
+/// (Fault-*damaged* attribution is deliberately excluded: whether a
+/// task's completing settlement is the ack or the loss can swap under
+/// the runtime's one-slot control lag.)
+#[test]
+fn sim_and_net_agree_under_faults() {
+    let topo = Torus::new(&[4, 4]);
+    let schemes = [
+        SchemeKind::PriorityStar,
+        SchemeKind::ThreeClass,
+        SchemeKind::FcfsDirect,
+        SchemeKind::FcfsBalanced,
+    ];
+    for (pi, (name, plan)) in scripted_plans(&topo).into_iter().enumerate() {
+        for scheme in schemes {
+            let spec = ScenarioSpec {
+                scheme,
+                rho: 0.7,
+                ..ScenarioSpec::default()
+            };
+            let cfg = SimConfig::quick(crn_seed(pi));
+            let sim = fault_sim_run(&spec, &topo, cfg, plan.clone(), DeadLinkPolicy::Drop);
+            assert!(
+                sim.faults.fault_dropped_packets > 0,
+                "{name} {scheme:?}: plan drew no fault losses — gate is vacuous"
+            );
+            for workers in [1, 2, 4] {
+                let net = fault_net_run(
+                    &spec,
+                    &topo,
+                    cfg,
+                    workers,
+                    plan.clone(),
+                    DeadLinkPolicy::Drop,
+                );
+                let label = format!("{name} {scheme:?} W={workers}");
+                let r = &net.report;
+                assert_eq!(
+                    sim.measured_broadcasts, r.measured_broadcasts,
+                    "{label}: measured task sets diverged"
+                );
+                assert_eq!(
+                    sim.reception_delay.count, r.reception_delay.count,
+                    "{label}: delivered-reception counts diverged"
+                );
+                assert_eq!(
+                    sim.lost_receptions, r.lost_receptions,
+                    "{label}: lost-reception counts diverged"
+                );
+                assert_eq!(
+                    sim.dropped_packets, r.dropped_packets,
+                    "{label}: dropped-packet counts diverged"
+                );
+                assert_eq!(
+                    sim.damaged_broadcasts, r.damaged_broadcasts,
+                    "{label}: damaged-broadcast counts diverged"
+                );
+                assert_eq!(
+                    sim.faults.fault_dropped_packets, r.faults.fault_dropped_packets,
+                    "{label}: fault-drop counts diverged"
+                );
+                assert_eq!(
+                    sim.faults.events_applied, r.faults.events_applied,
+                    "{label}: applied fault events diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Under `Requeue` nothing is lost to faults — packets wait out the
+/// outage — and the two backends still agree on delivered counts.
+#[test]
+fn sim_and_net_agree_under_requeue_policy() {
+    let topo = Torus::new(&[4, 4]);
+    let (_, plan) = scripted_plans(&topo).swap_remove(0);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.7,
+        ..ScenarioSpec::default()
+    };
+    let cfg = SimConfig::quick(crn_seed(2));
+    let sim = fault_sim_run(&spec, &topo, cfg, plan.clone(), DeadLinkPolicy::Requeue);
+    assert_eq!(sim.faults.fault_dropped_packets, 0, "Requeue must not drop");
+    for workers in [1, 4] {
+        let net = fault_net_run(
+            &spec,
+            &topo,
+            cfg,
+            workers,
+            plan.clone(),
+            DeadLinkPolicy::Requeue,
+        );
+        let label = format!("W={workers}");
+        assert_eq!(net.report.faults.fault_dropped_packets, 0, "{label}");
+        assert_eq!(
+            sim.reception_delay.count, net.report.reception_delay.count,
+            "{label}: delivered counts diverged"
+        );
+        assert_eq!(sim.lost_receptions, net.report.lost_receptions, "{label}");
+    }
+}
+
 fn packet(task: u32, priority: u8) -> Packet {
     Packet {
         task,
@@ -228,5 +440,106 @@ proptest! {
         }
         prop_assert_eq!(received, (0..sent).collect::<Vec<_>>());
         prop_assert!(ch.is_empty());
+    }
+}
+
+proptest! {
+    // Each case runs one engine pass plus three full runtime passes, so
+    // the case budget is deliberately small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Randomized *transient* plans (a link-outage window plus an
+    /// optional node outage, all repaired inside the measurement
+    /// window): sim and net agree exactly on delivered and fault-drop
+    /// counts at 1, 2, and 4 workers.
+    #[test]
+    fn randomized_transient_plans_agree(
+        seed in 0u64..1_000,
+        nlinks in 1usize..6,
+        down in 2_100u64..5_000,
+        dur in 100u64..2_000,
+        node in 0u32..16,
+        node_down in 2_100u64..5_000,
+        node_dur in 100u64..2_000,
+        use_node in any::<bool>(),
+    ) {
+        let topo = Torus::new(&[4, 4]);
+        let links: Vec<LinkId> = pstar_sim::shuffled_links(topo.link_count(), seed)
+            .into_iter()
+            .take(nlinks)
+            .collect();
+        let mut events = Vec::new();
+        for &l in &links {
+            events.push(FaultEvent { slot: down, kind: FaultKind::LinkDown(l) });
+            events.push(FaultEvent { slot: down + dur, kind: FaultKind::LinkUp(l) });
+        }
+        if use_node {
+            events.push(FaultEvent {
+                slot: node_down,
+                kind: FaultKind::NodeCrash(NodeId(node)),
+            });
+            events.push(FaultEvent {
+                slot: node_down + node_dur,
+                kind: FaultKind::NodeRecover(NodeId(node)),
+            });
+        }
+        let plan = FaultPlan::scripted(events);
+        prop_assert!(plan.is_transient());
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.6,
+            ..ScenarioSpec::default()
+        };
+        let cfg = SimConfig::quick(seed ^ 0xDEAD);
+        let sim = fault_sim_run(&spec, &topo, cfg, plan.clone(), DeadLinkPolicy::Drop);
+        for workers in [1usize, 2, 4] {
+            let net = fault_net_run(&spec, &topo, cfg, workers, plan.clone(), DeadLinkPolicy::Drop);
+            prop_assert_eq!(sim.measured_broadcasts, net.report.measured_broadcasts);
+            prop_assert_eq!(sim.reception_delay.count, net.report.reception_delay.count);
+            prop_assert_eq!(sim.lost_receptions, net.report.lost_receptions);
+            prop_assert_eq!(
+                sim.faults.fault_dropped_packets,
+                net.report.faults.fault_dropped_packets
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// A chaos-injected worker panic — any seed, any slot, any fleet
+    /// size — always terminates as a structured `WorkerPanic` within
+    /// the watchdog budget: no hang, no raw panic escaping `run_net`.
+    #[test]
+    fn chaos_panic_always_terminates_with_net_error(
+        chaos_seed in any::<u64>(),
+        panic_slot in 0u64..1_500,
+        workers in 2usize..5,
+    ) {
+        let topo = Torus::new(&[4, 4]);
+        let spec = ScenarioSpec::default();
+        let mut sim = SimConfig::quick(chaos_seed);
+        sim.lengths = spec.lengths;
+        let result = run_net(
+            &topo,
+            spec.build_scheme(&topo),
+            spec.mix(&topo),
+            NetConfig {
+                workers,
+                chaos: ChaosConfig {
+                    seed: chaos_seed,
+                    panic_at_slot: Some(panic_slot),
+                    ..Default::default()
+                },
+                ..NetConfig::new(sim)
+            },
+        );
+        match result {
+            Err(NetError::WorkerPanic { message, .. }) => {
+                prop_assert!(message.contains("chaos: injected panic"), "{}", message);
+            }
+            other => prop_assert!(false, "expected WorkerPanic, got {:?}", other.map(|n| n.workers)),
+        }
     }
 }
