@@ -1,0 +1,55 @@
+//! Serial vs sharded step-engine throughput at a fixed operating point.
+//!
+//! The reproducible tracked series lives in `experiments engine`
+//! (`BENCH_engine.json`); this criterion bench exists for quick local
+//! iteration on the engine hot paths with criterion's statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use priority_star::prelude::*;
+use std::time::Duration;
+
+fn point() -> (Torus, ScenarioSpec, SimConfig) {
+    let topo = Torus::new(&[8, 8]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.9,
+        ..Default::default()
+    };
+    let cfg = SimConfig {
+        warmup_slots: 500,
+        measure_slots: 2_000,
+        max_slots: 100_000,
+        seed: 9,
+        ..SimConfig::default()
+    };
+    (topo, spec, cfg)
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    let (topo, spec, cfg) = point();
+    let mut g = c.benchmark_group("engine_throughput");
+    g.bench_function("serial_8x8_rho09", |b| {
+        b.iter(|| run_scenario(&topo, &spec, cfg))
+    });
+    for shards in [1usize, 4] {
+        g.bench_function(format!("sharded_s{shards}_8x8_rho09"), |b| {
+            b.iter(|| run_scenario_sharded(&topo, &spec, cfg, shards, 1, None))
+        });
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if threads > 1 {
+        g.bench_function(format!("sharded_s4_t{threads}_8x8_rho09"), |b| {
+            b.iter(|| run_scenario_sharded(&topo, &spec, cfg, 4, threads, None))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(8));
+    targets = engine_throughput
+}
+criterion_main!(benches);

@@ -82,12 +82,15 @@ pub mod prelude {
     pub use crate::mesh_scheme::MeshStarScheme;
     pub use crate::replicate::{run_replicated, Replicated, TargetMetric};
     pub use crate::runner::{
-        run_scenario, run_scenario_observed, run_scenario_with_faults, ScenarioSpec, SchemeKind,
+        run_scenario, run_scenario_observed, run_scenario_sharded, run_scenario_with_faults,
+        ScenarioSpec, SchemeKind,
     };
     pub use crate::scheme::{DegradedPolicy, StarScheme};
     pub use crate::tree::SpanningTree;
     pub use pstar_queueing::{rates_for_rho, throughput_factor, TrafficRates};
-    pub use pstar_sim::{Engine, HopPhase, SimConfig, SimReport, TailQuantiles, TailReport};
+    pub use pstar_sim::{
+        Engine, HopPhase, ShardedEngine, SimConfig, SimReport, TailQuantiles, TailReport,
+    };
     pub use pstar_topology::{Direction, Mesh, NodeId, Torus};
     pub use pstar_traffic::{TrafficMix, WorkloadSpec};
 }

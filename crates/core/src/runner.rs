@@ -162,6 +162,29 @@ pub fn run_scenario_observed(
     (report, sink.expect("engine returns the installed sink"))
 }
 
+/// Runs one experiment point on the sharded SoA engine (see
+/// [`pstar_sim::ShardedEngine`]). Seeded runs reproduce
+/// [`run_scenario`] exactly at any shard/thread count; an optional
+/// fault plan behaves as in [`run_scenario_with_faults`].
+pub fn run_scenario_sharded(
+    topo: &Torus,
+    spec: &ScenarioSpec,
+    mut cfg: SimConfig,
+    shards: usize,
+    threads: usize,
+    faults: Option<(pstar_sim::FaultPlan, pstar_sim::DeadLinkPolicy)>,
+) -> SimReport {
+    cfg.lengths = spec.lengths;
+    let scheme = spec.build_scheme(topo);
+    let mut engine =
+        pstar_sim::ShardedEngine::new(topo.clone(), scheme, spec.mix(topo), cfg, shards)
+            .with_threads(threads);
+    if let Some((plan, policy)) = faults {
+        engine = engine.with_fault_plan(plan, policy);
+    }
+    engine.run()
+}
+
 /// Runs one experiment point under a fault plan (see `pstar-faults`).
 /// With an empty plan this is exactly [`run_scenario`], bit for bit.
 pub fn run_scenario_with_faults(

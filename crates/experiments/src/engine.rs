@@ -1,0 +1,276 @@
+//! `experiments engine` — serial vs sharded step-engine throughput.
+//!
+//! Times the classic serial [`Engine`] against the sharded SoA engine at
+//! shard counts {1, 2, 4, 8} on the same scenario (16×16 torus, priority
+//! STAR, ρ = 0.9; 8×8 under `--smoke`), and writes:
+//!
+//! * `results/engine_scaling.svg` — slots/sec vs shard count, with the
+//!   serial engine as a dashed baseline;
+//! * `BENCH_engine.json` — the measured series plus `host_cores`
+//!   (working directory, next to the other `BENCH_*` artifacts).
+//!
+//! Measurement discipline follows `bench_util`: the arms are interleaved
+//! across repeated rounds and reduced with the median, so first-touch
+//! page faults and frequency ramp cannot bias whichever arm runs first.
+//! Every sharded run is also checked for **bit-identity** with the
+//! serial run — identical delivered-reception and measured-broadcast
+//! counts — in both smoke and full modes; a mismatch is a determinism
+//! bug and aborts the bench.
+//!
+//! Under `--smoke` the run is the CI gate for the sharded engine. The
+//! speedup claim (≥ 5× at 4 shards) is only meaningful on hardware with
+//! at least 4 cores; on smaller hosts (this includes 1-CPU CI runners)
+//! the gate falls back to the bit-identity checks alone and says so
+//! loudly, recording `host_cores` in the artifact so a reader can tell
+//! which regime produced the numbers.
+
+use crate::bench_util::median;
+use crate::svg::{Chart, Series};
+use crate::{fatal, Ctx};
+use priority_star::prelude::*;
+use pstar_obs::git_rev;
+use std::fmt::Write as _;
+
+/// Shard counts swept by the bench. Fixed, not derived from the host:
+/// oversubscribed points measure the oversubscription, which is what a
+/// scaling series is for (see the `net` bench for the cautionary tale).
+const SHARD_GRID: [usize; 4] = [1, 2, 4, 8];
+
+/// Speedup the smoke gate demands at 4 shards — only enforced when the
+/// host actually has ≥ 4 cores to scale onto.
+const GATE_SPEEDUP_AT_4: f64 = 5.0;
+
+struct Arm {
+    shards: usize,
+    threads: usize,
+    secs: Vec<f64>,
+    delivered: u64,
+    measured: u64,
+}
+
+/// Runs the interleaved serial-vs-sharded throughput bench, writes the
+/// scaling SVG and `BENCH_engine.json`; under `--smoke`, enforces the
+/// scale-aware engine gates.
+pub fn engine(ctx: &Ctx) {
+    let topo = if ctx.smoke {
+        Torus::new(&[8, 8])
+    } else {
+        Torus::new(&[16, 16])
+    };
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.9,
+        ..Default::default()
+    };
+    let mut cfg = if ctx.smoke {
+        SimConfig::quick(0)
+    } else {
+        SimConfig {
+            warmup_slots: 2_000,
+            measure_slots: 10_000,
+            max_slots: 400_000,
+            ..SimConfig::default()
+        }
+    };
+    cfg.seed = ctx.seed("engine", 0);
+    let rounds = if ctx.smoke { 3 } else { 5 };
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    let mut serial_secs = Vec::with_capacity(rounds);
+    let (mut serial_delivered, mut serial_measured, mut slots_run) = (0u64, 0u64, 0u64);
+    let mut arms: Vec<Arm> = SHARD_GRID
+        .iter()
+        .map(|&shards| Arm {
+            shards,
+            threads: shards.min(host_cores),
+            secs: Vec::with_capacity(rounds),
+            delivered: 0,
+            measured: 0,
+        })
+        .collect();
+
+    for round in 0..rounds {
+        let t0 = std::time::Instant::now();
+        let rep = run_scenario(&topo, &spec, cfg);
+        serial_secs.push(t0.elapsed().as_secs_f64());
+        if !rep.ok() {
+            fatal(
+                "engine bench",
+                &format!("serial baseline run did not complete cleanly (round {round})"),
+            );
+        }
+        serial_delivered = rep.reception_delay.count;
+        serial_measured = rep.measured_broadcasts;
+        slots_run = rep.slots_run;
+
+        for arm in &mut arms {
+            let t0 = std::time::Instant::now();
+            let rep = run_scenario_sharded(&topo, &spec, cfg, arm.shards, arm.threads, None);
+            arm.secs.push(t0.elapsed().as_secs_f64());
+            arm.delivered = rep.reception_delay.count;
+            arm.measured = rep.measured_broadcasts;
+            // Bit-identity is the engine's contract, not a smoke-only
+            // nicety: a sharded run that drifts from serial is broken
+            // no matter how fast it is.
+            if rep.reception_delay.count != serial_delivered
+                || rep.measured_broadcasts != serial_measured
+            {
+                fatal(
+                    "engine bench",
+                    &format!(
+                        "sharded (s={}, t={}) diverged from serial: delivered {} vs {}, \
+                         measured {} vs {}",
+                        arm.shards,
+                        arm.threads,
+                        rep.reception_delay.count,
+                        serial_delivered,
+                        rep.measured_broadcasts,
+                        serial_measured
+                    ),
+                );
+            }
+        }
+    }
+
+    let serial_sps = slots_run as f64 / median(&mut serial_secs);
+    println!(
+        "engine bench: serial {serial_sps:.0} slots/s ({slots_run} slots, \
+         {serial_delivered} delivered, {serial_measured} broadcasts, \
+         median of {rounds}, host_cores={host_cores})"
+    );
+    let mut points = Vec::new();
+    for arm in &mut arms {
+        let sps = slots_run as f64 / median(&mut arm.secs);
+        let speedup = sps / serial_sps;
+        println!(
+            "engine bench: sharded s={} t={}: {sps:.0} slots/s ({speedup:.2}x serial, \
+             delivered {} == serial)",
+            arm.shards, arm.threads, arm.delivered
+        );
+        points.push((arm.shards, arm.threads, sps, speedup));
+    }
+    ctx.push_phase("engine-bench", serial_secs.iter().sum(), Some(slots_run));
+
+    write_chart(ctx, &topo, serial_sps, &points);
+    write_bench_json(
+        &topo,
+        host_cores,
+        rounds,
+        slots_run,
+        serial_delivered,
+        serial_sps,
+        &points,
+    );
+
+    if ctx.smoke {
+        // Identity already gated fatally above, every round, every arm.
+        if host_cores >= 4 {
+            let &(s, t, sps, speedup) = points
+                .iter()
+                .find(|p| p.0 == 4)
+                .expect("shard grid contains 4");
+            if speedup >= GATE_SPEEDUP_AT_4 {
+                println!(
+                    "PASS  engine-speedup: s={s} t={t} {sps:.0} slots/s = \
+                     {speedup:.2}x serial (>= {GATE_SPEEDUP_AT_4}x)"
+                );
+            } else {
+                eprintln!(
+                    "FAIL  engine-speedup: s={s} t={t} only {speedup:.2}x serial \
+                     (< {GATE_SPEEDUP_AT_4}x on a {host_cores}-core host)"
+                );
+                std::process::exit(1);
+            }
+        } else {
+            println!(
+                "SKIP  engine-speedup: host has {host_cores} core(s) < 4 — the \
+                 {GATE_SPEEDUP_AT_4}x@4-shards gate needs real parallelism; \
+                 gating on serial/sharded bit-identity only (all {rounds} rounds x \
+                 {} shard counts agreed exactly)",
+                SHARD_GRID.len()
+            );
+        }
+    }
+}
+
+fn topo_label(topo: &Torus) -> String {
+    let dims: Vec<String> = (0..topo.d())
+        .map(|i| topo.dim_size(i).to_string())
+        .collect();
+    format!("torus({})", dims.join("x"))
+}
+
+/// Slots/sec vs shard count, serial as a dashed baseline.
+fn write_chart(ctx: &Ctx, topo: &Torus, serial_sps: f64, points: &[(usize, usize, f64, f64)]) {
+    let xs: Vec<f64> = points.iter().map(|p| p.0 as f64).collect();
+    let chart = Chart {
+        title: format!("step-engine throughput on {} at rho=0.9", topo_label(topo)),
+        x_label: "shards".into(),
+        y_label: "slots per second".into(),
+        series: vec![
+            Series {
+                label: "serial engine".into(),
+                points: xs.iter().map(|&x| (x, serial_sps)).collect(),
+                color: "#7f7f7f".into(),
+                dashed: true,
+            },
+            Series {
+                label: "sharded engine".into(),
+                points: points.iter().map(|p| (p.0 as f64, p.2)).collect(),
+                color: "#1f77b4".into(),
+                dashed: false,
+            },
+        ],
+    };
+    let path = ctx.out.join("engine_scaling.svg");
+    if let Err(e) = std::fs::write(&path, chart.render()) {
+        fatal(&format!("writing {}", path.display()), &e);
+    }
+    println!("plotted {}", path.display());
+}
+
+/// `BENCH_engine.json`: the tracking series, with enough context
+/// (`host_cores`, rounds, revision) to interpret the numbers honestly.
+fn write_bench_json(
+    topo: &Torus,
+    host_cores: usize,
+    rounds: usize,
+    slots_run: u64,
+    delivered: u64,
+    serial_sps: f64,
+    points: &[(usize, usize, f64, f64)],
+) {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"engine_throughput\",");
+    let _ = writeln!(s, "  \"host_cores\": {host_cores},");
+    match git_rev() {
+        Some(rev) => {
+            let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
+        }
+        None => s.push_str("  \"git_rev\": null,\n"),
+    }
+    let _ = writeln!(s, "  \"topology\": \"{}\",", topo_label(topo));
+    let _ = writeln!(s, "  \"rho\": 0.9,");
+    let _ = writeln!(s, "  \"slots\": {slots_run},");
+    let _ = writeln!(s, "  \"delivered_receptions\": {delivered},");
+    let _ = writeln!(s, "  \"rounds\": {rounds},");
+    let _ = writeln!(s, "  \"serial_slots_per_sec\": {serial_sps:.1},");
+    s.push_str("  \"points\": [");
+    for (i, &(shards, threads, sps, speedup)) in points.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"shards\": {shards}, \"threads\": {threads}, \
+             \"slots_per_sec\": {sps:.1}, \"speedup\": {speedup:.3}, \
+             \"bit_identical\": true}}"
+        );
+    }
+    s.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_engine.json", &s) {
+        fatal("writing BENCH_engine.json", &e);
+    }
+    println!("(benchmark summary written to BENCH_engine.json)");
+}

@@ -48,6 +48,11 @@
 //!                       worker-scaling bench (BENCH_net.json). `--smoke`
 //!                       gates exact delivered-count agreement and the
 //!                       runtime p99 ordering for CI
+//!   engine              serial vs sharded step-engine throughput at
+//!                       shard counts 1/2/4/8 with in-bench bit-identity
+//!                       checks; writes BENCH_engine.json and the
+//!                       scaling SVG (`--smoke` gates identity always,
+//!                       and the 5x@4-shards speedup when host_cores>=4)
 //!   plot                render previously generated CSVs as SVG figures
 //!   collectives         static MNB / total-exchange completion vs bounds
 //!   verify              reproduction gate: re-check every headline claim
@@ -58,8 +63,10 @@
 //! `results/<name>.csv` (plus a JSON-lines record stream for downstream
 //! tooling).
 
+mod bench_util;
 mod csvout;
 mod custom;
+mod engine;
 mod figures;
 mod net;
 mod plot;
@@ -185,7 +192,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|tails|net|all>"
+                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|tails|net|engine|all>"
                 );
                 return;
             }
@@ -242,6 +249,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "resilience_net" | "resilience-net" => resilience_net::resilience_net(ctx),
         "recovery" => recovery::recovery(ctx),
         "net" => net::net(ctx),
+        "engine" => engine::engine(ctx),
         "profile" => profile::profile(ctx),
         "tails" => tails::tails(ctx),
         "plot" => plot::plot_all(ctx),
@@ -274,6 +282,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "resilience_net",
                 "recovery",
                 "net",
+                "engine",
                 "profile",
                 "tails",
                 "plot",

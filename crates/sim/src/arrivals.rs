@@ -6,7 +6,8 @@
 //! comparable under common random numbers — so the sampler lives here,
 //! outside either engine.
 
-use pstar_traffic::{ArrivalProcess, PoissonArrivals};
+use pstar_topology::NodeId;
+use pstar_traffic::{ArrivalProcess, PoissonArrivals, TrafficMix, UniformDestinations};
 use rand::rngs::StdRng;
 
 /// Poisson sampling with chunking so that very large aggregate rates never
@@ -22,6 +23,94 @@ pub fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u32 {
         remaining -= 200.0;
     }
     total + PoissonArrivals::new(remaining).sample(rng)
+}
+
+/// Consumer side of the per-slot arrival draw sequence.
+///
+/// The serial [`crate::Engine`] and the sharded engine's coordinator
+/// both implement this so they share one copy of the draw *order* —
+/// the part that must match variate-for-variate for seeded runs to be
+/// bit-identical. Dead sources still consume their draws; only the
+/// resulting task is suppressed.
+pub(crate) trait ArrivalSink {
+    /// Splits out the RNG and the destination sampler (both owned by
+    /// the implementor) for the next draw.
+    fn draw_ctx(&mut self) -> (&mut StdRng, &UniformDestinations);
+    /// Whether `node` is currently crashed (all its links dead).
+    fn source_dead(&self, node: NodeId) -> bool;
+    /// Registers one arrival (`dest = None` is a broadcast).
+    fn spawn(&mut self, src: NodeId, dest: Option<NodeId>);
+}
+
+/// One slot's worth of arrivals, in the exact draw order the serial
+/// engine uses (see `Engine::generate_arrivals` for the rationale on
+/// each ordering choice).
+pub(crate) fn generate_arrivals_into<C: ArrivalSink>(sink: &mut C, mix: TrafficMix, n: u32) {
+    if mix.bernoulli {
+        debug_assert!(
+            matches!(mix.sources, pstar_traffic::SourceDistribution::Uniform),
+            "Bernoulli arrivals only support uniform sources"
+        );
+        // Bernoulli arrivals are per-node by definition. Crashed nodes
+        // generate nothing — but their variates are still drawn, so
+        // fault and fault-free runs share the same randomness for every
+        // surviving node.
+        for node in 0..n {
+            let (b, u) = {
+                let (rng, _) = sink.draw_ctx();
+                mix.sample(rng)
+            };
+            if sink.source_dead(NodeId(node)) {
+                continue;
+            }
+            for _ in 0..b {
+                sink.spawn(NodeId(node), None);
+            }
+            for _ in 0..u {
+                let src = NodeId(node);
+                let dest = {
+                    let (rng, dests) = sink.draw_ctx();
+                    dests.sample(rng, src)
+                };
+                sink.spawn(src, Some(dest));
+            }
+        }
+    } else {
+        // Superposition of independent Poissons: sample the aggregate
+        // count once and scatter uniformly — exactly equivalent and
+        // much faster than N per-node draws.
+        let sources = mix.sources;
+        let total_b = {
+            let (rng, _) = sink.draw_ctx();
+            sample_poisson(rng, mix.lambda_broadcast * n as f64)
+        };
+        for _ in 0..total_b {
+            let src = {
+                let (rng, _) = sink.draw_ctx();
+                sources.sample(rng, n)
+            };
+            if sink.source_dead(src) {
+                continue;
+            }
+            sink.spawn(src, None);
+        }
+        let total_u = {
+            let (rng, _) = sink.draw_ctx();
+            sample_poisson(rng, mix.lambda_unicast * n as f64)
+        };
+        for _ in 0..total_u {
+            let (src, dest) = {
+                let (rng, dests) = sink.draw_ctx();
+                let src = sources.sample(rng, n);
+                let dest = dests.sample(rng, src);
+                (src, dest)
+            };
+            if sink.source_dead(src) {
+                continue;
+            }
+            sink.spawn(src, Some(dest));
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! The slotted simulation engine.
 
-use crate::arrivals::sample_poisson;
+use crate::arrivals::{generate_arrivals_into, ArrivalSink};
 use crate::config::SimConfig;
 use crate::faultepoch::{LossCause as DropCause, RecoveryTracker};
 use crate::metrics::{
@@ -152,6 +152,39 @@ impl TailsState {
             }
         }
         h
+    }
+
+    /// Folds another recorder's counts into this one. Value-exact:
+    /// flat arrays add element-wise and overflow histograms merge
+    /// bucket-wise, so report quantiles are independent of how events
+    /// were partitioned across recorders. Used by the sharded engine to
+    /// combine per-shard service/wait recorders with the coordinator's
+    /// reception recorder.
+    pub(crate) fn merge_from(&mut self, other: &TailsState) {
+        for (row, src) in self.small_reception.iter_mut().zip(&other.small_reception) {
+            for (a, b) in row.iter_mut().zip(src) {
+                *a += *b;
+            }
+        }
+        for (h, o) in self
+            .reception_overflow
+            .iter_mut()
+            .zip(&other.reception_overflow)
+        {
+            h.merge(o);
+        }
+        for (row, src) in self.small_wait.iter_mut().zip(&other.small_wait) {
+            for (a, b) in row.iter_mut().zip(src) {
+                *a += *b;
+            }
+        }
+        for (h, o) in self.wait_overflow.iter_mut().zip(&other.wait_overflow) {
+            h.merge(o);
+        }
+        for (a, b) in self.small_service.iter_mut().zip(&other.small_service) {
+            *a += *b;
+        }
+        self.service_overflow.merge(&other.service_overflow);
     }
 
     pub(crate) fn report(&mut self) -> TailReport {
@@ -314,6 +347,13 @@ pub struct Engine<N: Network, S: Scheme> {
     measured_unicasts: u64,
 
     emit_buf: Vec<Emit>,
+    /// Scratch for disposing of a dying link's backlog; swapped out
+    /// around the loss loop so fault bursts never allocate per event.
+    loss_buf: Vec<Packet>,
+    /// Scratch for the decimated per-link queue snapshot; swapped into
+    /// each [`SlotSample`] and back so sampling allocates once per run,
+    /// not once per sample.
+    sample_links: Vec<u32>,
     delay_by_distance: Vec<Moments>,
     queue_trace: Vec<(u64, u64)>,
     unstable: bool,
@@ -400,6 +440,8 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             measured_broadcasts: 0,
             measured_unicasts: 0,
             emit_buf: Vec::with_capacity(64),
+            loss_buf: Vec::new(),
+            sample_links: Vec::new(),
             delay_by_distance: if cfg.profile_by_distance {
                 vec![Moments::new(); topo.diameter() as usize + 1]
             } else {
@@ -476,12 +518,15 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     /// called at sampling instants (`obs_decim > 0`), so the O(links)
     /// scan never touches an untraced run.
     fn obs_sample(&mut self, slot: u64) {
+        let mut queued_by_link = std::mem::take(&mut self.sample_links);
+        queued_by_link.clear();
+        queued_by_link.reserve(self.queues.len());
         let mut sample = SlotSample {
             slot,
             queued_total: self.queued_total.max(0) as u64,
             in_flight_links: 0,
             queued_by_class: [0; MAX_PRIORITY_CLASSES],
-            queued_by_link: Vec::with_capacity(self.queues.len()),
+            queued_by_link,
         };
         for (l, q) in self.queues.iter().enumerate() {
             sample.queued_by_link.push(q.len() as u32);
@@ -495,6 +540,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         if let Some(sink) = self.obs.as_deref_mut() {
             sink.on_slot_sample(&sample);
         }
+        self.sample_links = sample.queued_by_link;
     }
 
     /// Current simulation time.
@@ -836,10 +882,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
         }
         if matches!(f.policy, DeadLinkPolicy::Drop) && !self.queues[l].is_empty() {
             self.queued_total -= self.queues[l].len() as i64;
-            let stranded: Vec<Packet> = self.queues[l].drain_all().collect();
-            for pkt in stranded {
+            let mut stranded = std::mem::take(&mut self.loss_buf);
+            stranded.extend(self.queues[l].drain_all());
+            for pkt in stranded.drain(..) {
                 self.handle_loss(l, pkt, DropCause::Fault, Some(f));
             }
+            self.loss_buf = stranded;
         }
     }
 
@@ -1245,54 +1293,12 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     }
 
     fn generate_arrivals(&mut self) {
+        // The draw order lives in `arrivals::generate_arrivals_into`,
+        // shared with the sharded engine's coordinator so both consume
+        // the seed stream variate-for-variate.
         let n = self.topo.node_count();
-        if self.mix.bernoulli {
-            debug_assert!(
-                matches!(self.mix.sources, pstar_traffic::SourceDistribution::Uniform),
-                "Bernoulli arrivals only support uniform sources"
-            );
-            // Bernoulli arrivals are per-node by definition. Crashed
-            // nodes generate nothing — but their variates are still
-            // drawn, so fault and fault-free runs share the same
-            // randomness for every surviving node.
-            for node in 0..n {
-                let (b, u) = self.mix.sample(&mut self.rng);
-                if self.node_dead(NodeId(node)) {
-                    continue;
-                }
-                for _ in 0..b {
-                    self.arrive(NodeId(node), None, self.in_measure_window());
-                }
-                for _ in 0..u {
-                    let src = NodeId(node);
-                    let dest = self.dests.sample(&mut self.rng, src);
-                    self.arrive(src, Some(dest), self.in_measure_window());
-                }
-            }
-        } else {
-            // Superposition of independent Poissons: sample the aggregate
-            // count once and scatter uniformly — exactly equivalent and
-            // much faster than N per-node draws.
-            let measured = self.in_measure_window();
-            let sources = self.mix.sources;
-            let total_b = sample_poisson(&mut self.rng, self.mix.lambda_broadcast * n as f64);
-            for _ in 0..total_b {
-                let src = sources.sample(&mut self.rng, n);
-                if self.node_dead(src) {
-                    continue;
-                }
-                self.arrive(src, None, measured);
-            }
-            let total_u = sample_poisson(&mut self.rng, self.mix.lambda_unicast * n as f64);
-            for _ in 0..total_u {
-                let src = sources.sample(&mut self.rng, n);
-                let dest = self.dests.sample(&mut self.rng, src);
-                if self.node_dead(src) {
-                    continue;
-                }
-                self.arrive(src, Some(dest), measured);
-            }
-        }
+        let mix = self.mix;
+        generate_arrivals_into(self, mix, n);
     }
 
     fn in_measure_window(&self) -> bool {
@@ -1585,6 +1591,21 @@ impl<N: Network, S: Scheme> Engine<N, S> {
                 None => TailReport::default(),
             },
         }
+    }
+}
+
+impl<N: Network, S: Scheme> ArrivalSink for Engine<N, S> {
+    fn draw_ctx(&mut self) -> (&mut StdRng, &UniformDestinations) {
+        (&mut self.rng, &self.dests)
+    }
+
+    fn source_dead(&self, node: NodeId) -> bool {
+        self.node_dead(node)
+    }
+
+    fn spawn(&mut self, src: NodeId, dest: Option<NodeId>) {
+        let measured = self.in_measure_window();
+        self.arrive(src, dest, measured);
     }
 }
 

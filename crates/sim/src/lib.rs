@@ -41,6 +41,7 @@ mod packet;
 mod queue;
 mod recovery;
 mod scheme;
+mod sharded;
 mod task;
 
 pub use arrivals::sample_poisson;
@@ -56,6 +57,7 @@ pub use packet::{BroadcastState, Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES}
 pub use queue::PriorityQueue;
 pub use recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy, RetxEntry, TimeoutWheel};
 pub use scheme::Scheme;
+pub use sharded::ShardedEngine;
 
 // Fault-injection vocabulary, re-exported so downstream crates need not
 // depend on `pstar-faults` directly.

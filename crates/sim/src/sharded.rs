@@ -1,0 +1,1981 @@
+//! The sharded structure-of-arrays engine: the serial [`crate::Engine`]
+//! re-built for single-run throughput.
+//!
+//! Two independent optimizations compose here:
+//!
+//! * **Flat SoA queue/packet arenas.** The serial engine keeps one
+//!   [`crate::PriorityQueue`] (four `VecDeque`s) per link; every push
+//!   and pop touches a scattered heap object. The sharded engine holds
+//!   all queued packets of a shard in one packet arena with `u32`
+//!   intrusive free/next links, one `(head, tail)` pair per
+//!   (link, class), a per-link class bitmask, and per-link `u64`
+//!   bitsets for *backlogged*, *busy* and *alive*. The service scan is
+//!   a word-at-a-time bitset walk instead of a `Vec<u32>` active-list
+//!   sort + compaction.
+//!
+//! * **Spatial sharding with a deterministic coordinator.** Nodes are
+//!   split into contiguous ranges, one shard per range; a link belongs
+//!   to the shard owning its *source* node (torus link ids are
+//!   node-major, so each shard owns a contiguous link range). Shards
+//!   run the per-link hot work (delivery scan, queue ops, service
+//!   starts) and exchange boundary deliveries per slot; everything
+//!   with global, order-sensitive state — the RNG, the task table, the
+//!   delay statistics, fault accounting — lives in a single
+//!   coordinator that consumes shard messages in **ascending
+//!   `(stage, link, seq)` key order**. That order equals the serial
+//!   engine's processing order (the ascending-link-id merge rule shared
+//!   with `pstar-net`), so a seeded run is bit-identical to the serial
+//!   engine at any shard count, threaded or not, on every integer
+//!   report field; floating-point wait summaries are mathematically
+//!   equal but accumulated by exact integer sums rather than Welford
+//!   recurrences (see [`IntMoments`]).
+//!
+//! Scope: the sharded engine covers the measurement configurations the
+//! benchmarks run — fault plans (both dead-link policies), tails
+//! instrumentation, queue traces and distance profiling are supported;
+//! ARQ recovery, admission control, bounded queues and observability
+//! sinks stay on the serial engine (construction asserts they are off).
+
+use crate::arrivals::{generate_arrivals_into, ArrivalSink};
+use crate::config::SimConfig;
+use crate::engine::TailsState;
+use crate::faultepoch::RecoveryTracker;
+use crate::metrics::{ClassStats, FaultReport, FlowReport, RecoveryReport, SimReport, TailReport};
+use crate::packet::{Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
+use crate::scheme::Scheme;
+use crate::task::{TaskKind, TaskSlot, TaskTable};
+use pstar_faults::{DeadLinkPolicy, FaultDelta, FaultPlan, FaultRuntime, LivenessView};
+use pstar_stats::{BatchMeans, Histogram, Moments, Summary, TimeWeighted};
+use pstar_topology::{Link, Network, NodeId};
+use pstar_traffic::{TrafficMix, UniformDestinations};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Barrier, Mutex};
+
+/// Sentinel for "no slot" in the arena's intrusive lists.
+const NIL: u32 = u32::MAX;
+
+/// Deterministic merge key for everything a shard sends the
+/// coordinator within one slot: `(stage, major, minor)`.
+///
+/// * stage 0 — fault-tick loss settlements (`major` = index of the
+///   dying link within the slot's `FaultDelta::newly_dead`, `minor` =
+///   interrupted-transmission-then-backlog sequence on that link);
+/// * stage 1 — delivery events (`major` = delivering global link id;
+///   `minor` 0 = the arrival itself, `1 + i` = its `i`-th emitted
+///   forward);
+/// * stage 2 — task generation (`major` = per-slot generation
+///   sequence, `minor` = `1 + i` for the `i`-th initial emit).
+///
+/// Ordering this key reproduces the serial engine's within-slot
+/// processing order exactly: fault disposal, then deliveries in
+/// ascending link order (each followed by its own forwards), then
+/// arrivals in draw order. Packed into one integer (stage in bits
+/// 96–97, major in 32–95, minor in 0–31) so the per-slot merge
+/// compares single words; every producer pushes in strictly ascending
+/// key order, so merging the per-shard streams never needs a sort.
+type Key = u128;
+
+/// Packs a `(stage, major, minor)` triple into a [`Key`].
+#[inline]
+fn key(stage: u8, major: u64, minor: u32) -> Key {
+    ((stage as u128) << 96) | ((major as u128) << 32) | minor as u128
+}
+
+/// First key of stage 1; everything below it is a fault settlement.
+const STAGE1_BASE: Key = 1 << 96;
+
+/// Extracts the `major` field of a packed [`Key`].
+#[inline]
+fn key_major(k: Key) -> u64 {
+    (k >> 32) as u64
+}
+
+/// Payload of a shard→coordinator message.
+#[derive(Clone, Copy)]
+enum MsgBody {
+    /// A broadcast copy was delivered by a link.
+    Reception { task: u32, class: u8, dist: u32 },
+    /// A unicast packet reached its destination.
+    UnicastDone { task: u32 },
+    /// A packet was lost to a dead link (`lost` = receptions the copy
+    /// was still responsible for, computed against the shard's scheme
+    /// state *at the loss*).
+    Settle {
+        task: u32,
+        broadcast: bool,
+        lost: u32,
+    },
+    /// A unicast was delivered at a transit node; the coordinator must
+    /// draw the next hop (scheme + RNG are global state).
+    RouteReq {
+        node: NodeId,
+        dest: NodeId,
+        task: u32,
+        gen_time: u64,
+        len: u16,
+    },
+}
+
+/// A keyed shard→coordinator message.
+#[derive(Clone, Copy)]
+struct Msg {
+    key: Key,
+    body: MsgBody,
+}
+
+/// A keyed coordinator→shard (or shard-local) enqueue command.
+#[derive(Clone, Copy)]
+struct Cmd {
+    key: Key,
+    link: u32,
+    pkt: Packet,
+}
+
+/// The flow identity a forwarded packet inherits from its task.
+#[derive(Clone, Copy)]
+struct FlowMeta {
+    task: u32,
+    gen_time: u64,
+    len: u16,
+}
+
+/// Per-slot phase-A1 side data a shard reports to the coordinator.
+#[derive(Default)]
+struct A1Report {
+    /// Net change the fault tick made to the shard's queued-packet
+    /// population (requeues − drained backlog), needed to reconstruct
+    /// the serial engine's post-fault queue-trace sample.
+    fault_qdelta: i64,
+    /// `(global link id, busy)` for every ever-repaired owned link —
+    /// the recovery tracker's per-slot busy probe, taken post-drain /
+    /// pre-delivery exactly as the serial engine does.
+    watch_busy: Vec<(u32, bool)>,
+}
+
+/// Per-slot phase-B counters a shard reports to the coordinator.
+#[derive(Clone, Copy, Default)]
+struct BReport {
+    /// Queued packets after all enqueues, before service (the serial
+    /// engine's occupancy/peak sampling point).
+    pre_service: u64,
+    /// Queued packets after service starts (the loop-head guard value).
+    end_total: u64,
+    /// Largest single queue, sampled only on the serial engine's
+    /// periodic divergence scan slots (0 otherwise).
+    max_qlen: u32,
+}
+
+/// Coordinator→worker per-slot control word (threaded driver).
+struct SlotCtrl {
+    stop: bool,
+    delta: Option<Arc<FaultDelta>>,
+}
+
+/// Exact integer moment accumulator for slot-valued waiting times.
+///
+/// The serial engine pushes waits into Welford-recurrence
+/// [`Moments`], whose float state depends on push order — which a
+/// sharded run cannot reproduce without serializing every service
+/// start. Integer sums commute exactly, so this accumulator makes the
+/// wait summaries *shard-count invariant* (identical at 1, 2, 4, 8
+/// shards, threaded or not); `count`/`min`/`max` match the serial
+/// engine bit-for-bit and `mean`/`variance` agree to float rounding.
+#[derive(Clone, Copy)]
+struct IntMoments {
+    count: u64,
+    sum: u128,
+    sumsq: u128,
+    min: u64,
+    max: u64,
+}
+
+impl IntMoments {
+    fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0,
+            sumsq: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v as u128;
+        self.sumsq += (v as u128) * (v as u128);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    fn merge(&mut self, other: &Self) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sumsq += other.sumsq;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    fn summary(&self) -> Summary {
+        if self.count == 0 {
+            return Moments::new().summary();
+        }
+        let n = self.count as f64;
+        let variance = if self.count < 2 {
+            0.0
+        } else {
+            let num = self.count as u128 * self.sumsq - self.sum * self.sum;
+            num as f64 / (n * (n - 1.0))
+        };
+        Summary {
+            count: self.count,
+            mean: self.sum as f64 / n,
+            variance,
+            min: self.min as f64,
+            max: self.max as f64,
+        }
+    }
+}
+
+/// Read-only per-run context shared by every shard and the coordinator.
+struct ShardCtx<'a, N> {
+    topo: &'a N,
+    cfg: SimConfig,
+    link_target: &'a [NodeId],
+    node_shard: &'a [u32],
+    shard_lo_link: &'a [u32],
+}
+
+impl<N> Clone for ShardCtx<'_, N> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<N> Copy for ShardCtx<'_, N> {}
+
+impl<N> ShardCtx<'_, N> {
+    /// Shard owning global link `gid`.
+    #[inline]
+    fn shard_of(&self, gid: u32) -> usize {
+        self.shard_lo_link.partition_point(|&lo| lo <= gid) - 1
+    }
+}
+
+#[inline]
+fn bit_get(bits: &[u64], i: usize) -> bool {
+    bits[i >> 6] & (1u64 << (i & 63)) != 0
+}
+
+#[inline]
+fn bit_set(bits: &mut [u64], i: usize) {
+    bits[i >> 6] |= 1u64 << (i & 63);
+}
+
+#[inline]
+fn bit_clear(bits: &mut [u64], i: usize) {
+    bits[i >> 6] &= !(1u64 << (i & 63));
+}
+
+/// Placeholder for `flight_pkt` slots of idle links.
+fn dummy_packet() -> Packet {
+    Packet {
+        task: 0,
+        gen_time: 0,
+        enqueue_time: 0,
+        len: 1,
+        priority: 0,
+        vc: 0,
+        attempt: 0,
+        kind: PacketKind::Unicast { dest: NodeId(0) },
+    }
+}
+
+/// The receptions a lost copy was still responsible for, as a keyed
+/// settle payload. Must be computed against the scheme state at the
+/// loss (the caller chooses pre- or post-liveness-update, matching the
+/// serial engine's call sites).
+fn settle_pkt<S: Scheme>(scheme: &S, pkt: &Packet) -> MsgBody {
+    match pkt.kind {
+        PacketKind::Broadcast(state) => MsgBody::Settle {
+            task: pkt.task,
+            broadcast: true,
+            lost: scheme.subtree_receptions(&state),
+        },
+        PacketKind::Unicast { .. } => MsgBody::Settle {
+            task: pkt.task,
+            broadcast: false,
+            lost: 1,
+        },
+    }
+}
+
+/// One spatial shard: the SoA queue state and service/delivery hot
+/// loops for a contiguous range of links.
+struct Shard<S> {
+    id: u32,
+    lo_link: u32,
+    n_links: usize,
+    scheme: S,
+
+    // Packet arena with intrusive next links and a LIFO free list.
+    arena_pkts: Vec<Packet>,
+    arena_next: Vec<u32>,
+    free_head: u32,
+
+    // Per-(link, class) FIFO heads/tails, per-link class mask + length.
+    qhead: Vec<u32>,
+    qtail: Vec<u32>,
+    class_mask: Vec<u8>,
+    qlen: Vec<u32>,
+
+    // Per-link bitsets.
+    backlog: Vec<u64>,
+    busy: Vec<u64>,
+    alive: Vec<u64>,
+
+    // In-flight transmissions (valid where the busy bit is set).
+    flight_pkt: Vec<Packet>,
+    flight_finish: Vec<u64>,
+
+    queued_local: u64,
+
+    // Per-slot buffers.
+    local_arrivals: Vec<(u32, Packet)>,
+    enq_local: Vec<Cmd>,
+    msgs: Vec<Msg>,
+    out: Vec<Vec<(u32, Packet)>>,
+    emit_buf: Vec<Emit>,
+    a1: A1Report,
+    b: BReport,
+
+    /// Broadcast-only fast path: with no unicast traffic the
+    /// coordinator never issues stage-1 commands, so shard-local emits
+    /// (produced in key order) can enqueue immediately in phase A2 and
+    /// phase B merely appends the coordinator's stage-2 generation
+    /// commands — the per-slot key merge disappears.
+    direct: bool,
+    // Fault state (replica view, kept in lockstep via deltas).
+    faulted: bool,
+    policy: DeadLinkPolicy,
+    view: LivenessView,
+    any_now: bool,
+    watched: Vec<u32>,
+
+    // Window statistics owned per shard, merged at report time.
+    wait_by_class: [IntMoments; MAX_PRIORITY_CLASSES],
+    wait_fault: [IntMoments; MAX_PRIORITY_CLASSES],
+    busy_by_class: [u64; MAX_PRIORITY_CLASSES],
+    busy_by_link: Vec<u64>,
+    tx_by_vc: [u64; 4],
+    window_transmissions: u64,
+    tails: Option<Box<TailsState>>,
+}
+
+/// Construction-time parameters common to every shard.
+#[derive(Clone, Copy)]
+struct ShardInit {
+    shards: usize,
+    link_count: u32,
+    node_count: u32,
+    tails: bool,
+    direct: bool,
+}
+
+impl<S: Scheme> Shard<S> {
+    fn new(id: u32, lo_link: u32, hi_link: u32, scheme: S, init: ShardInit) -> Self {
+        let ShardInit {
+            shards,
+            link_count,
+            node_count,
+            tails,
+            direct,
+        } = init;
+        let n_links = (hi_link - lo_link) as usize;
+        let words = n_links.div_ceil(64);
+        Self {
+            id,
+            lo_link,
+            n_links,
+            scheme,
+            arena_pkts: Vec::new(),
+            arena_next: Vec::new(),
+            free_head: NIL,
+            qhead: vec![NIL; n_links * MAX_PRIORITY_CLASSES],
+            qtail: vec![NIL; n_links * MAX_PRIORITY_CLASSES],
+            class_mask: vec![0; n_links],
+            qlen: vec![0; n_links],
+            backlog: vec![0; words],
+            busy: vec![0; words],
+            alive: vec![u64::MAX; words],
+            flight_pkt: vec![dummy_packet(); n_links],
+            flight_finish: vec![0; n_links],
+            queued_local: 0,
+            local_arrivals: Vec::new(),
+            enq_local: Vec::new(),
+            msgs: Vec::new(),
+            out: (0..shards).map(|_| Vec::new()).collect(),
+            emit_buf: Vec::with_capacity(64),
+            a1: A1Report::default(),
+            b: BReport::default(),
+            direct,
+            faulted: false,
+            policy: DeadLinkPolicy::default(),
+            view: LivenessView::healthy(link_count, node_count),
+            any_now: false,
+            watched: Vec::new(),
+            wait_by_class: [IntMoments::new(); MAX_PRIORITY_CLASSES],
+            wait_fault: [IntMoments::new(); MAX_PRIORITY_CLASSES],
+            busy_by_class: [0; MAX_PRIORITY_CLASSES],
+            busy_by_link: vec![0; n_links],
+            tx_by_vc: [0; 4],
+            window_transmissions: 0,
+            tails: tails.then(TailsState::new),
+        }
+    }
+
+    #[inline]
+    fn alloc(&mut self, pkt: Packet) -> u32 {
+        if self.free_head != NIL {
+            let slot = self.free_head;
+            self.free_head = self.arena_next[slot as usize];
+            self.arena_pkts[slot as usize] = pkt;
+            slot
+        } else {
+            let slot = self.arena_pkts.len() as u32;
+            self.arena_pkts.push(pkt);
+            self.arena_next.push(NIL);
+            slot
+        }
+    }
+
+    /// Appends to the tail of the packet's class FIFO on local link
+    /// `li` (the serial `PriorityQueue::push`).
+    fn q_push(&mut self, li: usize, pkt: Packet) {
+        let slot = self.alloc(pkt);
+        self.arena_next[slot as usize] = NIL;
+        let class = pkt.priority as usize;
+        let idx = li * MAX_PRIORITY_CLASSES + class;
+        if self.qtail[idx] != NIL {
+            self.arena_next[self.qtail[idx] as usize] = slot;
+        } else {
+            self.qhead[idx] = slot;
+            self.class_mask[li] |= 1 << class;
+        }
+        self.qtail[idx] = slot;
+        self.qlen[li] += 1;
+        if self.qlen[li] == 1 {
+            bit_set(&mut self.backlog, li);
+        }
+        self.queued_local += 1;
+    }
+
+    /// Re-admits an interrupted transmission at the head of its class
+    /// FIFO (the serial `PriorityQueue::push_front`).
+    fn q_push_front(&mut self, li: usize, pkt: Packet) {
+        let slot = self.alloc(pkt);
+        let class = pkt.priority as usize;
+        let idx = li * MAX_PRIORITY_CLASSES + class;
+        self.arena_next[slot as usize] = self.qhead[idx];
+        self.qhead[idx] = slot;
+        if self.qtail[idx] == NIL {
+            self.qtail[idx] = slot;
+        }
+        self.class_mask[li] |= 1 << class;
+        self.qlen[li] += 1;
+        if self.qlen[li] == 1 {
+            bit_set(&mut self.backlog, li);
+        }
+        self.queued_local += 1;
+    }
+
+    /// Pops the head of the lowest non-empty class (the serial
+    /// `PriorityQueue::pop`); repeated calls drain in exactly
+    /// `PriorityQueue::drain_all` order.
+    fn q_pop(&mut self, li: usize) -> Option<Packet> {
+        let mask = self.class_mask[li];
+        if mask == 0 {
+            return None;
+        }
+        let class = mask.trailing_zeros() as usize;
+        let idx = li * MAX_PRIORITY_CLASSES + class;
+        let slot = self.qhead[idx];
+        debug_assert_ne!(slot, NIL);
+        let next = self.arena_next[slot as usize];
+        self.qhead[idx] = next;
+        if next == NIL {
+            self.qtail[idx] = NIL;
+            self.class_mask[li] &= !(1 << class);
+        }
+        let pkt = self.arena_pkts[slot as usize];
+        self.arena_next[slot as usize] = self.free_head;
+        self.free_head = slot;
+        self.qlen[li] -= 1;
+        if self.qlen[li] == 0 {
+            bit_clear(&mut self.backlog, li);
+        }
+        self.queued_local -= 1;
+        Some(pkt)
+    }
+
+    /// Phase A1: apply the slot's fault delta (interrupt in-flight
+    /// transmissions, dispose of dead-link backlogs, update the scheme
+    /// replica), probe recovery-watched links, then scan for finishing
+    /// transmissions and route each delivery to the shard owning the
+    /// target node.
+    fn phase_a1<N: Network>(&mut self, t: u64, ctx: &ShardCtx<'_, N>, delta: Option<&FaultDelta>) {
+        self.msgs.clear();
+        self.local_arrivals.clear();
+        self.enq_local.clear();
+        self.a1.fault_qdelta = 0;
+        self.a1.watch_busy.clear();
+
+        if let Some(delta) = delta {
+            self.view.apply_delta(delta);
+            if delta.changed() {
+                for (di, &link) in delta.newly_dead.iter().enumerate() {
+                    let gid = link.0;
+                    if gid < self.lo_link || (gid - self.lo_link) as usize >= self.n_links {
+                        continue;
+                    }
+                    let li = (gid - self.lo_link) as usize;
+                    let mut seq = 0u32;
+                    if bit_get(&self.busy, li) {
+                        bit_clear(&mut self.busy, li);
+                        let pkt = self.flight_pkt[li];
+                        match self.policy {
+                            DeadLinkPolicy::Drop => {
+                                self.msgs.push(Msg {
+                                    key: key(0, di as u64, seq),
+                                    body: settle_pkt(&self.scheme, &pkt),
+                                });
+                                seq += 1;
+                            }
+                            DeadLinkPolicy::Requeue => {
+                                self.q_push_front(li, pkt);
+                                self.a1.fault_qdelta += 1;
+                            }
+                        }
+                    }
+                    if matches!(self.policy, DeadLinkPolicy::Drop) && self.qlen[li] > 0 {
+                        self.a1.fault_qdelta -= self.qlen[li] as i64;
+                        while let Some(pkt) = self.q_pop(li) {
+                            self.msgs.push(Msg {
+                                key: key(0, di as u64, seq),
+                                body: settle_pkt(&self.scheme, &pkt),
+                            });
+                            seq += 1;
+                        }
+                    }
+                    bit_clear(&mut self.alive, li);
+                }
+                for &link in &delta.repaired {
+                    let gid = link.0;
+                    if gid < self.lo_link || (gid - self.lo_link) as usize >= self.n_links {
+                        continue;
+                    }
+                    bit_set(&mut self.alive, (gid - self.lo_link) as usize);
+                    if !self.watched.contains(&gid) {
+                        self.watched.push(gid);
+                    }
+                }
+                // The settles above use the *pre-update* scheme, as the
+                // serial fault tick does; degraded routing applies from
+                // here on.
+                self.scheme.on_liveness_change(&self.view);
+            }
+            self.any_now = self.view.any_faults();
+        }
+
+        // Recovery busy probe: post-drain, pre-delivery — the serial
+        // `fault_tick` probe point.
+        if self.faulted && !self.watched.is_empty() {
+            for &gid in &self.watched {
+                let li = (gid - self.lo_link) as usize;
+                self.a1
+                    .watch_busy
+                    .push((gid, self.qlen[li] > 0 || bit_get(&self.busy, li)));
+            }
+        }
+
+        // Delivery scan in ascending link order. Single-shard runs have
+        // no remote arrivals that could interleave, so the scan order is
+        // already the merged arrival order — handle deliveries on the
+        // spot instead of buffering them for phase A2.
+        let solo = self.out.len() == 1;
+        for w in 0..self.busy.len() {
+            let mut m = self.busy[w];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let li = (w << 6) | b;
+                if self.flight_finish[li] != t {
+                    continue;
+                }
+                bit_clear(&mut self.busy, li);
+                let gid = self.lo_link + li as u32;
+                let pkt = self.flight_pkt[li];
+                if solo {
+                    self.handle_arrival(t, ctx, gid, pkt);
+                    continue;
+                }
+                let target = ctx.link_target[gid as usize];
+                let ts = ctx.node_shard[target.0 as usize];
+                if ts == self.id {
+                    self.local_arrivals.push((gid, pkt));
+                } else {
+                    self.out[ts as usize].push((gid, pkt));
+                }
+            }
+        }
+    }
+
+    /// Phase A2: process this shard's arrivals (remote inbox merged
+    /// with local ones in ascending delivering-link order), running the
+    /// scheme's broadcast forwarding locally and deferring everything
+    /// task-/RNG-touching to the coordinator via keyed messages.
+    fn phase_a2<N: Network>(
+        &mut self,
+        t: u64,
+        ctx: &ShardCtx<'_, N>,
+        inbox: &mut Vec<(u32, Packet)>,
+    ) {
+        inbox.sort_unstable_by_key(|&(gid, _)| gid);
+        let local = std::mem::take(&mut self.local_arrivals);
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let pick_local = match (local.get(i), inbox.get(j)) {
+                (Some(a), Some(b)) => a.0 < b.0,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let (gid, pkt) = if pick_local {
+                i += 1;
+                local[i - 1]
+            } else {
+                j += 1;
+                inbox[j - 1]
+            };
+            self.handle_arrival(t, ctx, gid, pkt);
+        }
+        inbox.clear();
+        self.local_arrivals = local;
+    }
+
+    fn handle_arrival<N: Network>(&mut self, t: u64, ctx: &ShardCtx<'_, N>, gid: u32, pkt: Packet) {
+        let node = ctx.link_target[gid as usize];
+        match pkt.kind {
+            PacketKind::Broadcast(state) => {
+                let dist = if ctx.cfg.profile_by_distance {
+                    ctx.topo.distance(state.src, node)
+                } else {
+                    0
+                };
+                self.msgs.push(Msg {
+                    key: key(1, gid as u64, 0),
+                    body: MsgBody::Reception {
+                        task: pkt.task,
+                        class: pkt.priority,
+                        dist,
+                    },
+                });
+                let mut buf = std::mem::take(&mut self.emit_buf);
+                buf.clear();
+                self.scheme.on_broadcast_arrival(node, &state, &mut buf);
+                self.queue_emits(
+                    t,
+                    ctx,
+                    node,
+                    FlowMeta {
+                        task: pkt.task,
+                        gen_time: pkt.gen_time,
+                        len: pkt.len,
+                    },
+                    gid as u64,
+                    &buf,
+                );
+                self.emit_buf = buf;
+            }
+            PacketKind::Unicast { dest } => {
+                if node == dest {
+                    self.msgs.push(Msg {
+                        key: key(1, gid as u64, 0),
+                        body: MsgBody::UnicastDone { task: pkt.task },
+                    });
+                } else {
+                    self.msgs.push(Msg {
+                        key: key(1, gid as u64, 0),
+                        body: MsgBody::RouteReq {
+                            node,
+                            dest,
+                            task: pkt.task,
+                            gen_time: pkt.gen_time,
+                            len: pkt.len,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Stages a delivery's forwards for enqueue: emits toward dead
+    /// links become keyed loss settles under the drop policy (using the
+    /// post-update scheme, like the serial flush path); everything else
+    /// becomes a local enqueue command merged in phase B.
+    fn queue_emits<N: Network>(
+        &mut self,
+        t: u64,
+        ctx: &ShardCtx<'_, N>,
+        from: NodeId,
+        meta: FlowMeta,
+        gid: u64,
+        emits: &[Emit],
+    ) {
+        for (i, emit) in emits.iter().enumerate() {
+            let link = ctx
+                .topo
+                .link_id(Link {
+                    from,
+                    dim: emit.dim,
+                    dir: emit.dir,
+                })
+                .0;
+            debug_assert!(
+                link >= self.lo_link && ((link - self.lo_link) as usize) < self.n_links,
+                "emit link not owned by the emitting node's shard"
+            );
+            let key = key(1, gid, 1 + i as u32);
+            let pkt = Packet {
+                task: meta.task,
+                gen_time: meta.gen_time,
+                enqueue_time: t,
+                len: meta.len,
+                priority: emit.priority,
+                vc: emit.vc,
+                attempt: 0,
+                kind: emit.kind,
+            };
+            let li = (link - self.lo_link) as usize;
+            if self.faulted
+                && self.any_now
+                && !bit_get(&self.alive, li)
+                && matches!(self.policy, DeadLinkPolicy::Drop)
+            {
+                self.msgs.push(Msg {
+                    key,
+                    body: settle_pkt(&self.scheme, &pkt),
+                });
+            } else if self.direct {
+                // Broadcast-only: no stage-1 coordinator commands can
+                // interleave, so the A2 processing order IS the merged
+                // key order for this link — enqueue on the spot.
+                self.q_push(li, pkt);
+            } else {
+                self.enq_local.push(Cmd { key, link, pkt });
+            }
+        }
+    }
+
+    /// Phase B: merge local and coordinator enqueues in key order
+    /// (reproducing the serial per-queue insertion order), then start
+    /// service on every backlogged, idle, alive link.
+    fn phase_b<N: Network>(&mut self, t: u64, ctx: &ShardCtx<'_, N>, cmds: &mut Vec<Cmd>) {
+        let local = std::mem::take(&mut self.enq_local);
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let pick_local = match (local.get(i), cmds.get(j)) {
+                (Some(a), Some(b)) => a.key < b.key,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let cmd = if pick_local {
+                i += 1;
+                local[i - 1]
+            } else {
+                j += 1;
+                cmds[j - 1]
+            };
+            let li = (cmd.link - self.lo_link) as usize;
+            self.q_push(li, cmd.pkt);
+        }
+        cmds.clear();
+        self.enq_local = local;
+
+        self.b.pre_service = self.queued_local;
+        let in_window = t >= ctx.cfg.warmup_slots && t < ctx.cfg.measure_end();
+        let end = ctx.cfg.measure_end();
+        let d = ctx.topo.d();
+        for w in 0..self.backlog.len() {
+            let mut m = self.backlog[w] & !self.busy[w] & self.alive[w];
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let li = (w << 6) | b;
+                let pkt = self.q_pop(li).expect("backlogged link has a packet");
+                self.tx_by_vc[(pkt.vc as usize).min(3)] += 1;
+                if in_window {
+                    let wait = t - pkt.enqueue_time;
+                    self.wait_by_class[pkt.priority as usize].push(wait);
+                    if self.faulted && self.any_now {
+                        self.wait_fault[pkt.priority as usize].push(wait);
+                    }
+                    if let Some(tl) = self.tails.as_deref_mut() {
+                        tl.record_service(&pkt, wait, d);
+                    }
+                    self.window_transmissions += 1;
+                    let busy = (t + pkt.len as u64).min(end) - t;
+                    self.busy_by_class[pkt.priority as usize] += busy;
+                    self.busy_by_link[li] += busy;
+                }
+                self.flight_pkt[li] = pkt;
+                self.flight_finish[li] = t + pkt.len as u64;
+                bit_set(&mut self.busy, li);
+            }
+        }
+        self.b.end_total = self.queued_local;
+        self.b.max_qlen = if (t + 1) % 4096 == 0 {
+            self.qlen.iter().copied().max().unwrap_or(0)
+        } else {
+            0
+        };
+    }
+}
+
+/// Fault state owned by the coordinator (the authoritative runtime;
+/// shards hold replica views fed by its deltas).
+struct CoordFaults {
+    runtime: FaultRuntime,
+    policy: DeadLinkPolicy,
+    any_now: bool,
+    events_applied: u64,
+    fault_dropped: u64,
+    fault_damaged: u64,
+    fault_slots: u64,
+    recovery: RecoveryTracker,
+    /// Delta produced by the last advance, awaiting the next slot's
+    /// phase A1 (shards) and mid-slot processing (coordinator).
+    pending: Option<Arc<FaultDelta>>,
+}
+
+/// All global, order-sensitive state: the RNG, the task table, delay
+/// statistics, fault accounting. Consumes shard messages in key order,
+/// which equals serial processing order.
+struct Coordinator<S> {
+    scheme: S,
+    cfg: SimConfig,
+    rng: StdRng,
+    dests: UniformDestinations,
+    tasks: TaskTable,
+    node_count: u32,
+    mix: TrafficMix,
+
+    reception_delay: Moments,
+    reception_hist: Histogram,
+    reception_batch: BatchMeans,
+    broadcast_delay: Moments,
+    unicast_delay: Moments,
+    dropped_packets: u64,
+    lost_receptions: u64,
+    damaged_broadcasts: u64,
+    dropped_unicasts: u64,
+    concurrent_bcast: TimeWeighted,
+    concurrent_ucast: TimeWeighted,
+    concurrent_snapshot: Option<(f64, f64)>,
+    outstanding_measured: u64,
+    measured_broadcasts: u64,
+    measured_unicasts: u64,
+    delay_by_distance: Vec<Moments>,
+    queue_trace: Vec<(u64, u64)>,
+    peak_queue: i64,
+    occupancy_sum: u128,
+    queued_end: u64,
+
+    emit_buf: Vec<Emit>,
+    tails: Option<Box<TailsState>>,
+    faults: Option<Box<CoordFaults>>,
+    now: u64,
+    unstable: bool,
+
+    /// Per-shard staged enqueue commands (route forwards, generation).
+    cmds: Vec<Vec<Cmd>>,
+    gen_seq: u64,
+    gen_any: bool,
+    arrivals_any: bool,
+}
+
+impl<S: Scheme> Coordinator<S> {
+    #[inline]
+    fn in_window(&self, t: u64) -> bool {
+        t >= self.cfg.warmup_slots && t < self.cfg.measure_end()
+    }
+
+    /// `true` when the link can transmit (the serial `link_alive`).
+    #[inline]
+    fn link_alive(&self, gid: u32) -> bool {
+        match &self.faults {
+            Some(f) if f.any_now => f.runtime.view().link_alive(pstar_topology::LinkId(gid)),
+            _ => true,
+        }
+    }
+
+    /// Mid-slot global processing, in exact serial order: fault
+    /// bookkeeping (stage-0 settles, recovery progress), queue trace,
+    /// window boundaries, delivery events (stage 1), then arrivals.
+    fn mid_slot<N: Network>(
+        &mut self,
+        ctx: &ShardCtx<'_, N>,
+        t: u64,
+        fault_qdelta: i64,
+        watch_busy: &[(u32, bool)],
+        msgs: &[Msg],
+    ) {
+        self.arrivals_any = false;
+        self.gen_any = false;
+        self.gen_seq = 0;
+
+        let split = msgs.partition_point(|m| m.key < STAGE1_BASE);
+        let delta = self.faults.as_mut().and_then(|f| f.pending.take());
+        if let Some(delta) = delta.as_deref() {
+            if let Some(f) = self.faults.as_mut() {
+                for &l in &delta.newly_dead {
+                    f.recovery.on_death(l.0);
+                }
+            }
+            for m in &msgs[..split] {
+                if let MsgBody::Settle {
+                    task,
+                    broadcast,
+                    lost,
+                } = m.body
+                {
+                    self.apply_settle(t, task, broadcast, lost);
+                }
+            }
+            if let Some(f) = self.faults.as_mut() {
+                for &l in &delta.repaired {
+                    f.recovery.on_repair(l.0, t);
+                }
+            }
+        }
+        if let Some(f) = self.faults.as_mut() {
+            if f.any_now {
+                f.fault_slots += 1;
+            }
+            if f.recovery.is_watching() {
+                f.recovery.tick(t, |l| {
+                    watch_busy
+                        .iter()
+                        .find(|&&(g, _)| g == l)
+                        .map(|&(_, b)| b)
+                        .expect("watched link busy bit reported by its shard")
+                });
+            }
+        }
+
+        if let Some(k) = self.cfg.trace_interval {
+            if t % k == 0 {
+                self.queue_trace
+                    .push((t, (self.queued_end as i64 + fault_qdelta) as u64));
+            }
+        }
+
+        if t == self.cfg.warmup_slots {
+            self.concurrent_bcast.reset_window(t);
+            self.concurrent_ucast.reset_window(t);
+        }
+        if t == self.cfg.measure_end() && self.concurrent_snapshot.is_none() {
+            self.concurrent_snapshot = Some((
+                self.concurrent_bcast.average(t),
+                self.concurrent_ucast.average(t),
+            ));
+        }
+
+        for m in &msgs[split..] {
+            match m.body {
+                MsgBody::Reception { task, class, dist } => {
+                    self.arrivals_any = true;
+                    self.apply_reception(t, task, class, dist);
+                }
+                MsgBody::UnicastDone { task } => self.apply_unicast_done(t, task),
+                MsgBody::Settle {
+                    task,
+                    broadcast,
+                    lost,
+                } => self.apply_settle(t, task, broadcast, lost),
+                MsgBody::RouteReq {
+                    node,
+                    dest,
+                    task,
+                    gen_time,
+                    len,
+                } => {
+                    self.arrivals_any = true;
+                    let mut buf = std::mem::take(&mut self.emit_buf);
+                    buf.clear();
+                    self.scheme
+                        .on_unicast_arrival(node, dest, &mut self.rng, &mut buf);
+                    debug_assert!(!buf.is_empty(), "unicast stranded at {node}");
+                    self.flush_cmds(
+                        ctx,
+                        t,
+                        (1, key_major(m.key)),
+                        node,
+                        FlowMeta {
+                            task,
+                            gen_time,
+                            len,
+                        },
+                        &buf,
+                    );
+                    self.emit_buf = buf;
+                }
+            }
+        }
+
+        let n = self.node_count;
+        let mix = self.mix;
+        let mut sink = GenSink {
+            co: self,
+            ctx: *ctx,
+            t,
+        };
+        generate_arrivals_into(&mut sink, mix, n);
+    }
+
+    /// Serial `new_task`, minus the flow-control gates (asserted off).
+    fn new_task<N: Network>(
+        &mut self,
+        ctx: &ShardCtx<'_, N>,
+        t: u64,
+        src: NodeId,
+        dest: Option<NodeId>,
+        measured: bool,
+    ) {
+        let (kind, remaining) = match dest {
+            None => (TaskKind::Broadcast, self.node_count - 1),
+            Some(_) => (TaskKind::Unicast, 1),
+        };
+        let task = self.tasks.insert(TaskSlot {
+            gen_time: t,
+            remaining,
+            measured,
+            kind,
+            lost: 0,
+            retx: false,
+        });
+        if measured {
+            self.outstanding_measured += 1;
+            match kind {
+                TaskKind::Broadcast => self.measured_broadcasts += 1,
+                TaskKind::Unicast => self.measured_unicasts += 1,
+            }
+        }
+        let len = self.cfg.lengths.sample_length(&mut self.rng);
+        let mut buf = std::mem::take(&mut self.emit_buf);
+        buf.clear();
+        match dest {
+            None => {
+                self.concurrent_bcast.add(t, 1);
+                self.scheme
+                    .on_broadcast_generated(src, &mut self.rng, &mut buf);
+            }
+            Some(dest) => {
+                self.concurrent_ucast.add(t, 1);
+                self.scheme
+                    .on_unicast_generated(src, dest, &mut self.rng, &mut buf);
+            }
+        }
+        debug_assert!(!buf.is_empty(), "task with no transmissions");
+        let seq = self.gen_seq;
+        self.flush_cmds(
+            ctx,
+            t,
+            (2, seq),
+            src,
+            FlowMeta {
+                task,
+                gen_time: t,
+                len,
+            },
+            &buf,
+        );
+        self.emit_buf = buf;
+        self.gen_seq += 1;
+        self.gen_any = true;
+    }
+
+    /// Resolves emits to links and stages enqueue commands for the
+    /// owning shards; emits toward dead links are settled inline under
+    /// the drop policy (exactly where the serial flush would).
+    fn flush_cmds<N: Network>(
+        &mut self,
+        ctx: &ShardCtx<'_, N>,
+        t: u64,
+        prefix: (u8, u64),
+        from: NodeId,
+        meta: FlowMeta,
+        emits: &[Emit],
+    ) {
+        for (i, emit) in emits.iter().enumerate() {
+            debug_assert!(
+                (emit.priority as usize) < self.scheme.num_priorities(),
+                "emit priority out of range"
+            );
+            let gid = ctx
+                .topo
+                .link_id(Link {
+                    from,
+                    dim: emit.dim,
+                    dir: emit.dir,
+                })
+                .0;
+            let pkt = Packet {
+                task: meta.task,
+                gen_time: meta.gen_time,
+                enqueue_time: t,
+                len: meta.len,
+                priority: emit.priority,
+                vc: emit.vc,
+                attempt: 0,
+                kind: emit.kind,
+            };
+            if !self.link_alive(gid) {
+                let policy = self.faults.as_ref().map(|f| f.policy).unwrap_or_default();
+                if matches!(policy, DeadLinkPolicy::Drop) {
+                    self.apply_drop(t, &pkt);
+                    continue;
+                }
+            }
+            self.cmds[ctx.shard_of(gid)].push(Cmd {
+                key: key(prefix.0, prefix.1, 1 + i as u32),
+                link: gid,
+                pkt,
+            });
+        }
+    }
+
+    /// A coordinator-side fault drop (emit toward a dead link): the
+    /// serial `lose_packet` on the no-ARQ path.
+    fn apply_drop(&mut self, t: u64, pkt: &Packet) {
+        let (broadcast, lost) = match pkt.kind {
+            PacketKind::Broadcast(state) => (true, self.scheme.subtree_receptions(&state)),
+            PacketKind::Unicast { .. } => (false, 1),
+        };
+        self.apply_settle(t, pkt.task, broadcast, lost);
+    }
+
+    /// The serial `handle_loss` terminal path + `settle_drop`, for a
+    /// fault-caused loss (the only loss cause the sharded engine has).
+    fn apply_settle(&mut self, t: u64, task: u32, broadcast: bool, lost: u32) {
+        self.dropped_packets += 1;
+        let before_damaged = self.damaged_broadcasts;
+        if broadcast {
+            debug_assert!(lost >= 1);
+            let slot = *self.tasks.get(task);
+            if slot.measured {
+                self.lost_receptions += lost as u64;
+            }
+            if self.tasks.cancel_receptions(task, lost) {
+                if slot.measured {
+                    self.damaged_broadcasts += 1;
+                    self.outstanding_measured -= 1;
+                }
+                self.concurrent_bcast.add(t, -1);
+            }
+        } else {
+            let slot = *self.tasks.get(task);
+            if slot.measured {
+                self.lost_receptions += 1;
+                self.dropped_unicasts += 1;
+                self.outstanding_measured -= 1;
+            }
+            let done = self.tasks.cancel_receptions(task, 1);
+            debug_assert!(done);
+            self.concurrent_ucast.add(t, -1);
+        }
+        if let Some(f) = self.faults.as_mut() {
+            f.fault_dropped += 1;
+            f.fault_damaged += self.damaged_broadcasts - before_damaged;
+        }
+    }
+
+    /// The serial `record_broadcast_reception` (+ the distance-profile
+    /// push that precedes it).
+    fn apply_reception(&mut self, t: u64, task: u32, class: u8, dist: u32) {
+        let slot = *self.tasks.get(task);
+        if !self.delay_by_distance.is_empty() && slot.measured {
+            self.delay_by_distance[dist as usize].push((t - slot.gen_time) as f64);
+        }
+        if slot.measured {
+            let delay = (t - slot.gen_time) as f64;
+            self.reception_delay.push(delay);
+            self.reception_hist.record(t - slot.gen_time);
+            self.reception_batch.push(delay);
+            if let Some(tl) = self.tails.as_deref_mut() {
+                tl.record_reception(class, t - slot.gen_time);
+            }
+        }
+        if self.tasks.record_reception(task) {
+            if slot.measured {
+                if slot.lost == 0 {
+                    self.broadcast_delay.push((t - slot.gen_time) as f64);
+                } else {
+                    self.damaged_broadcasts += 1;
+                }
+                self.outstanding_measured -= 1;
+            }
+            self.concurrent_bcast.add(t, -1);
+        }
+    }
+
+    /// The serial `record_unicast_delivery`.
+    fn apply_unicast_done(&mut self, t: u64, task: u32) {
+        let slot = *self.tasks.get(task);
+        debug_assert_eq!(slot.kind, TaskKind::Unicast);
+        if slot.measured {
+            self.unicast_delay.push((t - slot.gen_time) as f64);
+            self.outstanding_measured -= 1;
+        }
+        let done = self.tasks.record_reception(task);
+        debug_assert!(done);
+        self.concurrent_ucast.add(t, -1);
+    }
+
+    /// End-of-slot accounting (peak, occupancy, trace baseline) and the
+    /// serial loop-head stop checks, in their exact order. `Some(c)`
+    /// stops the run (`c` = completed cleanly).
+    fn end_slot(
+        &mut self,
+        t: u64,
+        pre_service: u64,
+        end_total: u64,
+        max_qlen: u32,
+        queue_limit: i64,
+    ) -> Option<bool> {
+        // The serial peak is sampled after each emit flush; the queue
+        // population is non-decreasing between the fault tick and
+        // service, so the last flush of the slot sees `pre_service`.
+        // Slots with no flush at all (fault requeues only) leave the
+        // peak untouched, exactly as the serial engine does.
+        if self.arrivals_any || self.gen_any {
+            self.peak_queue = self.peak_queue.max(pre_service as i64);
+        }
+        if self.in_window(t) {
+            self.occupancy_sum += pre_service as u128;
+        }
+        self.queued_end = end_total;
+        self.now = t + 1;
+        let res = self.check_stop(queue_limit, end_total as i64, max_qlen);
+        if res.is_none() {
+            self.advance_faults(self.now);
+        }
+        res
+    }
+
+    /// The serial `run_observed` loop-head checks for the current
+    /// `self.now`, in order.
+    fn check_stop(&mut self, queue_limit: i64, end_total: i64, max_qlen: u32) -> Option<bool> {
+        if self.now >= self.cfg.measure_end() && self.outstanding_measured == 0 {
+            return Some(true);
+        }
+        if self.now >= self.cfg.max_slots {
+            return Some(false);
+        }
+        if end_total > queue_limit {
+            self.unstable = true;
+            return Some(false);
+        }
+        if self.now % 4096 == 0 && self.now > 0 && max_qlen as f64 > self.cfg.unstable_single_queue
+        {
+            self.unstable = true;
+            return Some(false);
+        }
+        None
+    }
+
+    /// The serial fault advance (normally the head of `fault_tick`),
+    /// run at the end of the previous slot so the delta is ready for
+    /// the shards' next phase A1. The coordinator's scheme replica is
+    /// updated here — before any of its uses in the coming slot — and
+    /// the delta is published for the shards.
+    fn advance_faults(&mut self, slot: u64) {
+        let Some(mut f) = self.faults.take() else {
+            return;
+        };
+        if f.runtime.next_event_slot().is_some_and(|s| s <= slot) {
+            let delta = f.runtime.advance_to(slot);
+            f.events_applied += delta.events_applied as u64;
+            if delta.changed() {
+                self.scheme.on_liveness_change(f.runtime.view());
+            }
+            f.any_now = f.runtime.view().any_faults();
+            f.pending = Some(Arc::new(delta));
+        }
+        self.faults = Some(f);
+    }
+}
+
+/// Adapter giving the coordinator the serial engine's arrival-draw
+/// sequence (`arrivals::generate_arrivals_into`).
+struct GenSink<'a, N, S> {
+    co: &'a mut Coordinator<S>,
+    ctx: ShardCtx<'a, N>,
+    t: u64,
+}
+
+impl<N: Network, S: Scheme> ArrivalSink for GenSink<'_, N, S> {
+    fn draw_ctx(&mut self) -> (&mut StdRng, &UniformDestinations) {
+        (&mut self.co.rng, &self.co.dests)
+    }
+
+    fn source_dead(&self, node: NodeId) -> bool {
+        match &self.co.faults {
+            Some(f) if f.any_now => !f.runtime.view().node_alive(node),
+            _ => false,
+        }
+    }
+
+    fn spawn(&mut self, src: NodeId, dest: Option<NodeId>) {
+        let measured = self.t >= self.co.cfg.warmup_slots && self.t < self.co.cfg.measure_end();
+        let ctx = self.ctx;
+        self.co.new_task(&ctx, self.t, src, dest, measured);
+    }
+}
+
+/// One shard's published A1 side data: `(fault_qdelta, watch_busy)`.
+type A1Cell = Mutex<(i64, Vec<(u32, bool)>)>;
+
+/// Shared state of the threaded driver.
+struct Exchange {
+    barrier: Barrier,
+    ctrl: Mutex<SlotCtrl>,
+    inboxes: Vec<Mutex<Vec<(u32, Packet)>>>,
+    a1: Vec<A1Cell>,
+    /// Per-shard published message streams (each ascending), merged by
+    /// the coordinator without sorting.
+    msgs: Vec<Mutex<Vec<Msg>>>,
+    cmds: Vec<Mutex<Vec<Cmd>>>,
+    b: Vec<Mutex<BReport>>,
+}
+
+/// The sharded structure-of-arrays step engine (see module docs).
+///
+/// Seeded runs are bit-identical to [`crate::Engine`] on every integer
+/// report field at any shard/thread count; float wait summaries agree
+/// to rounding. Build with [`ShardedEngine::new`], optionally install
+/// a fault plan and worker threads, then [`ShardedEngine::run`].
+pub struct ShardedEngine<N, S> {
+    topo: N,
+    cfg: SimConfig,
+    shards: Vec<Shard<S>>,
+    coord: Coordinator<S>,
+    threads: usize,
+    link_target: Vec<NodeId>,
+    link_dim: Vec<u8>,
+    node_shard: Vec<u32>,
+    shard_lo_link: Vec<u32>,
+}
+
+impl<N: Network + Sync, S: Scheme + Clone + Send> ShardedEngine<N, S> {
+    /// Builds an engine with `shards` spatial shards (≥ 1, at most one
+    /// per node).
+    ///
+    /// Panics if the configuration uses features the sharded engine
+    /// does not cover (ARQ, admission control, bounded queues) or the
+    /// topology's link ids are not contiguous per source node.
+    pub fn new(topo: N, scheme: S, mix: TrafficMix, cfg: SimConfig, shards: usize) -> Self {
+        assert!(
+            scheme.num_priorities() <= MAX_PRIORITY_CLASSES,
+            "scheme uses too many priority classes"
+        );
+        assert!(shards >= 1, "at least one shard");
+        let n = topo.node_count();
+        assert!(shards as u32 <= n, "more shards than nodes");
+        assert!(cfg.arq.is_none(), "ARQ recovery requires the serial engine");
+        assert!(
+            cfg.admission.is_none(),
+            "admission control requires the serial engine"
+        );
+        assert!(
+            cfg.queue_capacity.is_none(),
+            "bounded queues require the serial engine"
+        );
+        let links = topo.link_count();
+        let link_source = topo.link_source_table();
+        assert!(
+            link_source.windows(2).all(|w| w[0].0 <= w[1].0),
+            "sharded engine requires node-contiguous link ids"
+        );
+
+        let mut node_shard = vec![0u32; n as usize];
+        let mut shard_lo_link = Vec::with_capacity(shards + 1);
+        let mut shard_vec = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let lo_node = (s as u64 * n as u64 / shards as u64) as u32;
+            let hi_node = ((s as u64 + 1) * n as u64 / shards as u64) as u32;
+            for node in lo_node..hi_node {
+                node_shard[node as usize] = s as u32;
+            }
+            let lo_link = link_source.partition_point(|src| src.0 < lo_node) as u32;
+            shard_lo_link.push(lo_link);
+        }
+        shard_lo_link.push(links);
+        for s in 0..shards {
+            shard_vec.push(Shard::new(
+                s as u32,
+                shard_lo_link[s],
+                shard_lo_link[s + 1],
+                scheme.clone(),
+                ShardInit {
+                    shards,
+                    link_count: links,
+                    node_count: n,
+                    tails: cfg.tails,
+                    direct: mix.lambda_unicast == 0.0,
+                },
+            ));
+        }
+
+        let coord = Coordinator {
+            scheme,
+            cfg,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            dests: UniformDestinations::new(n),
+            tasks: TaskTable::new(),
+            node_count: n,
+            mix,
+            reception_delay: Moments::new(),
+            reception_hist: Histogram::new(cfg.delay_histogram_cap),
+            reception_batch: BatchMeans::new(cfg.delay_batch_size),
+            broadcast_delay: Moments::new(),
+            unicast_delay: Moments::new(),
+            dropped_packets: 0,
+            lost_receptions: 0,
+            damaged_broadcasts: 0,
+            dropped_unicasts: 0,
+            concurrent_bcast: TimeWeighted::new(0, 0),
+            concurrent_ucast: TimeWeighted::new(0, 0),
+            concurrent_snapshot: None,
+            outstanding_measured: 0,
+            measured_broadcasts: 0,
+            measured_unicasts: 0,
+            delay_by_distance: if cfg.profile_by_distance {
+                vec![Moments::new(); topo.diameter() as usize + 1]
+            } else {
+                Vec::new()
+            },
+            queue_trace: Vec::new(),
+            peak_queue: 0,
+            occupancy_sum: 0,
+            queued_end: 0,
+            emit_buf: Vec::with_capacity(64),
+            tails: cfg.tails.then(TailsState::new),
+            faults: None,
+            now: 0,
+            unstable: false,
+            cmds: (0..shards).map(|_| Vec::new()).collect(),
+            gen_seq: 0,
+            gen_any: false,
+            arrivals_any: false,
+        };
+        let link_target = topo.link_target_table();
+        let link_dim = topo.link_dim_table();
+        Self {
+            topo,
+            cfg,
+            shards: shard_vec,
+            coord,
+            threads: 1,
+            link_target,
+            link_dim,
+            node_shard,
+            shard_lo_link,
+        }
+    }
+
+    /// Installs a fault plan (builder style; an empty plan is a no-op,
+    /// exactly as on the serial engine).
+    pub fn with_fault_plan(mut self, plan: FaultPlan, policy: DeadLinkPolicy) -> Self {
+        if plan.is_empty() {
+            return self;
+        }
+        let runtime = FaultRuntime::new(
+            plan,
+            self.topo.link_source_table(),
+            self.link_target.clone(),
+            self.topo.node_count(),
+        );
+        self.coord.faults = Some(Box::new(CoordFaults {
+            runtime,
+            policy,
+            any_now: false,
+            events_applied: 0,
+            fault_dropped: 0,
+            fault_damaged: 0,
+            fault_slots: 0,
+            recovery: RecoveryTracker::new(),
+            pending: None,
+        }));
+        for sh in &mut self.shards {
+            sh.faulted = true;
+            sh.policy = policy;
+        }
+        self
+    }
+
+    /// Sets the worker-thread count for the run (builder style). The
+    /// default of 1 runs every phase on the calling thread; results
+    /// are identical either way.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Runs the warmup → measure → drain protocol and reports; the
+    /// report mirrors the serial engine's field for field.
+    pub fn run(self) -> SimReport {
+        let Self {
+            topo,
+            cfg,
+            mut shards,
+            mut coord,
+            threads,
+            link_target,
+            link_dim,
+            node_shard,
+            shard_lo_link,
+        } = self;
+        let ctx = ShardCtx {
+            topo: &topo,
+            cfg,
+            link_target: &link_target,
+            node_shard: &node_shard,
+            shard_lo_link: &shard_lo_link,
+        };
+        let links = topo.link_count() as usize;
+        let queue_limit = (cfg.unstable_queue_per_link * links as f64) as i64;
+
+        let completed = match coord.check_stop(queue_limit, 0, 0) {
+            Some(c) => c,
+            None => {
+                coord.advance_faults(0);
+                let workers = threads.min(shards.len());
+                if workers <= 1 {
+                    run_sequential(&mut coord, &mut shards, &ctx, queue_limit)
+                } else {
+                    run_threaded(&mut coord, &mut shards, &ctx, queue_limit, workers)
+                }
+            }
+        };
+
+        assemble_report(coord, shards, &shard_lo_link, &link_dim, links, completed)
+    }
+}
+
+/// Merges per-shard message streams — each strictly ascending by
+/// construction — into one key-ordered stream. Linear scan over the
+/// stream heads per output element; shard counts are small and the
+/// packed keys compare as single words, so this beats re-sorting the
+/// concatenation by a wide margin.
+fn kway_merge(streams: &[&[Msg]], out: &mut Vec<Msg>, idx: &mut Vec<usize>) {
+    out.clear();
+    idx.clear();
+    idx.resize(streams.len(), 0);
+    out.reserve(streams.iter().map(|s| s.len()).sum());
+    loop {
+        let mut best: Option<(Key, usize)> = None;
+        for (s, stream) in streams.iter().enumerate() {
+            if let Some(m) = stream.get(idx[s]) {
+                if best.is_none_or(|(k, _)| m.key < k) {
+                    best = Some((m.key, s));
+                }
+            }
+        }
+        let Some((_, s)) = best else { break };
+        out.push(streams[s][idx[s]]);
+        idx[s] += 1;
+    }
+}
+
+/// Single-threaded driver: all phases on the calling thread, in the
+/// same barrier order the threaded driver uses.
+fn run_sequential<N: Network, S: Scheme>(
+    coord: &mut Coordinator<S>,
+    shards: &mut [Shard<S>],
+    ctx: &ShardCtx<'_, N>,
+    queue_limit: i64,
+) -> bool {
+    let nsh = shards.len();
+    let mut inboxes: Vec<Vec<(u32, Packet)>> = (0..nsh).map(|_| Vec::new()).collect();
+    let mut msgs: Vec<Msg> = Vec::new();
+    let mut merge_idx: Vec<usize> = Vec::new();
+    let mut watch: Vec<(u32, bool)> = Vec::new();
+    let mut t = coord.now;
+    loop {
+        let delta = coord.faults.as_ref().and_then(|f| f.pending.clone());
+        for sh in shards.iter_mut() {
+            sh.phase_a1(t, ctx, delta.as_deref());
+        }
+        for sh in shards.iter_mut() {
+            for (ti, inbox) in inboxes.iter_mut().enumerate() {
+                if !sh.out[ti].is_empty() {
+                    let mut batch = std::mem::take(&mut sh.out[ti]);
+                    inbox.append(&mut batch);
+                    sh.out[ti] = batch;
+                }
+            }
+        }
+        for (si, sh) in shards.iter_mut().enumerate() {
+            sh.phase_a2(t, ctx, &mut inboxes[si]);
+        }
+        let mut fault_qdelta = 0i64;
+        watch.clear();
+        for sh in shards.iter() {
+            fault_qdelta += sh.a1.fault_qdelta;
+            watch.extend_from_slice(&sh.a1.watch_busy);
+        }
+        if nsh == 1 {
+            // Single shard: the stream is already in key order; feed it
+            // through without copying.
+            coord.mid_slot(ctx, t, fault_qdelta, &watch, &shards[0].msgs);
+        } else {
+            let streams: Vec<&[Msg]> = shards.iter().map(|sh| sh.msgs.as_slice()).collect();
+            kway_merge(&streams, &mut msgs, &mut merge_idx);
+            coord.mid_slot(ctx, t, fault_qdelta, &watch, &msgs);
+        }
+        let mut pre = 0u64;
+        let mut end = 0u64;
+        let mut maxq = 0u32;
+        for (si, sh) in shards.iter_mut().enumerate() {
+            sh.phase_b(t, ctx, &mut coord.cmds[si]);
+            pre += sh.b.pre_service;
+            end += sh.b.end_total;
+            maxq = maxq.max(sh.b.max_qlen);
+        }
+        if let Some(c) = coord.end_slot(t, pre, end, maxq, queue_limit) {
+            return c;
+        }
+        t += 1;
+    }
+}
+
+/// Multi-threaded driver: shards split into contiguous chunks, one
+/// worker per chunk, with the coordinator on the calling thread and a
+/// five-barrier slot protocol (A1 → ship → A2 → mid-slot → B → end).
+fn run_threaded<N: Network + Sync, S: Scheme + Clone + Send>(
+    coord: &mut Coordinator<S>,
+    shards: &mut Vec<Shard<S>>,
+    ctx: &ShardCtx<'_, N>,
+    queue_limit: i64,
+    workers: usize,
+) -> bool {
+    let nsh = shards.len();
+    let ex = Exchange {
+        barrier: Barrier::new(workers + 1),
+        ctrl: Mutex::new(SlotCtrl {
+            stop: false,
+            delta: coord.faults.as_ref().and_then(|f| f.pending.clone()),
+        }),
+        inboxes: (0..nsh).map(|_| Mutex::new(Vec::new())).collect(),
+        a1: (0..nsh).map(|_| Mutex::new((0, Vec::new()))).collect(),
+        msgs: (0..nsh).map(|_| Mutex::new(Vec::new())).collect(),
+        cmds: (0..nsh).map(|_| Mutex::new(Vec::new())).collect(),
+        b: (0..nsh).map(|_| Mutex::new(BReport::default())).collect(),
+    };
+    let t0 = coord.now;
+
+    // Split the shards into contiguous chunks, remembering each chunk's
+    // first global shard index.
+    let mut chunks: Vec<(usize, Vec<Shard<S>>)> = Vec::with_capacity(workers);
+    {
+        let mut rest = std::mem::take(shards);
+        let mut base = 0usize;
+        for w in 0..workers {
+            let take = (nsh - base).div_ceil(workers - w);
+            let tail = rest.split_off(take);
+            chunks.push((base, rest));
+            rest = tail;
+            base += take;
+        }
+        debug_assert!(rest.is_empty());
+    }
+
+    let mut completed = false;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (base, chunk) in chunks {
+            let ex = &ex;
+            handles.push(scope.spawn(move || worker_loop(chunk, base, ex, ctx, t0, nsh)));
+        }
+
+        let mut msgs: Vec<Msg> = Vec::new();
+        let mut merge_idx: Vec<usize> = Vec::new();
+        let mut watch: Vec<(u32, bool)> = Vec::new();
+        let mut t = t0;
+        loop {
+            ex.barrier.wait(); // α: A1 + shipping done
+            ex.barrier.wait(); // β: A2 done, msgs/a1 published
+            let mut fault_qdelta = 0i64;
+            watch.clear();
+            for s in 0..nsh {
+                let g = ex.a1[s].lock().unwrap();
+                fault_qdelta += g.0;
+                watch.extend_from_slice(&g.1);
+            }
+            {
+                let guards: Vec<_> = ex.msgs.iter().map(|m| m.lock().unwrap()).collect();
+                let streams: Vec<&[Msg]> = guards.iter().map(|g| g.as_slice()).collect();
+                kway_merge(&streams, &mut msgs, &mut merge_idx);
+            }
+            coord.mid_slot(ctx, t, fault_qdelta, &watch, &msgs);
+            for s in 0..nsh {
+                std::mem::swap(&mut coord.cmds[s], &mut *ex.cmds[s].lock().unwrap());
+            }
+            ex.barrier.wait(); // γ: cmds published
+            ex.barrier.wait(); // δ: B done
+            let mut pre = 0u64;
+            let mut end = 0u64;
+            let mut maxq = 0u32;
+            for s in 0..nsh {
+                let b = *ex.b[s].lock().unwrap();
+                pre += b.pre_service;
+                end += b.end_total;
+                maxq = maxq.max(b.max_qlen);
+            }
+            let res = coord.end_slot(t, pre, end, maxq, queue_limit);
+            {
+                let mut c = ex.ctrl.lock().unwrap();
+                c.stop = res.is_some();
+                c.delta = coord.faults.as_ref().and_then(|f| f.pending.clone());
+            }
+            ex.barrier.wait(); // ε: control word published
+            if let Some(c) = res {
+                completed = c;
+                break;
+            }
+            t += 1;
+        }
+
+        for h in handles {
+            shards.append(&mut h.join().expect("worker thread panicked"));
+        }
+    });
+    completed
+}
+
+/// One worker's slot loop over its contiguous shard chunk.
+fn worker_loop<N: Network, S: Scheme>(
+    mut chunk: Vec<Shard<S>>,
+    base: usize,
+    ex: &Exchange,
+    ctx: &ShardCtx<'_, N>,
+    t0: u64,
+    nsh: usize,
+) -> Vec<Shard<S>> {
+    let mut t = t0;
+    loop {
+        let (stop, delta) = {
+            let c = ex.ctrl.lock().unwrap();
+            (c.stop, c.delta.clone())
+        };
+        if stop {
+            break;
+        }
+        for (i, sh) in chunk.iter_mut().enumerate() {
+            sh.phase_a1(t, ctx, delta.as_deref());
+            for ti in 0..nsh {
+                if !sh.out[ti].is_empty() {
+                    let mut batch = std::mem::take(&mut sh.out[ti]);
+                    ex.inboxes[ti].lock().unwrap().append(&mut batch);
+                    sh.out[ti] = batch;
+                }
+            }
+            let mut g = ex.a1[base + i].lock().unwrap();
+            g.0 = sh.a1.fault_qdelta;
+            g.1.clear();
+            g.1.extend_from_slice(&sh.a1.watch_busy);
+        }
+        ex.barrier.wait(); // α
+        for (i, sh) in chunk.iter_mut().enumerate() {
+            let mut inbox = std::mem::take(&mut *ex.inboxes[base + i].lock().unwrap());
+            sh.phase_a2(t, ctx, &mut inbox);
+            *ex.inboxes[base + i].lock().unwrap() = inbox;
+            std::mem::swap(&mut *ex.msgs[base + i].lock().unwrap(), &mut sh.msgs);
+        }
+        ex.barrier.wait(); // β
+        ex.barrier.wait(); // γ
+        for (i, sh) in chunk.iter_mut().enumerate() {
+            let mut cmds = std::mem::take(&mut *ex.cmds[base + i].lock().unwrap());
+            sh.phase_b(t, ctx, &mut cmds);
+            *ex.cmds[base + i].lock().unwrap() = cmds;
+            *ex.b[base + i].lock().unwrap() = sh.b;
+        }
+        ex.barrier.wait(); // δ
+        ex.barrier.wait(); // ε
+        t += 1;
+    }
+    chunk
+}
+
+/// Assembles the final [`SimReport`], mirroring the serial engine's
+/// report field for field.
+fn assemble_report<S: Scheme>(
+    mut coord: Coordinator<S>,
+    mut shards: Vec<Shard<S>>,
+    shard_lo_link: &[u32],
+    link_dim: &[u8],
+    links: usize,
+    completed: bool,
+) -> SimReport {
+    // Close out recovery measurements against the shards' final queue
+    // state (the serial engine probes its own queues here).
+    let mut faults_box = coord.faults.take();
+    if let Some(f) = faults_box.as_mut() {
+        let now = coord.now;
+        let shards_ref = &shards;
+        f.recovery.finalize(now, |l| {
+            let s = shard_lo_link.partition_point(|&lo| lo <= l) - 1;
+            let sh = &shards_ref[s];
+            let li = (l - sh.lo_link) as usize;
+            sh.qlen[li] > 0 || bit_get(&sh.busy, li)
+        });
+    }
+
+    // Scatter the per-shard contiguous busy slices into the global
+    // per-link table; sum the class/vc/window counters.
+    let mut busy_by_link = vec![0u64; links];
+    let mut busy_by_class = [0u64; MAX_PRIORITY_CLASSES];
+    let mut tx_by_vc = [0u64; 4];
+    let mut window_transmissions = 0u64;
+    let mut wait_by_class = [IntMoments::new(); MAX_PRIORITY_CLASSES];
+    let mut wait_fault = [IntMoments::new(); MAX_PRIORITY_CLASSES];
+    for sh in &mut shards {
+        busy_by_link[sh.lo_link as usize..sh.lo_link as usize + sh.n_links]
+            .copy_from_slice(&sh.busy_by_link);
+        for k in 0..MAX_PRIORITY_CLASSES {
+            busy_by_class[k] += sh.busy_by_class[k];
+            wait_by_class[k].merge(&sh.wait_by_class[k]);
+            wait_fault[k].merge(&sh.wait_fault[k]);
+        }
+        for (v, dst) in tx_by_vc.iter_mut().enumerate() {
+            *dst += sh.tx_by_vc[v];
+        }
+        window_transmissions += sh.window_transmissions;
+        if let (Some(dst), Some(src)) = (coord.tails.as_deref_mut(), sh.tails.as_deref()) {
+            dst.merge_from(src);
+        }
+    }
+
+    let realized = coord
+        .now
+        .min(coord.cfg.measure_end())
+        .saturating_sub(coord.cfg.warmup_slots);
+    let window = realized.max(1) as f64;
+    let links_f = links as f64;
+    let per_link: Vec<f64> = busy_by_link.iter().map(|&b| b as f64 / window).collect();
+    let mean_util = per_link.iter().sum::<f64>() / links_f;
+    let max_util = per_link.iter().fold(0.0f64, |m, &u| m.max(u));
+    let d = link_dim.iter().copied().max().unwrap_or(0) as usize + 1;
+    let mut per_dim = vec![0.0; d];
+    let mut links_in_dim = vec![0u32; d];
+    for (l, &u) in per_link.iter().enumerate() {
+        let dim = link_dim[l] as usize;
+        per_dim[dim] += u;
+        links_in_dim[dim] += 1;
+    }
+    for i in 0..d {
+        per_dim[i] /= links_in_dim[i] as f64;
+    }
+    let num_classes = coord.scheme.num_priorities();
+    let class = (0..num_classes)
+        .map(|k| ClassStats {
+            utilization: busy_by_class[k] as f64 / (window * links_f),
+            wait: wait_by_class[k].summary(),
+        })
+        .collect();
+    let (avg_cb, avg_cu) = coord.concurrent_snapshot.unwrap_or((
+        coord.concurrent_bcast.average(coord.now),
+        coord.concurrent_ucast.average(coord.now),
+    ));
+    let delivered = coord.reception_delay.summary().count + coord.unicast_delay.summary().count;
+    let offered = delivered + coord.lost_receptions;
+    let faults = match &faults_box {
+        Some(f) => FaultReport {
+            events_applied: f.events_applied,
+            delivered_reception_fraction: if offered == 0 {
+                1.0
+            } else {
+                delivered as f64 / offered as f64
+            },
+            fault_dropped_packets: f.fault_dropped,
+            fault_damaged_broadcasts: f.fault_damaged,
+            recovery_time: f.recovery.samples().summary(),
+            fault_slots: f.fault_slots,
+            class_wait_fault: (0..num_classes).map(|k| wait_fault[k].summary()).collect(),
+        },
+        None => FaultReport::default(),
+    };
+    let flow = FlowReport {
+        rejected_broadcasts: 0,
+        rejected_unicasts: 0,
+        deferred_injections: 0,
+        defer_delay: Moments::new().summary(),
+        evicted_packets: 0,
+        mean_queued_packets: if realized == 0 {
+            0.0
+        } else {
+            coord.occupancy_sum as f64 / realized as f64
+        },
+        goodput_fraction: if offered == 0 {
+            1.0
+        } else {
+            delivered as f64 / offered as f64
+        },
+    };
+    SimReport {
+        stable: !coord.unstable,
+        completed,
+        slots_run: coord.now,
+        measured_broadcasts: coord.measured_broadcasts,
+        measured_unicasts: coord.measured_unicasts,
+        reception_delay: coord.reception_delay.summary(),
+        reception_quantiles: (
+            coord.reception_hist.quantile(0.5),
+            coord.reception_hist.quantile(0.95),
+            coord.reception_hist.quantile(0.99),
+        ),
+        reception_ci_batch: coord.reception_batch.ci95(),
+        dropped_packets: coord.dropped_packets,
+        lost_receptions: coord.lost_receptions,
+        damaged_broadcasts: coord.damaged_broadcasts,
+        dropped_unicasts: coord.dropped_unicasts,
+        broadcast_delay: coord.broadcast_delay.summary(),
+        unicast_delay: coord.unicast_delay.summary(),
+        class,
+        mean_link_utilization: mean_util,
+        max_link_utilization: max_util,
+        per_dim_utilization: per_dim,
+        avg_concurrent_broadcasts: avg_cb,
+        avg_concurrent_unicasts: avg_cu,
+        peak_queue_total: coord.peak_queue,
+        window_transmissions,
+        vc_transmissions: tx_by_vc,
+        delay_by_distance: coord
+            .delay_by_distance
+            .iter()
+            .map(|m| m.summary())
+            .collect(),
+        queue_trace: coord.queue_trace,
+        faults,
+        recovery: RecoveryReport::default(),
+        flow,
+        tails: match coord.tails.as_deref_mut() {
+            Some(tl) => tl.report(),
+            None => TailReport::default(),
+        },
+    }
+}

@@ -1,0 +1,49 @@
+//! Dev probe: times the serial step engine against the sharded SoA
+//! engine on a 16x16 torus at rho=0.9. Scratch tool for engine work;
+//! the reproducible version is `experiments engine`.
+
+use priority_star::prelude::*;
+
+fn main() {
+    let topo = Torus::new(&[16, 16]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.9,
+        ..Default::default()
+    };
+    let cfg = SimConfig {
+        warmup_slots: 2_000,
+        measure_slots: 10_000,
+        max_slots: 400_000,
+        seed: 42,
+        ..SimConfig::default()
+    };
+    let mut serial_sps = 0.0;
+    for round in 0..3 {
+        let t0 = std::time::Instant::now();
+        let rep = run_scenario(&topo, &spec, cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        serial_sps = rep.slots_run as f64 / secs;
+        println!(
+            "serial round {round}: {} slots in {:.3}s = {:.0} slots/sec (delivered {})",
+            rep.slots_run, secs, serial_sps, rep.reception_delay.count,
+        );
+    }
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    for shards in [1usize, 2, 4, 8] {
+        for t in [1, threads.min(shards)] {
+            let t0 = std::time::Instant::now();
+            let rep = run_scenario_sharded(&topo, &spec, cfg, shards, t, None);
+            let secs = t0.elapsed().as_secs_f64();
+            let sps = rep.slots_run as f64 / secs;
+            println!(
+                "sharded s={shards} t={t}: {} slots in {:.3}s = {:.0} slots/sec ({:.1}x, delivered {})",
+                rep.slots_run,
+                secs,
+                sps,
+                sps / serial_sps,
+                rep.reception_delay.count,
+            );
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Bit-identity of the sharded SoA engine against the serial engine.
+//!
+//! The sharded engine's whole design contract is that sharding is a
+//! *performance* transform, not a semantic one: for a given seed the
+//! coordinator consumes shard messages in the exact order the serial
+//! engine would have processed the same events, so every integer report
+//! field — delivered/measured counts, loss and fault counters, queue
+//! peaks/traces, tails digests — is identical at any shard count,
+//! threaded or not. The one sanctioned deviation: per-class service-wait
+//! summaries are accumulated as exact integer sums instead of
+//! order-dependent Welford recurrences, so their `mean`/`variance` agree
+//! with the serial engine to float rounding (their `count`/`min`/`max`
+//! are still exact, and they are shard-count invariant among sharded
+//! runs).
+
+use priority_star::prelude::*;
+use pstar_sim::{DeadLinkPolicy, FaultEvent, FaultKind, FaultPlan, SimReport};
+use pstar_topology::LinkId;
+
+/// Relative tolerance for the Welford-vs-integer-sum float deviation.
+fn close(a: f64, b: f64, label: &str) {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    assert!(
+        (a - b).abs() <= 1e-9 * scale,
+        "{label}: {a} vs {b} beyond float-rounding tolerance"
+    );
+}
+
+/// Field-for-field comparison; everything except wait-summary floats is
+/// required to match exactly.
+fn assert_reports_match(serial: &SimReport, sharded: &SimReport, label: &str) {
+    assert_eq!(serial.stable, sharded.stable, "{label}: stable");
+    assert_eq!(serial.completed, sharded.completed, "{label}: completed");
+    assert_eq!(serial.slots_run, sharded.slots_run, "{label}: slots_run");
+    assert_eq!(
+        serial.measured_broadcasts, sharded.measured_broadcasts,
+        "{label}: measured_broadcasts"
+    );
+    assert_eq!(
+        serial.measured_unicasts, sharded.measured_unicasts,
+        "{label}: measured_unicasts"
+    );
+    // Reception/task delay statistics live in the coordinator and are
+    // pushed in serial order: bit-exact, variance included.
+    assert_eq!(
+        serial.reception_delay, sharded.reception_delay,
+        "{label}: reception_delay"
+    );
+    assert_eq!(
+        serial.reception_quantiles, sharded.reception_quantiles,
+        "{label}: reception_quantiles"
+    );
+    assert_eq!(
+        serial.reception_ci_batch, sharded.reception_ci_batch,
+        "{label}: reception_ci_batch"
+    );
+    assert_eq!(
+        serial.broadcast_delay, sharded.broadcast_delay,
+        "{label}: broadcast_delay"
+    );
+    assert_eq!(
+        serial.unicast_delay, sharded.unicast_delay,
+        "{label}: unicast_delay"
+    );
+    assert_eq!(
+        serial.dropped_packets, sharded.dropped_packets,
+        "{label}: dropped_packets"
+    );
+    assert_eq!(
+        serial.lost_receptions, sharded.lost_receptions,
+        "{label}: lost_receptions"
+    );
+    assert_eq!(
+        serial.damaged_broadcasts, sharded.damaged_broadcasts,
+        "{label}: damaged_broadcasts"
+    );
+    assert_eq!(
+        serial.dropped_unicasts, sharded.dropped_unicasts,
+        "{label}: dropped_unicasts"
+    );
+    // Utilizations come from integer busy-slot counters in both engines,
+    // reduced in the same order: exact.
+    assert_eq!(
+        serial.mean_link_utilization, sharded.mean_link_utilization,
+        "{label}: mean_link_utilization"
+    );
+    assert_eq!(
+        serial.max_link_utilization, sharded.max_link_utilization,
+        "{label}: max_link_utilization"
+    );
+    assert_eq!(
+        serial.per_dim_utilization, sharded.per_dim_utilization,
+        "{label}: per_dim_utilization"
+    );
+    assert_eq!(
+        serial.avg_concurrent_broadcasts, sharded.avg_concurrent_broadcasts,
+        "{label}: avg_concurrent_broadcasts"
+    );
+    assert_eq!(
+        serial.avg_concurrent_unicasts, sharded.avg_concurrent_unicasts,
+        "{label}: avg_concurrent_unicasts"
+    );
+    assert_eq!(
+        serial.peak_queue_total, sharded.peak_queue_total,
+        "{label}: peak_queue_total"
+    );
+    assert_eq!(
+        serial.window_transmissions, sharded.window_transmissions,
+        "{label}: window_transmissions"
+    );
+    assert_eq!(
+        serial.vc_transmissions, sharded.vc_transmissions,
+        "{label}: vc_transmissions"
+    );
+    assert_eq!(
+        serial.queue_trace, sharded.queue_trace,
+        "{label}: queue_trace"
+    );
+    assert_eq!(
+        serial.delay_by_distance, sharded.delay_by_distance,
+        "{label}: delay_by_distance"
+    );
+    // Per-class service stats: utilization (integer busy slots) exact;
+    // wait count/min/max exact; wait mean/variance to rounding.
+    assert_eq!(serial.class.len(), sharded.class.len(), "{label}: classes");
+    for (k, (a, b)) in serial.class.iter().zip(&sharded.class).enumerate() {
+        assert_eq!(
+            a.utilization, b.utilization,
+            "{label}: class {k} utilization"
+        );
+        assert_eq!(a.wait.count, b.wait.count, "{label}: class {k} wait count");
+        assert_eq!(a.wait.min, b.wait.min, "{label}: class {k} wait min");
+        assert_eq!(a.wait.max, b.wait.max, "{label}: class {k} wait max");
+        close(
+            a.wait.mean,
+            b.wait.mean,
+            &format!("{label}: class {k} mean"),
+        );
+        close(
+            a.wait.variance,
+            b.wait.variance,
+            &format!("{label}: class {k} variance"),
+        );
+    }
+    // Resilience counters: all integer, all coordinator-side — exact.
+    assert_eq!(
+        serial.faults.events_applied, sharded.faults.events_applied,
+        "{label}: events_applied"
+    );
+    assert_eq!(
+        serial.faults.fault_dropped_packets, sharded.faults.fault_dropped_packets,
+        "{label}: fault_dropped_packets"
+    );
+    assert_eq!(
+        serial.faults.fault_damaged_broadcasts, sharded.faults.fault_damaged_broadcasts,
+        "{label}: fault_damaged_broadcasts"
+    );
+    assert_eq!(
+        serial.faults.fault_slots, sharded.faults.fault_slots,
+        "{label}: fault_slots"
+    );
+    assert_eq!(
+        serial.faults.delivered_reception_fraction, sharded.faults.delivered_reception_fraction,
+        "{label}: delivered_reception_fraction"
+    );
+    assert_eq!(
+        serial.faults.recovery_time, sharded.faults.recovery_time,
+        "{label}: recovery_time"
+    );
+    assert_eq!(
+        serial.faults.class_wait_fault.len(),
+        sharded.faults.class_wait_fault.len(),
+        "{label}: class_wait_fault len"
+    );
+    for (k, (a, b)) in serial
+        .faults
+        .class_wait_fault
+        .iter()
+        .zip(&sharded.faults.class_wait_fault)
+        .enumerate()
+    {
+        assert_eq!(a.count, b.count, "{label}: wait_fault {k} count");
+        assert_eq!(a.min, b.min, "{label}: wait_fault {k} min");
+        assert_eq!(a.max, b.max, "{label}: wait_fault {k} max");
+        close(a.mean, b.mean, &format!("{label}: wait_fault {k} mean"));
+        close(
+            a.variance,
+            b.variance,
+            &format!("{label}: wait_fault {k} variance"),
+        );
+    }
+    // Flow accounting (exact integer occupancy sums) and tails digests
+    // (integer bucket counters, merge-order free).
+    assert_eq!(
+        format!("{:?}", serial.flow),
+        format!("{:?}", sharded.flow),
+        "{label}: flow"
+    );
+    assert_eq!(
+        format!("{:?}", serial.tails),
+        format!("{:?}", sharded.tails),
+        "{label}: tails"
+    );
+}
+
+fn cfg_with(seed: u64, tails: bool, trace: bool, by_distance: bool) -> SimConfig {
+    let mut cfg = SimConfig::quick(seed);
+    cfg.tails = tails;
+    if trace {
+        cfg.trace_interval = Some(64);
+    }
+    cfg.profile_by_distance = by_distance;
+    cfg
+}
+
+/// A transient two-link outage inside the measurement window, on links
+/// chosen to straddle shard boundaries at every tested shard count.
+fn outage_plan(topo: &Torus) -> FaultPlan {
+    let links = topo.link_count();
+    FaultPlan::scripted(vec![
+        FaultEvent {
+            slot: 2_500,
+            kind: FaultKind::LinkDown(LinkId(1)),
+        },
+        FaultEvent {
+            slot: 2_600,
+            kind: FaultKind::LinkDown(LinkId(links - 2)),
+        },
+        FaultEvent {
+            slot: 3_300,
+            kind: FaultKind::LinkUp(LinkId(1)),
+        },
+        FaultEvent {
+            slot: 3_400,
+            kind: FaultKind::LinkUp(LinkId(links - 2)),
+        },
+    ])
+}
+
+/// Healthy runs: every scheme × ρ ∈ {0.5, 0.9} × shard counts
+/// {1, 2, 4, 8}, with tails, queue traces and distance profiling on so
+/// every supported subsystem is exercised.
+#[test]
+fn sharded_matches_serial_healthy() {
+    let topo = Torus::new(&[4, 4]);
+    for (i, scheme) in SchemeKind::all().into_iter().enumerate() {
+        for (ri, rho) in [0.5, 0.9].into_iter().enumerate() {
+            let spec = ScenarioSpec {
+                scheme,
+                rho,
+                ..ScenarioSpec::default()
+            };
+            let cfg = cfg_with(0x5AA5_0000 + (i * 2 + ri) as u64, true, true, true);
+            let serial = run_scenario(&topo, &spec, cfg);
+            // Dimension-ordered broadcast saturates at rho=0.9 (the §2
+            // strawman has no rotation to spread load): the run ends
+            // unstable — in both engines, identically. Every other
+            // combination must be clean.
+            assert!(
+                serial.ok() || scheme == SchemeKind::DimensionOrdered,
+                "{scheme:?} rho={rho}: serial not clean"
+            );
+            for shards in [1usize, 2, 4, 8] {
+                let sharded = run_scenario_sharded(&topo, &spec, cfg, shards, 1, None);
+                assert_reports_match(
+                    &serial,
+                    &sharded,
+                    &format!("{scheme:?} rho={rho} shards={shards}"),
+                );
+            }
+        }
+    }
+}
+
+/// Mixed broadcast/unicast traffic takes the unicast routing path
+/// (coordinator-side RNG forwarding), which the broadcast-only suite
+/// never touches.
+#[test]
+fn sharded_matches_serial_mixed_traffic() {
+    let topo = Torus::new(&[4, 4]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.8,
+        broadcast_load_fraction: 0.5,
+        ..ScenarioSpec::default()
+    };
+    let cfg = cfg_with(0x31ED_0001, true, false, false);
+    let serial = run_scenario(&topo, &spec, cfg);
+    assert!(serial.ok(), "serial mixed run not clean");
+    assert!(serial.measured_unicasts > 0, "no unicast traffic measured");
+    for shards in [1usize, 3, 8] {
+        let sharded = run_scenario_sharded(&topo, &spec, cfg, shards, 1, None);
+        assert_reports_match(&serial, &sharded, &format!("mixed shards={shards}"));
+    }
+}
+
+/// Faulted runs, both dead-link policies: loss settlement, degraded
+/// routing, recovery tracking and the fault counters all cross the
+/// shard boundary.
+#[test]
+fn sharded_matches_serial_under_faults() {
+    let topo = Torus::new(&[4, 4]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.6,
+        ..ScenarioSpec::default()
+    };
+    for (pi, policy) in [DeadLinkPolicy::Drop, DeadLinkPolicy::Requeue]
+        .into_iter()
+        .enumerate()
+    {
+        let cfg = cfg_with(0xFA17_0000 + pi as u64, true, true, false);
+        let serial = run_scenario_with_faults(&topo, &spec, cfg, outage_plan(&topo), policy);
+        assert!(serial.completed, "{policy:?}: serial did not complete");
+        assert!(
+            serial.faults.events_applied >= 4,
+            "{policy:?}: outage never applied"
+        );
+        for shards in [1usize, 2, 4, 8] {
+            let sharded = run_scenario_sharded(
+                &topo,
+                &spec,
+                cfg,
+                shards,
+                1,
+                Some((outage_plan(&topo), policy)),
+            );
+            assert_reports_match(&serial, &sharded, &format!("{policy:?} shards={shards}"));
+        }
+    }
+}
+
+/// Worker threads move shards between OS threads but cannot move any
+/// event across a barrier: the threaded run is bit-identical to the
+/// sequential sharded run *and* to the serial engine.
+#[test]
+fn threaded_matches_sequential_and_serial() {
+    let topo = Torus::new(&[4, 4]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.9,
+        ..ScenarioSpec::default()
+    };
+    let cfg = cfg_with(0x7EAD_0002, true, true, false);
+    let serial = run_scenario(&topo, &spec, cfg);
+    for threads in [2usize, 4, 8] {
+        let sharded = run_scenario_sharded(&topo, &spec, cfg, 8, threads, None);
+        assert_reports_match(&serial, &sharded, &format!("threads={threads}"));
+    }
+    // Threaded + faulted, both policies.
+    for policy in [DeadLinkPolicy::Drop, DeadLinkPolicy::Requeue] {
+        let serial = run_scenario_with_faults(&topo, &spec, cfg, outage_plan(&topo), policy);
+        let sharded =
+            run_scenario_sharded(&topo, &spec, cfg, 8, 4, Some((outage_plan(&topo), policy)));
+        assert_reports_match(&serial, &sharded, &format!("threaded {policy:?}"));
+    }
+}
+
+/// The wait summaries are exact integer sums, so sharded runs must be
+/// bit-identical to *each other* on every field — including the floats
+/// the serial comparison only bounds.
+#[test]
+fn sharded_runs_are_shard_count_invariant() {
+    let topo = Torus::new(&[4, 4]);
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::ThreeClass,
+        rho: 0.9,
+        ..ScenarioSpec::default()
+    };
+    let cfg = cfg_with(0x1DE7_0003, true, true, true);
+    let base = run_scenario_sharded(&topo, &spec, cfg, 1, 1, None);
+    for (shards, threads) in [(2usize, 1usize), (4, 2), (8, 4)] {
+        let other = run_scenario_sharded(&topo, &spec, cfg, shards, threads, None);
+        assert_eq!(
+            format!("{base:?}"),
+            format!("{other:?}"),
+            "shards={shards} threads={threads} diverged from single-shard run"
+        );
+    }
+}
