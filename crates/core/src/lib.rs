@@ -64,7 +64,8 @@ pub use distribution::EndingDimDistribution;
 pub use mesh_scheme::MeshStarScheme;
 pub use replicate::{run_replicated, Replicated, TargetMetric};
 pub use runner::{
-    run_scenario, run_scenario_observed, run_scenario_with_faults, ScenarioSpec, SchemeKind,
+    run_scenario, run_scenario_observed, run_scenario_sharded, run_scenario_sharded_perf,
+    run_scenario_with_faults, ScenarioSpec, SchemeKind,
 };
 pub use scheme::{DegradedPolicy, StarScheme};
 pub use tree::SpanningTree;
@@ -82,14 +83,15 @@ pub mod prelude {
     pub use crate::mesh_scheme::MeshStarScheme;
     pub use crate::replicate::{run_replicated, Replicated, TargetMetric};
     pub use crate::runner::{
-        run_scenario, run_scenario_observed, run_scenario_sharded, run_scenario_with_faults,
-        ScenarioSpec, SchemeKind,
+        run_scenario, run_scenario_observed, run_scenario_sharded, run_scenario_sharded_perf,
+        run_scenario_with_faults, ScenarioSpec, SchemeKind,
     };
     pub use crate::scheme::{DegradedPolicy, StarScheme};
     pub use crate::tree::SpanningTree;
     pub use pstar_queueing::{rates_for_rho, throughput_factor, TrafficRates};
     pub use pstar_sim::{
-        Engine, HopPhase, ShardedEngine, SimConfig, SimReport, TailQuantiles, TailReport,
+        Engine, EnginePerf, EnginePerfConfig, HopPhase, ShardedEngine, SimConfig, SimReport,
+        TailQuantiles, TailReport,
     };
     pub use pstar_topology::{Direction, Mesh, NodeId, Torus};
     pub use pstar_traffic::{TrafficMix, WorkloadSpec};

@@ -185,6 +185,30 @@ pub fn run_scenario_sharded(
     engine.run()
 }
 
+/// [`run_scenario_sharded`] with the engine's perf instrumentation on
+/// (see [`pstar_sim::EnginePerfConfig`]): returns the report — bit
+/// identical to the uninstrumented run — plus the per-phase timing
+/// breakdown and Amdahl decomposition in [`pstar_sim::EnginePerf`].
+pub fn run_scenario_sharded_perf(
+    topo: &Torus,
+    spec: &ScenarioSpec,
+    mut cfg: SimConfig,
+    shards: usize,
+    threads: usize,
+    faults: Option<(pstar_sim::FaultPlan, pstar_sim::DeadLinkPolicy)>,
+    perf: pstar_sim::EnginePerfConfig,
+) -> (SimReport, pstar_sim::EnginePerf) {
+    cfg.lengths = spec.lengths;
+    let scheme = spec.build_scheme(topo);
+    let mut engine =
+        pstar_sim::ShardedEngine::new(topo.clone(), scheme, spec.mix(topo), cfg, shards)
+            .with_threads(threads);
+    if let Some((plan, policy)) = faults {
+        engine = engine.with_fault_plan(plan, policy);
+    }
+    engine.run_perf(perf)
+}
+
 /// Runs one experiment point under a fault plan (see `pstar-faults`).
 /// With an empty plan this is exactly [`run_scenario`], bit for bit.
 pub fn run_scenario_with_faults(

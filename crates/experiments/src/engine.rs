@@ -7,7 +7,10 @@
 //! * `results/engine_scaling.svg` — slots/sec vs shard count, with the
 //!   serial engine as a dashed baseline;
 //! * `BENCH_engine.json` — the measured series plus `host_cores`
-//!   (working directory, next to the other `BENCH_*` artifacts).
+//!   (working directory, next to the other `BENCH_*` artifacts);
+//! * `results/engine_phases.chrome.json` — a Chrome trace of the first
+//!   slots' barrier phases from one instrumented run (coordinator and
+//!   worker tracks, work vs wait categories).
 //!
 //! Measurement discipline follows `bench_util`: the arms are interleaved
 //! across repeated rounds and reduced with the median, so first-touch
@@ -160,6 +163,29 @@ pub fn engine(ctx: &Ctx) {
         serial_delivered,
         serial_sps,
         &points,
+    );
+
+    // One extra instrumented run (outside the timed rounds) emits a
+    // Chrome trace of the first slots' barrier phases: one track per
+    // worker plus the coordinator, wait spans categorized separately —
+    // open in chrome://tracing or ui.perfetto.dev.
+    let (_, eperf) = run_scenario_sharded_perf(
+        &topo,
+        &spec,
+        cfg,
+        4,
+        4.min(host_cores),
+        None,
+        EnginePerfConfig::default(),
+    );
+    let path = ctx.out.join("engine_phases.chrome.json");
+    if let Err(e) = std::fs::write(&path, pstar_obs::chrome_trace_phases(&eperf.spans)) {
+        fatal(&format!("writing {}", path.display()), &e);
+    }
+    println!(
+        "wrote {} ({} phase spans)",
+        path.display(),
+        eperf.spans.len()
     );
 
     if ctx.smoke {

@@ -53,6 +53,14 @@
 //!                       checks; writes BENCH_engine.json and the
 //!                       scaling SVG (`--smoke` gates identity always,
 //!                       and the 5x@4-shards speedup when host_cores>=4)
+//!   perf                runtime-telemetry bench: phase-timing breakdown
+//!                       of the sharded engine's five barriers and the
+//!                       coordinator merge, measured Amdahl serial
+//!                       fraction + predicted speedups, per-worker net
+//!                       straggler spread; writes BENCH_perf.json, the
+//!                       stacked phase SVG, a Prometheus snapshot and a
+//!                       JSONL stream (`--smoke` gates telemetry-off
+//!                       bit-identity and < 5% telemetry-on overhead)
 //!   plot                render previously generated CSVs as SVG figures
 //!   collectives         static MNB / total-exchange completion vs bounds
 //!   verify              reproduction gate: re-check every headline claim
@@ -69,6 +77,7 @@ mod custom;
 mod engine;
 mod figures;
 mod net;
+mod perf;
 mod plot;
 mod profile;
 mod record;
@@ -192,7 +201,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|tails|net|engine|all>"
+                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|tails|net|engine|perf|all>"
                 );
                 return;
             }
@@ -250,6 +259,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "recovery" => recovery::recovery(ctx),
         "net" => net::net(ctx),
         "engine" => engine::engine(ctx),
+        "perf" => perf::perf(ctx),
         "profile" => profile::profile(ctx),
         "tails" => tails::tails(ctx),
         "plot" => plot::plot_all(ctx),
@@ -283,6 +293,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "recovery",
                 "net",
                 "engine",
+                "perf",
                 "profile",
                 "tails",
                 "plot",

@@ -7,7 +7,10 @@
 //! * `results/net_agreement.csv` — the agreement table: delivered
 //!   receptions and measured tasks per backend, whether they match
 //!   exactly, mean/p99 delays side by side, plus runtime-only columns
-//!   (workers, simulated slots per wall second, cross-worker messages);
+//!   (workers, simulated slots per wall second, cross-worker messages,
+//!   and the per-worker slot-time min/median/max spread — the straggler
+//!   columns: one slow worker shows as a runaway median/max while the
+//!   aggregate slots/sec merely sags);
 //! * `results/net_cdf_reception.svg` — reception-delay CDF overlay at
 //!   the highest swept ρ: simulator dashed, runtime solid;
 //! * `results/net_cdf_wait.svg` — priority STAR trunk vs ending-dim
@@ -66,6 +69,11 @@ fn topo_label(topo: &Torus) -> String {
     format!("torus({})", dims.join("x"))
 }
 
+/// One virtual-mode runtime run. Telemetry is on: agreement rows and
+/// the scaling series carry the per-worker slot-time spread, which is
+/// how a straggling worker becomes visible (the report itself is
+/// bit-identical with telemetry off — `perf_run_is_bit_identical_and_\
+/// populated` in the runtime pins that).
 fn net_point(topo: &Torus, spec: &ScenarioSpec, mut cfg: SimConfig, workers: usize) -> NetReport {
     cfg.lengths = spec.lengths;
     match run_net(
@@ -74,12 +82,32 @@ fn net_point(topo: &Torus, spec: &ScenarioSpec, mut cfg: SimConfig, workers: usi
         spec.mix(topo),
         NetConfig {
             workers,
+            perf: true,
             ..NetConfig::new(cfg)
         },
     ) {
         Ok(net) => net,
         Err(e) => fatal("running pstar-net", &e),
     }
+}
+
+/// Per-worker slot-time spread `(min_us, straggler_median_us, max_us)`:
+/// the fastest single slot anywhere, the *slowest worker's* median (the
+/// binding constraint of a barrier-synchronous fleet), and the slowest
+/// single slot anywhere.
+fn slot_spread_us(net: &NetReport) -> (f64, f64, f64) {
+    let Some(p) = net.perf.as_ref() else {
+        return (f64::NAN, f64::NAN, f64::NAN);
+    };
+    let min = p.workers.iter().map(|w| w.slot_ns_min).min().unwrap_or(0);
+    let med = p
+        .workers
+        .iter()
+        .map(|w| w.slot_ns_median)
+        .max()
+        .unwrap_or(0);
+    let max = p.workers.iter().map(|w| w.slot_ns_max).max().unwrap_or(0);
+    (min as f64 / 1e3, med as f64 / 1e3, max as f64 / 1e3)
 }
 
 /// Runs the agreement sweep, the CDF overlays, the trace export and the
@@ -148,11 +176,15 @@ pub fn net(ctx: &Ctx) {
         "net_workers",
         "net_kslots_per_sec",
         "net_messages",
+        "net_slot_us_min",
+        "net_slot_us_med",
+        "net_slot_us_max",
     ]);
     let mut records = Vec::new();
     let label = topo_label(&topo);
     for (&(scheme, rho), (sim, net)) in points.iter().zip(&pairs) {
         let r = &net.report;
+        let spread = slot_spread_us(net);
         table.row(vec![
             scheme.label().to_string(),
             format!("{rho:.2}"),
@@ -168,6 +200,9 @@ pub fn net(ctx: &Ctx) {
             net.workers.to_string(),
             Table::f(net.slots_per_sec / 1e3),
             net.messages_sent.to_string(),
+            Table::f(spread.0),
+            Table::f(spread.1),
+            Table::f(spread.2),
         ]);
         records.push(PointRecord::new("net", &label, scheme.label(), rho, 1.0, r));
     }
@@ -387,9 +422,11 @@ fn throughput_bench(ctx: &Ctx, topo: &Torus, cfg0: SimConfig) {
             Ok(net) => net,
             Err(e) => fatal("running pstar-net wall-clock bench", &e),
         };
+        let spread = slot_spread_us(&net);
         println!(
-            "net bench: workers={workers} virtual {:.0} slots/s, wall-mode {:.0} slots/s",
-            net.slots_per_sec, wall.slots_per_sec
+            "net bench: workers={workers} virtual {:.0} slots/s, wall-mode {:.0} slots/s, \
+             slot us min/med/max {:.1}/{:.1}/{:.1}",
+            net.slots_per_sec, wall.slots_per_sec, spread.0, spread.1, spread.2
         );
         results.push((workers, net, wall));
     }
@@ -418,12 +455,20 @@ fn throughput_bench(ctx: &Ctx, topo: &Torus, cfg0: SimConfig) {
         if i > 0 {
             s.push(',');
         }
+        let spread = slot_spread_us(virt);
         let _ = write!(
             s,
             "\n    {{\"workers\": {workers}, \"virtual_slots_per_sec\": {:.1}, \
              \"wall_slots_per_sec\": {:.1}, \"virtual_wall_secs\": {:.3}, \
-             \"messages\": {}}}",
-            virt.slots_per_sec, wall.slots_per_sec, virt.wall_secs, virt.messages_sent
+             \"messages\": {}, \"slot_us_min\": {:.1}, \"slot_us_median\": {:.1}, \
+             \"slot_us_max\": {:.1}}}",
+            virt.slots_per_sec,
+            wall.slots_per_sec,
+            virt.wall_secs,
+            virt.messages_sent,
+            spread.0,
+            spread.1,
+            spread.2
         );
     }
     s.push_str("\n  ]\n}\n");

@@ -1,0 +1,562 @@
+//! `experiments perf` — runtime telemetry bench: phase-timing
+//! breakdowns for the sharded engine and the pstar-net runtime.
+//!
+//! Runs the reference scenario (16×16 torus, priority STAR, ρ = 0.9;
+//! 8×8 under `--smoke`) through three instrumented arms — the serial
+//! engine, the sharded engine with [`EnginePerfConfig`] telemetry, and
+//! the pstar-net runtime with [`pstar_net::NetConfig::perf`] — and
+//! writes:
+//!
+//! * a phase-breakdown table on stdout: per-barrier work vs wait time
+//!   for every engine worker, the coordinator's k-way-merge/mid/end
+//!   serial section, and the measured **Amdahl decomposition** (serial
+//!   fraction + predicted speedup at 2/4/8/16 cores);
+//! * `BENCH_perf.json` — all of the above plus telemetry overhead
+//!   (instrumented vs bare slots/sec, interleaved median-of-rounds) and
+//!   the per-worker net straggler spread;
+//! * `results/perf_phases.svg` — stacked per-worker phase-time bars;
+//! * `results/perf_metrics.prom` — a Prometheus text-exposition
+//!   snapshot of the whole metrics registry (engine + net);
+//! * `results/perf_stream.jsonl` — the bounded streaming snapshot sink
+//!   sampled every N slots.
+//!
+//! The house rule this bench exists to police: telemetry must be
+//! **zero-overhead when disabled** (one never-taken branch) and
+//! **report-neutral when enabled** — instrumentation reads clocks, never
+//! RNGs, so the instrumented report is bit-identical to the bare one.
+//! Both properties are enforced fatally on every round; `--smoke` also
+//! gates the enabled-telemetry overhead at < 5% for CI.
+
+use crate::bench_util::{median, overhead_frac};
+use crate::{fatal, Ctx};
+use priority_star::prelude::*;
+use pstar_net::{run_net, NetConfig, NetPerf};
+use pstar_obs::git_rev;
+use pstar_sim::PHASE_NAMES;
+use std::fmt::Write as _;
+
+/// Core counts the Amdahl projection is evaluated at.
+const AMDAHL_KS: [usize; 4] = [2, 4, 8, 16];
+
+/// Shard count of the instrumented sharded arm (threads are clamped to
+/// the host).
+const SHARDS: usize = 4;
+
+/// Worker count of the instrumented net arm.
+const NET_WORKERS: usize = 4;
+
+/// Maximum telemetry-on slowdown the smoke gate tolerates.
+const GATE_OVERHEAD: f64 = 0.05;
+
+/// Tab-palette colors for the stacked phase bars: the five barrier
+/// phases, then aggregate wait.
+const PHASE_COLORS: [&str; 6] = [
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#9467bd", "#8c564b", "#c7c7c7",
+];
+
+/// Runs the interleaved telemetry bench, prints the phase table, writes
+/// `BENCH_perf.json`, the stacked SVG, the Prometheus snapshot and the
+/// JSONL stream; under `--smoke`, gates bit-identity (always, fatally)
+/// and the < 5% overhead bound.
+pub fn perf(ctx: &Ctx) {
+    let topo = if ctx.smoke {
+        Torus::new(&[8, 8])
+    } else {
+        Torus::new(&[16, 16])
+    };
+    let spec = ScenarioSpec {
+        scheme: SchemeKind::PriorityStar,
+        rho: 0.9,
+        ..Default::default()
+    };
+    let mut cfg = if ctx.smoke {
+        SimConfig::quick(0)
+    } else {
+        SimConfig {
+            warmup_slots: 2_000,
+            measure_slots: 10_000,
+            max_slots: 400_000,
+            ..SimConfig::default()
+        }
+    };
+    cfg.seed = ctx.seed("perf", 0);
+    let rounds = if ctx.smoke { 3 } else { 5 };
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let threads = SHARDS.min(host_cores);
+    let net_workers = NET_WORKERS.min(host_cores.max(2));
+
+    // Interleaved arms, median-of-rounds (bench_util discipline): the
+    // bare and instrumented configurations alternate within each round
+    // so warmup and frequency ramp cannot bias either side.
+    let mut serial_secs = Vec::with_capacity(rounds);
+    let (mut off_secs, mut on_secs) = (Vec::with_capacity(rounds), Vec::with_capacity(rounds));
+    let (mut net_off_secs, mut net_on_secs) =
+        (Vec::with_capacity(rounds), Vec::with_capacity(rounds));
+    let mut slots_run = 0u64;
+    let mut net_slots_run = 0u64;
+    for round in 0..rounds {
+        let t0 = std::time::Instant::now();
+        let serial_rep = run_scenario(&topo, &spec, cfg);
+        serial_secs.push(t0.elapsed().as_secs_f64());
+        if !serial_rep.ok() {
+            fatal(
+                "perf bench",
+                &format!("serial reference run did not complete cleanly (round {round})"),
+            );
+        }
+        slots_run = serial_rep.slots_run;
+
+        let t0 = std::time::Instant::now();
+        let off_rep = run_scenario_sharded(&topo, &spec, cfg, SHARDS, threads, None);
+        off_secs.push(t0.elapsed().as_secs_f64());
+
+        let t0 = std::time::Instant::now();
+        let (on_rep, _perf) = run_scenario_sharded_perf(
+            &topo,
+            &spec,
+            cfg,
+            SHARDS,
+            threads,
+            None,
+            EnginePerfConfig::default(),
+        );
+        on_secs.push(t0.elapsed().as_secs_f64());
+        // The zero-overhead house rule, half one: telemetry must never
+        // change a reported number. Debug equality covers every field.
+        if format!("{off_rep:?}") != format!("{on_rep:?}") {
+            fatal(
+                "perf bench",
+                &format!("engine telemetry perturbed the report (round {round})"),
+            );
+        }
+
+        let (net_off, net_on) = (net_point(&topo, &spec, cfg, net_workers, false), {
+            net_point(&topo, &spec, cfg, net_workers, true)
+        });
+        net_off_secs.push(net_off.wall_secs);
+        net_on_secs.push(net_on.wall_secs);
+        net_slots_run = net_off.report.slots_run;
+        if format!("{:?}", net_off.report) != format!("{:?}", net_on.report) {
+            fatal(
+                "perf bench",
+                &format!("net telemetry perturbed the report (round {round})"),
+            );
+        }
+    }
+
+    let serial_sps = slots_run as f64 / median(&mut serial_secs);
+    let off_sps = slots_run as f64 / median(&mut off_secs);
+    let on_sps = slots_run as f64 / median(&mut on_secs);
+    let overhead = overhead_frac(off_sps, on_sps);
+    let net_off_sps = net_slots_run as f64 / median(&mut net_off_secs);
+    let net_on_sps = net_slots_run as f64 / median(&mut net_on_secs);
+    let net_overhead = overhead_frac(net_off_sps, net_on_sps);
+    println!(
+        "perf bench: serial {serial_sps:.0} slots/s; sharded s={SHARDS} t={threads} \
+         bare {off_sps:.0} vs instrumented {on_sps:.0} slots/s \
+         (overhead {:.1}%); net w={net_workers} bare {net_off_sps:.0} vs \
+         instrumented {net_on_sps:.0} slots/s (overhead {:.1}%); \
+         median of {rounds}, host_cores={host_cores}",
+        overhead * 100.0,
+        net_overhead * 100.0
+    );
+
+    // Detail run: same seed, telemetry on, streaming sink attached.
+    // Timing-neutral choices (sampling cadence, span capture) only
+    // affect artifacts, so this run sits outside the timed rounds.
+    let stream_path = ctx.out.join("perf_stream.jsonl");
+    let detail_cfg = EnginePerfConfig {
+        sample_every: (slots_run / 16).max(1),
+        jsonl_path: Some(stream_path.clone()),
+        ..EnginePerfConfig::default()
+    };
+    let (_, eperf) =
+        run_scenario_sharded_perf(&topo, &spec, cfg, SHARDS, threads, None, detail_cfg);
+    let net_detail = net_point(&topo, &spec, cfg, net_workers, true);
+    let net_perf = net_detail
+        .perf
+        .as_ref()
+        .expect("perf arm collects telemetry");
+
+    print_phase_table(&eperf);
+    print_net_table(net_perf);
+    let s = eperf.serial_fraction();
+    let mut amdahl = String::new();
+    for (i, &k) in AMDAHL_KS.iter().enumerate() {
+        if i > 0 {
+            amdahl.push_str(", ");
+        }
+        let _ = write!(amdahl, "{k} cores {:.2}x", eperf.predicted_speedup(k));
+    }
+    println!("perf bench: measured serial fraction {s:.4} -> predicted speedup {amdahl}");
+
+    // Exporters: net telemetry lands in the engine run's registry so one
+    // Prometheus snapshot covers both layers.
+    net_perf.publish(&eperf.registry);
+    let prom_path = ctx.out.join("perf_metrics.prom");
+    if let Err(e) = std::fs::write(&prom_path, eperf.registry.prometheus_text()) {
+        fatal(&format!("writing {}", prom_path.display()), &e);
+    }
+    println!(
+        "wrote {} ({} jsonl samples in {})",
+        prom_path.display(),
+        eperf.jsonl_lines,
+        stream_path.display()
+    );
+
+    write_phase_svg(ctx, &topo, &eperf);
+    write_bench_json(&BenchSummary {
+        topo: &topo,
+        host_cores,
+        rounds,
+        slots_run,
+        serial_sps,
+        threads,
+        off_sps,
+        on_sps,
+        overhead,
+        net_workers: net_detail.workers,
+        net_off_sps,
+        net_on_sps,
+        net_overhead,
+        eperf: &eperf,
+        net_perf,
+    });
+    ctx.push_phase("perf-bench", serial_secs.iter().sum(), Some(slots_run));
+
+    if ctx.smoke {
+        // Bit-identity already gated fatally above, every round, both
+        // layers — half two of the house rule is the overhead bound.
+        if overhead < GATE_OVERHEAD {
+            println!(
+                "PASS  perf-overhead: engine telemetry costs {:.1}% (< {:.0}%)",
+                overhead * 100.0,
+                GATE_OVERHEAD * 100.0
+            );
+        } else {
+            eprintln!(
+                "FAIL  perf-overhead: engine telemetry costs {:.1}% (>= {:.0}%)",
+                overhead * 100.0,
+                GATE_OVERHEAD * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}
+
+/// One net-runtime run with telemetry on or off.
+fn net_point(
+    topo: &Torus,
+    spec: &ScenarioSpec,
+    mut cfg: SimConfig,
+    workers: usize,
+    perf: bool,
+) -> pstar_net::NetReport {
+    cfg.lengths = spec.lengths;
+    match run_net(
+        topo,
+        spec.build_scheme(topo),
+        spec.mix(topo),
+        NetConfig {
+            workers,
+            perf,
+            ..NetConfig::new(cfg)
+        },
+    ) {
+        Ok(rep) => rep,
+        Err(e) => fatal("perf bench: net arm", &e),
+    }
+}
+
+/// The stdout phase table: one row per barrier phase with summed
+/// work/wait across engine workers, then the coordinator's serial
+/// section.
+fn print_phase_table(p: &EnginePerf) {
+    println!(
+        "perf bench: engine phase breakdown (s={} t={}, {} slots, wall {:.3}s)",
+        p.shards,
+        p.workers,
+        p.slots,
+        p.wall_ns as f64 / 1e9
+    );
+    println!("  {:<10} {:>12} {:>12}", "phase", "work_ms", "wait_ms");
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        let work: u64 = p.worker_phases.iter().map(|w| w.work_ns[i]).sum();
+        let wait: u64 = p.worker_phases.iter().map(|w| w.wait_ns[i]).sum();
+        println!(
+            "  {:<10} {:>12.3} {:>12.3}",
+            name,
+            work as f64 / 1e6,
+            wait as f64 / 1e6
+        );
+    }
+    println!(
+        "  {:<10} {:>12.3} {:>12}  (k-way merge of {} msgs)",
+        "coord:merge",
+        p.coord.merge_ns as f64 / 1e6,
+        "-",
+        p.merged_msgs
+    );
+    println!(
+        "  {:<10} {:>12.3} {:>12}",
+        "coord:mid",
+        p.coord.mid_ns as f64 / 1e6,
+        "-"
+    );
+    println!(
+        "  {:<10} {:>12.3} {:>12.3}",
+        "coord:end",
+        p.coord.end_ns as f64 / 1e6,
+        p.coord.wait_ns as f64 / 1e6
+    );
+    let arena_high = p.arena_slots.iter().copied().max().unwrap_or(0);
+    let free_high = p.free_list_len.iter().copied().max().unwrap_or(0);
+    println!(
+        "  boundary packets {} | arena high-water {} slots/shard | free-list high {} ",
+        p.boundary_packets, arena_high, free_high
+    );
+}
+
+/// The stdout straggler table: per-net-worker slot-time spread. A
+/// straggler shows as one worker whose median/max run away from the
+/// fleet while everyone else's barrier waits balloon.
+fn print_net_table(p: &NetPerf) {
+    println!("perf bench: net per-worker slot times (stragglers show here)");
+    println!(
+        "  {:<7} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "worker", "min_us", "median_us", "max_us", "wait_ms", "blocked_ms"
+    );
+    for w in &p.workers {
+        println!(
+            "  {:<7} {:>10.1} {:>10.1} {:>10.1} {:>12.3} {:>12.3}",
+            w.worker,
+            w.slot_ns_min as f64 / 1e3,
+            w.slot_ns_median as f64 / 1e3,
+            w.slot_ns_max as f64 / 1e3,
+            w.wait_ns_total() as f64 / 1e6,
+            w.blocked_send_ns as f64 / 1e6
+        );
+    }
+}
+
+/// Stacked horizontal bars, one per engine worker plus the coordinator:
+/// the five barrier phases' work time in palette colors, aggregate wait
+/// in gray. Hand-rolled — `svg::Chart` draws line charts.
+fn write_phase_svg(ctx: &Ctx, topo: &Torus, p: &EnginePerf) {
+    const W: f64 = 640.0;
+    const BAR_H: f64 = 26.0;
+    const LEFT: f64 = 110.0;
+    const TOP: f64 = 56.0;
+    let rows: Vec<(String, Vec<u64>, u64)> = std::iter::once((
+        "coordinator".to_string(),
+        vec![p.coord.merge_ns, p.coord.mid_ns, p.coord.end_ns, 0, 0],
+        p.coord.wait_ns,
+    ))
+    .chain(
+        p.worker_phases
+            .iter()
+            .enumerate()
+            .map(|(i, w)| (format!("worker {i}"), w.work_ns.to_vec(), w.wait_total())),
+    )
+    .collect();
+    let max_total = rows
+        .iter()
+        .map(|(_, work, wait)| work.iter().sum::<u64>() + wait)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    let height = TOP + rows.len() as f64 * (BAR_H + 10.0) + 40.0;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" \
+         viewBox=\"0 0 {} {}\" font-family=\"sans-serif\" font-size=\"12\">",
+        W as u32, height as u32, W as u32, height as u32
+    );
+    let dims: Vec<String> = (0..topo.d())
+        .map(|i| topo.dim_size(i).to_string())
+        .collect();
+    let _ = writeln!(
+        s,
+        "<text x=\"{}\" y=\"20\" text-anchor=\"middle\" font-size=\"14\">\
+         phase time per track, torus({}) rho=0.9, {} slots</text>",
+        W / 2.0,
+        dims.join("x"),
+        p.slots
+    );
+    // Legend: phase colors, then wait.
+    let mut lx = LEFT;
+    for (i, name) in PHASE_NAMES.iter().chain(["wait"].iter()).enumerate() {
+        let color = PHASE_COLORS[i.min(PHASE_COLORS.len() - 1)];
+        let _ = writeln!(
+            s,
+            "<rect x=\"{lx}\" y=\"30\" width=\"10\" height=\"10\" fill=\"{color}\"/>\
+             <text x=\"{}\" y=\"39\">{name}</text>",
+            lx + 14.0
+        );
+        lx += 14.0 + 9.0 * name.len() as f64 + 14.0;
+    }
+    for (row, (label, work, wait)) in rows.iter().enumerate() {
+        let y = TOP + row as f64 * (BAR_H + 10.0);
+        let _ = writeln!(
+            s,
+            "<text x=\"{}\" y=\"{}\" text-anchor=\"end\">{label}</text>",
+            LEFT - 8.0,
+            y + BAR_H * 0.7
+        );
+        let mut x = LEFT;
+        let scale = (W - LEFT - 20.0) / max_total;
+        for (i, &ns) in work.iter().enumerate() {
+            let seg = ns as f64 * scale;
+            if seg > 0.0 {
+                let _ = writeln!(
+                    s,
+                    "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{seg:.1}\" \
+                     height=\"{BAR_H}\" fill=\"{}\"/>",
+                    PHASE_COLORS[i]
+                );
+            }
+            x += seg;
+        }
+        let seg = *wait as f64 * scale;
+        if seg > 0.0 {
+            let _ = writeln!(
+                s,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{seg:.1}\" height=\"{BAR_H}\" \
+                 fill=\"{}\"/>",
+                PHASE_COLORS[5]
+            );
+        }
+    }
+    let _ = writeln!(s, "</svg>");
+    let path = ctx.out.join("perf_phases.svg");
+    if let Err(e) = std::fs::write(&path, s) {
+        fatal(&format!("writing {}", path.display()), &e);
+    }
+    println!("plotted {}", path.display());
+}
+
+/// Everything `BENCH_perf.json` needs, gathered so the writer stays a
+/// plain serializer.
+struct BenchSummary<'a> {
+    topo: &'a Torus,
+    host_cores: usize,
+    rounds: usize,
+    slots_run: u64,
+    serial_sps: f64,
+    threads: usize,
+    off_sps: f64,
+    on_sps: f64,
+    overhead: f64,
+    net_workers: usize,
+    net_off_sps: f64,
+    net_on_sps: f64,
+    net_overhead: f64,
+    eperf: &'a EnginePerf,
+    net_perf: &'a NetPerf,
+}
+
+/// `BENCH_perf.json`: overheads, the per-phase breakdown, the Amdahl
+/// decomposition, and the net straggler spread — with `host_cores`,
+/// rounds and revision so the numbers can be interpreted honestly.
+fn write_bench_json(b: &BenchSummary<'_>) {
+    let p = b.eperf;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"bench\": \"perf_telemetry\",");
+    let _ = writeln!(s, "  \"host_cores\": {},", b.host_cores);
+    match git_rev() {
+        Some(rev) => {
+            let _ = writeln!(s, "  \"git_rev\": \"{rev}\",");
+        }
+        None => s.push_str("  \"git_rev\": null,\n"),
+    }
+    let dims: Vec<String> = (0..b.topo.d())
+        .map(|i| b.topo.dim_size(i).to_string())
+        .collect();
+    let _ = writeln!(s, "  \"topology\": \"torus({})\",", dims.join("x"));
+    let _ = writeln!(s, "  \"rho\": 0.9,");
+    let _ = writeln!(s, "  \"slots\": {},", b.slots_run);
+    let _ = writeln!(s, "  \"rounds\": {},", b.rounds);
+    let _ = writeln!(s, "  \"serial_slots_per_sec\": {:.1},", b.serial_sps);
+    let _ = writeln!(
+        s,
+        "  \"sharded\": {{\"shards\": {}, \"threads\": {}, \"off_slots_per_sec\": {:.1}, \
+         \"on_slots_per_sec\": {:.1}, \"overhead_frac\": {:.4}, \"bit_identical\": true}},",
+        p.shards, b.threads, b.off_sps, b.on_sps, b.overhead
+    );
+    let _ = writeln!(
+        s,
+        "  \"net\": {{\"workers\": {}, \"off_slots_per_sec\": {:.1}, \
+         \"on_slots_per_sec\": {:.1}, \"overhead_frac\": {:.4}, \"bit_identical\": true}},",
+        b.net_workers, b.net_off_sps, b.net_on_sps, b.net_overhead
+    );
+    let _ = writeln!(s, "  \"serial_fraction\": {:.6},", p.serial_fraction());
+    s.push_str("  \"predicted_speedup\": [");
+    for (i, &k) in AMDAHL_KS.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(
+            s,
+            "{{\"cores\": {k}, \"speedup\": {:.3}}}",
+            p.predicted_speedup(k)
+        );
+    }
+    s.push_str("],\n");
+    s.push_str("  \"phases\": [");
+    for (i, name) in PHASE_NAMES.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let work: u64 = p.worker_phases.iter().map(|w| w.work_ns[i]).sum();
+        let wait: u64 = p.worker_phases.iter().map(|w| w.wait_ns[i]).sum();
+        let _ = write!(
+            s,
+            "\n    {{\"phase\": \"{name}\", \"work_ns\": {work}, \"wait_ns\": {wait}}}"
+        );
+    }
+    s.push_str("\n  ],\n");
+    let _ = writeln!(
+        s,
+        "  \"coordinator\": {{\"merge_ns\": {}, \"mid_slot_ns\": {}, \"end_slot_ns\": {}, \
+         \"wait_ns\": {}, \"merged_msgs\": {}}},",
+        p.coord.merge_ns, p.coord.mid_ns, p.coord.end_ns, p.coord.wait_ns, p.merged_msgs
+    );
+    let _ = writeln!(s, "  \"boundary_packets\": {},", p.boundary_packets);
+    let _ = writeln!(
+        s,
+        "  \"arena_slots_high\": {},",
+        p.arena_slots.iter().copied().max().unwrap_or(0)
+    );
+    let _ = writeln!(
+        s,
+        "  \"free_list_high\": {},",
+        p.free_list_len.iter().copied().max().unwrap_or(0)
+    );
+    let _ = writeln!(s, "  \"jsonl_samples\": {},", p.jsonl_lines);
+    s.push_str("  \"net_workers_detail\": [");
+    for (i, w) in b.net_perf.workers.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(
+            s,
+            "\n    {{\"worker\": {}, \"slot_ns_min\": {}, \"slot_ns_median\": {}, \
+             \"slot_ns_max\": {}, \"barrier_wait_ns\": {}, \"blocked_send_ns\": {}, \
+             \"data_depth_high\": {}}}",
+            w.worker,
+            w.slot_ns_min,
+            w.slot_ns_median,
+            w.slot_ns_max,
+            w.wait_ns_total(),
+            w.blocked_send_ns,
+            w.data_depth_high
+        );
+    }
+    s.push_str("\n  ]\n}\n");
+    if let Err(e) = std::fs::write("BENCH_perf.json", &s) {
+        fatal("writing BENCH_perf.json", &e);
+    }
+    println!("(benchmark summary written to BENCH_perf.json)");
+}

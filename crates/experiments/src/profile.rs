@@ -276,6 +276,10 @@ fn write_bench_json(ctx: &Ctx, topo: &Torus, rho: f64, results: &[SchemeProfile]
         }
         None => s.push_str("\"git_rev\":null,"),
     }
+    // `host_cores` qualifies the overhead numbers: a 1-core runner and a
+    // 16-core workstation produce different, equally honest, figures.
+    let host_cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let _ = write!(s, "\"host_cores\":{host_cores},");
     let unix = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())

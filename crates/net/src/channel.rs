@@ -25,8 +25,20 @@
 //!   drain again.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Optional telemetry of one channel, attached by
+/// [`Channel::with_stats`]: total nanoseconds senders spent blocked on
+/// a full buffer, and the deepest the buffer ever got. Atomic so
+/// senders record without extending the critical section; absent (the
+/// default), the hot path pays one never-taken branch per send.
+#[derive(Debug, Default)]
+pub struct ChannelStats {
+    blocked_ns: AtomicU64,
+    depth_high: AtomicUsize,
+}
 
 /// A multi-producer channel drained in batches.
 ///
@@ -45,6 +57,7 @@ pub struct Channel<T> {
     not_full: Condvar,
     capacity: usize,
     halted: AtomicBool,
+    stats: Option<Box<ChannelStats>>,
 }
 
 impl<T> Channel<T> {
@@ -55,6 +68,7 @@ impl<T> Channel<T> {
             not_full: Condvar::new(),
             capacity: capacity.max(1),
             halted: AtomicBool::new(false),
+            stats: None,
         }
     }
 
@@ -65,7 +79,31 @@ impl<T> Channel<T> {
             not_full: Condvar::new(),
             capacity: usize::MAX,
             halted: AtomicBool::new(false),
+            stats: None,
         }
+    }
+
+    /// Attaches blocked-send-time and depth-high-water telemetry
+    /// (builder style; only at construction, before the channel is
+    /// shared).
+    pub fn with_stats(mut self) -> Self {
+        self.stats = Some(Box::default());
+        self
+    }
+
+    /// Total nanoseconds senders spent blocked on a full buffer (0
+    /// without [`Channel::with_stats`]).
+    pub fn blocked_send_ns(&self) -> u64 {
+        self.stats
+            .as_ref()
+            .map_or(0, |s| s.blocked_ns.load(Ordering::Relaxed))
+    }
+
+    /// Deepest the buffer ever got (0 without [`Channel::with_stats`]).
+    pub fn depth_high_water(&self) -> usize {
+        self.stats
+            .as_ref()
+            .map_or(0, |s| s.depth_high.load(Ordering::Relaxed))
     }
 
     /// Locks the queue, recovering from poisoning: the deque is valid
@@ -80,16 +118,28 @@ impl<T> Channel<T> {
     /// run is already dead, nobody will drain it.
     pub fn send(&self, value: T) {
         let mut q = self.lock();
-        while q.len() >= self.capacity {
-            if self.halted.load(Ordering::Acquire) {
-                return;
+        if q.len() >= self.capacity {
+            // Only the genuinely-blocking path is timed, so the
+            // telemetry cost scales with contention, not traffic.
+            let t0 = self.stats.as_ref().map(|_| Instant::now());
+            while q.len() >= self.capacity {
+                if self.halted.load(Ordering::Acquire) {
+                    return;
+                }
+                q = self.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
             }
-            q = self.not_full.wait(q).unwrap_or_else(|e| e.into_inner());
+            if let (Some(s), Some(t0)) = (self.stats.as_ref(), t0) {
+                s.blocked_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
         }
         if self.halted.load(Ordering::Acquire) {
             return;
         }
         q.push_back(value);
+        if let Some(s) = self.stats.as_ref() {
+            s.depth_high.fetch_max(q.len(), Ordering::Relaxed);
+        }
     }
 
     /// Moves every queued message into `out`, preserving send order, and
@@ -214,6 +264,39 @@ mod tests {
         let mut out = Vec::new();
         ch.drain_into(&mut out);
         assert_eq!(out, vec![0], "halted channel drops late sends");
+    }
+
+    #[test]
+    fn stats_track_depth_and_blocked_time() {
+        let ch = Arc::new(Channel::bounded(2).with_stats());
+        ch.send(1);
+        assert_eq!(ch.depth_high_water(), 1);
+        ch.send(2);
+        assert_eq!(ch.depth_high_water(), 2);
+        assert_eq!(ch.blocked_send_ns(), 0, "no send has blocked yet");
+        let t = {
+            let ch = Arc::clone(&ch);
+            std::thread::spawn(move || ch.send(3)) // blocks: 2 of 2
+        };
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        let mut out = Vec::new();
+        ch.drain_into(&mut out);
+        t.join().unwrap();
+        assert!(
+            ch.blocked_send_ns() >= 10_000_000,
+            "blocked ~30ms, recorded {}ns",
+            ch.blocked_send_ns()
+        );
+        // High-water survives the drain.
+        assert_eq!(ch.depth_high_water(), 2);
+    }
+
+    #[test]
+    fn stats_absent_reads_zero() {
+        let ch = Channel::bounded(4);
+        ch.send(1);
+        assert_eq!(ch.blocked_send_ns(), 0);
+        assert_eq!(ch.depth_high_water(), 0);
     }
 
     #[test]

@@ -73,4 +73,6 @@ mod stats;
 
 pub use channel::Channel;
 pub use error::{ChaosConfig, NetConfigError, NetError, WorkerPosition};
-pub use runtime::{run_net, run_net_with_faults, ClockMode, NetConfig, NetReport};
+pub use runtime::{
+    run_net, run_net_with_faults, ClockMode, NetConfig, NetPerf, NetReport, NetWorkerPerf,
+};

@@ -73,14 +73,15 @@ use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use pstar_faults::{DeadLinkPolicy, FaultDelta, FaultPlan, FaultRuntime, LivenessView};
-use pstar_obs::{DropKind, TraceEvent, TraceRecord};
+use pstar_obs::{DropKind, MetricsRegistry, TraceEvent, TraceRecord};
 use pstar_sim::{
     ArqConfig, Emit, FullQueuePolicy, LossCause, Packet, PacketKind, PriorityQueue,
     RecoveryTracker, RetxEntry, Scheme, SimConfig, SimReport, TimeoutWheel, MAX_PRIORITY_CLASSES,
 };
+use pstar_stats::LogHistogram;
 use pstar_topology::{Link, LinkId, Network, NodeId};
 use pstar_traffic::TrafficMix;
 use rand::rngs::StdRng;
@@ -138,6 +139,12 @@ pub struct NetConfig {
     /// Deterministic failure injection for testing the teardown paths;
     /// inert by default.
     pub chaos: ChaosConfig,
+    /// Collect per-worker phase timings, barrier waits, and channel
+    /// telemetry into [`NetReport::perf`]. Off (the default), the slot
+    /// loop pays one never-taken branch per phase and the report is
+    /// bit-identical to an uninstrumented run — timing never touches
+    /// any RNG.
+    pub perf: bool,
 }
 
 impl NetConfig {
@@ -151,6 +158,7 @@ impl NetConfig {
             trace_capacity: 0,
             watchdog_ms: 10_000,
             chaos: ChaosConfig::default(),
+            perf: false,
         }
     }
 }
@@ -173,6 +181,109 @@ pub struct NetReport {
     /// Per-worker trace tracks `(worker, records)`, when
     /// [`NetConfig::trace_capacity`] is nonzero.
     pub worker_traces: Vec<(u32, Vec<TraceRecord>)>,
+    /// Per-worker phase timings and channel telemetry, when
+    /// [`NetConfig::perf`] is set.
+    pub perf: Option<NetPerf>,
+}
+
+/// Runtime telemetry of one [`NetConfig::perf`] run: one
+/// [`NetWorkerPerf`] per worker, ordered by worker id. The per-worker
+/// slot-time spread (min/median/max) is what makes stragglers visible —
+/// aggregate slots/sec alone cannot distinguish one slow worker from a
+/// uniformly slow fleet.
+#[derive(Debug, Clone)]
+pub struct NetPerf {
+    /// One entry per worker, index = worker id.
+    pub workers: Vec<NetWorkerPerf>,
+}
+
+/// One worker's accumulated timings over a whole run. All durations are
+/// wall nanoseconds summed across slots.
+#[derive(Debug, Clone)]
+pub struct NetWorkerPerf {
+    /// Worker id (its index in [`NetPerf::workers`]).
+    pub worker: u32,
+    /// Slots this worker timed (= slots run).
+    pub slots: u64,
+    /// Total per-slot wall time (sum over slots).
+    pub slot_ns_sum: u64,
+    /// Fastest single slot.
+    pub slot_ns_min: u64,
+    /// Median slot time (log-histogram estimate, ~3% relative error).
+    pub slot_ns_median: u64,
+    /// Slowest single slot.
+    pub slot_ns_max: u64,
+    /// Time spent waiting at the three slot barriers (A, B, C).
+    pub barrier_wait_ns: [u64; 3],
+    /// Time spent waiting at the fault barrier (faulted runs only).
+    pub fault_barrier_wait_ns: u64,
+    /// Phase A (send + inject) work time.
+    pub phase_a_ns: u64,
+    /// Phase B (drain + process) work time.
+    pub phase_b_ns: u64,
+    /// Phase C decide time (nonzero only on worker 0).
+    pub decide_ns: u64,
+    /// Fault-epoch application latency: time inside
+    /// `apply_fault_delta` (liveness replica update, stranded-packet
+    /// disposal, degraded-mode re-solve).
+    pub fault_apply_ns: u64,
+    /// Time this worker's data sends spent blocked on a full channel.
+    pub blocked_send_ns: u64,
+    /// Deepest any data channel *into* this worker ever got.
+    pub data_depth_high: usize,
+}
+
+impl NetWorkerPerf {
+    /// Mean slot time in nanoseconds (0 when no slots ran).
+    pub fn slot_ns_mean(&self) -> f64 {
+        if self.slots == 0 {
+            0.0
+        } else {
+            self.slot_ns_sum as f64 / self.slots as f64
+        }
+    }
+
+    /// Total barrier wait (slot barriers + fault barrier).
+    pub fn wait_ns_total(&self) -> u64 {
+        self.barrier_wait_ns.iter().sum::<u64>() + self.fault_barrier_wait_ns
+    }
+}
+
+impl NetPerf {
+    /// Publishes every worker's timings into `reg` as labeled counters
+    /// (`net_slot_ns{worker=N}`, `net_barrier_wait_ns{worker,barrier}`,
+    /// `net_phase_ns{worker,phase}`, `net_blocked_send_ns{worker}`) and
+    /// gauges (`net_data_depth_high{worker}`), so net runs land in the
+    /// same registry/exporter pipeline as the sharded engine.
+    pub fn publish(&self, reg: &MetricsRegistry) {
+        for wp in &self.workers {
+            let wid = wp.worker.to_string();
+            let wl = [("worker", wid.as_str())];
+            reg.counter("net_slots", &wl).add(wp.slots);
+            reg.counter("net_slot_ns", &wl).add(wp.slot_ns_sum);
+            for (i, name) in ["a", "b", "c"].iter().enumerate() {
+                reg.counter(
+                    "net_barrier_wait_ns",
+                    &[("worker", wid.as_str()), ("barrier", name)],
+                )
+                .add(wp.barrier_wait_ns[i]);
+            }
+            for (name, ns) in [
+                ("phase_a", wp.phase_a_ns),
+                ("phase_b", wp.phase_b_ns),
+                ("decide", wp.decide_ns),
+                ("fault_apply", wp.fault_apply_ns),
+                ("fault_barrier_wait", wp.fault_barrier_wait_ns),
+            ] {
+                reg.counter("net_phase_ns", &[("worker", wid.as_str()), ("phase", name)])
+                    .add(ns);
+            }
+            reg.counter("net_blocked_send_ns", &wl)
+                .add(wp.blocked_send_ns);
+            reg.gauge("net_data_depth_high", &wl)
+                .set(wp.data_depth_high as i64);
+        }
+    }
 }
 
 // Stop codes in the shared stop flag.
@@ -370,6 +481,35 @@ enum Injector {
 /// fault-free runs `SS` is `&S` (the blanket `Scheme for &S` impl, zero
 /// cost, shared); on faulted runs each worker owns a clone so
 /// `Scheme::on_liveness_change` can mutate degraded-mode state.
+/// Thread-local perf accumulator of one worker ([`NetConfig::perf`]
+/// runs only). Plain fields, no atomics: the worker owns it for the
+/// whole run and it is published into [`NetPerf`] after join.
+#[derive(Debug)]
+struct NetWorkerAcc {
+    /// Per-slot wall-time distribution (min/median/max come from here).
+    slot_hist: LogHistogram,
+    barrier_wait_ns: [u64; 3],
+    fault_barrier_wait_ns: u64,
+    phase_a_ns: u64,
+    phase_b_ns: u64,
+    decide_ns: u64,
+    fault_apply_ns: u64,
+}
+
+impl NetWorkerAcc {
+    fn new() -> Self {
+        Self {
+            slot_hist: LogHistogram::new(),
+            barrier_wait_ns: [0; 3],
+            fault_barrier_wait_ns: 0,
+            phase_a_ns: 0,
+            phase_b_ns: 0,
+            decide_ns: 0,
+            fault_apply_ns: 0,
+        }
+    }
+}
+
 struct Worker<'a, N: Network + Sync, SS: Scheme> {
     id: usize,
     topo: &'a N,
@@ -403,6 +543,9 @@ struct Worker<'a, N: Network + Sync, SS: Scheme> {
     /// Chaos: from this slot on, remote data channels are not drained
     /// (a "deaf" worker, for exercising the watchdog).
     deaf_from: Option<u64>,
+    /// `Some` on [`NetConfig::perf`] runs: this worker's timing
+    /// accumulator. `None` costs one never-taken branch per phase.
+    perf: Option<Box<NetWorkerAcc>>,
 }
 
 struct WorkerArq {
@@ -1147,22 +1290,38 @@ impl<'a, N: Network + Sync, SS: Scheme> Worker<'a, N, SS> {
                 }
                 self.faults.as_mut().expect("faulted run").next_fault = next;
                 self.stats.fault_events_applied += u64::from(delta.events_applied);
+                let mark = self.perf.as_ref().map(|_| Instant::now());
                 self.apply_fault_delta(&delta, t);
+                if let (Some(p), Some(m)) = (self.perf.as_mut(), mark) {
+                    p.fault_apply_ns += m.elapsed().as_nanos() as u64;
+                }
+                let mark = self.perf.as_ref().map(|_| Instant::now());
                 if sf.barrier.wait_poisoned(&shared.poison) {
                     return true;
+                }
+                if let (Some(p), Some(m)) = (self.perf.as_mut(), mark) {
+                    p.fault_barrier_wait_ns += m.elapsed().as_nanos() as u64;
                 }
             } else {
                 // The send above happens before worker 0's barrier
                 // arrival, so after release the message is guaranteed
                 // present.
+                let mark = self.perf.as_ref().map(|_| Instant::now());
                 if sf.barrier.wait_poisoned(&shared.poison) {
                     return true;
                 }
+                if let (Some(p), Some(m)) = (self.perf.as_mut(), mark) {
+                    p.fault_barrier_wait_ns += m.elapsed().as_nanos() as u64;
+                }
                 let mut msgs = Vec::new();
                 sf.deltas[self.id].drain_into(&mut msgs);
+                let mark = self.perf.as_ref().map(|_| Instant::now());
                 for msg in &msgs {
                     self.faults.as_mut().expect("faulted run").next_fault = msg.next;
                     self.apply_fault_delta(&msg.delta, t);
+                }
+                if let (Some(p), Some(m)) = (self.perf.as_mut(), mark) {
+                    p.fault_apply_ns += m.elapsed().as_nanos() as u64;
                 }
             }
         }
@@ -1296,8 +1455,15 @@ impl<'a, N: Network + Sync, SS: Scheme> Worker<'a, N, SS> {
 }
 
 /// What each worker thread hands back: its stats shard, its trace ring,
-/// the queue trace (worker 0 only), and its cross-worker message count.
-type WorkerOutput = (WorkerStats, Vec<TraceRecord>, Vec<(u64, u64)>, u64);
+/// the queue trace (worker 0 only), its slot count, and its perf
+/// accumulator (perf runs only).
+type WorkerOutput = (
+    WorkerStats,
+    Vec<TraceRecord>,
+    Vec<(u64, u64)>,
+    u64,
+    Option<Box<NetWorkerAcc>>,
+);
 
 /// Runs the full warmup → measure → drain protocol on the
 /// thread-per-core runtime and reports. See the module docs for the
@@ -1474,7 +1640,14 @@ where
         barrier_c: SlotBarrier::new(w),
         data: pair_links
             .iter()
-            .map(|&c| Channel::bounded(c.max(1)))
+            .map(|&c| {
+                let ch = Channel::bounded(c.max(1));
+                if cfg.perf {
+                    ch.with_stats()
+                } else {
+                    ch
+                }
+            })
             .collect(),
         ctrl: [
             (0..w * w).map(|_| Channel::unbounded()).collect(),
@@ -1523,6 +1696,9 @@ where
             slots_per_sec: 0.0,
             messages_sent: 0,
             worker_traces: Vec::new(),
+            perf: cfg.perf.then(|| NetPerf {
+                workers: Vec::new(),
+            }),
         });
     }
 
@@ -1612,6 +1788,7 @@ where
                                     .chaos
                                     .deaf_from_slot
                                     .filter(|_| cfg.chaos.victim(2, w) == id),
+                                perf: cfg.perf.then(|| Box::new(NetWorkerAcc::new())),
                             };
                             let mut queue_trace: Vec<(u64, u64)> = Vec::new();
                             if id == 0 {
@@ -1644,25 +1821,56 @@ where
                                         std::thread::sleep(Duration::from_millis(ms));
                                     }
                                 }
+                                // Perf marks are `None` on uninstrumented
+                                // runs: one never-taken branch per phase,
+                                // no `Instant` reads, no RNG contact.
+                                let slot_t0 = worker.perf.as_ref().map(|_| Instant::now());
                                 if worker.fault_slot_top(t) {
                                     break;
                                 }
                                 shared_ref.progress[id].store((t << 3) | 1, Ordering::Release);
+                                let mark = slot_t0.map(|_| Instant::now());
                                 worker.phase_a(t);
+                                if let (Some(p), Some(m)) = (worker.perf.as_mut(), mark) {
+                                    p.phase_a_ns += m.elapsed().as_nanos() as u64;
+                                }
+                                let mark = slot_t0.map(|_| Instant::now());
                                 if shared_ref.barrier_a.wait_poisoned(poison) {
                                     break;
                                 }
+                                if let (Some(p), Some(m)) = (worker.perf.as_mut(), mark) {
+                                    p.barrier_wait_ns[0] += m.elapsed().as_nanos() as u64;
+                                }
                                 shared_ref.progress[id].store((t << 3) | 2, Ordering::Release);
+                                let mark = slot_t0.map(|_| Instant::now());
                                 worker.phase_b(t);
+                                if let (Some(p), Some(m)) = (worker.perf.as_mut(), mark) {
+                                    p.phase_b_ns += m.elapsed().as_nanos() as u64;
+                                }
+                                let mark = slot_t0.map(|_| Instant::now());
                                 if shared_ref.barrier_b.wait_poisoned(poison) {
                                     break;
                                 }
+                                if let (Some(p), Some(m)) = (worker.perf.as_mut(), mark) {
+                                    p.barrier_wait_ns[1] += m.elapsed().as_nanos() as u64;
+                                }
                                 shared_ref.progress[id].store((t << 3) | 3, Ordering::Release);
                                 if id == 0 {
+                                    let mark = slot_t0.map(|_| Instant::now());
                                     worker.decide(t, queue_limit, &mut queue_trace);
+                                    if let (Some(p), Some(m)) = (worker.perf.as_mut(), mark) {
+                                        p.decide_ns += m.elapsed().as_nanos() as u64;
+                                    }
                                 }
+                                let mark = slot_t0.map(|_| Instant::now());
                                 if shared_ref.barrier_c.wait_poisoned(poison) {
                                     break;
+                                }
+                                if let (Some(p), Some(m)) = (worker.perf.as_mut(), mark) {
+                                    p.barrier_wait_ns[2] += m.elapsed().as_nanos() as u64;
+                                }
+                                if let (Some(p), Some(t0)) = (worker.perf.as_mut(), slot_t0) {
+                                    p.slot_hist.record(t0.elapsed().as_nanos() as u64);
                                 }
                                 if shared_ref.stop.load(Ordering::Acquire) != RUN {
                                     break;
@@ -1713,7 +1921,13 @@ where
                                     stats.fault_recovery.merge(f.recovery.samples());
                                 }
                             }
-                            (worker.stats, worker.trace, queue_trace, slots_run)
+                            (
+                                worker.stats,
+                                worker.trace,
+                                queue_trace,
+                                slots_run,
+                                worker.perf,
+                            )
                         };
                     match catch_unwind(AssertUnwindSafe(body)) {
                         Ok(out) => {
@@ -1811,13 +2025,48 @@ where
 
     let stop = shared.stop.load(Ordering::Acquire);
     let slots_run = results[0].3;
+    // Perf assembly: per-worker accumulators plus channel telemetry.
+    // Blocked-send time of channel `data[s*w + r]` belongs to sender
+    // `s`; the depth high-water belongs to receiver `r` (it measures
+    // backlog the receiver let build up before draining).
+    let perf = cfg.perf.then(|| NetPerf {
+        workers: results
+            .iter()
+            .enumerate()
+            .map(|(i, out)| {
+                let acc = out.4.as_deref().expect("perf run collects accumulators");
+                NetWorkerPerf {
+                    worker: i as u32,
+                    slots: acc.slot_hist.count(),
+                    slot_ns_sum: (acc.slot_hist.mean() * acc.slot_hist.count() as f64).round()
+                        as u64,
+                    slot_ns_min: acc.slot_hist.min(),
+                    slot_ns_median: acc.slot_hist.quantile(0.5),
+                    slot_ns_max: acc.slot_hist.max(),
+                    barrier_wait_ns: acc.barrier_wait_ns,
+                    fault_barrier_wait_ns: acc.fault_barrier_wait_ns,
+                    phase_a_ns: acc.phase_a_ns,
+                    phase_b_ns: acc.phase_b_ns,
+                    decide_ns: acc.decide_ns,
+                    fault_apply_ns: acc.fault_apply_ns,
+                    blocked_send_ns: (0..w)
+                        .map(|to| shared.data[i * w + to].blocked_send_ns())
+                        .sum(),
+                    data_depth_high: (0..w)
+                        .map(|from| shared.data[from * w + i].depth_high_water())
+                        .max()
+                        .unwrap_or(0),
+                }
+            })
+            .collect(),
+    });
     let mut iter = results.into_iter();
-    let (mut merged, trace0, queue_trace, _) = iter.next().expect("at least one worker");
+    let (mut merged, trace0, queue_trace, _, _) = iter.next().expect("at least one worker");
     let mut worker_traces = Vec::new();
     if cfg.trace_capacity > 0 {
         worker_traces.push((0u32, trace0));
     }
-    for (i, (stats, trace, _, _)) in iter.enumerate() {
+    for (i, (stats, trace, _, _, _)) in iter.enumerate() {
         merged.merge(&stats);
         if cfg.trace_capacity > 0 {
             worker_traces.push((i as u32 + 1, trace));
@@ -1851,6 +2100,7 @@ where
         },
         messages_sent,
         worker_traces,
+        perf,
     })
 }
 
@@ -1907,6 +2157,68 @@ mod tests {
         assert_eq!(r.dropped_packets, 0);
         assert_eq!(r.damaged_broadcasts, 0);
         assert!(r.mean_link_utilization > 0.0);
+    }
+
+    /// Perf instrumentation never perturbs a run: the report of a
+    /// [`NetConfig::perf`] run is bit-identical to the uninstrumented
+    /// one, and the telemetry itself is populated per worker.
+    #[test]
+    fn perf_run_is_bit_identical_and_populated() {
+        let topo = Torus::new(&[4, 4]);
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho: 0.5,
+            ..ScenarioSpec::default()
+        };
+        let mut sim = SimConfig::quick(11);
+        sim.lengths = spec.lengths;
+        let go = |perf: bool| {
+            run_net(
+                &topo,
+                spec.build_scheme(&topo),
+                spec.mix(&topo),
+                NetConfig {
+                    workers: 3,
+                    perf,
+                    ..NetConfig::new(sim)
+                },
+            )
+            .expect("run_net failed")
+        };
+        let base = go(false);
+        let inst = go(true);
+        assert_eq!(
+            format!("{:?}", base.report),
+            format!("{:?}", inst.report),
+            "telemetry must not change any reported number"
+        );
+        assert!(base.perf.is_none(), "perf off leaves the field None");
+        let p = inst.perf.expect("perf on populates NetReport::perf");
+        assert_eq!(p.workers.len(), inst.workers);
+        for (i, wp) in p.workers.iter().enumerate() {
+            assert_eq!(wp.worker as usize, i);
+            assert!(wp.slots > 0, "worker {i} timed no slots");
+            assert!(wp.slot_ns_sum > 0);
+            assert!(wp.slot_ns_min <= wp.slot_ns_median);
+            assert!(wp.slot_ns_median <= wp.slot_ns_max);
+            assert!(
+                wp.phase_a_ns + wp.phase_b_ns > 0,
+                "worker {i} recorded no work time"
+            );
+            assert_eq!(wp.fault_apply_ns, 0, "fault-free run");
+            assert!(wp.slot_ns_mean() > 0.0);
+        }
+        // All workers ran the same number of slots in lockstep, and only
+        // worker 0 decides.
+        assert!(p.workers.iter().all(|wp| wp.slots == p.workers[0].slots));
+        assert!(p.workers[0].decide_ns > 0);
+        assert_eq!(p.workers[1].decide_ns, 0);
+        // Publishing lands the per-worker counters in a registry.
+        let reg = MetricsRegistry::new();
+        p.publish(&reg);
+        let text = reg.prometheus_text();
+        assert!(text.contains("net_slot_ns{worker=\"0\"}"), "{text}");
+        assert!(text.contains("net_barrier_wait_ns"), "{text}");
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! for drops and fault epochs. Slots map to microseconds 1:1, so the
 //! viewer's time axis reads directly in slots.
 
+use crate::metrics::{PhaseSpan, COORD_TRACK};
 use crate::trace::{TraceEvent, TraceRecord};
 use std::fmt::Write;
 
@@ -332,6 +333,89 @@ pub fn chrome_trace_workers(tracks: &[(u32, Vec<TraceRecord>)]) -> String {
     out
 }
 
+/// Converts engine/runtime [`PhaseSpan`]s — the barrier-phase timings
+/// the sharded engine and `pstar-net` record under perf telemetry —
+/// into a Chrome trace-event JSON document with one thread track per
+/// execution track (workers plus the coordinator).
+///
+/// Layout:
+/// * One process (`pid 0`, named `engine`); `tid 0` is the coordinator
+///   ([`COORD_TRACK`] maps there), worker `w` is `tid w + 1`.
+/// * Each span becomes an `"X"` (complete) event. Timestamps here are
+///   *wall-clock microseconds since the run's instrumentation epoch*,
+///   unlike the slot-denominated exporters above — phase breakdowns are
+///   about real time, not simulated time.
+/// * Spans are emitted after a stable sort on `(start_us, track)`, so
+///   the document is a deterministic function of the span set.
+pub fn chrome_trace_phases(spans: &[PhaseSpan]) -> String {
+    let tid = |track: u32| -> u64 {
+        if track == COORD_TRACK {
+            0
+        } else {
+            track as u64 + 1
+        }
+    };
+    let mut spans: Vec<&PhaseSpan> = spans.iter().collect();
+    spans.sort_by_key(|s| (s.start_us, tid(s.track)));
+
+    let mut out = String::with_capacity(spans.len() * 96 + 1024);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut emit = |out: &mut String, line: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(line);
+    };
+
+    let mut line = String::new();
+    line.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"engine\"}}",
+    );
+    emit(&mut out, &line);
+    let mut tids: Vec<u64> = spans.iter().map(|s| tid(s.track)).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for &t in &tids {
+        line.clear();
+        let name = if t == 0 {
+            "coordinator".to_string()
+        } else {
+            format!("worker {}", t - 1)
+        };
+        let _ = write!(
+            line,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{t},\
+             \"args\":{{\"name\":\"{name}\"}}}}"
+        );
+        emit(&mut out, &line);
+    }
+
+    for s in &spans {
+        line.clear();
+        let cat = if s.name.starts_with("wait") {
+            "wait"
+        } else {
+            "work"
+        };
+        let _ = write!(
+            line,
+            "{{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"X\",\"ts\":{},\
+             \"dur\":{},\"pid\":0,\"tid\":{}}}",
+            s.name,
+            s.start_us,
+            s.dur_us.max(1),
+            tid(s.track)
+        );
+        emit(&mut out, &line);
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -524,5 +608,59 @@ mod tests {
             a.matches("\"cat\":\"task\"").count(),
             b.matches("\"cat\":\"task\"").count()
         );
+    }
+
+    #[test]
+    fn phase_trace_places_coordinator_and_workers() {
+        let spans = vec![
+            PhaseSpan {
+                track: COORD_TRACK,
+                name: "merge",
+                start_us: 10,
+                dur_us: 4,
+            },
+            PhaseSpan {
+                track: 0,
+                name: "a1",
+                start_us: 0,
+                dur_us: 8,
+            },
+            PhaseSpan {
+                track: 1,
+                name: "wait_alpha",
+                start_us: 8,
+                dur_us: 2,
+            },
+        ];
+        let json = chrome_trace_phases(&spans);
+        assert!(json.contains("\"name\":\"coordinator\""), "{json}");
+        assert!(json.contains("\"name\":\"worker 0\""), "{json}");
+        assert!(json.contains("\"name\":\"worker 1\""), "{json}");
+        // Coordinator on tid 0, workers on tid w+1.
+        assert!(json.contains("\"name\":\"merge\",\"cat\":\"work\",\"ph\":\"X\",\"ts\":10,\"dur\":4,\"pid\":0,\"tid\":0"));
+        assert!(json.contains(
+            "\"name\":\"a1\",\"cat\":\"work\",\"ph\":\"X\",\"ts\":0,\"dur\":8,\"pid\":0,\"tid\":1"
+        ));
+        // wait_* spans get the wait category.
+        assert!(json.contains("\"name\":\"wait_alpha\",\"cat\":\"wait\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n]"), "trailing comma before close");
+    }
+
+    #[test]
+    fn phase_trace_is_independent_of_span_order() {
+        let a = PhaseSpan {
+            track: 0,
+            name: "a1",
+            start_us: 0,
+            dur_us: 5,
+        };
+        let b = PhaseSpan {
+            track: COORD_TRACK,
+            name: "merge",
+            start_us: 5,
+            dur_us: 3,
+        };
+        assert_eq!(chrome_trace_phases(&[a, b]), chrome_trace_phases(&[b, a]));
     }
 }

@@ -21,17 +21,24 @@
 //! * **Run manifests** — [`RunManifest`] sidecar JSON documents (seed,
 //!   config hash, git revision, wall-clock per phase, slots/sec) written
 //!   next to every experiments artifact.
+//! * **Runtime metrics** — the [`metrics`] registry: lock-free
+//!   [`Counter`]/[`Gauge`]/[`Timer`] instruments labeled by
+//!   shard/worker/phase id, with Prometheus-text and streaming-JSONL
+//!   exporters, observing the *execution machinery* (barrier phases,
+//!   channel depths, arena occupancy) rather than the simulated network.
 
 #![warn(missing_docs)]
 
 mod chrome;
 mod heatmap;
 mod manifest;
+pub mod metrics;
 mod series;
 mod trace;
 
-pub use chrome::{chrome_trace, chrome_trace_workers};
+pub use chrome::{chrome_trace, chrome_trace_phases, chrome_trace_workers};
 pub use heatmap::{render_heatmap, HeatPanel};
 pub use manifest::{config_hash, fnv1a64, git_rev, PhaseTiming, RunManifest};
+pub use metrics::{Counter, Gauge, JsonlSink, MetricsRegistry, PhaseSpan, Timer, COORD_TRACK};
 pub use series::{SeriesStats, SlotSample, MAX_OBS_CLASSES};
 pub use trace::{DropKind, NullSink, ObsCollector, RingTrace, TraceEvent, TraceRecord, TraceSink};

@@ -24,8 +24,64 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// Stable hash of a configuration's `Debug` representation. `Debug` for
 /// the config types is derived field-by-field, so any config change
 /// changes the hash.
+///
+/// The representation is canonicalized first: the *top-level* fields of
+/// a struct-style repr (`Name { a: 1, b: 2 }`) are sorted by field name
+/// before hashing, so reordering fields in a struct declaration — a
+/// pure refactor that changes no configuration — does not invalidate
+/// recorded hashes. Only the outermost level is sorted: a nested
+/// struct's own field order is part of its (atomic) value text, which
+/// keeps the canonicalization cheap and unambiguous. Values themselves
+/// (including renames and nesting changes) still change the hash.
 pub fn config_hash(debug_repr: &str) -> u64 {
-    fnv1a64(debug_repr.as_bytes())
+    match canonicalize_debug(debug_repr) {
+        Some(canonical) => fnv1a64(canonical.as_bytes()),
+        None => fnv1a64(debug_repr.as_bytes()),
+    }
+}
+
+/// Sorts the top-level `field: value` pairs of a struct-style `Debug`
+/// repr by field name. Returns `None` for anything that doesn't look
+/// like `Name { a: …, b: … }` (tuple structs, enums without fields,
+/// malformed text) — those hash as-is.
+fn canonicalize_debug(repr: &str) -> Option<String> {
+    let open = repr.find('{')?;
+    let close = repr.rfind('}')?;
+    if close < open {
+        return None;
+    }
+    let prefix = repr[..open].trim_end();
+    let inner = repr[open + 1..close].trim();
+    let suffix = repr[close + 1..].trim();
+    if !suffix.is_empty() || inner.is_empty() {
+        return None;
+    }
+
+    // Split on commas at nesting depth 0 (braces, brackets, parens all
+    // nest — `b: Inner { x: 2 }` and `c: [1, 2]` are single fields).
+    let mut fields: Vec<&str> = Vec::new();
+    let (mut depth, mut start) = (0i32, 0usize);
+    for (i, c) in inner.char_indices() {
+        match c {
+            '{' | '[' | '(' => depth += 1,
+            '}' | ']' | ')' => depth -= 1,
+            ',' if depth == 0 => {
+                fields.push(inner[start..i].trim());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if depth != 0 {
+        return None;
+    }
+    fields.push(inner[start..].trim());
+    // Every piece must be `name: value`, or this isn't a struct repr.
+    if fields.iter().any(|f| !f.contains(':')) {
+        return None;
+    }
+    fields.sort_by_key(|f| f.split(':').next().unwrap_or(f).trim_end());
+    Some(format!("{prefix} {{ {} }}", fields.join(", ")))
 }
 
 /// Best-effort current git revision: `GITHUB_SHA` when set (CI), else
@@ -230,6 +286,65 @@ mod tests {
     fn config_hash_distinguishes_configs() {
         assert_ne!(config_hash("Cfg { a: 1 }"), config_hash("Cfg { a: 2 }"));
         assert_eq!(config_hash("same"), config_hash("same"));
+    }
+
+    #[test]
+    fn config_hash_is_stable_across_field_reordering() {
+        // Reordering struct fields is a refactor, not a config change.
+        assert_eq!(
+            config_hash("Cfg { a: 1, b: 2 }"),
+            config_hash("Cfg { b: 2, a: 1 }")
+        );
+        // Nested struct and list values stay atomic under the top-level
+        // sort (their commas sit at depth > 0).
+        assert_eq!(
+            config_hash("Cfg { a: Inner { y: 2, x: [1, 2] }, b: 3 }"),
+            config_hash("Cfg { b: 3, a: Inner { y: 2, x: [1, 2] } }")
+        );
+        // ... but a *nested* reorder is a different value text: only the
+        // outermost level is canonicalized.
+        assert_ne!(
+            config_hash("Cfg { a: Inner { x: 1, y: 2 } }"),
+            config_hash("Cfg { a: Inner { y: 2, x: 1 } }")
+        );
+    }
+
+    #[test]
+    fn config_hash_reordering_still_distinguishes_real_changes() {
+        // Same field names, different values.
+        assert_ne!(
+            config_hash("Cfg { a: 1, b: 2 }"),
+            config_hash("Cfg { a: 2, b: 1 }")
+        );
+        // Field renames and struct renames change the hash.
+        assert_ne!(config_hash("Cfg { a: 1 }"), config_hash("Cfg { aa: 1 }"));
+        assert_ne!(config_hash("Cfg { a: 1 }"), config_hash("Cfg2 { a: 1 }"));
+    }
+
+    #[test]
+    fn config_hash_non_struct_reprs_hash_verbatim() {
+        // Tuple structs, bare enums, and malformed text fall back to
+        // hashing the raw bytes.
+        assert_eq!(config_hash("Kind(3)"), fnv1a64(b"Kind(3)"));
+        assert_eq!(config_hash("North"), fnv1a64(b"North"));
+        assert_eq!(config_hash("Bad { a: 1"), fnv1a64(b"Bad { a: 1"));
+        assert_eq!(config_hash(""), fnv1a64(b""));
+    }
+
+    #[test]
+    fn canonicalize_debug_shapes() {
+        assert_eq!(
+            canonicalize_debug("Cfg { b: 2, a: 1 }").as_deref(),
+            Some("Cfg { a: 1, b: 2 }")
+        );
+        // Whitespace variants normalize to one canonical spelling.
+        assert_eq!(
+            canonicalize_debug("Cfg {a: 1,b: 2}").as_deref(),
+            Some("Cfg { a: 1, b: 2 }")
+        );
+        assert_eq!(canonicalize_debug("Cfg {}"), None);
+        assert_eq!(canonicalize_debug("Cfg { 1, 2 }"), None);
+        assert_eq!(canonicalize_debug("Cfg { a: 1 } trailing"), None);
     }
 
     #[test]

@@ -416,6 +416,56 @@ mod tests {
     }
 
     #[test]
+    fn ring_bound_holds_under_sustained_overflow() {
+        // The bound is the point of the ring: push far past capacity
+        // (including several full wrap-arounds) and check the retained
+        // window is always exactly the last `capacity` records, in
+        // order, with `len` never exceeding the bound.
+        let capacity = 7;
+        let mut r = RingTrace::with_capacity(capacity);
+        for slot in 0..1_000u64 {
+            r.push(rec(
+                slot,
+                TraceEvent::Enqueue {
+                    link: (slot % 3) as u32,
+                    class: 0,
+                    task: slot as u32,
+                },
+            ));
+            assert!(r.len() <= capacity, "bound violated at push {slot}");
+            assert_eq!(r.total_recorded(), slot + 1);
+            let got: Vec<u64> = r.iter().map(|x| x.slot).collect();
+            let lo = (slot + 1).saturating_sub(capacity as u64);
+            let want: Vec<u64> = (lo..=slot).collect();
+            assert_eq!(got, want, "window drifted at push {slot}");
+        }
+        assert_eq!(r.len(), capacity);
+        // The allocation is the bound too, not just the logical length:
+        // a ring that kept growing its buffer would defeat the purpose.
+        assert!(r.buf.capacity() >= capacity && r.buf.capacity() <= capacity.next_power_of_two());
+    }
+
+    #[test]
+    fn ring_capacity_one_keeps_only_the_newest() {
+        let mut r = RingTrace::with_capacity(1);
+        for slot in 0..10u64 {
+            r.push(rec(
+                slot,
+                TraceEvent::Delivery {
+                    link: 0,
+                    class: 0,
+                    age: 0,
+                    task: 0,
+                },
+            ));
+            assert_eq!(r.len(), 1);
+            let slots: Vec<u64> = r.iter().map(|x| x.slot).collect();
+            assert_eq!(slots, vec![slot]);
+        }
+        assert_eq!(r.total_recorded(), 10);
+    }
+
+    #[test]
     fn null_sink_counts_but_discards() {
         let mut s = NullSink::with_decimation(8);
         assert_eq!(s.decimation(), 8);

@@ -38,6 +38,7 @@ mod event_engine;
 mod faultepoch;
 mod metrics;
 mod packet;
+mod perf;
 mod queue;
 mod recovery;
 mod scheme;
@@ -54,6 +55,7 @@ pub use metrics::{
     TailReport,
 };
 pub use packet::{BroadcastState, Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
+pub use perf::{CoordPhases, EnginePerf, EnginePerfConfig, WorkerPhases, PHASE_NAMES};
 pub use queue::PriorityQueue;
 pub use recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy, RetxEntry, TimeoutWheel};
 pub use scheme::Scheme;

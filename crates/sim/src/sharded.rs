@@ -42,6 +42,7 @@ use crate::engine::TailsState;
 use crate::faultepoch::RecoveryTracker;
 use crate::metrics::{ClassStats, FaultReport, FlowReport, RecoveryReport, SimReport, TailReport};
 use crate::packet::{Emit, Packet, PacketKind, MAX_PRIORITY_CLASSES};
+use crate::perf::{assemble_perf, CoordHooks, EnginePerf, EnginePerfConfig, WorkerPerf};
 use crate::scheme::Scheme;
 use crate::task::{TaskKind, TaskSlot, TaskTable};
 use pstar_faults::{DeadLinkPolicy, FaultDelta, FaultPlan, FaultRuntime, LivenessView};
@@ -1538,6 +1539,23 @@ impl<N: Network + Sync, S: Scheme + Clone + Send> ShardedEngine<N, S> {
     /// Runs the warmup → measure → drain protocol and reports; the
     /// report mirrors the serial engine's field for field.
     pub fn run(self) -> SimReport {
+        self.run_inner(None).0
+    }
+
+    /// Runs like [`ShardedEngine::run`] with execution-machinery
+    /// telemetry enabled, returning the (bit-identical) report plus the
+    /// [`EnginePerf`] phase decomposition. Timing never touches the
+    /// RNG, so the report is exactly what [`ShardedEngine::run`] would
+    /// have produced — `tests/perf.rs` pins this.
+    ///
+    /// Panics if [`EnginePerfConfig::jsonl_path`] names a file that
+    /// cannot be created.
+    pub fn run_perf(self, perf: EnginePerfConfig) -> (SimReport, EnginePerf) {
+        let (report, perf) = self.run_inner(Some(&perf));
+        (report, perf.expect("perf was requested"))
+    }
+
+    fn run_inner(self, pcfg: Option<&EnginePerfConfig>) -> (SimReport, Option<EnginePerf>) {
         let Self {
             topo,
             cfg,
@@ -1559,20 +1577,61 @@ impl<N: Network + Sync, S: Scheme + Clone + Send> ShardedEngine<N, S> {
         let links = topo.link_count() as usize;
         let queue_limit = (cfg.unstable_queue_per_link * links as f64) as i64;
 
+        let t0 = coord.now;
+        let mut hooks = pcfg
+            .map(|c| CoordHooks::new(c, t0).expect("creating the perf JSONL snapshot sink failed"));
+        let mut worker_perfs: Vec<WorkerPerf> = Vec::new();
+
         let completed = match coord.check_stop(queue_limit, 0, 0) {
             Some(c) => c,
             None => {
                 coord.advance_faults(0);
                 let workers = threads.min(shards.len());
                 if workers <= 1 {
-                    run_sequential(&mut coord, &mut shards, &ctx, queue_limit)
+                    let (c, wp) =
+                        run_sequential(&mut coord, &mut shards, &ctx, queue_limit, &mut hooks);
+                    worker_perfs = wp;
+                    c
                 } else {
-                    run_threaded(&mut coord, &mut shards, &ctx, queue_limit, workers)
+                    let (c, wp) = run_threaded(
+                        &mut coord,
+                        &mut shards,
+                        &ctx,
+                        queue_limit,
+                        workers,
+                        &mut hooks,
+                    );
+                    worker_perfs = wp;
+                    c
                 }
             }
         };
 
-        assemble_report(coord, shards, &shard_lo_link, &link_dim, links, completed)
+        // Arena high-water marks come for free: the arena never
+        // shrinks, so its final length is the peak occupancy, and the
+        // free list is whatever of that peak is idle at the end.
+        let perf = hooks.map(|h| {
+            let arena: Vec<(u32, u32)> = shards
+                .iter()
+                .map(|sh| {
+                    let mut free = 0u32;
+                    let mut cur = sh.free_head;
+                    while cur != NIL {
+                        free += 1;
+                        cur = sh.arena_next[cur as usize];
+                    }
+                    (sh.arena_pkts.len() as u32, free)
+                })
+                .collect();
+            let wall_ns = h.now_ns();
+            let nsh = shards.len();
+            assemble_perf(h, worker_perfs, arena, nsh, coord.now - t0, wall_ns)
+        });
+
+        (
+            assemble_report(coord, shards, &shard_lo_link, &link_dim, links, completed),
+            perf,
+        )
     }
 }
 
@@ -1603,34 +1662,60 @@ fn kway_merge(streams: &[&[Msg]], out: &mut Vec<Msg>, idx: &mut Vec<usize>) {
 
 /// Single-threaded driver: all phases on the calling thread, in the
 /// same barrier order the threaded driver uses.
+///
+/// Under perf telemetry the thread plays both roles: its A1/A2/B time
+/// is attributed to a single "worker 0" track (the parallelizable
+/// portion) and the merge/mid-slot/end-slot time to the coordinator
+/// (the serial portion) — which is precisely how a 1-thread run
+/// measures the Amdahl serial fraction without needing real threads.
 fn run_sequential<N: Network, S: Scheme>(
     coord: &mut Coordinator<S>,
     shards: &mut [Shard<S>],
     ctx: &ShardCtx<'_, N>,
     queue_limit: i64,
-) -> bool {
+    hooks: &mut Option<CoordHooks>,
+) -> (bool, Vec<WorkerPerf>) {
     let nsh = shards.len();
+    let mut wp = hooks
+        .as_ref()
+        .map(|h| WorkerPerf::new(0, h.epoch, h.span_slots, h.t0));
     let mut inboxes: Vec<Vec<(u32, Packet)>> = (0..nsh).map(|_| Vec::new()).collect();
     let mut msgs: Vec<Msg> = Vec::new();
     let mut merge_idx: Vec<usize> = Vec::new();
     let mut watch: Vec<(u32, bool)> = Vec::new();
     let mut t = coord.now;
-    loop {
+    let completed = loop {
+        let mut mark = wp.as_ref().map(|w| w.now_ns());
         let delta = coord.faults.as_ref().and_then(|f| f.pending.clone());
         for sh in shards.iter_mut() {
             sh.phase_a1(t, ctx, delta.as_deref());
         }
-        for sh in shards.iter_mut() {
+        for (si, sh) in shards.iter_mut().enumerate() {
             for (ti, inbox) in inboxes.iter_mut().enumerate() {
                 if !sh.out[ti].is_empty() {
+                    if ti != si {
+                        if let Some(w) = wp.as_mut() {
+                            w.boundary_packets += sh.out[ti].len() as u64;
+                        }
+                    }
                     let mut batch = std::mem::take(&mut sh.out[ti]);
                     inbox.append(&mut batch);
                     sh.out[ti] = batch;
                 }
             }
         }
+        if let Some(w) = wp.as_mut() {
+            let now = w.now_ns();
+            w.record_work(0, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         for (si, sh) in shards.iter_mut().enumerate() {
             sh.phase_a2(t, ctx, &mut inboxes[si]);
+        }
+        if let Some(w) = wp.as_mut() {
+            let now = w.now_ns();
+            w.record_work(1, t, mark.unwrap(), now);
+            mark = Some(now);
         }
         let mut fault_qdelta = 0i64;
         watch.clear();
@@ -1638,14 +1723,35 @@ fn run_sequential<N: Network, S: Scheme>(
             fault_qdelta += sh.a1.fault_qdelta;
             watch.extend_from_slice(&sh.a1.watch_busy);
         }
-        if nsh == 1 {
-            // Single shard: the stream is already in key order; feed it
-            // through without copying.
-            coord.mid_slot(ctx, t, fault_qdelta, &watch, &shards[0].msgs);
+        let merged_len = if nsh == 1 {
+            // Single shard: the stream is already in key order; it will
+            // feed through below without copying.
+            shards[0].msgs.len()
         } else {
             let streams: Vec<&[Msg]> = shards.iter().map(|sh| sh.msgs.as_slice()).collect();
             kway_merge(&streams, &mut msgs, &mut merge_idx);
+            msgs.len()
+        };
+        if let Some(h) = hooks.as_mut() {
+            let now = h.now_ns();
+            h.record_merge(now - mark.unwrap(), merged_len as u64);
+            if h.spans_on(t) {
+                h.push_span("merge", mark.unwrap(), now);
+            }
+            mark = Some(now);
+        }
+        if nsh == 1 {
+            coord.mid_slot(ctx, t, fault_qdelta, &watch, &shards[0].msgs);
+        } else {
             coord.mid_slot(ctx, t, fault_qdelta, &watch, &msgs);
+        }
+        if let Some(h) = hooks.as_mut() {
+            let now = h.now_ns();
+            h.record_mid(now - mark.unwrap());
+            if h.spans_on(t) {
+                h.push_span("mid_slot", mark.unwrap(), now);
+            }
+            mark = Some(now);
         }
         let mut pre = 0u64;
         let mut end = 0u64;
@@ -1656,11 +1762,26 @@ fn run_sequential<N: Network, S: Scheme>(
             end += sh.b.end_total;
             maxq = maxq.max(sh.b.max_qlen);
         }
-        if let Some(c) = coord.end_slot(t, pre, end, maxq, queue_limit) {
-            return c;
+        if let Some(w) = wp.as_mut() {
+            let now = w.now_ns();
+            w.record_work(3, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
+        let res = coord.end_slot(t, pre, end, maxq, queue_limit);
+        if let Some(h) = hooks.as_mut() {
+            let now = h.now_ns();
+            h.record_end(now - mark.unwrap());
+            if h.spans_on(t) {
+                h.push_span("end_slot", mark.unwrap(), now);
+            }
+            h.end_of_slot(t);
+        }
+        if let Some(c) = res {
+            break c;
         }
         t += 1;
-    }
+    };
+    (completed, wp.into_iter().collect())
 }
 
 /// Multi-threaded driver: shards split into contiguous chunks, one
@@ -1672,7 +1793,8 @@ fn run_threaded<N: Network + Sync, S: Scheme + Clone + Send>(
     ctx: &ShardCtx<'_, N>,
     queue_limit: i64,
     workers: usize,
-) -> bool {
+    hooks: &mut Option<CoordHooks>,
+) -> (bool, Vec<WorkerPerf>) {
     let nsh = shards.len();
     let ex = Exchange {
         barrier: Barrier::new(workers + 1),
@@ -1705,11 +1827,15 @@ fn run_threaded<N: Network + Sync, S: Scheme + Clone + Send>(
     }
 
     let mut completed = false;
+    let mut worker_perfs: Vec<WorkerPerf> = Vec::new();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for (base, chunk) in chunks {
+        for (w, (base, chunk)) in chunks.into_iter().enumerate() {
             let ex = &ex;
-            handles.push(scope.spawn(move || worker_loop(chunk, base, ex, ctx, t0, nsh)));
+            let wperf = hooks
+                .as_ref()
+                .map(|h| WorkerPerf::new(w as u32, h.epoch, h.span_slots, h.t0));
+            handles.push(scope.spawn(move || worker_loop(chunk, base, ex, ctx, t0, nsh, wperf)));
         }
 
         let mut msgs: Vec<Msg> = Vec::new();
@@ -1717,8 +1843,17 @@ fn run_threaded<N: Network + Sync, S: Scheme + Clone + Send>(
         let mut watch: Vec<(u32, bool)> = Vec::new();
         let mut t = t0;
         loop {
+            let mut mark = hooks.as_ref().map(|h| h.now_ns());
             ex.barrier.wait(); // α: A1 + shipping done
             ex.barrier.wait(); // β: A2 done, msgs/a1 published
+            if let Some(h) = hooks.as_mut() {
+                let now = h.now_ns();
+                h.record_wait(now - mark.unwrap());
+                if h.spans_on(t) {
+                    h.push_span("wait_a", mark.unwrap(), now);
+                }
+                mark = Some(now);
+            }
             let mut fault_qdelta = 0i64;
             watch.clear();
             for s in 0..nsh {
@@ -1731,12 +1866,36 @@ fn run_threaded<N: Network + Sync, S: Scheme + Clone + Send>(
                 let streams: Vec<&[Msg]> = guards.iter().map(|g| g.as_slice()).collect();
                 kway_merge(&streams, &mut msgs, &mut merge_idx);
             }
+            if let Some(h) = hooks.as_mut() {
+                let now = h.now_ns();
+                h.record_merge(now - mark.unwrap(), msgs.len() as u64);
+                if h.spans_on(t) {
+                    h.push_span("merge", mark.unwrap(), now);
+                }
+                mark = Some(now);
+            }
             coord.mid_slot(ctx, t, fault_qdelta, &watch, &msgs);
+            if let Some(h) = hooks.as_mut() {
+                let now = h.now_ns();
+                h.record_mid(now - mark.unwrap());
+                if h.spans_on(t) {
+                    h.push_span("mid_slot", mark.unwrap(), now);
+                }
+                mark = Some(now);
+            }
             for s in 0..nsh {
                 std::mem::swap(&mut coord.cmds[s], &mut *ex.cmds[s].lock().unwrap());
             }
             ex.barrier.wait(); // γ: cmds published
             ex.barrier.wait(); // δ: B done
+            if let Some(h) = hooks.as_mut() {
+                let now = h.now_ns();
+                h.record_wait(now - mark.unwrap());
+                if h.spans_on(t) {
+                    h.push_span("wait_b", mark.unwrap(), now);
+                }
+                mark = Some(now);
+            }
             let mut pre = 0u64;
             let mut end = 0u64;
             let mut maxq = 0u32;
@@ -1752,7 +1911,20 @@ fn run_threaded<N: Network + Sync, S: Scheme + Clone + Send>(
                 c.stop = res.is_some();
                 c.delta = coord.faults.as_ref().and_then(|f| f.pending.clone());
             }
+            if let Some(h) = hooks.as_mut() {
+                let now = h.now_ns();
+                h.record_end(now - mark.unwrap());
+                if h.spans_on(t) {
+                    h.push_span("end_slot", mark.unwrap(), now);
+                }
+                mark = Some(now);
+            }
             ex.barrier.wait(); // ε: control word published
+            if let Some(h) = hooks.as_mut() {
+                let now = h.now_ns();
+                h.record_wait(now - mark.unwrap());
+                h.end_of_slot(t);
+            }
             if let Some(c) = res {
                 completed = c;
                 break;
@@ -1761,10 +1933,14 @@ fn run_threaded<N: Network + Sync, S: Scheme + Clone + Send>(
         }
 
         for h in handles {
-            shards.append(&mut h.join().expect("worker thread panicked"));
+            let (mut chunk, wperf) = h.join().expect("worker thread panicked");
+            shards.append(&mut chunk);
+            if let Some(wp) = wperf {
+                worker_perfs.push(wp);
+            }
         }
     });
-    completed
+    (completed, worker_perfs)
 }
 
 /// One worker's slot loop over its contiguous shard chunk.
@@ -1775,9 +1951,11 @@ fn worker_loop<N: Network, S: Scheme>(
     ctx: &ShardCtx<'_, N>,
     t0: u64,
     nsh: usize,
-) -> Vec<Shard<S>> {
+    mut perf: Option<WorkerPerf>,
+) -> (Vec<Shard<S>>, Option<WorkerPerf>) {
     let mut t = t0;
     loop {
+        let mut mark = perf.as_ref().map(|w| w.now_ns());
         let (stop, delta) = {
             let c = ex.ctrl.lock().unwrap();
             (c.stop, c.delta.clone())
@@ -1789,6 +1967,11 @@ fn worker_loop<N: Network, S: Scheme>(
             sh.phase_a1(t, ctx, delta.as_deref());
             for ti in 0..nsh {
                 if !sh.out[ti].is_empty() {
+                    if ti != base + i {
+                        if let Some(w) = perf.as_mut() {
+                            w.boundary_packets += sh.out[ti].len() as u64;
+                        }
+                    }
                     let mut batch = std::mem::take(&mut sh.out[ti]);
                     ex.inboxes[ti].lock().unwrap().append(&mut batch);
                     sh.out[ti] = batch;
@@ -1799,26 +1982,65 @@ fn worker_loop<N: Network, S: Scheme>(
             g.1.clear();
             g.1.extend_from_slice(&sh.a1.watch_busy);
         }
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_work(0, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         ex.barrier.wait(); // α
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_wait(0, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         for (i, sh) in chunk.iter_mut().enumerate() {
             let mut inbox = std::mem::take(&mut *ex.inboxes[base + i].lock().unwrap());
             sh.phase_a2(t, ctx, &mut inbox);
             *ex.inboxes[base + i].lock().unwrap() = inbox;
             std::mem::swap(&mut *ex.msgs[base + i].lock().unwrap(), &mut sh.msgs);
         }
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_work(1, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         ex.barrier.wait(); // β
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_wait(1, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         ex.barrier.wait(); // γ
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_wait(2, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         for (i, sh) in chunk.iter_mut().enumerate() {
             let mut cmds = std::mem::take(&mut *ex.cmds[base + i].lock().unwrap());
             sh.phase_b(t, ctx, &mut cmds);
             *ex.cmds[base + i].lock().unwrap() = cmds;
             *ex.b[base + i].lock().unwrap() = sh.b;
         }
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_work(3, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         ex.barrier.wait(); // δ
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_wait(3, t, mark.unwrap(), now);
+            mark = Some(now);
+        }
         ex.barrier.wait(); // ε
+        if let Some(w) = perf.as_mut() {
+            let now = w.now_ns();
+            w.record_wait(4, t, mark.unwrap(), now);
+        }
         t += 1;
     }
-    chunk
+    (chunk, perf)
 }
 
 /// Assembles the final [`SimReport`], mirroring the serial engine's

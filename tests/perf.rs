@@ -1,0 +1,118 @@
+//! Telemetry must be free: an instrumented run — the sharded engine
+//! under [`pstar_sim::EnginePerfConfig`], the net runtime under
+//! [`pstar_net::NetConfig::perf`] — must produce a report bit-identical
+//! to the same run without instrumentation. The perf hooks read
+//! monotonic clocks and private accumulators and never touch an RNG;
+//! these tests pin that contract across schemes, loads, seeds and
+//! parallelism degrees so a future hook can't silently perturb results.
+
+use priority_star::prelude::*;
+use proptest::prelude::*;
+use pstar_net::{run_net, NetConfig};
+
+fn cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        warmup_slots: 500,
+        measure_slots: 2_000,
+        max_slots: 100_000,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Sharded-engine telemetry is report-neutral at every shard and
+    /// thread count (both drivers: `threads <= 1` runs the sequential
+    /// coordinator, more runs the 5-barrier protocol). Debug rendering
+    /// captures every report field, including the f64s' exact bits.
+    #[test]
+    fn engine_telemetry_is_report_neutral(
+        rho in 0.1f64..0.8,
+        seed in 0u64..1_000,
+        shards in 1usize..5,
+        threads in 1usize..4,
+    ) {
+        let topo = Torus::new(&[4, 4]);
+        for scheme in [SchemeKind::PriorityStar, SchemeKind::FcfsDirect] {
+            let spec = ScenarioSpec { scheme, rho, ..Default::default() };
+            let base = run_scenario_sharded(&topo, &spec, cfg(seed), shards, threads, None);
+            let (inst, perf) = run_scenario_sharded_perf(
+                &topo,
+                &spec,
+                cfg(seed),
+                shards,
+                threads,
+                None,
+                EnginePerfConfig::default(),
+            );
+            prop_assert_eq!(
+                format!("{base:?}"),
+                format!("{inst:?}"),
+                "scheme {} diverged under telemetry (shards={}, threads={})",
+                scheme.label(),
+                shards,
+                threads
+            );
+            // The telemetry itself is coherent: every slot accounted,
+            // a worker track per driver lane, a valid Amdahl fraction.
+            prop_assert_eq!(perf.slots, base.slots_run);
+            prop_assert!(!perf.worker_phases.is_empty());
+            let s = perf.serial_fraction();
+            prop_assert!((0.0..=1.0).contains(&s), "serial fraction {s}");
+            prop_assert!(perf.predicted_speedup(4) >= 1.0);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Net-runtime telemetry is report-neutral at every worker count,
+    /// and populates one [`pstar_net::NetWorkerPerf`] per worker.
+    #[test]
+    fn net_telemetry_is_report_neutral(
+        rho in 0.2f64..0.7,
+        seed in 0u64..1_000,
+        workers in 1usize..4,
+    ) {
+        let topo = Torus::new(&[4, 4]);
+        let spec = ScenarioSpec {
+            scheme: SchemeKind::PriorityStar,
+            rho,
+            ..Default::default()
+        };
+        let mut c = cfg(seed);
+        c.lengths = spec.lengths;
+        let go = |perf: bool| {
+            run_net(
+                &topo,
+                spec.build_scheme(&topo),
+                spec.mix(&topo),
+                NetConfig {
+                    workers,
+                    perf,
+                    ..NetConfig::new(c)
+                },
+            )
+            .expect("run_net failed")
+        };
+        let base = go(false);
+        let inst = go(true);
+        prop_assert_eq!(
+            format!("{:?}", base.report),
+            format!("{:?}", inst.report),
+            "net report diverged under telemetry (workers={})",
+            workers
+        );
+        prop_assert!(base.perf.is_none());
+        let p = inst.perf.expect("perf run populates telemetry");
+        prop_assert_eq!(p.workers.len(), inst.workers);
+        for w in &p.workers {
+            prop_assert_eq!(w.slots, base.report.slots_run);
+            prop_assert!(w.slot_ns_min <= w.slot_ns_median);
+            prop_assert!(w.slot_ns_median <= w.slot_ns_max);
+        }
+    }
+}
