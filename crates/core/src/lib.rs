@@ -94,5 +94,8 @@ pub mod prelude {
         TailQuantiles, TailReport,
     };
     pub use pstar_topology::{Direction, Mesh, NodeId, Torus};
-    pub use pstar_traffic::{TrafficMix, WorkloadSpec};
+    pub use pstar_traffic::{
+        all_to_all_lower_bound, DestMatrix, PermKind, RateModulation, ScenarioConfig,
+        ScenarioError, TrafficMix, WorkloadSpec,
+    };
 }

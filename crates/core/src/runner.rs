@@ -4,7 +4,7 @@ use crate::scheme::StarScheme;
 use pstar_queueing::rates_for_rho;
 use pstar_sim::{SimConfig, SimReport};
 use pstar_topology::Torus;
-use pstar_traffic::{TrafficMix, WorkloadSpec};
+use pstar_traffic::{ScenarioConfig, TrafficMix, WorkloadSpec};
 
 /// Which of the paper's schemes to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +65,9 @@ pub struct ScenarioSpec {
     /// Where tasks originate (uniform is the paper's model; hot-spot is a
     /// robustness extension).
     pub sources: pstar_traffic::SourceDistribution,
+    /// Workload scenario: rate modulation, destination matrix, optional
+    /// all-to-all phase (the default adds nothing to the paper's model).
+    pub scenario: ScenarioConfig,
 }
 
 impl Default for ScenarioSpec {
@@ -76,6 +79,7 @@ impl Default for ScenarioSpec {
             lengths: WorkloadSpec::Fixed(1),
             bernoulli: false,
             sources: pstar_traffic::SourceDistribution::Uniform,
+            scenario: ScenarioConfig::default(),
         }
     }
 }
@@ -140,6 +144,7 @@ impl ScenarioSpec {
 /// scenario is self-contained).
 pub fn run_scenario(topo: &Torus, spec: &ScenarioSpec, mut cfg: SimConfig) -> SimReport {
     cfg.lengths = spec.lengths;
+    cfg.scenario = spec.scenario;
     let scheme = spec.build_scheme(topo);
     pstar_sim::run(topo, scheme, spec.mix(topo), cfg)
 }
@@ -155,6 +160,7 @@ pub fn run_scenario_observed(
     sink: Box<dyn pstar_sim::TraceSink>,
 ) -> (SimReport, Box<dyn pstar_sim::TraceSink>) {
     cfg.lengths = spec.lengths;
+    cfg.scenario = spec.scenario;
     let scheme = spec.build_scheme(topo);
     let (report, sink) = pstar_sim::Engine::new(topo.clone(), scheme, spec.mix(topo), cfg)
         .with_trace(sink)
@@ -175,6 +181,7 @@ pub fn run_scenario_sharded(
     faults: Option<(pstar_sim::FaultPlan, pstar_sim::DeadLinkPolicy)>,
 ) -> SimReport {
     cfg.lengths = spec.lengths;
+    cfg.scenario = spec.scenario;
     let scheme = spec.build_scheme(topo);
     let mut engine =
         pstar_sim::ShardedEngine::new(topo.clone(), scheme, spec.mix(topo), cfg, shards)
@@ -199,6 +206,7 @@ pub fn run_scenario_sharded_perf(
     perf: pstar_sim::EnginePerfConfig,
 ) -> (SimReport, pstar_sim::EnginePerf) {
     cfg.lengths = spec.lengths;
+    cfg.scenario = spec.scenario;
     let scheme = spec.build_scheme(topo);
     let mut engine =
         pstar_sim::ShardedEngine::new(topo.clone(), scheme, spec.mix(topo), cfg, shards)
@@ -219,6 +227,7 @@ pub fn run_scenario_with_faults(
     policy: pstar_sim::DeadLinkPolicy,
 ) -> SimReport {
     cfg.lengths = spec.lengths;
+    cfg.scenario = spec.scenario;
     let scheme = spec.build_scheme(topo);
     pstar_sim::run_with_faults(topo, scheme, spec.mix(topo), cfg, plan, policy)
 }

@@ -42,6 +42,13 @@
 //!                       the p99 orderings for CI)
 //!   trace export        Chrome trace-event JSON per scheme (view in
 //!                       chrome://tracing or ui.perfetto.dev)
+//!   scenarios           workload-scenario matrix: bursty (MMPP, ON-OFF),
+//!                       diurnal, hot-spot, permutation (transpose,
+//!                       bit-reversal, shuffle) and all-to-all workloads
+//!                       × scheme × ρ; CDF figure, p99-inversion findings,
+//!                       BENCH_scenarios.json (`--smoke` gates the
+//!                       cross-backend differential and the all-to-all
+//!                       completion bound for CI)
 //!   net                 run the schemes on the pstar-net thread-per-core
 //!                       runtime: sim-vs-net agreement table, CDF
 //!                       overlays, per-worker Chrome trace, and the
@@ -84,6 +91,7 @@ mod record;
 mod recovery;
 mod resilience;
 mod resilience_net;
+mod scenarios;
 mod svg;
 mod sweep;
 mod tables;
@@ -201,7 +209,7 @@ fn main() {
             }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|tails|net|engine|perf|all>"
+                    "usage: experiments [--quick] [--smoke] [--out DIR] <fig2..fig8|table1..5|ablation_*|resilience|profile|tails|net|engine|perf|scenarios|all>"
                 );
                 return;
             }
@@ -258,6 +266,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
         "resilience_net" | "resilience-net" => resilience_net::resilience_net(ctx),
         "recovery" => recovery::recovery(ctx),
         "net" => net::net(ctx),
+        "scenarios" => scenarios::scenarios(ctx),
         "engine" => engine::engine(ctx),
         "perf" => perf::perf(ctx),
         "profile" => profile::profile(ctx),
@@ -292,6 +301,7 @@ fn run_command(ctx: &Ctx, cmd: &str) {
                 "resilience_net",
                 "recovery",
                 "net",
+                "scenarios",
                 "engine",
                 "perf",
                 "profile",

@@ -19,7 +19,7 @@ use std::fmt;
 
 /// A configuration the runtime cannot execute, detected before any
 /// thread is spawned.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetConfigError {
     /// `FullQueuePolicy::Backpressure` with a finite queue capacity:
     /// deferral needs a global injection gate, which distributed
@@ -33,6 +33,14 @@ pub enum NetConfigError {
         /// The `MAX_PRIORITY_CLASSES` ceiling.
         max: usize,
     },
+    /// The workload scenario is invalid for this topology/arrival model
+    /// (wrapping [`pstar_traffic::ScenarioError`]).
+    Scenario(pstar_traffic::ScenarioError),
+    /// A non-default workload scenario under wall-clock mode: the
+    /// modulator is one global Markov chain and a shared draw stream,
+    /// which per-node independent streams cannot honor. Virtual mode
+    /// supports every scenario.
+    WallClockScenario,
 }
 
 impl fmt::Display for NetConfigError {
@@ -46,6 +54,12 @@ impl fmt::Display for NetConfigError {
             Self::TooManyPriorityClasses { requested, max } => write!(
                 f,
                 "scheme uses {requested} priority classes; the packet format carries at most {max}"
+            ),
+            Self::Scenario(e) => write!(f, "invalid scenario config: {e}"),
+            Self::WallClockScenario => write!(
+                f,
+                "wall-clock mode supports the default scenario only \
+                 (modulation state is global; use ClockMode::Virtual)"
             ),
         }
     }
@@ -81,7 +95,7 @@ impl fmt::Display for WorkerPosition {
 
 /// A runtime execution failure. Every failure mode of the worker fleet
 /// maps onto one of these — `run_net` never panics and never hangs.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum NetError {
     /// Rejected before execution started.
     Config(NetConfigError),

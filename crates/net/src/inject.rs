@@ -20,9 +20,9 @@
 //! statistically interchangeable while only virtual mode is
 //! draw-for-draw comparable with the simulator.
 
-use pstar_sim::{sample_poisson, Emit, LivenessView, Scheme, SimConfig};
+use pstar_sim::{generate_arrivals_into, ArrivalSink, Emit, LivenessView, Scheme, SimConfig};
 use pstar_topology::NodeId;
-use pstar_traffic::{TrafficMix, UniformDestinations};
+use pstar_traffic::{DestSampler, ScenarioCursor, TrafficMix, UniformDestinations};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -119,7 +119,9 @@ fn generate_task<S: Scheme + ?Sized>(
 pub(crate) struct VirtualInjector {
     rng: StdRng,
     mix: TrafficMix,
-    dests: UniformDestinations,
+    dests: DestSampler,
+    /// Scenario modulation cursor, advanced through the shared generator.
+    cursor: ScenarioCursor,
     cfg: SimConfig,
     n: u32,
     /// Per-node token balances; empty unless admission control is on.
@@ -130,11 +132,19 @@ pub(crate) struct VirtualInjector {
 }
 
 impl VirtualInjector {
-    pub fn new(n: u32, mix: TrafficMix, cfg: SimConfig) -> Self {
+    /// Builds the global injector for a network with the given
+    /// per-dimension extents. The caller (`run_net_inner`) has already
+    /// validated `cfg.scenario` against the topology.
+    pub fn new(dims: &[u32], mix: TrafficMix, cfg: SimConfig) -> Self {
+        let n: u32 = dims.iter().product();
         Self {
             rng: StdRng::seed_from_u64(cfg.seed),
             mix,
-            dests: UniformDestinations::new(n),
+            dests: cfg
+                .scenario
+                .resolve_dests(dims)
+                .expect("scenario validated by run_net"),
+            cursor: ScenarioCursor::new(cfg.scenario),
             tokens: match cfg.admission {
                 Some(adm) => vec![adm.burst; n as usize],
                 None => Vec::new(),
@@ -152,10 +162,12 @@ impl VirtualInjector {
 
     /// Generates slot `t`'s arrivals into `out`, mirroring
     /// `Engine::step`'s phase-2 order: token refill, then the arrival
-    /// draws. `view` suppresses injection at dead nodes at exactly the
-    /// points `Engine::generate_arrivals` does — *after* the count/source
-    /// draws, *before* any per-task draw — so the RNG stream stays
-    /// aligned with the simulator under the same fault plan.
+    /// draws. The draw sequence itself is not mirrored by hand — it *is*
+    /// the engine's, via `pstar_sim::generate_arrivals_into`, with this
+    /// injector plugged in as the [`ArrivalSink`]. `view` suppresses
+    /// injection at dead nodes at exactly the points the engine does
+    /// (the sink's `source_dead` probe), so the RNG stream stays aligned
+    /// with the simulator under the same fault plan — for any scenario.
     pub fn slot<S: Scheme + ?Sized>(
         &mut self,
         t: u64,
@@ -169,109 +181,58 @@ impl VirtualInjector {
             }
         }
         let n = self.n;
-        if self.mix.bernoulli {
-            for node in 0..n {
-                let (b, u) = self.mix.sample(&mut self.rng);
-                // Engine order: a dead node's Bernoulli draw happens,
-                // but every per-task draw (incl. unicast dest) is
-                // skipped.
-                if node_dead(view, NodeId(node)) {
-                    continue;
-                }
-                for _ in 0..b {
-                    let task = self.next_task;
-                    let measured = self.measured_at(t);
-                    if generate_task(
-                        &mut self.rng,
-                        &self.cfg,
-                        scheme,
-                        self.tokens.get_mut(node as usize),
-                        task,
-                        NodeId(node),
-                        None,
-                        t,
-                        measured,
-                        &mut self.rejected,
-                        out,
-                    ) {
-                        self.next_task += 1;
-                    }
-                }
-                for _ in 0..u {
-                    let src = NodeId(node);
-                    let dest = self.dests.sample(&mut self.rng, src);
-                    let task = self.next_task;
-                    let measured = self.measured_at(t);
-                    if generate_task(
-                        &mut self.rng,
-                        &self.cfg,
-                        scheme,
-                        self.tokens.get_mut(node as usize),
-                        task,
-                        src,
-                        Some(dest),
-                        t,
-                        measured,
-                        &mut self.rejected,
-                        out,
-                    ) {
-                        self.next_task += 1;
-                    }
-                }
-            }
-        } else {
-            let measured = self.measured_at(t);
-            let sources = self.mix.sources;
-            let total_b = sample_poisson(&mut self.rng, self.mix.lambda_broadcast * n as f64);
-            for _ in 0..total_b {
-                let src = sources.sample(&mut self.rng, n);
-                // Engine order: source drawn, then suppressed if dead.
-                if node_dead(view, src) {
-                    continue;
-                }
-                let task = self.next_task;
-                if generate_task(
-                    &mut self.rng,
-                    &self.cfg,
-                    scheme,
-                    token_of(&mut self.tokens, src),
-                    task,
-                    src,
-                    None,
-                    t,
-                    measured,
-                    &mut self.rejected,
-                    out,
-                ) {
-                    self.next_task += 1;
-                }
-            }
-            let total_u = sample_poisson(&mut self.rng, self.mix.lambda_unicast * n as f64);
-            for _ in 0..total_u {
-                let src = sources.sample(&mut self.rng, n);
-                let dest = self.dests.sample(&mut self.rng, src);
-                // Engine order: unicast draws *both* endpoints before the
-                // dead-source check.
-                if node_dead(view, src) {
-                    continue;
-                }
-                let task = self.next_task;
-                if generate_task(
-                    &mut self.rng,
-                    &self.cfg,
-                    scheme,
-                    token_of(&mut self.tokens, src),
-                    task,
-                    src,
-                    Some(dest),
-                    t,
-                    measured,
-                    &mut self.rejected,
-                    out,
-                ) {
-                    self.next_task += 1;
-                }
-            }
+        let mix = self.mix;
+        let mut cursor = self.cursor;
+        let mut sink = VirtualSink {
+            inj: self,
+            scheme,
+            view,
+            t,
+            out,
+        };
+        generate_arrivals_into(&mut sink, &mut cursor, mix, n, t);
+        self.cursor = cursor;
+    }
+}
+
+/// [`ArrivalSink`] adapter: the shared generator owns the draw order;
+/// `spawn` performs the per-task admission gate and length/scheme draws
+/// in the engine's exact order (`generate_task`).
+struct VirtualSink<'a, S: Scheme + ?Sized> {
+    inj: &'a mut VirtualInjector,
+    scheme: &'a S,
+    view: Option<&'a LivenessView>,
+    t: u64,
+    out: &'a mut Vec<InjectMsg>,
+}
+
+impl<S: Scheme + ?Sized> ArrivalSink for VirtualSink<'_, S> {
+    fn draw_ctx(&mut self) -> (&mut StdRng, &DestSampler) {
+        let inj = &mut *self.inj;
+        (&mut inj.rng, &inj.dests)
+    }
+
+    fn source_dead(&self, node: NodeId) -> bool {
+        node_dead(self.view, node)
+    }
+
+    fn spawn(&mut self, src: NodeId, dest: Option<NodeId>) {
+        let task = self.inj.next_task;
+        let measured = self.inj.measured_at(self.t);
+        if generate_task(
+            &mut self.inj.rng,
+            &self.inj.cfg,
+            self.scheme,
+            token_of(&mut self.inj.tokens, src),
+            task,
+            src,
+            dest,
+            self.t,
+            measured,
+            &mut self.inj.rejected,
+            self.out,
+        ) {
+            self.inj.next_task += 1;
         }
     }
 }

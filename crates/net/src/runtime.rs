@@ -1580,6 +1580,13 @@ where
     {
         return Err(NetConfigError::Backpressure.into());
     }
+    let dims = topo.dim_sizes();
+    if let Err(e) = cfg.sim.scenario.validate(&dims, mix.bernoulli) {
+        return Err(NetConfigError::Scenario(e).into());
+    }
+    if matches!(cfg.mode, ClockMode::WallClock) && !cfg.sim.scenario.is_default() {
+        return Err(NetConfigError::WallClockScenario.into());
+    }
     let sim = cfg.sim;
     let n = topo.node_count();
     let links = topo.link_count() as usize;
@@ -1710,6 +1717,7 @@ where
                 let range = ranges[id].clone();
                 let link_owner = &link_owner;
                 let link_source = &link_source;
+                let dims = dims.clone();
                 // Built on the main thread: `make_scheme` is `FnMut` and
                 // worker 0 takes the fault clock.
                 let scheme_inst = make_scheme(id);
@@ -1731,7 +1739,7 @@ where
                                     == range.contains(&src.0)));
                             let injector = match cfg.mode {
                                 ClockMode::Virtual if id == 0 => {
-                                    Injector::Virtual(VirtualInjector::new(n, mix, sim))
+                                    Injector::Virtual(VirtualInjector::new(&dims, mix, sim))
                                 }
                                 ClockMode::Virtual => Injector::Passive,
                                 ClockMode::WallClock => {

@@ -4,38 +4,72 @@
 //! the same workload model (e.g. `pstar-net`'s virtual-time injector)
 //! must draw arrival counts identically for their task streams to be
 //! comparable under common random numbers — so the sampler lives here,
-//! outside either engine.
+//! outside either engine. The scenario layer (rate modulation,
+//! destination matrices, the all-to-all phase) threads through this one
+//! function too: every backend advances the same
+//! [`ScenarioCursor`] through the same code path, which is why seeded
+//! scenario runs stay bit-identical across serial, sharded, and net.
 
 use pstar_topology::NodeId;
-use pstar_traffic::{ArrivalProcess, PoissonArrivals, TrafficMix, UniformDestinations};
+use pstar_traffic::{ArrivalProcess, DestSampler, PoissonArrivals, ScenarioCursor, TrafficMix};
 use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Above this rate the exact product method is replaced by a normal
+/// approximation. Knuth's method consumes Θ(λ) uniforms — a λ in the
+/// millions (large-torus aggregate rates) would burn megadraws per slot
+/// — and its chunked product underflows nothing but costs everything.
+/// At λ = 10⁴ the CLT's relative error is already O(λ^{-1/2}) ≈ 1%, far
+/// below the sampling noise of any window we measure.
+const NORMAL_APPROX_THRESHOLD: f64 = 10_000.0;
 
 /// Poisson sampling with chunking so that very large aggregate rates never
-/// underflow Knuth's product method.
+/// underflow Knuth's product method, switching to a two-draw normal
+/// approximation above `NORMAL_APPROX_THRESHOLD` (λ = 10⁴).
+///
+/// The accumulator is 64-bit and the result saturates at `u32::MAX`
+/// instead of wrapping — the overflow cliff the old 32-bit sum had at
+/// λ ≈ 4.3·10⁹ (debug panic, silent wrap in release). Which branch runs
+/// depends only on λ, so every backend consumes the same draw count for
+/// the same rate.
 pub fn sample_poisson(rng: &mut StdRng, lambda: f64) -> u32 {
     if lambda <= 0.0 {
         return 0;
     }
+    if lambda >= NORMAL_APPROX_THRESHOLD {
+        // Box–Muller: exactly two uniforms. `1 - u` keeps ln's argument
+        // in (0, 1] (StdRng's f64s live in [0, 1)).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let k = lambda + z * lambda.sqrt();
+        if k <= 0.0 {
+            return 0;
+        }
+        return k.round().min(f64::from(u32::MAX)) as u32;
+    }
     let mut remaining = lambda;
-    let mut total = 0u32;
+    let mut total = 0u64;
     while remaining > 200.0 {
-        total += PoissonArrivals::new(200.0).sample(rng);
+        total += u64::from(PoissonArrivals::new(200.0).sample(rng));
         remaining -= 200.0;
     }
-    total + PoissonArrivals::new(remaining).sample(rng)
+    total += u64::from(PoissonArrivals::new(remaining).sample(rng));
+    u32::try_from(total).unwrap_or(u32::MAX)
 }
 
 /// Consumer side of the per-slot arrival draw sequence.
 ///
-/// The serial [`crate::Engine`] and the sharded engine's coordinator
-/// both implement this so they share one copy of the draw *order* —
-/// the part that must match variate-for-variate for seeded runs to be
-/// bit-identical. Dead sources still consume their draws; only the
-/// resulting task is suppressed.
-pub(crate) trait ArrivalSink {
+/// The serial [`crate::Engine`], the sharded engine's coordinator, and
+/// `pstar-net`'s virtual-clock injector all implement this so they
+/// share one copy of the draw *order* — the part that must match
+/// variate-for-variate for seeded runs to be bit-identical. Dead
+/// sources still consume their draws; only the resulting task is
+/// suppressed.
+pub trait ArrivalSink {
     /// Splits out the RNG and the destination sampler (both owned by
     /// the implementor) for the next draw.
-    fn draw_ctx(&mut self) -> (&mut StdRng, &UniformDestinations);
+    fn draw_ctx(&mut self) -> (&mut StdRng, &DestSampler);
     /// Whether `node` is currently crashed (all its links dead).
     fn source_dead(&self, node: NodeId) -> bool;
     /// Registers one arrival (`dest = None` is a broadcast).
@@ -45,8 +79,37 @@ pub(crate) trait ArrivalSink {
 /// One slot's worth of arrivals, in the exact draw order the serial
 /// engine uses (see `Engine::generate_arrivals` for the rationale on
 /// each ordering choice).
-pub(crate) fn generate_arrivals_into<C: ArrivalSink>(sink: &mut C, mix: TrafficMix, n: u32) {
+///
+/// Per slot, in order: (1) the modulator advances — zero draws for
+/// steady/diurnal scenarios, one for MMPP/ON-OFF; (2) if this is the
+/// scheduled all-to-all slot, every live node spawns one broadcast
+/// (zero draws); (3) the background mix arrives at `multiplier ×` the
+/// configured rate. A destination matrix that assigns a source no
+/// destination (a permutation fixed point) suppresses the task without
+/// consuming extra draws. Under the default scenario the sequence is
+/// draw-for-draw identical to the pre-scenario engines.
+pub fn generate_arrivals_into<C: ArrivalSink>(
+    sink: &mut C,
+    cursor: &mut ScenarioCursor,
+    mix: TrafficMix,
+    n: u32,
+    slot: u64,
+) {
+    let mult = {
+        let (rng, _) = sink.draw_ctx();
+        cursor.advance(rng, slot)
+    };
+    if cursor.cfg.all_to_all_at == Some(slot) {
+        for node in 0..n {
+            if !sink.source_dead(NodeId(node)) {
+                sink.spawn(NodeId(node), None);
+            }
+        }
+    }
     if mix.bernoulli {
+        // Modulated Bernoulli is rejected at validation (a multiplier
+        // could push a per-slot probability past 1).
+        debug_assert_eq!(mult, 1.0, "modulation must be Steady under Bernoulli");
         debug_assert!(
             matches!(mix.sources, pstar_traffic::SourceDistribution::Uniform),
             "Bernoulli arrivals only support uniform sources"
@@ -72,17 +135,22 @@ pub(crate) fn generate_arrivals_into<C: ArrivalSink>(sink: &mut C, mix: TrafficM
                     let (rng, dests) = sink.draw_ctx();
                     dests.sample(rng, src)
                 };
-                sink.spawn(src, Some(dest));
+                if let Some(dest) = dest {
+                    sink.spawn(src, Some(dest));
+                }
             }
         }
     } else {
         // Superposition of independent Poissons: sample the aggregate
         // count once and scatter uniformly — exactly equivalent and
-        // much faster than N per-node draws.
+        // much faster than N per-node draws. An OFF-phase multiplier
+        // zeroes the rate, and `sample_poisson(_, 0)` draws nothing —
+        // consistently in every backend, since the multiplier is itself
+        // part of the shared stream.
         let sources = mix.sources;
         let total_b = {
             let (rng, _) = sink.draw_ctx();
-            sample_poisson(rng, mix.lambda_broadcast * n as f64)
+            sample_poisson(rng, mix.lambda_broadcast * mult * n as f64)
         };
         for _ in 0..total_b {
             let src = {
@@ -96,7 +164,7 @@ pub(crate) fn generate_arrivals_into<C: ArrivalSink>(sink: &mut C, mix: TrafficM
         }
         let total_u = {
             let (rng, _) = sink.draw_ctx();
-            sample_poisson(rng, mix.lambda_unicast * n as f64)
+            sample_poisson(rng, mix.lambda_unicast * mult * n as f64)
         };
         for _ in 0..total_u {
             let (src, dest) = {
@@ -108,7 +176,9 @@ pub(crate) fn generate_arrivals_into<C: ArrivalSink>(sink: &mut C, mix: TrafficM
             if sink.source_dead(src) {
                 continue;
             }
-            sink.spawn(src, Some(dest));
+            if let Some(dest) = dest {
+                sink.spawn(src, Some(dest));
+            }
         }
     }
 }
@@ -135,5 +205,43 @@ mod tests {
             .sum();
         let mean = total as f64 / trials as f64;
         assert!((mean - lambda).abs() < 0.02 * lambda, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_approx_mean_and_variance_track_lambda() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lambda = 5_000_000.0;
+        let trials = 4_000;
+        let samples: Vec<f64> = (0..trials)
+            .map(|_| f64::from(sample_poisson(&mut rng, lambda)))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / trials as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (trials - 1) as f64;
+        // Poisson: mean = var = λ. Tolerances sized for n = 4000 draws.
+        assert!((mean - lambda).abs() < 4.0 * (lambda / trials as f64).sqrt() * 3.0);
+        assert!(
+            (var / lambda - 1.0).abs() < 0.1,
+            "variance ratio {}",
+            var / lambda
+        );
+    }
+
+    #[test]
+    fn normal_approx_uses_exactly_two_draws() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let _ = sample_poisson(&mut a, 1e7);
+        let _: f64 = b.gen();
+        let _: f64 = b.gen();
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+
+    #[test]
+    fn huge_lambda_saturates_instead_of_wrapping() {
+        let mut rng = StdRng::seed_from_u64(4);
+        // λ far beyond u32: the old 32-bit accumulator wrapped (release)
+        // or panicked (debug); the fix saturates.
+        let k = sample_poisson(&mut rng, 1e12);
+        assert_eq!(k, u32::MAX);
     }
 }

@@ -1,7 +1,7 @@
 //! Simulation run configuration.
 
 use crate::recovery::{AdmissionConfig, ArqConfig, FullQueuePolicy};
-use pstar_traffic::WorkloadSpec;
+use pstar_traffic::{ScenarioConfig, WorkloadSpec};
 
 /// Configuration of one simulation run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,6 +67,11 @@ pub struct SimConfig {
     /// report is bit-identical to a run without the flag (pinned by
     /// `tests/tails.rs`).
     pub tails: bool,
+    /// Workload scenario: rate modulation, destination matrix, and the
+    /// optional all-to-all broadcast phase. The default scenario
+    /// consumes zero extra RNG draws, so it reproduces pre-scenario
+    /// seeded runs bit for bit (pinned by `tests/scenarios.rs`).
+    pub scenario: ScenarioConfig,
 }
 
 impl Default for SimConfig {
@@ -88,6 +93,7 @@ impl Default for SimConfig {
             profile_by_distance: false,
             trace_interval: None,
             tails: false,
+            scenario: ScenarioConfig::default(),
         }
     }
 }

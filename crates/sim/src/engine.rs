@@ -16,7 +16,7 @@ use pstar_faults::{DeadLinkPolicy, FaultPlan, FaultRuntime};
 use pstar_obs::{DropKind, SlotSample, TraceEvent, TraceRecord, TraceSink};
 use pstar_stats::{BatchMeans, Histogram, LogHistogram, Moments, TimeWeighted};
 use pstar_topology::{Link, LinkId, Network, NodeId};
-use pstar_traffic::{TrafficMix, UniformDestinations};
+use pstar_traffic::{DestSampler, ScenarioCursor, TrafficMix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
@@ -319,7 +319,10 @@ pub struct Engine<N: Network, S: Scheme> {
     is_active: Vec<bool>,
 
     tasks: TaskTable,
-    dests: UniformDestinations,
+    dests: DestSampler,
+    /// Scenario modulation cursor, advanced once per slot through the
+    /// shared arrival generator.
+    scenario: ScenarioCursor,
 
     // Measurement state.
     reception_delay: Moments,
@@ -380,6 +383,14 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             scheme.num_priorities() <= MAX_PRIORITY_CLASSES,
             "scheme uses too many priority classes"
         );
+        let dims = topo.dim_sizes();
+        if let Err(e) = cfg.scenario.validate(&dims, mix.bernoulli) {
+            panic!("invalid scenario config: {e}");
+        }
+        let dests = cfg
+            .scenario
+            .resolve_dests(&dims)
+            .expect("validated just above");
         let links = topo.link_count() as usize;
         let n = topo.node_count();
         let flow = Box::new(FlowState {
@@ -415,7 +426,8 @@ impl<N: Network, S: Scheme> Engine<N, S> {
             active: Vec::with_capacity(links),
             is_active: vec![false; links],
             tasks: TaskTable::new(),
-            dests: UniformDestinations::new(n),
+            dests,
+            scenario: ScenarioCursor::new(cfg.scenario),
             reception_delay: Moments::new(),
             reception_hist: Histogram::new(cfg.delay_histogram_cap),
             reception_batch: BatchMeans::new(cfg.delay_batch_size),
@@ -1295,10 +1307,14 @@ impl<N: Network, S: Scheme> Engine<N, S> {
     fn generate_arrivals(&mut self) {
         // The draw order lives in `arrivals::generate_arrivals_into`,
         // shared with the sharded engine's coordinator so both consume
-        // the seed stream variate-for-variate.
+        // the seed stream variate-for-variate. The cursor is copied out
+        // and back because the engine itself is the sink.
         let n = self.topo.node_count();
         let mix = self.mix;
-        generate_arrivals_into(self, mix, n);
+        let slot = self.now;
+        let mut cursor = self.scenario;
+        generate_arrivals_into(self, &mut cursor, mix, n, slot);
+        self.scenario = cursor;
     }
 
     fn in_measure_window(&self) -> bool {
@@ -1595,7 +1611,7 @@ impl<N: Network, S: Scheme> Engine<N, S> {
 }
 
 impl<N: Network, S: Scheme> ArrivalSink for Engine<N, S> {
-    fn draw_ctx(&mut self) -> (&mut StdRng, &UniformDestinations) {
+    fn draw_ctx(&mut self) -> (&mut StdRng, &DestSampler) {
         (&mut self.rng, &self.dests)
     }
 

@@ -118,6 +118,11 @@ impl<N: Network, S: Scheme> EventEngine<N, S> {
             cfg.queue_capacity.is_none(),
             "the event engine models infinite queues only; use crate::Engine"
         );
+        assert!(
+            cfg.scenario.is_default(),
+            "the event engine does not simulate workload scenarios \
+             (rate modulation, destination matrices, all-to-all); use crate::Engine"
+        );
         let links = topo.link_count() as usize;
         let n = topo.node_count();
         Self {
@@ -876,6 +881,15 @@ mod tests {
         let (t, s) = ring(8);
         let mut cfg = SimConfig::quick(1);
         cfg.queue_capacity = Some(4);
+        EventEngine::new(t, s, TrafficMix::broadcast_only(0.1), cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not simulate workload scenarios")]
+    fn rejects_scenario_configs() {
+        let (t, s) = ring(8);
+        let mut cfg = SimConfig::quick(1);
+        cfg.scenario.all_to_all_at = Some(0);
         EventEngine::new(t, s, TrafficMix::broadcast_only(0.1), cfg);
     }
 

@@ -45,7 +45,7 @@ mod scheme;
 mod sharded;
 mod task;
 
-pub use arrivals::sample_poisson;
+pub use arrivals::{generate_arrivals_into, sample_poisson, ArrivalSink};
 pub use config::SimConfig;
 pub use engine::Engine;
 pub use event_engine::EventEngine;

@@ -48,7 +48,7 @@ use crate::task::{TaskKind, TaskSlot, TaskTable};
 use pstar_faults::{DeadLinkPolicy, FaultDelta, FaultPlan, FaultRuntime, LivenessView};
 use pstar_stats::{BatchMeans, Histogram, Moments, Summary, TimeWeighted};
 use pstar_topology::{Link, Network, NodeId};
-use pstar_traffic::{TrafficMix, UniformDestinations};
+use pstar_traffic::{DestSampler, ScenarioCursor, TrafficMix};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Barrier, Mutex};
@@ -868,7 +868,9 @@ struct Coordinator<S> {
     scheme: S,
     cfg: SimConfig,
     rng: StdRng,
-    dests: UniformDestinations,
+    dests: DestSampler,
+    /// Scenario modulation cursor (coordinator-owned, like the RNG).
+    scenario: ScenarioCursor,
     tasks: TaskTable,
     node_count: u32,
     mix: TrafficMix,
@@ -1038,12 +1040,14 @@ impl<S: Scheme> Coordinator<S> {
 
         let n = self.node_count;
         let mix = self.mix;
+        let mut cursor = self.scenario;
         let mut sink = GenSink {
             co: self,
             ctx: *ctx,
             t,
         };
-        generate_arrivals_into(&mut sink, mix, n);
+        generate_arrivals_into(&mut sink, &mut cursor, mix, n, t);
+        self.scenario = cursor;
     }
 
     /// Serial `new_task`, minus the flow-control gates (asserted off).
@@ -1328,7 +1332,7 @@ struct GenSink<'a, N, S> {
 }
 
 impl<N: Network, S: Scheme> ArrivalSink for GenSink<'_, N, S> {
-    fn draw_ctx(&mut self) -> (&mut StdRng, &UniformDestinations) {
+    fn draw_ctx(&mut self) -> (&mut StdRng, &DestSampler) {
         (&mut self.co.rng, &self.co.dests)
     }
 
@@ -1404,6 +1408,14 @@ impl<N: Network + Sync, S: Scheme + Clone + Send> ShardedEngine<N, S> {
             cfg.queue_capacity.is_none(),
             "bounded queues require the serial engine"
         );
+        let dims = topo.dim_sizes();
+        if let Err(e) = cfg.scenario.validate(&dims, mix.bernoulli) {
+            panic!("invalid scenario config: {e}");
+        }
+        let dests = cfg
+            .scenario
+            .resolve_dests(&dims)
+            .expect("validated just above");
         let links = topo.link_count();
         let link_source = topo.link_source_table();
         assert!(
@@ -1444,7 +1456,8 @@ impl<N: Network + Sync, S: Scheme + Clone + Send> ShardedEngine<N, S> {
             scheme,
             cfg,
             rng: StdRng::seed_from_u64(cfg.seed),
-            dests: UniformDestinations::new(n),
+            dests,
+            scenario: ScenarioCursor::new(cfg.scenario),
             tasks: TaskTable::new(),
             node_count: n,
             mix,

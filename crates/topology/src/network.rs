@@ -40,6 +40,11 @@ pub trait Network {
 
     /// Network diameter.
     fn diameter(&self) -> u32;
+
+    /// Per-dimension extents (row-major coordinate radices). Workload
+    /// layers use these to build coordinate-aware destination patterns
+    /// (transpose, bit-reversal) without knowing the concrete topology.
+    fn dim_sizes(&self) -> Vec<u32>;
 }
 
 impl Network for Torus {
@@ -79,6 +84,10 @@ impl Network for Torus {
 
     fn diameter(&self) -> u32 {
         Torus::diameter(self)
+    }
+
+    fn dim_sizes(&self) -> Vec<u32> {
+        Torus::dims(self).to_vec()
     }
 }
 
@@ -120,6 +129,10 @@ impl Network for Mesh {
     fn diameter(&self) -> u32 {
         Mesh::diameter(self)
     }
+
+    fn dim_sizes(&self) -> Vec<u32> {
+        Mesh::dims(self).to_vec()
+    }
 }
 
 /// A [`Network`] reference is a network.
@@ -159,6 +172,10 @@ impl<N: Network + ?Sized> Network for &N {
     fn diameter(&self) -> u32 {
         (**self).diameter()
     }
+
+    fn dim_sizes(&self) -> Vec<u32> {
+        (**self).dim_sizes()
+    }
 }
 
 /// Helper shared by implementations: the direction taking `from` toward
@@ -189,6 +206,9 @@ mod tests {
         assert!(targets.iter().all(|t| t.0 < net.node_count()));
         assert!(sources.iter().all(|s| s.0 < net.node_count()));
         assert!(sources.iter().zip(&targets).all(|(s, t)| s != t));
+        let ds = net.dim_sizes();
+        assert_eq!(ds.len(), net.d());
+        assert_eq!(ds.iter().product::<u32>(), net.node_count());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 mod arrival;
 mod dest;
 mod length;
+mod scenario;
 mod source;
 mod trace;
 mod workload;
@@ -18,6 +19,10 @@ mod workload;
 pub use arrival::{ArrivalProcess, BernoulliArrivals, PoissonArrivals};
 pub use dest::UniformDestinations;
 pub use length::{DeterministicLength, GeometricLength, LengthDistribution, UniformLength};
+pub use scenario::{
+    all_to_all_lower_bound, DestMatrix, DestSampler, ModulationState, PermKind, RateModulation,
+    ScenarioConfig, ScenarioCursor, ScenarioError,
+};
 pub use source::SourceDistribution;
 pub use trace::{Trace, TraceEvent};
 pub use workload::{TrafficMix, WorkloadSpec};

@@ -1,0 +1,749 @@
+//! Composable workload scenarios: rate modulation, destination
+//! matrices, and the all-to-all broadcast phase.
+//!
+//! The paper validates priority STAR under stationary Bernoulli/Poisson
+//! arrivals with uniform destinations only. This module widens the
+//! regime along the two axes the literature probes hardest:
+//!
+//! * **Time** — [`RateModulation`] scales the offered load slot by slot:
+//!   a two-state MMPP burst process, an ON-OFF source, or a
+//!   deterministic diurnal curve. MMPP and ON-OFF consume exactly *one*
+//!   uniform variate per slot from the arrival RNG stream (the state
+//!   transition); `Steady` and `Diurnal` consume zero. Because every
+//!   backend advances the modulator through the shared arrival
+//!   generator, seeded runs remain bit-identical across the serial,
+//!   sharded, and net engines.
+//! * **Space** — [`DestMatrix`] replaces the uniform unicast destination
+//!   law with a hot-spot mixture or one of the classic adversarial
+//!   permutations (transpose, bit-reversal, perfect shuffle).
+//!   Permutations are resolved once into a lookup table
+//!   ([`DestSampler`]), so sampling a permuted destination consumes *no*
+//!   RNG draws; fixed points (e.g. the transpose diagonal) generate no
+//!   traffic rather than an illegal self-addressed packet.
+//!
+//! [`ScenarioConfig::all_to_all_at`] additionally schedules a one-shot
+//! all-to-all broadcast phase — every live node injects one broadcast in
+//! the same slot — whose completion time is gated against the
+//! bandwidth/latency lower bound ([`all_to_all_lower_bound`]) the
+//! Jung & Sakho optimal-schedule line of work builds on.
+
+use crate::UniformDestinations;
+use pstar_topology::{Coordinates, NodeId};
+use rand::Rng;
+use std::fmt;
+
+/// Slot-by-slot multiplier applied to the configured arrival rate.
+///
+/// All stochastic variants are normalized so the stationary mean
+/// multiplier is exactly 1: the configured ρ stays the *long-run*
+/// offered load, and burstiness redistributes it in time.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum RateModulation {
+    /// No modulation: the paper's stationary model (zero RNG draws).
+    #[default]
+    Steady,
+    /// Two-state Markov-modulated Poisson process. Each slot draws one
+    /// uniform variate to evaluate the state transition, then offers
+    /// `hi`× or `lo`× the configured rate.
+    Mmpp {
+        /// P(lo → hi) per slot.
+        p_up: f64,
+        /// P(hi → lo) per slot.
+        p_down: f64,
+        /// Rate multiplier in the hi state.
+        hi: f64,
+        /// Rate multiplier in the lo state (≥ 0).
+        lo: f64,
+    },
+    /// ON-OFF source: silent in OFF, `1/duty` × the configured rate in
+    /// ON, where `duty = p_on / (p_on + p_off)` — so the mean is 1 by
+    /// construction. One uniform variate per slot.
+    OnOff {
+        /// P(OFF → ON) per slot.
+        p_on: f64,
+        /// P(ON → OFF) per slot.
+        p_off: f64,
+    },
+    /// Deterministic diurnal curve
+    /// `1 + amplitude · sin(2π · (slot mod period) / period)` — a pure
+    /// function of the slot index, zero RNG draws.
+    Diurnal {
+        /// Curve period in slots (≥ 1).
+        period: u64,
+        /// Peak deviation from the mean, in `[0, 1]`.
+        amplitude: f64,
+    },
+}
+
+impl RateModulation {
+    /// A mean-1 MMPP: hi-state multiplier `ratio` times the lo-state
+    /// multiplier, scaled so the stationary mean is exactly 1.
+    pub fn mmpp_normalized(p_up: f64, p_down: f64, ratio: f64) -> Self {
+        assert!(ratio >= 1.0, "hi/lo ratio must be >= 1");
+        let pi_hi = p_up / (p_up + p_down);
+        let lo = 1.0 / (pi_hi * ratio + (1.0 - pi_hi));
+        RateModulation::Mmpp {
+            p_up,
+            p_down,
+            hi: ratio * lo,
+            lo,
+        }
+    }
+
+    /// Uniform variates consumed from the arrival stream per slot
+    /// (constant per configuration — the bit-identity contract).
+    pub fn draws_per_slot(&self) -> u32 {
+        match self {
+            RateModulation::Steady | RateModulation::Diurnal { .. } => 0,
+            RateModulation::Mmpp { .. } | RateModulation::OnOff { .. } => 1,
+        }
+    }
+
+    /// Long-run mean multiplier (1.0 for every well-formed config
+    /// except a non-normalized `Mmpp`).
+    pub fn stationary_mean(&self) -> f64 {
+        match *self {
+            RateModulation::Steady | RateModulation::Diurnal { .. } => 1.0,
+            RateModulation::Mmpp {
+                p_up,
+                p_down,
+                hi,
+                lo,
+            } => {
+                let pi_hi = p_up / (p_up + p_down);
+                pi_hi * hi + (1.0 - pi_hi) * lo
+            }
+            RateModulation::OnOff { .. } => 1.0,
+        }
+    }
+
+    /// Stationary ON fraction of an [`RateModulation::OnOff`] source
+    /// (`None` for the other variants).
+    pub fn duty_cycle(&self) -> Option<f64> {
+        match *self {
+            RateModulation::OnOff { p_on, p_off } => Some(p_on / (p_on + p_off)),
+            _ => None,
+        }
+    }
+
+    fn check(&self) -> Result<(), ScenarioError> {
+        let prob = |p: f64| (0.0..=1.0).contains(&p) && p > 0.0;
+        match *self {
+            RateModulation::Steady => Ok(()),
+            RateModulation::Mmpp {
+                p_up,
+                p_down,
+                hi,
+                lo,
+            } => {
+                if !prob(p_up) || !prob(p_down) {
+                    return Err(ScenarioError::BadModulation(
+                        "MMPP transition probabilities must lie in (0, 1]",
+                    ));
+                }
+                if !(hi.is_finite() && lo.is_finite() && hi >= lo && lo >= 0.0) {
+                    return Err(ScenarioError::BadModulation(
+                        "MMPP multipliers must satisfy hi >= lo >= 0",
+                    ));
+                }
+                Ok(())
+            }
+            RateModulation::OnOff { p_on, p_off } => {
+                if !prob(p_on) || !prob(p_off) {
+                    return Err(ScenarioError::BadModulation(
+                        "ON-OFF transition probabilities must lie in (0, 1]",
+                    ));
+                }
+                Ok(())
+            }
+            RateModulation::Diurnal { period, amplitude } => {
+                if period == 0 {
+                    return Err(ScenarioError::BadModulation(
+                        "diurnal period must be at least 1 slot",
+                    ));
+                }
+                if !(0.0..=1.0).contains(&amplitude) {
+                    return Err(ScenarioError::BadModulation(
+                        "diurnal amplitude must lie in [0, 1]",
+                    ));
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// The modulator's Markov state. Stochastic variants start in the
+/// hi/ON phase deterministically, so a burst is observable from slot 0
+/// regardless of seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModulationState {
+    hi: bool,
+}
+
+impl Default for ModulationState {
+    fn default() -> Self {
+        ModulationState { hi: true }
+    }
+}
+
+/// Unicast destination law.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum DestMatrix {
+    /// Uniform over the `N − 1` other nodes (the paper's model).
+    #[default]
+    Uniform,
+    /// Node `node` attracts `weight`× the unicast traffic of any other
+    /// single node; the remainder stays uniform.
+    HotSpot {
+        /// The hot destination's dense id.
+        node: u32,
+        /// Relative weight (> 0; 1 degenerates to uniform).
+        weight: f64,
+    },
+    /// A fixed permutation matrix: every source sends to exactly one
+    /// destination. Fixed points of the permutation generate no unicast
+    /// traffic.
+    Permutation(PermKind),
+}
+
+/// The classic adversarial permutations of the routing literature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PermKind {
+    /// Coordinate reversal `(c_0, …, c_{d-1}) → (c_{d-1}, …, c_0)`;
+    /// requires a palindromic dimension vector (e.g. any square torus).
+    Transpose,
+    /// Bit reversal of the node id within `log2 N` bits; requires a
+    /// power-of-two node count.
+    BitReversal,
+    /// Perfect shuffle (rotate the id's bits left by one); requires a
+    /// power-of-two node count.
+    Shuffle,
+}
+
+impl PermKind {
+    /// Stable lower-case label for tables and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PermKind::Transpose => "transpose",
+            PermKind::BitReversal => "bit-reversal",
+            PermKind::Shuffle => "shuffle",
+        }
+    }
+
+    /// Builds the full destination table for a network with the given
+    /// per-dimension extents (row-major, dimension 0 fastest — the
+    /// torus/mesh node-id encoding).
+    pub fn table(&self, dims: &[u32]) -> Result<Vec<NodeId>, ScenarioError> {
+        let coords = Coordinates::new(dims);
+        let n = coords.node_count();
+        match self {
+            PermKind::Transpose => {
+                let reversed: Vec<u32> = dims.iter().rev().copied().collect();
+                if reversed != dims {
+                    return Err(ScenarioError::TransposeNeedsPalindromicDims {
+                        dims: dims.to_vec(),
+                    });
+                }
+                Ok((0..n)
+                    .map(|v| {
+                        let mut c = coords.coords(NodeId(v));
+                        c.reverse();
+                        coords.node(&c)
+                    })
+                    .collect())
+            }
+            PermKind::BitReversal | PermKind::Shuffle => {
+                if !n.is_power_of_two() {
+                    return Err(ScenarioError::PermutationNeedsPowerOfTwo { kind: *self, n });
+                }
+                let bits = n.trailing_zeros();
+                let map = |v: u32| match self {
+                    PermKind::BitReversal => v.reverse_bits() >> (32 - bits),
+                    PermKind::Shuffle => ((v << 1) | (v >> (bits - 1))) & (n - 1),
+                    PermKind::Transpose => unreachable!(),
+                };
+                Ok((0..n).map(|v| NodeId(map(v))).collect())
+            }
+        }
+    }
+}
+
+/// A [`DestMatrix`] resolved against a concrete topology, ready to
+/// sample. The `Uniform` variant draws exactly like the legacy
+/// [`UniformDestinations`] sampler — one `gen_range` — which is what
+/// keeps default-scenario runs bit-identical to pre-scenario builds.
+#[derive(Debug, Clone)]
+pub enum DestSampler {
+    /// Uniform over the other nodes: one draw per destination.
+    Uniform(UniformDestinations),
+    /// Hot-spot mixture: one draw for the hot/uniform split, plus one
+    /// more when it falls to the uniform remainder.
+    HotSpot {
+        /// Sampler for the uniform remainder.
+        others: UniformDestinations,
+        /// The hot destination.
+        node: NodeId,
+        /// Probability mass on the hot destination.
+        p_hot: f64,
+    },
+    /// Fixed permutation lookup: zero draws.
+    Permutation(Vec<NodeId>),
+}
+
+impl DestSampler {
+    /// Samples the destination for `src`, or `None` when the matrix
+    /// assigns `src` no destination (a permutation fixed point) — the
+    /// caller must then suppress the task *without* consuming draws,
+    /// which this sampler guarantees by construction.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R, src: NodeId) -> Option<NodeId> {
+        match self {
+            DestSampler::Uniform(u) => Some(u.sample(rng, src)),
+            DestSampler::HotSpot {
+                others,
+                node,
+                p_hot,
+            } => {
+                if rng.gen::<f64>() < *p_hot && *node != src {
+                    Some(*node)
+                } else {
+                    Some(others.sample(rng, src))
+                }
+            }
+            DestSampler::Permutation(table) => {
+                let dest = table[src.index()];
+                (dest != src).then_some(dest)
+            }
+        }
+    }
+}
+
+/// One composable workload scenario. The default — steady rate, uniform
+/// destinations, no all-to-all phase — consumes zero extra RNG draws
+/// and reproduces the pre-scenario engines variate for variate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ScenarioConfig {
+    /// Slot-by-slot load modulation.
+    pub modulation: RateModulation,
+    /// Unicast destination law.
+    pub dests: DestMatrix,
+    /// If set, every live node injects one broadcast at this slot (an
+    /// all-to-all broadcast phase), on top of the background traffic.
+    pub all_to_all_at: Option<u64>,
+}
+
+impl ScenarioConfig {
+    /// Whether this is the plain stationary/uniform scenario.
+    pub fn is_default(&self) -> bool {
+        *self == ScenarioConfig::default()
+    }
+
+    /// Checks the scenario against a topology (`dims`) and arrival
+    /// model. Bernoulli arrivals reject modulation outright: a
+    /// multiplier above 1 could push a per-slot probability past 1,
+    /// and silently clamping would falsify the offered load.
+    pub fn validate(&self, dims: &[u32], bernoulli: bool) -> Result<(), ScenarioError> {
+        self.modulation.check()?;
+        if bernoulli && self.modulation != RateModulation::Steady {
+            return Err(ScenarioError::BernoulliModulation);
+        }
+        let n: u64 = dims.iter().map(|&k| k as u64).product();
+        match self.dests {
+            DestMatrix::Uniform => {}
+            DestMatrix::HotSpot { node, weight } => {
+                if u64::from(node) >= n {
+                    return Err(ScenarioError::HotNodeOutOfRange { node, n: n as u32 });
+                }
+                if !(weight > 0.0 && weight.is_finite()) {
+                    return Err(ScenarioError::BadHotWeight { weight });
+                }
+            }
+            DestMatrix::Permutation(kind) => {
+                kind.table(dims)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the destination matrix into a sampler for a network
+    /// with the given per-dimension extents.
+    pub fn resolve_dests(&self, dims: &[u32]) -> Result<DestSampler, ScenarioError> {
+        let n: u32 = dims.iter().product();
+        Ok(match self.dests {
+            DestMatrix::Uniform => DestSampler::Uniform(UniformDestinations::new(n)),
+            DestMatrix::HotSpot { node, weight } => DestSampler::HotSpot {
+                others: UniformDestinations::new(n),
+                node: NodeId(node),
+                p_hot: weight / (weight + (n - 1) as f64),
+            },
+            DestMatrix::Permutation(kind) => DestSampler::Permutation(kind.table(dims)?),
+        })
+    }
+}
+
+/// A scenario plus its evolving modulation state — the per-run cursor
+/// an engine owns and advances once per slot through the shared arrival
+/// generator.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioCursor {
+    /// The immutable scenario.
+    pub cfg: ScenarioConfig,
+    state: ModulationState,
+}
+
+impl ScenarioCursor {
+    /// Starts a cursor at the scenario's deterministic initial state.
+    pub fn new(cfg: ScenarioConfig) -> Self {
+        ScenarioCursor {
+            cfg,
+            state: ModulationState::default(),
+        }
+    }
+
+    /// Advances the modulator by one slot and returns this slot's rate
+    /// multiplier. Consumes exactly
+    /// [`RateModulation::draws_per_slot`] uniform variates from `rng`.
+    #[inline]
+    pub fn advance<R: Rng + ?Sized>(&mut self, rng: &mut R, slot: u64) -> f64 {
+        match self.cfg.modulation {
+            RateModulation::Steady => 1.0,
+            RateModulation::Mmpp {
+                p_up,
+                p_down,
+                hi,
+                lo,
+            } => {
+                let u: f64 = rng.gen();
+                self.state.hi = if self.state.hi { u >= p_down } else { u < p_up };
+                if self.state.hi {
+                    hi
+                } else {
+                    lo
+                }
+            }
+            RateModulation::OnOff { p_on, p_off } => {
+                let u: f64 = rng.gen();
+                self.state.hi = if self.state.hi { u >= p_off } else { u < p_on };
+                if self.state.hi {
+                    (p_on + p_off) / p_on
+                } else {
+                    0.0
+                }
+            }
+            RateModulation::Diurnal { period, amplitude } => {
+                let phase = (slot % period) as f64 / period as f64;
+                1.0 + amplitude * (2.0 * std::f64::consts::PI * phase).sin()
+            }
+        }
+    }
+}
+
+/// Completion-time lower bound for the all-to-all broadcast phase on an
+/// `n_1 × … × n_d` torus, in slots.
+///
+/// Bandwidth: `N(N−1)` receptions must cross `N·degree` directed links
+/// at one packet per link per slot ⇒ `T ≥ ⌈(N−1)/degree⌉` (for the
+/// all-port `k`-ary `n`-cube with `k > 2` this is the
+/// `⌈(N−1)/2n⌉` bound the Jung & Sakho optimal schedules meet).
+/// Latency: some pair sits a full diameter apart ⇒ `T ≥ diameter`.
+pub fn all_to_all_lower_bound(dims: &[u32]) -> u64 {
+    let n: u64 = dims.iter().map(|&k| u64::from(k)).product();
+    // A dimension of extent 2 contributes one link per node (its + and −
+    // neighbors coincide), matching the topology crate's convention.
+    let degree: u64 = dims.iter().map(|&k| if k == 2 { 1 } else { 2 }).sum();
+    let diameter: u64 = dims.iter().map(|&k| u64::from(k / 2)).sum();
+    ((n - 1).div_ceil(degree)).max(diameter)
+}
+
+/// Why a scenario cannot run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// Rate modulation combined with Bernoulli arrivals.
+    BernoulliModulation,
+    /// A modulation parameter is out of range.
+    BadModulation(&'static str),
+    /// The hot destination does not exist.
+    HotNodeOutOfRange {
+        /// The configured hot node.
+        node: u32,
+        /// The network size.
+        n: u32,
+    },
+    /// The hot-spot weight is not a positive finite number.
+    BadHotWeight {
+        /// The configured weight.
+        weight: f64,
+    },
+    /// Transpose needs `dims` to read the same in both directions.
+    TransposeNeedsPalindromicDims {
+        /// The offending dimension vector.
+        dims: Vec<u32>,
+    },
+    /// Bit-reversal/shuffle need a power-of-two node count.
+    PermutationNeedsPowerOfTwo {
+        /// The permutation that was requested.
+        kind: PermKind,
+        /// The network size.
+        n: u32,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::BernoulliModulation => write!(
+                f,
+                "rate modulation requires Poisson arrivals (a Bernoulli per-slot \
+                 probability could be modulated past 1)"
+            ),
+            ScenarioError::BadModulation(why) => write!(f, "bad modulation: {why}"),
+            ScenarioError::HotNodeOutOfRange { node, n } => {
+                write!(f, "hot destination {node} out of range for {n} nodes")
+            }
+            ScenarioError::BadHotWeight { weight } => {
+                write!(f, "hot-spot weight {weight} must be positive and finite")
+            }
+            ScenarioError::TransposeNeedsPalindromicDims { dims } => write!(
+                f,
+                "transpose permutation needs palindromic dims, got {dims:?}"
+            ),
+            ScenarioError::PermutationNeedsPowerOfTwo { kind, n } => write!(
+                f,
+                "{} permutation needs a power-of-two node count, got {n}",
+                kind.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn default_scenario_is_default_and_draw_free() {
+        let s = ScenarioConfig::default();
+        assert!(s.is_default());
+        assert_eq!(s.modulation.draws_per_slot(), 0);
+        assert!(s.validate(&[4, 4], true).is_ok());
+        assert!(s.validate(&[4, 4], false).is_ok());
+    }
+
+    #[test]
+    fn modulated_bernoulli_is_rejected() {
+        let s = ScenarioConfig {
+            modulation: RateModulation::OnOff {
+                p_on: 0.1,
+                p_off: 0.1,
+            },
+            ..Default::default()
+        };
+        assert_eq!(
+            s.validate(&[4, 4], true),
+            Err(ScenarioError::BernoulliModulation)
+        );
+        assert!(s.validate(&[4, 4], false).is_ok());
+    }
+
+    #[test]
+    fn permutations_are_bijections_without_rng() {
+        for kind in [
+            PermKind::Transpose,
+            PermKind::BitReversal,
+            PermKind::Shuffle,
+        ] {
+            let table = kind.table(&[4, 4]).expect("4x4 supports all kinds");
+            let mut seen = [false; 16];
+            for d in &table {
+                assert!(!seen[d.index()], "{} not injective", kind.label());
+                seen[d.index()] = true;
+            }
+            assert!(seen.iter().all(|&b| b), "{} not surjective", kind.label());
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_coordinates() {
+        let table = PermKind::Transpose.table(&[4, 4]).unwrap();
+        let c = Coordinates::new(&[4, 4]);
+        // (1, 3) → (3, 1)
+        let src = c.node(&[1, 3]);
+        assert_eq!(table[src.index()], c.node(&[3, 1]));
+        // Diagonal nodes are fixed points.
+        let diag = c.node(&[2, 2]);
+        assert_eq!(table[diag.index()], diag);
+    }
+
+    #[test]
+    fn infeasible_permutations_are_rejected() {
+        assert!(matches!(
+            PermKind::Transpose.table(&[4, 8]),
+            Err(ScenarioError::TransposeNeedsPalindromicDims { .. })
+        ));
+        assert!(matches!(
+            PermKind::BitReversal.table(&[3, 3]),
+            Err(ScenarioError::PermutationNeedsPowerOfTwo { .. })
+        ));
+        assert!(matches!(
+            PermKind::Shuffle.table(&[6]),
+            Err(ScenarioError::PermutationNeedsPowerOfTwo { .. })
+        ));
+    }
+
+    #[test]
+    fn permutation_sampler_skips_fixed_points_and_draws_nothing() {
+        let s = ScenarioConfig {
+            dests: DestMatrix::Permutation(PermKind::Transpose),
+            ..Default::default()
+        };
+        let sampler = s.resolve_dests(&[4, 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let before = rng.gen::<u64>();
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = Coordinates::new(&[4, 4]);
+        assert_eq!(sampler.sample(&mut rng, c.node(&[2, 2])), None);
+        assert_eq!(
+            sampler.sample(&mut rng, c.node(&[0, 3])),
+            Some(c.node(&[3, 0]))
+        );
+        // No draws were consumed by either sample.
+        assert_eq!(rng.gen::<u64>(), before);
+    }
+
+    #[test]
+    fn hotspot_sampler_concentrates_mass() {
+        let s = ScenarioConfig {
+            dests: DestMatrix::HotSpot {
+                node: 5,
+                weight: 30.0,
+            },
+            ..Default::default()
+        };
+        s.validate(&[4, 4], false).unwrap();
+        let sampler = s.resolve_dests(&[4, 4]).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 40_000;
+        let mut hot = 0u32;
+        for i in 0..trials {
+            let src = NodeId(i % 16);
+            let d = sampler.sample(&mut rng, src).expect("always a dest");
+            assert_ne!(d, src);
+            if d == NodeId(5) {
+                hot += 1;
+            }
+        }
+        // p_hot = 30/45 = 2/3, minus the src==5 slice that redirects.
+        let frac = f64::from(hot) / f64::from(trials);
+        assert!((0.55..0.70).contains(&frac), "hot fraction {frac}");
+    }
+
+    #[test]
+    fn mmpp_normalized_has_unit_mean() {
+        let m = RateModulation::mmpp_normalized(0.05, 0.2, 8.0);
+        assert!((m.stationary_mean() - 1.0).abs() < 1e-12);
+        assert_eq!(m.draws_per_slot(), 1);
+        m.check().unwrap();
+    }
+
+    #[test]
+    fn onoff_duty_cycle_and_peak_are_consistent() {
+        let m = RateModulation::OnOff {
+            p_on: 0.05,
+            p_off: 0.15,
+        };
+        assert!((m.duty_cycle().unwrap() - 0.25).abs() < 1e-12);
+        assert!((m.stationary_mean() - 1.0).abs() < 1e-12);
+        let mut cur = ScenarioCursor::new(ScenarioConfig {
+            modulation: m,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(9);
+        let slots = 200_000u64;
+        let mut acc = 0.0;
+        let mut on = 0u64;
+        for t in 0..slots {
+            let mult = cur.advance(&mut rng, t);
+            acc += mult;
+            if mult > 0.0 {
+                on += 1;
+                assert!((mult - 4.0).abs() < 1e-12, "ON multiplier is 1/duty");
+            }
+        }
+        let duty = on as f64 / slots as f64;
+        assert!((duty - 0.25).abs() < 0.02, "realized duty {duty}");
+        let mean = acc / slots as f64;
+        assert!((mean - 1.0).abs() < 0.05, "realized mean {mean}");
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_with_unit_mean_over_a_period() {
+        let m = RateModulation::Diurnal {
+            period: 1000,
+            amplitude: 0.5,
+        };
+        let mut cur = ScenarioCursor::new(ScenarioConfig {
+            modulation: m,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(1);
+        let before = rng.gen::<u64>();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean: f64 = (0..1000).map(|t| cur.advance(&mut rng, t)).sum::<f64>() / 1000.0;
+        assert!((mean - 1.0).abs() < 1e-9, "diurnal mean {mean}");
+        assert_eq!(rng.gen::<u64>(), before, "diurnal must not touch the RNG");
+    }
+
+    #[test]
+    fn all_to_all_bound_matches_known_cases() {
+        // 4×4 torus: N=16, degree 4, diameter 4 ⇒ max(⌈15/4⌉, 4) = 4.
+        assert_eq!(all_to_all_lower_bound(&[4, 4]), 4);
+        // 8×8 torus: max(⌈63/4⌉, 8) = 16.
+        assert_eq!(all_to_all_lower_bound(&[8, 8]), 16);
+        // Hypercube Q3 (2×2×2): degree 3, diameter 3 ⇒ max(⌈7/3⌉, 3) = 3.
+        assert_eq!(all_to_all_lower_bound(&[2, 2, 2]), 3);
+    }
+
+    #[test]
+    fn bad_params_are_loudly_rejected() {
+        let bad = |m: RateModulation| {
+            ScenarioConfig {
+                modulation: m,
+                ..Default::default()
+            }
+            .validate(&[4, 4], false)
+        };
+        assert!(bad(RateModulation::Mmpp {
+            p_up: 0.0,
+            p_down: 0.5,
+            hi: 2.0,
+            lo: 0.5
+        })
+        .is_err());
+        assert!(bad(RateModulation::OnOff {
+            p_on: 1.5,
+            p_off: 0.5
+        })
+        .is_err());
+        assert!(bad(RateModulation::Diurnal {
+            period: 0,
+            amplitude: 0.5
+        })
+        .is_err());
+        let hot = ScenarioConfig {
+            dests: DestMatrix::HotSpot {
+                node: 99,
+                weight: 4.0,
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            hot.validate(&[4, 4], false),
+            Err(ScenarioError::HotNodeOutOfRange { .. })
+        ));
+    }
+}

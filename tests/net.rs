@@ -17,6 +17,13 @@
 //! discipline has to survive contact with a real concurrent harness,
 //! not just the simulator.
 
+//! Seeding and the runtime invocation itself come from the shared
+//! harness in `tests/common` (`crn_seed`, `net_run`), which the
+//! scenario differential suite reuses.
+
+mod common;
+
+use common::{crn_seed, net_run};
 use priority_star::{run_scenario, ScenarioSpec, SchemeKind};
 use proptest::prelude::*;
 use pstar_net::{run_net, run_net_with_faults, Channel, ChaosConfig, NetConfig, NetError};
@@ -25,31 +32,6 @@ use pstar_sim::{
     PriorityQueue, SimConfig,
 };
 use pstar_topology::{LinkId, NodeId, Torus};
-
-/// Common-random-numbers seed for a sweep point: one seed per ρ index,
-/// shared by every scheme arm at that load.
-fn crn_seed(rho_idx: usize) -> u64 {
-    0xC0FF_EE00 + rho_idx as u64
-}
-
-fn net_run(
-    spec: &ScenarioSpec,
-    topo: &Torus,
-    mut sim: SimConfig,
-    workers: usize,
-) -> pstar_net::NetReport {
-    sim.lengths = spec.lengths;
-    run_net(
-        topo,
-        spec.build_scheme(topo),
-        spec.mix(topo),
-        NetConfig {
-            workers,
-            ..NetConfig::new(sim)
-        },
-    )
-    .expect("run_net failed")
-}
 
 /// Virtual-time net and sim agree exactly on the measured task set and
 /// the delivered-reception counts, per scheme × ρ.

@@ -13,195 +13,16 @@
 //! are still exact, and they are shard-count invariant among sharded
 //! runs).
 
+//! The comparison itself — [`common::assert_reports_match`] — is shared
+//! with the scenario differential suite (`tests/scenarios.rs`), so the
+//! contract above is stated in exactly one place.
+
+mod common;
+
+use common::assert_reports_match;
 use priority_star::prelude::*;
-use pstar_sim::{DeadLinkPolicy, FaultEvent, FaultKind, FaultPlan, SimReport};
+use pstar_sim::{DeadLinkPolicy, FaultEvent, FaultKind, FaultPlan};
 use pstar_topology::LinkId;
-
-/// Relative tolerance for the Welford-vs-integer-sum float deviation.
-fn close(a: f64, b: f64, label: &str) {
-    let scale = a.abs().max(b.abs()).max(1.0);
-    assert!(
-        (a - b).abs() <= 1e-9 * scale,
-        "{label}: {a} vs {b} beyond float-rounding tolerance"
-    );
-}
-
-/// Field-for-field comparison; everything except wait-summary floats is
-/// required to match exactly.
-fn assert_reports_match(serial: &SimReport, sharded: &SimReport, label: &str) {
-    assert_eq!(serial.stable, sharded.stable, "{label}: stable");
-    assert_eq!(serial.completed, sharded.completed, "{label}: completed");
-    assert_eq!(serial.slots_run, sharded.slots_run, "{label}: slots_run");
-    assert_eq!(
-        serial.measured_broadcasts, sharded.measured_broadcasts,
-        "{label}: measured_broadcasts"
-    );
-    assert_eq!(
-        serial.measured_unicasts, sharded.measured_unicasts,
-        "{label}: measured_unicasts"
-    );
-    // Reception/task delay statistics live in the coordinator and are
-    // pushed in serial order: bit-exact, variance included.
-    assert_eq!(
-        serial.reception_delay, sharded.reception_delay,
-        "{label}: reception_delay"
-    );
-    assert_eq!(
-        serial.reception_quantiles, sharded.reception_quantiles,
-        "{label}: reception_quantiles"
-    );
-    assert_eq!(
-        serial.reception_ci_batch, sharded.reception_ci_batch,
-        "{label}: reception_ci_batch"
-    );
-    assert_eq!(
-        serial.broadcast_delay, sharded.broadcast_delay,
-        "{label}: broadcast_delay"
-    );
-    assert_eq!(
-        serial.unicast_delay, sharded.unicast_delay,
-        "{label}: unicast_delay"
-    );
-    assert_eq!(
-        serial.dropped_packets, sharded.dropped_packets,
-        "{label}: dropped_packets"
-    );
-    assert_eq!(
-        serial.lost_receptions, sharded.lost_receptions,
-        "{label}: lost_receptions"
-    );
-    assert_eq!(
-        serial.damaged_broadcasts, sharded.damaged_broadcasts,
-        "{label}: damaged_broadcasts"
-    );
-    assert_eq!(
-        serial.dropped_unicasts, sharded.dropped_unicasts,
-        "{label}: dropped_unicasts"
-    );
-    // Utilizations come from integer busy-slot counters in both engines,
-    // reduced in the same order: exact.
-    assert_eq!(
-        serial.mean_link_utilization, sharded.mean_link_utilization,
-        "{label}: mean_link_utilization"
-    );
-    assert_eq!(
-        serial.max_link_utilization, sharded.max_link_utilization,
-        "{label}: max_link_utilization"
-    );
-    assert_eq!(
-        serial.per_dim_utilization, sharded.per_dim_utilization,
-        "{label}: per_dim_utilization"
-    );
-    assert_eq!(
-        serial.avg_concurrent_broadcasts, sharded.avg_concurrent_broadcasts,
-        "{label}: avg_concurrent_broadcasts"
-    );
-    assert_eq!(
-        serial.avg_concurrent_unicasts, sharded.avg_concurrent_unicasts,
-        "{label}: avg_concurrent_unicasts"
-    );
-    assert_eq!(
-        serial.peak_queue_total, sharded.peak_queue_total,
-        "{label}: peak_queue_total"
-    );
-    assert_eq!(
-        serial.window_transmissions, sharded.window_transmissions,
-        "{label}: window_transmissions"
-    );
-    assert_eq!(
-        serial.vc_transmissions, sharded.vc_transmissions,
-        "{label}: vc_transmissions"
-    );
-    assert_eq!(
-        serial.queue_trace, sharded.queue_trace,
-        "{label}: queue_trace"
-    );
-    assert_eq!(
-        serial.delay_by_distance, sharded.delay_by_distance,
-        "{label}: delay_by_distance"
-    );
-    // Per-class service stats: utilization (integer busy slots) exact;
-    // wait count/min/max exact; wait mean/variance to rounding.
-    assert_eq!(serial.class.len(), sharded.class.len(), "{label}: classes");
-    for (k, (a, b)) in serial.class.iter().zip(&sharded.class).enumerate() {
-        assert_eq!(
-            a.utilization, b.utilization,
-            "{label}: class {k} utilization"
-        );
-        assert_eq!(a.wait.count, b.wait.count, "{label}: class {k} wait count");
-        assert_eq!(a.wait.min, b.wait.min, "{label}: class {k} wait min");
-        assert_eq!(a.wait.max, b.wait.max, "{label}: class {k} wait max");
-        close(
-            a.wait.mean,
-            b.wait.mean,
-            &format!("{label}: class {k} mean"),
-        );
-        close(
-            a.wait.variance,
-            b.wait.variance,
-            &format!("{label}: class {k} variance"),
-        );
-    }
-    // Resilience counters: all integer, all coordinator-side — exact.
-    assert_eq!(
-        serial.faults.events_applied, sharded.faults.events_applied,
-        "{label}: events_applied"
-    );
-    assert_eq!(
-        serial.faults.fault_dropped_packets, sharded.faults.fault_dropped_packets,
-        "{label}: fault_dropped_packets"
-    );
-    assert_eq!(
-        serial.faults.fault_damaged_broadcasts, sharded.faults.fault_damaged_broadcasts,
-        "{label}: fault_damaged_broadcasts"
-    );
-    assert_eq!(
-        serial.faults.fault_slots, sharded.faults.fault_slots,
-        "{label}: fault_slots"
-    );
-    assert_eq!(
-        serial.faults.delivered_reception_fraction, sharded.faults.delivered_reception_fraction,
-        "{label}: delivered_reception_fraction"
-    );
-    assert_eq!(
-        serial.faults.recovery_time, sharded.faults.recovery_time,
-        "{label}: recovery_time"
-    );
-    assert_eq!(
-        serial.faults.class_wait_fault.len(),
-        sharded.faults.class_wait_fault.len(),
-        "{label}: class_wait_fault len"
-    );
-    for (k, (a, b)) in serial
-        .faults
-        .class_wait_fault
-        .iter()
-        .zip(&sharded.faults.class_wait_fault)
-        .enumerate()
-    {
-        assert_eq!(a.count, b.count, "{label}: wait_fault {k} count");
-        assert_eq!(a.min, b.min, "{label}: wait_fault {k} min");
-        assert_eq!(a.max, b.max, "{label}: wait_fault {k} max");
-        close(a.mean, b.mean, &format!("{label}: wait_fault {k} mean"));
-        close(
-            a.variance,
-            b.variance,
-            &format!("{label}: wait_fault {k} variance"),
-        );
-    }
-    // Flow accounting (exact integer occupancy sums) and tails digests
-    // (integer bucket counters, merge-order free).
-    assert_eq!(
-        format!("{:?}", serial.flow),
-        format!("{:?}", sharded.flow),
-        "{label}: flow"
-    );
-    assert_eq!(
-        format!("{:?}", serial.tails),
-        format!("{:?}", sharded.tails),
-        "{label}: tails"
-    );
-}
 
 fn cfg_with(seed: u64, tails: bool, trace: bool, by_distance: bool) -> SimConfig {
     let mut cfg = SimConfig::quick(seed);
